@@ -1,0 +1,60 @@
+// Command smokebench regenerates the paper's tables and figures (DESIGN.md
+// per-experiment index). Each experiment prints the series the corresponding
+// figure plots.
+//
+// Usage:
+//
+//	smokebench -exp fig5,fig8          # run specific experiments
+//	smokebench -exp all                # run everything, paper order
+//	smokebench -exp fig13 -scale paper # paper-scale datasets (slow, RAM-hungry)
+//	smokebench -list                   # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"smoke/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids (see -list), or 'all'")
+	scale := flag.String("scale", "small", "dataset scale: small | paper")
+	reps := flag.Int("reps", 3, "timed repetitions per measurement (median reported)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Order() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := bench.Config{Scale: *scale, Reps: *reps, W: os.Stdout}
+	runners := bench.Experiments()
+
+	var ids []string
+	if *exp == "all" {
+		ids = bench.Order()
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		r, ok := runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "smokebench: unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		if err := r(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "smokebench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

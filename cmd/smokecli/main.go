@@ -1,0 +1,162 @@
+// Command smokecli is a small interactive shell over the engine: run SQL
+// aggregation queries with lineage capture and explore backward/forward
+// lineage of the latest result.
+//
+//	smokecli -dataset tpch -sf 0.01
+//	smoke> SELECT l_shipmode, COUNT(*) AS c FROM lineitem GROUP BY l_shipmode;
+//	smoke> \backward lineitem 0
+//	smoke> \forward lineitem 123
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"smoke/internal/core"
+	"smoke/internal/datagen"
+	"smoke/internal/ops"
+	"smoke/internal/sql"
+	"smoke/internal/tpch"
+)
+
+func main() {
+	dataset := flag.String("dataset", "tpch", "demo dataset: tpch | zipf")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	flag.Parse()
+
+	db := core.Open()
+	switch *dataset {
+	case "tpch":
+		tp := tpch.Generate(*sf, 42)
+		db.Register(tp.Nation)
+		db.Register(tp.Customer)
+		db.Register(tp.Orders)
+		db.Register(tp.Lineitem)
+		fmt.Printf("loaded TPC-H SF=%.2f: nation, customer, orders (%d), lineitem (%d)\n",
+			*sf, tp.Orders.N, tp.Lineitem.N)
+	case "zipf":
+		db.Register(datagen.Zipf("zipf", 1.0, 1_000_000, 1000, 42))
+		fmt.Println("loaded zipf(id, z, v): 1M rows, 1000 groups")
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
+		os.Exit(1)
+	}
+	fmt.Println(`queries capture lineage (Inject); end with ';'. Commands: \backward <table> <outrid>, \forward <table> <rid>, \quit`)
+
+	var last *core.Result
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("smoke> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if strings.HasPrefix(line, `\`) {
+			runCommand(line, db, last)
+			fmt.Print("smoke> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString(" ")
+		if !strings.Contains(line, ";") {
+			fmt.Print("    -> ")
+			continue
+		}
+		stmt := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+		stmt = strings.TrimSuffix(stmt, "; ")
+		buf.Reset()
+		if res := runQuery(db, strings.TrimSuffix(stmt, ";")); res != nil {
+			last = res
+		}
+		fmt.Print("smoke> ")
+	}
+}
+
+func runQuery(db *core.DB, stmt string) *core.Result {
+	q, err := sql.Compile(db, stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return nil
+	}
+	res, err := q.Run(core.CaptureOptions{Mode: ops.Inject})
+	if err != nil {
+		fmt.Println("error:", err)
+		return nil
+	}
+	printRelation(res)
+	return res
+}
+
+func printRelation(res *core.Result) {
+	out := res.Out
+	for _, f := range out.Schema {
+		fmt.Printf("%-18s", f.Name)
+	}
+	fmt.Println()
+	limit := out.N
+	if limit > 20 {
+		limit = 20
+	}
+	for i := 0; i < limit; i++ {
+		for c := range out.Schema {
+			fmt.Printf("%-18v", out.Value(c, i))
+		}
+		fmt.Println()
+	}
+	if out.N > limit {
+		fmt.Printf("... (%d rows total)\n", out.N)
+	}
+}
+
+func runCommand(line string, db *core.DB, last *core.Result) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\quit`, `\q`:
+		os.Exit(0)
+	case `\backward`, `\forward`:
+		if last == nil {
+			fmt.Println("run a query first")
+			return
+		}
+		if len(fields) != 3 {
+			fmt.Printf("usage: %s <table> <rid>\n", fields[0])
+			return
+		}
+		rid, err := strconv.Atoi(fields[2])
+		if err != nil {
+			fmt.Println("bad rid:", fields[2])
+			return
+		}
+		var rids []core.Rid
+		if fields[0] == `\backward` {
+			rids, err = last.Backward(fields[1], []core.Rid{core.Rid(rid)})
+		} else {
+			rids, err = last.Forward(fields[1], []core.Rid{core.Rid(rid)})
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%d rids", len(rids))
+		show := rids
+		if len(show) > 15 {
+			show = show[:15]
+		}
+		fmt.Printf(": %v", show)
+		if len(rids) > 15 {
+			fmt.Print(" ...")
+		}
+		fmt.Println()
+		if fields[0] == `\backward` {
+			if rel, err := db.Gather(fields[1], show); err == nil {
+				r := &core.Result{Out: rel}
+				printRelation(r)
+			}
+		}
+	default:
+		fmt.Println("unknown command:", fields[0])
+	}
+}

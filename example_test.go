@@ -1,0 +1,63 @@
+package smoke_test
+
+import (
+	"fmt"
+
+	"smoke"
+)
+
+// Example demonstrates lineage capture and a backward query end-to-end.
+func Example() {
+	rel := smoke.NewEmpty("orders", smoke.Schema{
+		{Name: "customer", Type: smoke.TString},
+		{Name: "total", Type: smoke.TFloat},
+	})
+	rel.AppendRow("ada", 10.0)
+	rel.AppendRow("bob", 20.0)
+	rel.AppendRow("ada", 5.0)
+
+	db := smoke.Open()
+	db.Register(rel)
+
+	res, _ := db.Query().
+		From("orders", nil).
+		GroupBy("customer").
+		Agg(smoke.Sum, smoke.C("total"), "spend").
+		Run(smoke.CaptureOptions{Mode: smoke.Inject})
+
+	rids, _ := res.Backward("orders", []smoke.Rid{0})
+	fmt.Printf("%s spent %.0f across rows %v\n", res.Out.Str(0, 0), res.Out.Float(1, 0), rids)
+	// Output: ada spent 15 across rows [0 2]
+}
+
+// ExampleResult_ConsumeGroupBy shows a lineage-consuming query: drilling
+// into one output group's lineage with a new grouping.
+func ExampleResult_ConsumeGroupBy() {
+	rel := smoke.NewEmpty("events", smoke.Schema{
+		{Name: "region", Type: smoke.TString},
+		{Name: "kind", Type: smoke.TString},
+	})
+	for _, row := range [][2]string{
+		{"east", "click"}, {"east", "view"}, {"west", "click"}, {"east", "click"},
+	} {
+		rel.AppendRow(row[0], row[1])
+	}
+	db := smoke.Open()
+	db.Register(rel)
+	base, _ := db.Query().From("events", nil).
+		GroupBy("region").Agg(smoke.Count, nil, "n").
+		Run(smoke.CaptureOptions{Mode: smoke.Inject})
+
+	east, _ := base.Backward("events", []smoke.Rid{0})
+	drill, _ := base.ConsumeGroupBy(east, smoke.GroupBySpec{
+		Keys: []string{"kind"},
+		Aggs: []smoke.AggSpec{{Fn: smoke.Count, Name: "n"}},
+	}, smoke.CaptureOptions{})
+
+	for i := 0; i < drill.Out.N; i++ {
+		fmt.Printf("%s=%d\n", drill.Out.Str(0, i), drill.Out.Int(1, i))
+	}
+	// Output:
+	// click=2
+	// view=1
+}

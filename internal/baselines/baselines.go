@@ -1,0 +1,306 @@
+// Package baselines implements the state-of-the-art alternatives Smoke is
+// compared against (§5, Table 1), re-implemented inside this engine exactly
+// as the paper did for Perm/GProm (Appendix B): fixing the execution engine
+// isolates the principles behind each approach from incidental system
+// overheads.
+//
+//   - Lazy: no capture; lineage queries rewrite to selection scans over the
+//     input relations (Appendix C).
+//   - Logic-Rid / Logic-Tup: Perm-style query rewriting that materializes a
+//     denormalized annotated output relation — one row per (output, input)
+//     derivation, annotated with input rids or full input tuples.
+//   - Logic-Idx: Logic-Rid plus a scan of the annotated relation to build
+//     the same end-to-end rid indexes Smoke builds.
+//   - Phys-Mem: operator instrumentation that emits each lineage edge
+//     through a dynamic dispatch into Smoke's index structures (the cost of
+//     crossing an API boundary per edge).
+//   - Phys-Bdb: the same, but edges are stored in a separate B-tree-backed
+//     storage subsystem (the BerkeleyDB architecture of Subzero).
+package baselines
+
+import (
+	"smoke/internal/expr"
+	"smoke/internal/lineage"
+	"smoke/internal/ops"
+	"smoke/internal/storage"
+)
+
+// Rid aliases the lineage record id.
+type Rid = lineage.Rid
+
+// LazyBackward answers a backward lineage query without any captured state:
+// it rewrites Lb(o, R) into a selection scan over R with the group-by keys
+// bound to the output row's values, conjoined with the base query's original
+// predicate (Appendix C). Returns the matching rids.
+func LazyBackward(in *storage.Relation, keys []string, out *storage.Relation, o int,
+	baseFilter expr.Expr, params expr.Params) ([]Rid, error) {
+
+	pred, err := LazyPredicate(in, keys, out, o, baseFilter)
+	if err != nil {
+		return nil, err
+	}
+	p, err := expr.CompilePred(pred, in, params)
+	if err != nil {
+		return nil, err
+	}
+	var rids []Rid
+	for rid := int32(0); rid < int32(in.N); rid++ {
+		if p(rid) {
+			rids = append(rids, rid)
+		}
+	}
+	return rids, nil
+}
+
+// LazyPredicate builds the rewrite predicate for LazyBackward: key equality
+// against output row o's values, AND the base filter if any.
+func LazyPredicate(in *storage.Relation, keys []string, out *storage.Relation, o int,
+	baseFilter expr.Expr) (expr.Expr, error) {
+
+	var conj []expr.Expr
+	if baseFilter != nil {
+		conj = append(conj, baseFilter)
+	}
+	for _, k := range keys {
+		oc := out.Schema.MustCol(k)
+		switch out.Schema[oc].Type {
+		case storage.TInt:
+			conj = append(conj, expr.EqE(expr.C(k), expr.I(out.Int(oc, o))))
+		case storage.TFloat:
+			conj = append(conj, expr.EqE(expr.C(k), expr.F(out.Float(oc, o))))
+		case storage.TString:
+			conj = append(conj, expr.EqE(expr.C(k), expr.S(out.Str(oc, o))))
+		}
+	}
+	return expr.AndE(conj...), nil
+}
+
+// AnnotatedGroupBy is the output of a logical (Perm-rewrite) group-by
+// capture: the query result plus the denormalized annotated relation
+// O' = Q ⋈keys input. The annotated relation has one row per input record.
+type AnnotatedGroupBy struct {
+	Out *storage.Relation
+	// Annotated holds Q's columns duplicated per input row; its last column
+	// is "oid" (the output rid each input row derives). For Logic-Tup the
+	// input's columns are appended too.
+	Annotated *storage.Relation
+	// Oids[i] is the output rid input record i contributes to (-1 if the
+	// record fails the base filter). It is the raw annotation column.
+	Oids []Rid
+}
+
+// LogicKind selects the annotation flavor.
+type LogicKind uint8
+
+const (
+	// LogicRid annotates with input rids.
+	LogicRid LogicKind = iota
+	// LogicTup annotates with full input tuples.
+	LogicTup
+)
+
+// GroupByLogical executes a group-by aggregation with Perm's aggregation
+// rewrite rule: Q Zkeys input, materializing the denormalized lineage graph
+// as a single annotated relation. The hash table built for aggregation is
+// reused for the re-join (the Appendix B tuning).
+func GroupByLogical(in *storage.Relation, inRids []Rid, spec ops.GroupBySpec,
+	kind LogicKind, baseFilter expr.Expr, params expr.Params) (AnnotatedGroupBy, error) {
+
+	// Base query (no Smoke capture). The forward array of an Inject run
+	// would give oids directly, but logical systems recompute the join; we
+	// reuse the output's key columns to rebuild the probe side, which is
+	// exactly the "reuse the hash table" optimization of Appendix B.
+	res, err := ops.HashAgg(in, inRids, spec, ops.AggOpts{Mode: ops.None, Params: params})
+	if err != nil {
+		return AnnotatedGroupBy{}, err
+	}
+	out := res.Out
+
+	// Probe: key value -> oid.
+	probe, err := newKeyProbe(in, out, spec.Keys)
+	if err != nil {
+		return AnnotatedGroupBy{}, err
+	}
+
+	var filter expr.Pred
+	if baseFilter != nil {
+		filter, err = expr.CompilePred(baseFilter, in, params)
+		if err != nil {
+			return AnnotatedGroupBy{}, err
+		}
+	}
+
+	// Join input with output: one annotated row per input record.
+	oids := make([]Rid, 0, in.N)
+	inRows := make([]Rid, 0, in.N)
+	scan := func(rid Rid) {
+		if filter != nil && !filter(rid) {
+			return
+		}
+		oid := probe(rid)
+		oids = append(oids, oid)
+		inRows = append(inRows, rid)
+	}
+	if inRids == nil {
+		for rid := int32(0); rid < int32(in.N); rid++ {
+			scan(rid)
+		}
+	} else {
+		for _, rid := range inRids {
+			scan(rid)
+		}
+	}
+
+	// Materialize the denormalized annotated relation: Q's columns gathered
+	// per input row — the data duplication the paper charges logical
+	// approaches for — plus the annotation column(s).
+	annotated := out.Gather("annotated", oids)
+	annotated.Schema = append(annotated.Schema.Clone(), storage.Field{Name: "oid", Type: storage.TInt})
+	oidCol := storage.Column{Ints: make([]int64, len(oids))}
+	for i, o := range oids {
+		oidCol.Ints[i] = int64(o)
+	}
+	annotated.Cols = append(annotated.Cols, oidCol)
+	switch kind {
+	case LogicRid:
+		ridCol := storage.Column{Ints: make([]int64, len(inRows))}
+		for i, r := range inRows {
+			ridCol.Ints[i] = int64(r)
+		}
+		annotated.Schema = append(annotated.Schema, storage.Field{Name: "rid", Type: storage.TInt})
+		annotated.Cols = append(annotated.Cols, ridCol)
+	case LogicTup:
+		tup := in.Gather("tup", inRows)
+		for c, f := range tup.Schema {
+			annotated.Schema = append(annotated.Schema, storage.Field{Name: "in_" + f.Name, Type: f.Type})
+			annotated.Cols = append(annotated.Cols, tup.Cols[c])
+		}
+	}
+	annotated.N = len(oids)
+	return AnnotatedGroupBy{Out: out, Annotated: annotated, Oids: oids}, nil
+}
+
+// newKeyProbe compiles a function mapping an input rid to the output rid
+// whose group-by key it matches.
+func newKeyProbe(in, out *storage.Relation, keys []string) (func(Rid) Rid, error) {
+	if len(keys) == 1 {
+		kc := in.Schema.Col(keys[0])
+		oc := out.Schema.Col(keys[0])
+		if kc < 0 || oc < 0 {
+			return nil, errUnknownKey(keys[0])
+		}
+		switch in.Schema[kc].Type {
+		case storage.TInt:
+			m := make(map[int64]Rid, out.N)
+			for o := 0; o < out.N; o++ {
+				m[out.Int(oc, o)] = Rid(o)
+			}
+			col := in.Cols[kc].Ints
+			return func(rid Rid) Rid { return m[col[rid]] }, nil
+		case storage.TString:
+			m := make(map[string]Rid, out.N)
+			for o := 0; o < out.N; o++ {
+				m[out.Str(oc, o)] = Rid(o)
+			}
+			col := in.Cols[kc].Strs
+			return func(rid Rid) Rid { return m[col[rid]] }, nil
+		}
+	}
+	// Composite: concatenate stringified key parts.
+	inCols := make([]int, len(keys))
+	outCols := make([]int, len(keys))
+	for i, k := range keys {
+		inCols[i] = in.Schema.Col(k)
+		outCols[i] = out.Schema.Col(k)
+		if inCols[i] < 0 || outCols[i] < 0 {
+			return nil, errUnknownKey(k)
+		}
+	}
+	enc := func(rel *storage.Relation, cols []int, row int, buf []byte) []byte {
+		for _, c := range cols {
+			switch rel.Schema[c].Type {
+			case storage.TInt:
+				v := rel.Cols[c].Ints[row]
+				for s := 0; s < 8; s++ {
+					buf = append(buf, byte(v>>(8*s)))
+				}
+			case storage.TString:
+				buf = append(buf, rel.Cols[c].Strs[row]...)
+				buf = append(buf, 0)
+			}
+		}
+		return buf
+	}
+	m := make(map[string]Rid, out.N)
+	var obuf []byte
+	for o := 0; o < out.N; o++ {
+		obuf = enc(out, outCols, o, obuf[:0])
+		m[string(obuf)] = Rid(o)
+	}
+	var buf []byte
+	return func(rid Rid) Rid {
+		buf = enc(in, inCols, int(rid), buf[:0])
+		return m[string(buf)]
+	}, nil
+}
+
+type errUnknownKey string
+
+func (e errUnknownKey) Error() string { return "baselines: unknown group-by key " + string(e) }
+
+// GroupByLogicIdx is Logic-Idx: Logic-Rid followed by a scan of the
+// annotation to build Smoke-identical backward/forward indexes.
+func GroupByLogicIdx(in *storage.Relation, inRids []Rid, spec ops.GroupBySpec,
+	baseFilter expr.Expr, params expr.Params) (AnnotatedGroupBy, *lineage.RidIndex, []Rid, error) {
+
+	ann, err := GroupByLogical(in, inRids, spec, LogicRid, baseFilter, params)
+	if err != nil {
+		return AnnotatedGroupBy{}, nil, nil, err
+	}
+	bw := lineage.NewRidIndex(ann.Out.N)
+	fw := make([]Rid, in.N)
+	for i := range fw {
+		fw[i] = -1
+	}
+	ridCol := ann.Annotated.Cols[ann.Annotated.Schema.MustCol("rid")].Ints
+	for i, o := range ann.Oids {
+		rid := Rid(ridCol[i])
+		bw.Append(int(o), rid)
+		fw[rid] = o
+	}
+	return ann, bw, fw, nil
+}
+
+// BackwardFromAnnotated answers a backward query by scanning the annotated
+// relation for rows with the given oid (the Logic-Rid / Logic-Tup query path
+// of Figure 9: a full scan of a relation wider than the input). For Logic-Rid
+// the returned values are input rids (from the rid annotation column); for
+// Logic-Tup they are positions in the annotated relation, whose rows *are*
+// the input tuples.
+func BackwardFromAnnotated(ann *AnnotatedGroupBy, o Rid) []Rid {
+	// The scan goes through the engine's compiled-predicate path, exactly
+	// like Lazy's rewrite scan, so the comparison isolates what the paper
+	// measures (scan cardinality and width) rather than loop mechanics.
+	// Note (EXPERIMENTS.md): in this engine's columnar layout the annotated
+	// relation's extra width costs less than in the paper's row store.
+	pred, err := expr.CompilePred(expr.EqE(expr.C("oid"), expr.I(int64(o))), ann.Annotated, nil)
+	if err != nil {
+		return nil
+	}
+	var rids []Rid
+	rc := ann.Annotated.Schema.Col("rid")
+	var src []int64
+	if rc >= 0 {
+		src = ann.Annotated.Cols[rc].Ints
+	}
+	for i := int32(0); i < int32(ann.Annotated.N); i++ {
+		if pred(i) {
+			if src != nil {
+				rids = append(rids, Rid(src[i]))
+			} else {
+				rids = append(rids, i)
+			}
+		}
+	}
+	return rids
+}

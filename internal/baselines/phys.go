@@ -1,0 +1,102 @@
+package baselines
+
+import (
+	"smoke/internal/btree"
+	"smoke/internal/expr"
+	"smoke/internal/lineage"
+	"smoke/internal/ops"
+	"smoke/internal/storage"
+)
+
+// EdgeSink receives one lineage edge per derivation. The *interface* is the
+// point: Phys-Mem and Phys-Bdb pay a dynamic dispatch for every edge, which
+// is exactly the per-tuple API cost the tight-integration principle (P1)
+// eliminates. The paper measures this alone at up to 2× operator slowdown.
+type EdgeSink interface {
+	// Emit records that output record out derives from input record in.
+	Emit(out, in Rid)
+}
+
+// MemSink (Phys-Mem) stores edges in the same rid-based structures Smoke
+// uses, so the only difference from Smoke-I is the dispatch per edge.
+type MemSink struct {
+	BW [][]Rid
+	FW []Rid
+}
+
+// NewMemSink sizes the forward array for the input relation.
+func NewMemSink(inputN int) *MemSink {
+	fw := make([]Rid, inputN)
+	for i := range fw {
+		fw[i] = -1
+	}
+	return &MemSink{FW: fw}
+}
+
+// Emit implements EdgeSink.
+func (s *MemSink) Emit(out, in Rid) {
+	for int(out) >= len(s.BW) {
+		s.BW = append(s.BW, nil)
+	}
+	s.BW[out] = lineage.AppendRid(s.BW[out], in)
+	s.FW[in] = out
+}
+
+// Index converts the sink's contents into a Smoke backward rid index.
+func (s *MemSink) Index() *lineage.RidIndex {
+	ix := lineage.NewRidIndex(len(s.BW))
+	for o, l := range s.BW {
+		ix.SetList(o, l)
+	}
+	return ix
+}
+
+// BdbSink (Phys-Bdb) stores edges in a separate B-tree-backed subsystem: one
+// tree per direction, keyed by output (backward) and input (forward) rid.
+type BdbSink struct {
+	BWTree *btree.Tree
+	FWTree *btree.Tree
+}
+
+// NewBdbSink returns an empty B-tree-backed sink.
+func NewBdbSink() *BdbSink {
+	return &BdbSink{BWTree: btree.New(), FWTree: btree.New()}
+}
+
+// Emit implements EdgeSink.
+func (s *BdbSink) Emit(out, in Rid) {
+	s.BWTree.Insert(int64(out), in)
+	s.FWTree.Insert(int64(in), out)
+}
+
+// Backward answers a backward lineage query through cursor reads (the
+// cursor-style access the paper found faster than bulk fetch).
+func (s *BdbSink) Backward(out Rid, dst []Rid) []Rid {
+	for c := s.BWTree.SeekGE(int64(out)); c.Valid() && c.Key() == int64(out); c.Next() {
+		dst = append(dst, c.Value())
+	}
+	return dst
+}
+
+// Forward answers a forward lineage query through cursor reads.
+func (s *BdbSink) Forward(in Rid, dst []Rid) []Rid {
+	for c := s.FWTree.SeekGE(int64(in)); c.Valid() && c.Key() == int64(in); c.Next() {
+		dst = append(dst, c.Value())
+	}
+	return dst
+}
+
+// GroupByPhysical executes a group-by aggregation whose lineage capture goes
+// through sink.Emit — one dynamic dispatch per input record. The relational
+// work is identical to Smoke's baseline aggregation.
+func GroupByPhysical(in *storage.Relation, spec ops.GroupBySpec, sink EdgeSink,
+	params expr.Params) (ops.AggResult, error) {
+
+	return ops.HashAgg(in, nil, spec, ops.AggOpts{
+		Mode:   ops.None,
+		Params: params,
+		// Observe is an indirect call per row; routing it through the
+		// EdgeSink interface reproduces the physical-approach API boundary.
+		Observe: func(slot int32, rid Rid) { sink.Emit(slot, rid) },
+	})
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"sort"
+	"time"
+
+	"smoke/internal/crossfilter"
+	"smoke/internal/ontime"
+	"smoke/internal/physician"
+	"smoke/internal/profiling"
+)
+
+func (c Config) ontimeConfig() ontime.Config {
+	if c.paper() {
+		return ontime.Config{Rows: 20_000_000, Airports: 8000, Days: 7762, Seed: 1}
+	}
+	return ontime.Config{Rows: 500_000, Airports: 500, Days: 400, Seed: 1}
+}
+
+// Fig13 measures the cumulative crossfilter timeline: setup (base views +
+// capture) plus every 1D-brushing interaction across all views, for Lazy, BT,
+// BT+FT, and the partial data cube (whose setup dominates — the cold-start
+// trade-off).
+func Fig13(cfg Config) error {
+	rel := ontime.Generate(cfg.ontimeConfig())
+	dims := ontime.Dims()
+	cfg.printf("Figure 13: crossfilter cumulative latency (ms), %d rows\n", rel.N)
+	cfg.printf("%-8s %-12s %-16s %-14s %-8s\n", "tech", "setup", "interactions", "cumulative", "#bars")
+
+	for _, tech := range []crossfilter.Technique{crossfilter.Lazy, crossfilter.BT, crossfilter.BTFT} {
+		var app *crossfilter.App
+		setup := cfg.Median(func() {
+			var err error
+			app, err = crossfilter.New(rel, dims, tech)
+			must(err)
+		})
+		bars := 0
+		var total time.Duration
+		for v := range dims {
+			for bar := 0; bar < app.NumBars(v); bar++ {
+				total += timeOne(func() {
+					_, err := app.HighlightBar(v, int32(bar))
+					must(err)
+				})
+				bars++
+			}
+		}
+		cfg.printf("%-8s %-12.1f %-16.1f %-14.1f %-8d\n",
+			tech, ms(setup), ms(total), ms(setup+total), bars)
+	}
+
+	// Data cube: near-instant interactions after an expensive build.
+	var cb *crossfilter.Cube
+	var app *crossfilter.App
+	appSetup := timeOne(func() {
+		var err error
+		app, err = crossfilter.New(rel, dims, crossfilter.Lazy)
+		must(err)
+	})
+	build := cfg.Median(func() {
+		var err error
+		cb, err = crossfilter.BuildCube(rel, dims)
+		must(err)
+	})
+	bars := 0
+	var total time.Duration
+	for v := range dims {
+		for bar := 0; bar < app.NumBars(v); bar++ {
+			val := app.View(v).Int(0, bar)
+			total += timeOne(func() { cb.Highlight(v, val) })
+			bars++
+		}
+	}
+	cfg.printf("%-8s %-12.1f %-16.1f %-14.1f %-8d  (setup includes cube build)\n",
+		"CUBE", ms(appSetup+build), ms(total), ms(appSetup+build+total), bars)
+	return nil
+}
+
+// Fig14 measures per-interaction latency by view against the 150ms
+// interactive threshold.
+func Fig14(cfg Config) error {
+	rel := ontime.Generate(cfg.ontimeConfig())
+	dims := ontime.Dims()
+	cfg.printf("Figure 14: per-interaction crossfilter latency by view (ms; 150ms threshold)\n")
+	cfg.printf("%-8s %-10s %-8s %-10s %-10s %-10s %-10s\n",
+		"view", "tech", "#bars", "median", "p95", "max", ">150ms")
+	for _, tech := range []crossfilter.Technique{crossfilter.Lazy, crossfilter.BT, crossfilter.BTFT} {
+		app, err := crossfilter.New(rel, dims, tech)
+		if err != nil {
+			return err
+		}
+		for v, d := range dims {
+			n := app.NumBars(v)
+			lat := make([]time.Duration, 0, n)
+			for bar := 0; bar < n; bar++ {
+				lat = append(lat, timeOne(func() {
+					_, err := app.HighlightBar(v, int32(bar))
+					must(err)
+				}))
+			}
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			over := 0
+			for _, l := range lat {
+				if l > 150*time.Millisecond {
+					over++
+				}
+			}
+			cfg.printf("%-8s %-10s %-8d %-10.2f %-10.2f %-10.2f %-10d\n",
+				d, tech, n, ms(lat[n/2]), ms(lat[n*95/100]), ms(lat[n-1]), over)
+		}
+	}
+	return nil
+}
+
+func (c Config) physicianConfig() physician.Config {
+	if c.paper() {
+		return physician.Config{Rows: 2_200_000, Zips: 30000, Orgs: 10000, ViolationRate: 0.001, Seed: 1}
+	}
+	return physician.Config{Rows: 300_000, Zips: 5000, Orgs: 2000, ViolationRate: 0.001, Seed: 1}
+}
+
+// Fig15 measures FD-violation evaluation plus bipartite graph construction
+// for the four physician FDs under Metanome-UG, Smoke-UG, and Smoke-CD.
+func Fig15(cfg Config) error {
+	rel := physician.Generate(cfg.physicianConfig())
+	cfg.printf("Figure 15: FD violation + bipartite graph latency (ms), %d rows\n", rel.N)
+	cfg.printf("%-16s %-14s %-14s %-14s %-12s\n", "FD", "metanome-ug", "smoke-ug", "smoke-cd", "#violations")
+	for _, fd := range physician.FDs() {
+		lhs, rhs := fd[0], fd[1]
+		var nViol int
+		tMet := cfg.Median(func() {
+			r, err := profiling.CheckMetanomeUG(rel, lhs, rhs)
+			must(err)
+			nViol = len(r.Violations)
+		})
+		tUG := cfg.Median(func() {
+			_, err := profiling.CheckUG(rel, lhs, rhs)
+			must(err)
+		})
+		tCD := cfg.Median(func() {
+			_, err := profiling.CheckCD(rel, lhs, rhs)
+			must(err)
+		})
+		cfg.printf("%-16s %-14.1f %-14.1f %-14.1f %-12d\n",
+			lhs+"→"+rhs, ms(tMet), ms(tUG), ms(tCD), nViol)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMedianTakesMiddleValue(t *testing.T) {
+	cfg := Config{Reps: 3, W: io.Discard}
+	n := 0
+	d := cfg.Median(func() { n++ })
+	if n != 3 {
+		t.Fatalf("ran %d times, want 3", n)
+	}
+	if d < 0 {
+		t.Fatal("negative duration")
+	}
+	// Reps < 1 still runs once.
+	cfg.Reps = 0
+	n = 0
+	cfg.Median(func() { n++ })
+	if n != 1 {
+		t.Fatalf("ran %d times, want 1", n)
+	}
+}
+
+func TestOverheadMath(t *testing.T) {
+	if o := overhead(150*time.Millisecond, 100*time.Millisecond); o != 0.5 {
+		t.Fatalf("overhead = %v", o)
+	}
+	if o := overhead(time.Second, 0); o != 0 {
+		t.Fatal("zero baseline must not divide")
+	}
+	if got := withOv(150*time.Millisecond, 100*time.Millisecond); got != "150.0 (0.50x)" {
+		t.Fatalf("withOv = %q", got)
+	}
+}
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	exps := Experiments()
+	order := Order()
+	if len(exps) != len(order) {
+		t.Fatalf("registry has %d entries, order has %d", len(exps), len(order))
+	}
+	for _, id := range order {
+		if exps[id] == nil {
+			t.Fatalf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+// TestAllExperimentsRun executes every figure runner end-to-end at small
+// scale. This is the harness's integration test: it catches workload or
+// engine regressions that unit tests structured per-operator would miss.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite takes ~30s; skipped with -short")
+	}
+	for _, id := range Order() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			cfg := Config{Scale: "small", Reps: 1, W: &buf}
+			if err := Experiments()[id](cfg); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "Figure") {
+				t.Fatalf("%s produced no figure header:\n%s", id, out)
+			}
+			if len(strings.Split(out, "\n")) < 3 {
+				t.Fatalf("%s produced no data rows", id)
+			}
+		})
+	}
+}
+
+func TestSampleGroups(t *testing.T) {
+	if got := sampleGroups(3, 10); len(got) != 3 {
+		t.Fatalf("small n: %v", got)
+	}
+	got := sampleGroups(100, 10)
+	if len(got) < 10 || len(got) > 11 {
+		t.Fatalf("sampled %d of 100", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("samples must increase")
+		}
+	}
+}

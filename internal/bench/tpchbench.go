@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+
+	"smoke/internal/exec"
+	"smoke/internal/expr"
+	"smoke/internal/ops"
+	"smoke/internal/tpch"
+)
+
+func (c Config) tpchSF() float64 {
+	if c.paper() {
+		return 1.0
+	}
+	return 0.05
+}
+
+// Fig8 measures relative lineage capture overhead on TPC-H Q1, Q3, Q10, Q12
+// for Smoke-I vs Logic-Idx (paper: Smoke-I ≤ 22%, Logic-Idx up to 511%).
+func Fig8(cfg Config) error {
+	db := tpch.Generate(cfg.tpchSF(), 42)
+	cfg.printf("Figure 8: TPC-H lineage capture relative overhead (SF=%.2f)\n", cfg.tpchSF())
+	cfg.printf("%-6s %-14s %-18s %-18s\n", "query", "baseline(ms)", "smoke-i", "logic-idx")
+	for _, name := range []string{"Q1", "Q3", "Q10", "Q12"} {
+		spec := db.Queries()[name]
+		base := cfg.Median(func() {
+			_, err := exec.Run(spec, exec.Opts{Mode: ops.None})
+			must(err)
+		})
+		smokeI := cfg.Median(func() {
+			_, err := exec.Run(spec, exec.Opts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+			must(err)
+		})
+		logicIdx := cfg.Median(func() {
+			_, _, err := exec.RunLogicIdx(spec, nil)
+			must(err)
+		})
+		cfg.printf("%-6s %-14.1f %-18s %-18s\n", name, ms(base),
+			pct(smokeI, base), pct(logicIdx, base))
+	}
+	return nil
+}
+
+func pct(d, base interface{ Nanoseconds() int64 }) string {
+	o := float64(d.Nanoseconds()-base.Nanoseconds()) / float64(base.Nanoseconds())
+	return fmt.Sprintf("%.0f%%", o*100)
+}
+
+// Fig22 (Appendix G.2) measures input-relation pruning: capture latency when
+// only one relation's lineage is kept vs all relations vs none.
+func Fig22(cfg Config) error {
+	db := tpch.Generate(cfg.tpchSF(), 42)
+	cfg.printf("Figure 22: input-relation pruning, capture latency (ms)\n")
+	for _, q := range []struct {
+		name   string
+		spec   exec.Spec
+		tables []string
+	}{
+		{"Q3", db.Q3(), []string{"customer", "orders", "lineitem"}},
+		{"Q10", db.Q10(), []string{"nation", "customer", "orders", "lineitem"}},
+	} {
+		base := cfg.Median(func() {
+			_, err := exec.Run(q.spec, exec.Opts{Mode: ops.None})
+			must(err)
+		})
+		cfg.printf("%s:\n  %-12s %.1f\n", q.name, "no-capture", ms(base))
+		for ti, tname := range q.tables {
+			dirs := make([]ops.Directions, len(q.tables))
+			dirs[ti] = ops.CaptureBoth
+			t := cfg.Median(func() {
+				_, err := exec.Run(q.spec, exec.Opts{Mode: ops.Inject, TableDirs: dirs})
+				must(err)
+			})
+			cfg.printf("  %-12s %s\n", tname, withOv(t, base))
+		}
+		all := cfg.Median(func() {
+			_, err := exec.Run(q.spec, exec.Opts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+			must(err)
+		})
+		cfg.printf("  %-12s %s\n", "all", withOv(all, base))
+	}
+	return nil
+}
+
+// Fig23 (Appendix G.2) measures selection push-down on Q1 + l_taxpct < ?:
+// below the crossover the smaller lineage index wins; at high selectivity the
+// per-record predicate evaluation costs more than it saves.
+func Fig23(cfg Config) error {
+	db := tpch.Generate(cfg.tpchSF(), 42)
+	spec := microQ1Single(db)
+	cfg.printf("Figure 23: selection push-down capture latency on Q1 (ms)\n")
+	cfg.printf("%-8s %-12s %-12s %-14s\n", "sel%", "baseline", "smoke-i", "pushdown")
+	base := cfg.Median(func() {
+		_, err := ops.HashAgg(db.Lineitem, nil, spec, ops.AggOpts{Mode: ops.None})
+		must(err)
+	})
+	plain := cfg.Median(func() {
+		_, err := ops.HashAgg(db.Lineitem, nil, spec, ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+		must(err)
+	})
+	// l_taxpct is uniform over 0..8: thresholds sweep selectivity.
+	for _, taxLt := range []int64{1, 3, 5, 7, 9} {
+		pd := cfg.Median(func() {
+			_, err := ops.HashAgg(db.Lineitem, nil, spec, ops.AggOpts{
+				Mode: ops.Inject, Dirs: ops.CaptureBoth,
+				PushdownFilter: expr.LtE(expr.C("l_taxpct"), expr.I(taxLt)),
+			})
+			must(err)
+		})
+		cfg.printf("%-8.0f %-12.1f %-12.1f %-14.1f\n",
+			float64(taxLt)/9*100, ms(base), ms(plain), ms(pd))
+	}
+	return nil
+}
+
+// microQ1Single is Q1 as a single-operator aggregation (filter folded away:
+// the shipdate predicate keeps ~all rows at our generator's date range, so
+// the single-table experiments aggregate the full lineitem — matching the
+// paper's note that Q1 has the highest selectivity of the four queries).
+func microQ1Single(db *tpch.DB) ops.GroupBySpec {
+	return ops.GroupBySpec{
+		Keys: []string{"l_returnflag", "l_linestatus"},
+		Aggs: []ops.AggSpec{
+			{Fn: ops.Sum, Arg: expr.C("l_quantity"), Name: "sum_qty"},
+			{Fn: ops.Sum, Arg: expr.C("l_extendedprice"), Name: "sum_base_price"},
+			{Fn: ops.Avg, Arg: expr.C("l_discount"), Name: "avg_disc"},
+			{Fn: ops.Count, Name: "count_order"},
+		},
+	}
+}

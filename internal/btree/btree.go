@@ -1,0 +1,179 @@
+// Package btree implements an in-memory B+-tree keyed by int64 with int32
+// values and duplicate keys, plus ordered cursors. It stands in for
+// BerkeleyDB in the Phys-Bdb baseline (§5, Appendix B): the paper stores
+// lineage rid pairs in BerkeleyDB's B-tree and reads them back through
+// cursors, and attributes Phys-Bdb's overhead to (a) per-edge calls into a
+// separate storage subsystem and (b) B-tree reads being slower than array
+// reads. Both costs are reproduced here.
+package btree
+
+import "sort"
+
+// degree is the fan-out: nodes split when they reach 2*degree entries.
+const degree = 32
+
+type node struct {
+	leaf     bool
+	keys     []int64
+	vals     []int32 // leaf only, parallel to keys
+	children []*node // internal only, len(children) == len(keys)+1
+	next     *node   // leaf chain for cursors
+}
+
+// Tree is a B+-tree mapping int64 keys to int32 values with duplicates.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds (key, val). Duplicate keys are kept; among equal keys,
+// insertion order is preserved.
+func (t *Tree) Insert(key int64, val int32) {
+	splitKey, right := t.root.insert(key, val)
+	if right != nil {
+		t.root = &node{
+			keys:     []int64{splitKey},
+			children: []*node{t.root, right},
+		}
+	}
+	t.size++
+}
+
+// upperBound returns the first index i in keys with keys[i] > key.
+func upperBound(keys []int64, key int64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] > key })
+}
+
+// lowerBound returns the first index i in keys with keys[i] >= key.
+func lowerBound(keys []int64, key int64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] >= key })
+}
+
+func (n *node) insert(key int64, val int32) (int64, *node) {
+	if n.leaf {
+		i := upperBound(n.keys, key) // append after existing duplicates
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, 0)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		if len(n.keys) >= 2*degree {
+			return n.splitLeaf()
+		}
+		return 0, nil
+	}
+	i := upperBound(n.keys, key)
+	splitKey, right := n.children[i].insert(key, val)
+	if right != nil {
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = splitKey
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = right
+		if len(n.keys) >= 2*degree {
+			return n.splitInternal()
+		}
+	}
+	return 0, nil
+}
+
+func (n *node) splitLeaf() (int64, *node) {
+	mid := len(n.keys) / 2
+	right := &node{
+		leaf: true,
+		keys: append([]int64(nil), n.keys[mid:]...),
+		vals: append([]int32(nil), n.vals[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid:mid]
+	n.vals = n.vals[:mid:mid]
+	n.next = right
+	return right.keys[0], right
+}
+
+func (n *node) splitInternal() (int64, *node) {
+	mid := len(n.keys) / 2
+	splitKey := n.keys[mid]
+	right := &node{
+		keys:     append([]int64(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return splitKey, right
+}
+
+// Cursor iterates entries in key order, BerkeleyDB-style: the Phys-Bdb
+// lineage query path fetches rids through consecutive cursor calls.
+type Cursor struct {
+	n *node
+	i int
+}
+
+// Seek positions a cursor at the first entry with key >= target.
+func (t *Tree) SeekGE(target int64) Cursor {
+	n := t.root
+	for !n.leaf {
+		// Descend with lowerBound (not upperBound): after a split in the
+		// middle of a run of duplicates, entries equal to a separator may
+		// live in the child to its left, and Seek must find the leftmost.
+		i := lowerBound(n.keys, target)
+		n = n.children[i]
+	}
+	i := lowerBound(n.keys, target)
+	c := Cursor{n: n, i: i}
+	c.skipExhausted()
+	return c
+}
+
+// Min positions a cursor at the smallest entry.
+func (t *Tree) Min() Cursor {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	c := Cursor{n: n, i: 0}
+	c.skipExhausted()
+	return c
+}
+
+func (c *Cursor) skipExhausted() {
+	for c.n != nil && c.i >= len(c.n.keys) {
+		c.n = c.n.next
+		c.i = 0
+	}
+}
+
+// Valid reports whether the cursor points at an entry.
+func (c *Cursor) Valid() bool { return c.n != nil }
+
+// Key returns the current key.
+func (c *Cursor) Key() int64 { return c.n.keys[c.i] }
+
+// Value returns the current value.
+func (c *Cursor) Value() int32 { return c.n.vals[c.i] }
+
+// Next advances the cursor, crossing leaf boundaries.
+func (c *Cursor) Next() {
+	c.i++
+	c.skipExhausted()
+}
+
+// Get appends all values stored under key to dst via a cursor scan,
+// preserving insertion order, and returns dst.
+func (t *Tree) Get(key int64, dst []int32) []int32 {
+	for c := t.SeekGE(key); c.Valid() && c.Key() == key; c.Next() {
+		dst = append(dst, c.Value())
+	}
+	return dst
+}

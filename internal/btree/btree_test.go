@@ -1,0 +1,161 @@
+package btree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if c := tr.Min(); c.Valid() {
+		t.Fatal("Min of empty tree should be invalid")
+	}
+	if c := tr.SeekGE(5); c.Valid() {
+		t.Fatal("Seek in empty tree should be invalid")
+	}
+	if got := tr.Get(1, nil); got != nil {
+		t.Fatalf("Get on empty = %v", got)
+	}
+}
+
+func TestInsertAndGet(t *testing.T) {
+	tr := New()
+	tr.Insert(5, 50)
+	tr.Insert(3, 30)
+	tr.Insert(5, 51)
+	tr.Insert(7, 70)
+	tr.Insert(5, 52)
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.Get(5, nil)
+	if !reflect.DeepEqual(got, []int32{50, 51, 52}) {
+		t.Fatalf("Get(5) = %v; duplicates must preserve insertion order", got)
+	}
+	if got := tr.Get(4, nil); got != nil {
+		t.Fatalf("Get(4) = %v, want nil", got)
+	}
+	if got := tr.Get(3, nil); !reflect.DeepEqual(got, []int32{30}) {
+		t.Fatalf("Get(3) = %v", got)
+	}
+}
+
+func TestCursorFullScanSorted(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	keys := make([]int64, n)
+	for i := 0; i < n; i++ {
+		keys[i] = int64(rng.Intn(500))
+		tr.Insert(keys[i], int32(i))
+	}
+	var scanned []int64
+	for c := tr.Min(); c.Valid(); c.Next() {
+		scanned = append(scanned, c.Key())
+	}
+	if len(scanned) != n {
+		t.Fatalf("scanned %d entries, want %d", len(scanned), n)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if !reflect.DeepEqual(scanned, keys) {
+		t.Fatal("cursor scan not in sorted order")
+	}
+}
+
+func TestSeekSemantics(t *testing.T) {
+	tr := New()
+	for _, k := range []int64{10, 20, 30} {
+		tr.Insert(k, int32(k))
+	}
+	c := tr.SeekGE(15)
+	if !c.Valid() || c.Key() != 20 {
+		t.Fatalf("Seek(15) at key %v", c.Key())
+	}
+	c = tr.SeekGE(30)
+	if !c.Valid() || c.Key() != 30 {
+		t.Fatalf("Seek(30) at key %v", c.Key())
+	}
+	c = tr.SeekGE(31)
+	if c.Valid() {
+		t.Fatal("Seek past max should be invalid")
+	}
+}
+
+func TestAgainstMapReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		ref := map[int64][]int32{}
+		n := 200 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			k := int64(rng.Intn(100))
+			v := int32(rng.Intn(1 << 20))
+			tr.Insert(k, v)
+			ref[k] = append(ref[k], v)
+		}
+		for k, want := range ref {
+			got := tr.Get(k, nil)
+			if !reflect.DeepEqual(got, want) {
+				return false
+			}
+		}
+		return tr.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeSequentialInsert(t *testing.T) {
+	tr := New()
+	n := 100000
+	for i := 0; i < n; i++ {
+		tr.Insert(int64(i), int32(i*2))
+	}
+	for _, k := range []int64{0, 1, 999, 50000, int64(n - 1)} {
+		got := tr.Get(k, nil)
+		if !reflect.DeepEqual(got, []int32{int32(k * 2)}) {
+			t.Fatalf("Get(%d) = %v", k, got)
+		}
+	}
+	// Verify total order and count via cursor.
+	count, prev := 0, int64(-1)
+	for c := tr.Min(); c.Valid(); c.Next() {
+		if c.Key() < prev {
+			t.Fatal("keys out of order")
+		}
+		prev = c.Key()
+		count++
+	}
+	if count != n {
+		t.Fatalf("cursor count = %d, want %d", count, n)
+	}
+}
+
+func TestReverseInsertOrder(t *testing.T) {
+	tr := New()
+	for i := 9999; i >= 0; i-- {
+		tr.Insert(int64(i), int32(i))
+	}
+	for _, k := range []int64{0, 5000, 9999} {
+		if got := tr.Get(k, nil); !reflect.DeepEqual(got, []int32{int32(k)}) {
+			t.Fatalf("Get(%d) = %v", k, got)
+		}
+	}
+}
+
+func TestGetAppendsToDst(t *testing.T) {
+	tr := New()
+	tr.Insert(1, 10)
+	dst := []int32{99}
+	got := tr.Get(1, dst)
+	if !reflect.DeepEqual(got, []int32{99, 10}) {
+		t.Fatalf("Get should append to dst, got %v", got)
+	}
+}

@@ -1,0 +1,447 @@
+// Package core is the engine facade — the paper's primary contribution
+// assembled behind one API. A DB registers base relations; a Query describes
+// an SPJA block (single- or multi-table) plus capture options that encode the
+// workload knowledge of §4 (pruning, selection push-down, data skipping,
+// group-by push-down); a Result answers backward/forward lineage queries and
+// executes lineage-consuming queries over the captured indexes.
+//
+// The root package smoke re-exports this API for library users.
+package core
+
+import (
+	"fmt"
+
+	"smoke/internal/cube"
+	"smoke/internal/exec"
+	"smoke/internal/expr"
+	"smoke/internal/lineage"
+	"smoke/internal/ops"
+	"smoke/internal/storage"
+)
+
+// Rid is a record id within a relation.
+type Rid = lineage.Rid
+
+// DB is an in-memory database instance.
+type DB struct {
+	cat *storage.Catalog
+}
+
+// Open returns an empty database.
+func Open() *DB {
+	return &DB{cat: storage.NewCatalog()}
+}
+
+// Register adds a relation under its own name.
+func (db *DB) Register(rel *storage.Relation) { db.cat.Register(rel) }
+
+// Table returns a registered relation.
+func (db *DB) Table(name string) (*storage.Relation, error) { return db.cat.Relation(name) }
+
+// Catalog exposes key metadata registration.
+func (db *DB) Catalog() *storage.Catalog { return db.cat }
+
+// CaptureOptions selects the instrumentation paradigm and the workload-aware
+// optimizations to apply during capture.
+type CaptureOptions struct {
+	// Mode is None (baseline), Inject, or Defer (§3.2).
+	Mode ops.CaptureMode
+	// Dirs selects which directions to capture (defaults to both when Mode
+	// is not None and no per-table override is given).
+	Dirs ops.Directions
+	// TableDirs prunes capture per relation name (§4.1); relations absent
+	// from a non-nil map are not captured at all.
+	TableDirs map[string]ops.Directions
+	// CountsByKey supplies exact cardinalities per integer group key
+	// (§6.1.1 "Cardinality Statistics"); single-table queries only.
+	CountsByKey []int32
+	// PushdownFilter restricts backward capture to matching records
+	// (selection push-down, §4.2); single-table queries only.
+	PushdownFilter expr.Expr
+	// PartitionBy partitions backward rid arrays by attributes (data
+	// skipping, §4.2); single-table queries only.
+	PartitionBy []string
+	// Cube materializes drill-down aggregates during capture (group-by
+	// push-down, §4.2); single-table queries only.
+	Cube *cube.Spec
+	// Params binds named expression parameters.
+	Params expr.Params
+}
+
+func (o CaptureOptions) dirs() ops.Directions {
+	if o.Mode == ops.None {
+		return 0
+	}
+	if o.Dirs == 0 && o.TableDirs == nil {
+		return ops.CaptureBoth
+	}
+	return o.Dirs
+}
+
+// Query builds an SPJA block against a DB. Errors accumulate and surface at
+// Run, so call chains stay uncluttered.
+type Query struct {
+	db     *DB
+	names  []string
+	tables []exec.TableRef
+	joins  []exec.JoinEdge
+	keys   []exec.KeyRef
+	aggs   []exec.AggRef
+	err    error
+}
+
+// Query starts a new query.
+func (db *DB) Query() *Query { return &Query{db: db} }
+
+// From sets the first (or only) table with an optional filter.
+func (q *Query) From(table string, filter expr.Expr) *Query {
+	rel, err := q.db.Table(table)
+	if err != nil {
+		q.fail(err)
+		return q
+	}
+	q.names = append(q.names, table)
+	q.tables = append(q.tables, exec.TableRef{Rel: rel, Filter: filter})
+	return q
+}
+
+// Join adds a table joined to the prefix: prefixTable.leftCol = table.rightCol.
+func (q *Query) Join(table string, filter expr.Expr, prefixTable, leftCol, rightCol string) *Query {
+	rel, err := q.db.Table(table)
+	if err != nil {
+		q.fail(err)
+		return q
+	}
+	lt := -1
+	for i, n := range q.names {
+		if n == prefixTable {
+			lt = i
+		}
+	}
+	if lt < 0 {
+		q.fail(fmt.Errorf("core: join references %q which is not in the query prefix", prefixTable))
+		return q
+	}
+	q.names = append(q.names, table)
+	q.tables = append(q.tables, exec.TableRef{Rel: rel, Filter: filter})
+	q.joins = append(q.joins, exec.JoinEdge{LeftTable: lt, LeftCol: leftCol, RightCol: rightCol})
+	return q
+}
+
+// GroupBy sets the group-by key columns; each resolves to the unique table
+// containing it.
+func (q *Query) GroupBy(cols ...string) *Query {
+	for _, c := range cols {
+		t, err := q.resolve(c)
+		if err != nil {
+			q.fail(err)
+			return q
+		}
+		q.keys = append(q.keys, exec.KeyRef{Table: t, Col: c})
+	}
+	return q
+}
+
+// Agg adds an aggregate. Count takes a nil arg. The argument's columns must
+// resolve to one table.
+func (q *Query) Agg(fn ops.AggFn, arg expr.Expr, name string) *Query {
+	return q.AggFiltered(fn, arg, nil, name)
+}
+
+// AggFiltered adds an aggregate that only folds rows satisfying filter (the
+// CASE WHEN counting idiom of TPC-H Q12).
+func (q *Query) AggFiltered(fn ops.AggFn, arg, filter expr.Expr, name string) *Query {
+	t := len(q.tables) - 1 // COUNT(*) defaults to the fact (last) table
+	for _, e := range []expr.Expr{arg, filter} {
+		if e == nil {
+			continue
+		}
+		for _, c := range expr.Columns(e) {
+			ct, err := q.resolve(c)
+			if err != nil {
+				q.fail(err)
+				return q
+			}
+			t = ct
+		}
+	}
+	q.aggs = append(q.aggs, exec.AggRef{Fn: fn, Table: t, Arg: arg, Filter: filter, Name: name})
+	return q
+}
+
+func (q *Query) resolve(col string) (int, error) {
+	found := -1
+	for i, tr := range q.tables {
+		if tr.Rel.Schema.Col(col) >= 0 {
+			if found >= 0 {
+				return 0, fmt.Errorf("core: column %q is ambiguous between %s and %s", col, q.names[found], q.names[i])
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("core: column %q not found in query tables %v", col, q.names)
+	}
+	return found, nil
+}
+
+func (q *Query) fail(err error) {
+	if q.err == nil {
+		q.err = err
+	}
+}
+
+// Spec exposes the underlying SPJA block (for the benchmark harness).
+func (q *Query) Spec() (exec.Spec, error) {
+	if q.err != nil {
+		return exec.Spec{}, q.err
+	}
+	return exec.Spec{Tables: q.tables, Joins: q.joins, Keys: q.keys, Aggs: q.aggs}, nil
+}
+
+// Result is an executed base query: its output relation plus captured
+// lineage, which Backward/Forward and the consuming-query helpers read.
+type Result struct {
+	Out         *storage.Relation
+	GroupCounts []int64
+
+	db      *DB
+	capture *lineage.Capture
+	bwPart  *lineage.PartitionedIndex
+	cube    *cube.Cube
+	// single-table metadata for consuming queries
+	baseRel   *storage.Relation
+	baseAgg   *ops.AggResult
+	partAttrs []string
+	params    expr.Params
+}
+
+// Run executes the query with the given capture options.
+func (q *Query) Run(opts CaptureOptions) (*Result, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	if len(q.tables) == 0 {
+		return nil, fmt.Errorf("core: query has no tables")
+	}
+	if len(q.keys) == 0 {
+		return nil, fmt.Errorf("core: only aggregation queries are supported; add GroupBy")
+	}
+	singleTable := len(q.tables) == 1
+	if !singleTable && (opts.PushdownFilter != nil || opts.PartitionBy != nil || opts.Cube != nil || opts.CountsByKey != nil) {
+		return nil, fmt.Errorf("core: push-down options currently require a single-table query block")
+	}
+	if singleTable {
+		return q.runSingle(opts)
+	}
+	return q.runSPJA(opts)
+}
+
+func (q *Query) runSingle(opts CaptureOptions) (*Result, error) {
+	rel := q.tables[0].Rel
+	name := q.names[0]
+
+	// Pipelined filter: materialize the selected rid set once; the group-by
+	// runs over it and lineage rids stay base-relation rids.
+	var inRids []Rid
+	if q.tables[0].Filter != nil {
+		pred, err := expr.CompilePred(q.tables[0].Filter, rel, opts.Params)
+		if err != nil {
+			return nil, err
+		}
+		sres := ops.Select(rel.N, pred, ops.SelectOpts{Mode: ops.None})
+		inRids = sres.OutRids
+	}
+
+	spec := ops.GroupBySpec{}
+	for _, k := range q.keys {
+		spec.Keys = append(spec.Keys, k.Col)
+	}
+	for _, a := range q.aggs {
+		if a.Filter != nil {
+			return nil, fmt.Errorf("core: filtered aggregates require a join block")
+		}
+		spec.Aggs = append(spec.Aggs, ops.AggSpec{Fn: a.Fn, Arg: a.Arg, Name: a.Name})
+	}
+
+	dirs := opts.dirs()
+	if opts.TableDirs != nil {
+		dirs = opts.TableDirs[name]
+	}
+	aggOpts := ops.AggOpts{
+		Mode: opts.Mode, Dirs: dirs,
+		CountsByKey:    opts.CountsByKey,
+		Params:         opts.Params,
+		PushdownFilter: opts.PushdownFilter,
+		PartitionBy:    opts.PartitionBy,
+	}
+	var cb *cube.Builder
+	if opts.Cube != nil {
+		var err error
+		cb, err = cube.NewBuilder(rel, *opts.Cube, opts.Params)
+		if err != nil {
+			return nil, err
+		}
+		aggOpts.Observe = cb.Observe
+	}
+	ares, err := ops.HashAgg(rel, inRids, spec, aggOpts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Out: ares.Out, GroupCounts: ares.GroupCounts,
+		db: q.db, capture: lineage.NewCapture(),
+		baseRel: rel, baseAgg: &ares, partAttrs: opts.PartitionBy, params: opts.Params,
+	}
+	if ares.BW != nil {
+		res.capture.SetBackward(name, lineage.NewOneToMany(ares.BW))
+	}
+	if ares.BWPart != nil {
+		res.bwPart = ares.BWPart
+	}
+	if ares.FW != nil {
+		res.capture.SetForward(name, lineage.NewOneToOne(ares.FW))
+	}
+	if cb != nil {
+		res.cube = cb.Build()
+	}
+	return res, nil
+}
+
+func (q *Query) runSPJA(opts CaptureOptions) (*Result, error) {
+	eopts := exec.Opts{Mode: opts.Mode, Dirs: opts.dirs(), Params: opts.Params}
+	if opts.TableDirs != nil {
+		eopts.TableDirs = make([]ops.Directions, len(q.tables))
+		for i, n := range q.names {
+			eopts.TableDirs[i] = opts.TableDirs[n]
+		}
+	}
+	eres, err := exec.Run(exec.Spec{Tables: q.tables, Joins: q.joins, Keys: q.keys, Aggs: q.aggs}, eopts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Out: eres.Out, GroupCounts: eres.GroupCounts,
+		db: q.db, capture: eres.Capture, params: opts.Params,
+	}, nil
+}
+
+// Backward evaluates Lb(outRids ⊆ Out, table): the base rids of table that
+// contributed to the given output rows.
+func (r *Result) Backward(table string, outRids []Rid) ([]Rid, error) {
+	if r.bwPart != nil {
+		var rids []Rid
+		for _, o := range outRids {
+			rids = append(rids, r.bwPart.All(int(o))...)
+		}
+		return rids, nil
+	}
+	return r.capture.Backward(table, outRids)
+}
+
+// BackwardPartition evaluates a parameterized backward query over a
+// data-skipping index: only the rid partition matching the attribute values
+// (in PartitionBy order) is read (§4.2).
+func (r *Result) BackwardPartition(outRid Rid, vals []any) ([]Rid, error) {
+	if r.bwPart == nil {
+		return nil, fmt.Errorf("core: query was not captured with PartitionBy")
+	}
+	key, ok := ops.PartitionKey(r.baseAgg, r.baseRel, r.partAttrs, vals)
+	if !ok {
+		return nil, nil // value combination never observed
+	}
+	return r.bwPart.Partition(int(outRid), key), nil
+}
+
+// Forward evaluates Lf(inRids ⊆ table, Out).
+func (r *Result) Forward(table string, inRids []Rid) ([]Rid, error) {
+	return r.capture.Forward(table, inRids)
+}
+
+// ForwardDistinct is Forward with set semantics (highlighting use cases).
+func (r *Result) ForwardDistinct(table string, inRids []Rid) ([]Rid, error) {
+	return r.capture.ForwardDistinct(table, inRids)
+}
+
+// BackwardDistinct is Backward with set semantics (which-provenance).
+func (r *Result) BackwardDistinct(table string, outRids []Rid) ([]Rid, error) {
+	if r.bwPart != nil {
+		all, err := r.Backward(table, outRids)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[Rid]struct{}{}
+		var out []Rid
+		for _, rid := range all {
+			if _, ok := seen[rid]; !ok {
+				seen[rid] = struct{}{}
+				out = append(out, rid)
+			}
+		}
+		return out, nil
+	}
+	return r.capture.BackwardDistinct(table, outRids)
+}
+
+// Capture exposes the raw lineage indexes (benchmark harness, applications).
+func (r *Result) Capture() *lineage.Capture { return r.capture }
+
+// Cube returns the partial data cube materialized by group-by push-down, or
+// nil if none was requested.
+func (r *Result) Cube() *cube.Cube { return r.cube }
+
+// ConsumeGroupBy executes a lineage-consuming aggregation query over a base
+// rid subset (typically the result of Backward), itself instrumented with the
+// given options — consuming queries can act as base queries for further
+// lineage queries (§2.1), which is how Q1b becomes the base query of Q1c.
+// Only single-table results support this.
+func (r *Result) ConsumeGroupBy(rids []Rid, spec ops.GroupBySpec, opts CaptureOptions) (*Result, error) {
+	if r.baseRel == nil {
+		return nil, fmt.Errorf("core: consuming queries are supported over single-table results")
+	}
+	aggOpts := ops.AggOpts{
+		Mode: opts.Mode, Dirs: opts.dirs(), Params: opts.Params,
+		PushdownFilter: opts.PushdownFilter, PartitionBy: opts.PartitionBy,
+	}
+	var cb *cube.Builder
+	if opts.Cube != nil {
+		var err error
+		cb, err = cube.NewBuilder(r.baseRel, *opts.Cube, opts.Params)
+		if err != nil {
+			return nil, err
+		}
+		aggOpts.Observe = cb.Observe
+	}
+	ares, err := ops.HashAgg(r.baseRel, rids, spec, aggOpts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Out: ares.Out, GroupCounts: ares.GroupCounts,
+		db: r.db, capture: lineage.NewCapture(),
+		baseRel: r.baseRel, baseAgg: &ares, partAttrs: opts.PartitionBy, params: opts.Params,
+	}
+	if ares.BW != nil {
+		out.capture.SetBackward(r.baseRel.Name, lineage.NewOneToMany(ares.BW))
+	}
+	if ares.BWPart != nil {
+		out.bwPart = ares.BWPart
+	}
+	if ares.FW != nil {
+		out.capture.SetForward(r.baseRel.Name, lineage.NewOneToOne(ares.FW))
+	}
+	if cb != nil {
+		out.cube = cb.Build()
+	}
+	return out, nil
+}
+
+// Gather materializes base rows (e.g. a backward-lineage result) from a
+// registered table.
+func (db *DB) Gather(table string, rids []Rid) (*storage.Relation, error) {
+	rel, err := db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return rel.Gather(table+"_lineage", rids), nil
+}

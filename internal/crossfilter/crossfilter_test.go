@@ -1,0 +1,178 @@
+package crossfilter
+
+import (
+	"reflect"
+	"testing"
+
+	"smoke/internal/ontime"
+)
+
+func smallFlights(t *testing.T) *App {
+	t.Helper()
+	return nil
+}
+
+func genSmall(t *testing.T) (cfg ontime.Config) {
+	t.Helper()
+	cfg = ontime.Config{Rows: 20000, Airports: 50, Days: 60, Seed: 3}
+	return cfg
+}
+
+// naiveHighlight recomputes the crossfiltered counts by brute force.
+func naiveHighlight(app *App, v int, bar Rid) Counts {
+	val := app.views[v].Out.Int(0, int(bar))
+	out := make(Counts, len(app.dims))
+	for w := range app.dims {
+		if w == v {
+			continue
+		}
+		out[w] = map[int64]int64{}
+	}
+	for rid := 0; rid < app.rel.N; rid++ {
+		if app.cols[v][rid] != val {
+			continue
+		}
+		for w := range app.dims {
+			if w == v {
+				continue
+			}
+			out[w][app.cols[w][rid]]++
+		}
+	}
+	return out
+}
+
+func countsEqual(a, b Counts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if (a[i] == nil) != (b[i] == nil) {
+			return false
+		}
+		if a[i] != nil && !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAllTechniquesAgreeWithNaive(t *testing.T) {
+	rel := ontime.Generate(genSmall(t))
+	apps := map[string]*App{}
+	for _, tech := range []Technique{Lazy, BT, BTFT} {
+		app, err := New(rel, ontime.Dims(), tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps[tech.String()] = app
+	}
+	ref := apps["LAZY"]
+	// Check several bars in every view.
+	for v := range ontime.Dims() {
+		bars := ref.NumBars(v)
+		step := bars/5 + 1
+		for bar := 0; bar < bars; bar += step {
+			want := naiveHighlight(ref, v, Rid(bar))
+			for name, app := range apps {
+				got, err := app.HighlightBar(v, Rid(bar))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !countsEqual(got, want) {
+					t.Fatalf("%s: view %d bar %d differs from naive", name, v, bar)
+				}
+			}
+		}
+	}
+}
+
+func TestCubeAgreesWithNaive(t *testing.T) {
+	rel := ontime.Generate(genSmall(t))
+	app, err := New(rel, ontime.Dims(), Lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := BuildCube(rel, ontime.Dims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ontime.Dims() {
+		bars := app.NumBars(v)
+		step := bars/4 + 1
+		for bar := 0; bar < bars; bar += step {
+			val := app.View(v).Int(0, bar)
+			got := cb.Highlight(v, val)
+			want := naiveHighlight(app, v, Rid(bar))
+			if !countsEqual(got, want) {
+				t.Fatalf("cube: view %d bar %d differs", v, bar)
+			}
+		}
+	}
+}
+
+func TestViewCardinalities(t *testing.T) {
+	cfg := genSmall(t)
+	rel := ontime.Generate(cfg)
+	app, err := New(rel, ontime.Dims(), BTFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.NumBars(0) > cfg.Airports {
+		t.Errorf("latlon bars = %d > airports %d", app.NumBars(0), cfg.Airports)
+	}
+	if app.NumBars(2) > ontime.DelayBins {
+		t.Errorf("delay bars = %d", app.NumBars(2))
+	}
+	if app.NumBars(3) > ontime.NumCarriers {
+		t.Errorf("carrier bars = %d", app.NumBars(3))
+	}
+	// Every view's counts sum to the row count.
+	for v := range ontime.Dims() {
+		sum := int64(0)
+		out := app.View(v)
+		cc := out.Schema.MustCol("count")
+		for i := 0; i < out.N; i++ {
+			sum += out.Int(cc, i)
+		}
+		if sum != int64(rel.N) {
+			t.Fatalf("view %d counts sum to %d, want %d", v, sum, rel.N)
+		}
+	}
+}
+
+func TestHighlightSubsetsSumCorrectly(t *testing.T) {
+	rel := ontime.Generate(genSmall(t))
+	app, err := New(rel, ontime.Dims(), BTFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Highlighting a carrier bar: the delay view's crossfiltered counts must
+	// sum to the carrier bar's own count.
+	carrierView := 3
+	out := app.View(carrierView)
+	cc := out.Schema.MustCol("count")
+	for bar := 0; bar < app.NumBars(carrierView); bar++ {
+		counts, err := app.HighlightBar(carrierView, Rid(bar))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := int64(0)
+		for _, c := range counts[2] { // delay view
+			sum += c
+		}
+		if sum != out.Int(cc, bar) {
+			t.Fatalf("bar %d: delay counts sum %d, want %d", bar, sum, out.Int(cc, bar))
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	rel := ontime.Generate(genSmall(t))
+	if _, err := New(rel, []string{"nope"}, BT); err == nil {
+		t.Error("unknown dimension should error")
+	}
+	if _, err := BuildCube(rel, []string{"nope"}); err == nil {
+		t.Error("unknown cube dimension should error")
+	}
+}

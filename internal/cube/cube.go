@@ -1,0 +1,357 @@
+// Package cube implements the group-by push-down optimization (§4.2): when a
+// future lineage-consuming query is known to re-aggregate a base query's
+// backward lineage under additional grouping attributes, the capture phase
+// piggy-backs a partial data cube on the base query's existing scan. Each
+// cube cell holds the intermediate aggregation state for one (output group,
+// drill-down dimension values) combination, so the consuming query reduces to
+// fetching materialized aggregates (the ≈0ms line of Figure 11).
+//
+// In contrast to offline cube construction (imMens, NanoCubes, hashedcubes),
+// which needs separate scans of the database, this construction overlaps with
+// base query execution — it is also what the crossfilter comparison uses to
+// build its partial cube (§6.5.1).
+package cube
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"smoke/internal/expr"
+	"smoke/internal/hashtab"
+	"smoke/internal/ops"
+	"smoke/internal/storage"
+)
+
+// AggDef is one aggregate materialized per cube cell. Supported functions are
+// the algebraic/distributive ones (§4.2): Count, Sum, Avg, Min, Max.
+type AggDef struct {
+	Fn   ops.AggFn
+	Arg  expr.Expr
+	Name string
+}
+
+// Spec declares the cube: drill-down dimensions (columns of the captured
+// relation) and per-cell aggregates.
+type Spec struct {
+	Dims []string
+	Aggs []AggDef
+}
+
+type dimEnc struct {
+	name string
+	typ  storage.Type
+	ints []int64
+	strs []string
+}
+
+type cell struct {
+	group int32
+	dims  []int64 // int dims: value; string dims: dictionary code
+	count int64
+	sums  []float64
+	mins  []float64
+	maxs  []float64
+	cnts  []int64
+}
+
+// Builder accumulates cube cells during lineage capture. The capture loop
+// calls Observe once per (group, input rid) pair.
+type Builder struct {
+	rel   *storage.Relation
+	spec  Spec
+	dims  []dimEnc
+	nums  []expr.NumFn
+	dict  map[string]int64
+	vals  []string
+	cells map[string]*cell
+	buf   []byte
+	order []*cell
+
+	// Fast path for a single non-negative int dimension (drill-down
+	// attributes are typically small discretized ints): the (group, value)
+	// pair packs into one int64 key, avoiding byte encoding per row.
+	fastInts []int64
+	fastHT   *hashtab.Map
+}
+
+// NewBuilder compiles the spec against the relation whose rids will be
+// observed.
+func NewBuilder(rel *storage.Relation, spec Spec, params expr.Params) (*Builder, error) {
+	b := &Builder{rel: rel, spec: spec, dict: map[string]int64{}, cells: map[string]*cell{}}
+	if len(spec.Dims) == 0 {
+		return nil, fmt.Errorf("cube: at least one dimension required")
+	}
+	if len(spec.Dims) > 8 {
+		return nil, fmt.Errorf("cube: at most 8 dimensions supported, got %d", len(spec.Dims))
+	}
+	for _, d := range spec.Dims {
+		c := rel.Schema.Col(d)
+		if c < 0 {
+			return nil, fmt.Errorf("cube: unknown dimension %q", d)
+		}
+		de := dimEnc{name: d, typ: rel.Schema[c].Type}
+		switch de.typ {
+		case storage.TInt:
+			de.ints = rel.Cols[c].Ints
+		case storage.TString:
+			de.strs = rel.Cols[c].Strs
+		default:
+			return nil, fmt.Errorf("cube: dimension %q must be INT or STRING (continuous attributes must be discretized first)", d)
+		}
+		b.dims = append(b.dims, de)
+	}
+	for _, a := range spec.Aggs {
+		switch a.Fn {
+		case ops.Count:
+			b.nums = append(b.nums, nil)
+		case ops.Sum, ops.Avg, ops.Min, ops.Max:
+			if a.Arg == nil {
+				return nil, fmt.Errorf("cube: aggregate %q needs an argument", a.Name)
+			}
+			f, err := expr.CompileNum(a.Arg, rel, params)
+			if err != nil {
+				return nil, err
+			}
+			b.nums = append(b.nums, f)
+		default:
+			return nil, fmt.Errorf("cube: %s is not algebraic/distributive", a.Fn)
+		}
+	}
+	if len(b.dims) == 1 && b.dims[0].typ == storage.TInt {
+		b.fastInts = b.dims[0].ints
+		b.fastHT = hashtab.New(64)
+	}
+	return b, nil
+}
+
+func (b *Builder) code(s string) int64 {
+	if c, ok := b.dict[s]; ok {
+		return c
+	}
+	c := int64(len(b.vals))
+	b.dict[s] = c
+	b.vals = append(b.vals, s)
+	return c
+}
+
+// Observe folds one (group, rid) pair into the cube.
+func (b *Builder) Observe(group int32, rid int32) {
+	if b.fastInts != nil {
+		v := b.fastInts[rid]
+		if v >= 0 && v < 1<<31 {
+			key := int64(group)<<31 | v
+			idx, inserted := b.fastHT.GetOrPut(key, int32(len(b.order)))
+			var c *cell
+			if inserted {
+				c = b.newCell(group, [8]int64{v}, 1)
+			} else {
+				c = b.order[idx]
+			}
+			b.updateCell(c, rid)
+			return
+		}
+	}
+	b.buf = b.buf[:0]
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(group))
+	b.buf = append(b.buf, tmp[:4]...)
+	var dimVals [8]int64
+	for i := range b.dims {
+		d := &b.dims[i]
+		var v int64
+		if d.typ == storage.TInt {
+			v = d.ints[rid]
+		} else {
+			v = b.code(d.strs[rid])
+		}
+		dimVals[i] = v
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+		b.buf = append(b.buf, tmp[:]...)
+	}
+	c, ok := b.cells[string(b.buf)]
+	if !ok {
+		c = b.newCell(group, dimVals, len(b.dims))
+		b.cells[string(b.buf)] = c
+	}
+	b.updateCell(c, rid)
+}
+
+func (b *Builder) newCell(group int32, dimVals [8]int64, nDims int) *cell {
+	c := &cell{group: group, dims: append([]int64(nil), dimVals[:nDims]...)}
+	for _, a := range b.spec.Aggs {
+		switch a.Fn {
+		case ops.Sum, ops.Avg:
+			c.sums = append(c.sums, 0)
+			c.cnts = append(c.cnts, 0)
+		case ops.Min:
+			c.mins = append(c.mins, math.Inf(1))
+		case ops.Max:
+			c.maxs = append(c.maxs, math.Inf(-1))
+		case ops.Count:
+			c.cnts = append(c.cnts, 0)
+		}
+	}
+	b.order = append(b.order, c)
+	return c
+}
+
+func (b *Builder) updateCell(c *cell, rid int32) {
+	c.count++
+	si, mi, xi, ci := 0, 0, 0, 0
+	for i, a := range b.spec.Aggs {
+		switch a.Fn {
+		case ops.Count:
+			c.cnts[ci]++
+			ci++
+		case ops.Sum, ops.Avg:
+			c.sums[si] += b.nums[i](rid)
+			c.cnts[ci]++
+			si++
+			ci++
+		case ops.Min:
+			if v := b.nums[i](rid); v < c.mins[mi] {
+				c.mins[mi] = v
+			}
+			mi++
+		case ops.Max:
+			if v := b.nums[i](rid); v > c.maxs[xi] {
+				c.maxs[xi] = v
+			}
+			xi++
+		}
+	}
+}
+
+// Cube is the immutable materialized result.
+type Cube struct {
+	spec    Spec
+	dims    []dimEnc
+	vals    []string
+	byGroup map[int32][]*cell
+	nCells  int
+}
+
+// Build finalizes the cube, indexing cells by base-query output group.
+func (b *Builder) Build() *Cube {
+	c := &Cube{spec: b.spec, dims: b.dims, vals: b.vals, byGroup: map[int32][]*cell{}, nCells: len(b.order)}
+	for _, cl := range b.order {
+		c.byGroup[cl.group] = append(c.byGroup[cl.group], cl)
+	}
+	return c
+}
+
+// Cells returns the total number of materialized cells.
+func (c *Cube) Cells() int { return c.nCells }
+
+// Query materializes the consuming query's answer for one base-query output
+// group: a relation with the drill-down dimensions and aggregate columns.
+// Optional fixed values (dimension name → int64 or string) filter cells, which
+// is how a cube covering skipping attributes answers parameterized queries.
+func (c *Cube) Query(group int32, fixed map[string]any) (*storage.Relation, error) {
+	schema := make(storage.Schema, 0, len(c.dims)+len(c.spec.Aggs))
+	for _, d := range c.dims {
+		schema = append(schema, storage.Field{Name: d.name, Type: d.typ})
+	}
+	for _, a := range c.spec.Aggs {
+		t := storage.TFloat
+		if a.Fn == ops.Count {
+			t = storage.TInt
+		}
+		schema = append(schema, storage.Field{Name: a.Name, Type: t})
+	}
+
+	// Resolve fixed dimension filters to codes.
+	type fix struct {
+		dim int
+		val int64
+	}
+	var fixes []fix
+	for name, v := range fixed {
+		di := -1
+		for i, d := range c.dims {
+			if d.name == name {
+				di = i
+			}
+		}
+		if di < 0 {
+			return nil, fmt.Errorf("cube: %q is not a cube dimension", name)
+		}
+		switch tv := v.(type) {
+		case int64:
+			fixes = append(fixes, fix{di, tv})
+		case int:
+			fixes = append(fixes, fix{di, int64(tv)})
+		case string:
+			code, ok := lookupCode(c.vals, tv)
+			if !ok {
+				// Value never observed: the filtered result is empty.
+				fixes = append(fixes, fix{di, -1})
+			} else {
+				fixes = append(fixes, fix{di, code})
+			}
+		default:
+			return nil, fmt.Errorf("cube: unsupported filter value %T for %q", v, name)
+		}
+	}
+
+	var matched []*cell
+	for _, cl := range c.byGroup[group] {
+		ok := true
+		for _, f := range fixes {
+			if cl.dims[f.dim] != f.val {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			matched = append(matched, cl)
+		}
+	}
+
+	out := storage.NewRelation("cube", schema, len(matched))
+	for row, cl := range matched {
+		for di, d := range c.dims {
+			if d.typ == storage.TInt {
+				out.Cols[di].Ints[row] = cl.dims[di]
+			} else {
+				out.Cols[di].Strs[row] = c.vals[cl.dims[di]]
+			}
+		}
+		si, mi, xi, ci := 0, 0, 0, 0
+		for ai, a := range c.spec.Aggs {
+			col := len(c.dims) + ai
+			switch a.Fn {
+			case ops.Count:
+				out.Cols[col].Ints[row] = cl.cnts[ci]
+				ci++
+			case ops.Sum:
+				out.Cols[col].Floats[row] = cl.sums[si]
+				si++
+				ci++
+			case ops.Avg:
+				if cl.cnts[ci] > 0 {
+					out.Cols[col].Floats[row] = cl.sums[si] / float64(cl.cnts[ci])
+				}
+				si++
+				ci++
+			case ops.Min:
+				out.Cols[col].Floats[row] = cl.mins[mi]
+				mi++
+			case ops.Max:
+				out.Cols[col].Floats[row] = cl.maxs[xi]
+				xi++
+			}
+		}
+	}
+	return out, nil
+}
+
+func lookupCode(vals []string, v string) (int64, bool) {
+	for i, s := range vals {
+		if s == v {
+			return int64(i), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,190 @@
+package cube_test
+
+import (
+	"math"
+	"testing"
+
+	"smoke/internal/cube"
+	"smoke/internal/expr"
+	"smoke/internal/ops"
+	"smoke/internal/storage"
+)
+
+func fixture() *storage.Relation {
+	rel := storage.NewEmpty("t", storage.Schema{
+		{Name: "z", Type: storage.TInt},
+		{Name: "mode", Type: storage.TString},
+		{Name: "tax", Type: storage.TInt},
+		{Name: "v", Type: storage.TFloat},
+	})
+	modes := []string{"MAIL", "SHIP"}
+	for i := 0; i < 200; i++ {
+		rel.AppendRow(i%2, modes[i%2], i%4, float64(i))
+	}
+	return rel
+}
+
+func spec() cube.Spec {
+	return cube.Spec{
+		Dims: []string{"mode", "tax"},
+		Aggs: []cube.AggDef{
+			{Fn: ops.Count, Name: "c"},
+			{Fn: ops.Sum, Arg: expr.C("v"), Name: "s"},
+			{Fn: ops.Avg, Arg: expr.C("v"), Name: "a"},
+			{Fn: ops.Min, Arg: expr.C("v"), Name: "mn"},
+			{Fn: ops.Max, Arg: expr.C("v"), Name: "mx"},
+		},
+	}
+}
+
+// buildVia runs the group-by with the cube observer attached, the way capture
+// integrates the push-down.
+func buildVia(t *testing.T, rel *storage.Relation) (*cube.Cube, ops.AggResult) {
+	t.Helper()
+	b, err := cube.NewBuilder(rel, spec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ops.HashAgg(rel, nil, ops.GroupBySpec{
+		Keys: []string{"z"},
+		Aggs: []ops.AggSpec{{Fn: ops.Count, Name: "cnt"}},
+	}, ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth, Observe: b.Observe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Build(), res
+}
+
+func TestCubeMatchesDirectAggregation(t *testing.T) {
+	rel := fixture()
+	c, res := buildVia(t, rel)
+	// For every base group, the cube's answer must equal re-running the
+	// consuming query (group by mode, tax over the group's lineage).
+	for slot := 0; slot < res.Out.N; slot++ {
+		want, err := ops.HashAgg(rel, res.BW.List(slot), ops.GroupBySpec{
+			Keys: []string{"mode", "tax"},
+			Aggs: []ops.AggSpec{
+				{Fn: ops.Count, Name: "c"},
+				{Fn: ops.Sum, Arg: expr.C("v"), Name: "s"},
+			},
+		}, ops.AggOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Query(int32(slot), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N != want.Out.N {
+			t.Fatalf("group %d: cube cells = %d, recompute = %d", slot, got.N, want.Out.N)
+		}
+		// Index want rows by (mode, tax).
+		type key struct {
+			m string
+			x int64
+		}
+		ref := map[key][2]float64{}
+		for i := 0; i < want.Out.N; i++ {
+			ref[key{want.Out.Str(0, i), want.Out.Int(1, i)}] = [2]float64{
+				float64(want.Out.Int(2, i)), want.Out.Float(3, i),
+			}
+		}
+		for i := 0; i < got.N; i++ {
+			k := key{got.Str(0, i), got.Int(1, i)}
+			w, ok := ref[k]
+			if !ok {
+				t.Fatalf("group %d: unexpected cell %v", slot, k)
+			}
+			if float64(got.Int(2, i)) != w[0] {
+				t.Fatalf("group %d cell %v: count %d want %v", slot, k, got.Int(2, i), w[0])
+			}
+			if math.Abs(got.Float(3, i)-w[1]) > 1e-9 {
+				t.Fatalf("group %d cell %v: sum %v want %v", slot, k, got.Float(3, i), w[1])
+			}
+		}
+	}
+}
+
+func TestCubeFilteredQuery(t *testing.T) {
+	rel := fixture()
+	c, _ := buildVia(t, rel)
+	got, err := c.Query(0, map[string]any{"mode": "MAIL"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N == 0 {
+		t.Fatal("filtered query empty")
+	}
+	for i := 0; i < got.N; i++ {
+		if got.Str(0, i) != "MAIL" {
+			t.Fatal("filter leaked other modes")
+		}
+	}
+	// Int-dim filter too.
+	got, err = c.Query(0, map[string]any{"tax": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < got.N; i++ {
+		if got.Int(1, i) != 2 {
+			t.Fatal("int filter leaked")
+		}
+	}
+	// Unseen value: empty result, no error.
+	got, err = c.Query(0, map[string]any{"mode": "NOPE"})
+	if err != nil || got.N != 0 {
+		t.Fatalf("unseen value: N=%d err=%v", got.N, err)
+	}
+}
+
+func TestCubeAvgMinMax(t *testing.T) {
+	rel := fixture()
+	c, res := buildVia(t, rel)
+	for slot := 0; slot < res.Out.N; slot++ {
+		got, err := c.Query(int32(slot), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < got.N; i++ {
+			cnt := got.Int(2, i)
+			sum := got.Float(3, i)
+			avg := got.Float(4, i)
+			mn := got.Float(5, i)
+			mx := got.Float(6, i)
+			if math.Abs(avg-sum/float64(cnt)) > 1e-9 {
+				t.Fatal("avg inconsistent with sum/count")
+			}
+			if mn > mx {
+				t.Fatal("min > max")
+			}
+		}
+	}
+}
+
+func TestCubeErrors(t *testing.T) {
+	rel := fixture()
+	if _, err := cube.NewBuilder(rel, cube.Spec{}, nil); err == nil {
+		t.Error("no dims should error")
+	}
+	if _, err := cube.NewBuilder(rel, cube.Spec{Dims: []string{"nope"}}, nil); err == nil {
+		t.Error("unknown dim should error")
+	}
+	if _, err := cube.NewBuilder(rel, cube.Spec{Dims: []string{"v"}}, nil); err == nil {
+		t.Error("float dim should error (must be discretized)")
+	}
+	if _, err := cube.NewBuilder(rel, cube.Spec{Dims: []string{"z"},
+		Aggs: []cube.AggDef{{Fn: ops.Sum, Name: "s"}}}, nil); err == nil {
+		t.Error("SUM without arg should error")
+	}
+	if _, err := cube.NewBuilder(rel, cube.Spec{Dims: []string{"z"},
+		Aggs: []cube.AggDef{{Fn: ops.CountDistinct, Arg: expr.C("v"), Name: "d"}}}, nil); err == nil {
+		t.Error("holistic aggregate should error")
+	}
+	c, _ := buildVia(t, rel)
+	if _, err := c.Query(0, map[string]any{"notadim": 1}); err == nil {
+		t.Error("unknown filter dim should error")
+	}
+	if _, err := c.Query(0, map[string]any{"tax": 1.5}); err == nil {
+		t.Error("unsupported filter type should error")
+	}
+}

@@ -1,0 +1,102 @@
+// Package datagen generates the synthetic microbenchmark tables of §5:
+// zipf_{θ,n,g}(id, z, v) where z follows a zipfian distribution with skew θ
+// over g distinct values (groups) and v is uniform in [0,100), plus the gids
+// dimension table used by the pk-fk join microbenchmark. Tuples are small by
+// design, to emphasize worst-case lineage overheads.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"smoke/internal/storage"
+)
+
+// ZipfSchema is the schema of the microbenchmark fact table.
+func ZipfSchema() storage.Schema {
+	return storage.Schema{
+		{Name: "id", Type: storage.TInt},
+		{Name: "z", Type: storage.TInt},
+		{Name: "v", Type: storage.TFloat},
+	}
+}
+
+// zipfCDF precomputes the cumulative distribution of P(k) ∝ 1/k^θ over
+// k ∈ [1, g]. θ=0 degenerates to uniform.
+func zipfCDF(theta float64, g int) []float64 {
+	cdf := make([]float64, g)
+	sum := 0.0
+	for k := 1; k <= g; k++ {
+		sum += 1.0 / math.Pow(float64(k), theta)
+		cdf[k-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[g-1] = 1.0
+	return cdf
+}
+
+// sampleCDF draws a value in [1, len(cdf)] by binary search over the CDF.
+func sampleCDF(cdf []float64, u float64) int64 {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int64(lo + 1)
+}
+
+// Zipf generates zipf_{theta,n,g}: n rows with id = row number, z zipfian in
+// [1, g], v uniform in [0, 100). Deterministic for a given seed.
+func Zipf(name string, theta float64, n, g int, seed int64) *storage.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	cdf := zipfCDF(theta, g)
+	rel := storage.NewRelation(name, ZipfSchema(), n)
+	ids := rel.Cols[0].Ints
+	zs := rel.Cols[1].Ints
+	vs := rel.Cols[2].Floats
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		zs[i] = sampleCDF(cdf, rng.Float64())
+		vs[i] = rng.Float64() * 100
+	}
+	return rel
+}
+
+// GidsSchema is the schema of the join dimension table.
+func GidsSchema() storage.Schema {
+	return storage.Schema{
+		{Name: "id", Type: storage.TInt},
+		{Name: "payload", Type: storage.TFloat},
+	}
+}
+
+// Gids generates the dimension table gids(id, payload) with ids 1..g, the
+// primary-key side of the pk-fk join microbenchmark (§6.1.2).
+func Gids(name string, g int, seed int64) *storage.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	rel := storage.NewRelation(name, GidsSchema(), g)
+	for i := 0; i < g; i++ {
+		rel.Cols[0].Ints[i] = int64(i + 1)
+		rel.Cols[1].Floats[i] = rng.Float64()
+	}
+	return rel
+}
+
+// GroupCounts returns exact per-value counts of an integer column whose
+// values lie in [1, g]: counts[k-1] = |{rid : col[rid] = k}|. This supplies
+// the "cardinality statistics" used by the Smoke-I+TC variants to preallocate
+// lineage indexes.
+func GroupCounts(rel *storage.Relation, col string, g int) []int32 {
+	c := rel.Schema.MustCol(col)
+	counts := make([]int32, g)
+	for _, v := range rel.Cols[c].Ints {
+		counts[v-1]++
+	}
+	return counts
+}

@@ -1,0 +1,109 @@
+package datagen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestZipfShape(t *testing.T) {
+	rel := Zipf("zipf", 1.0, 10000, 100, 42)
+	if rel.N != 10000 {
+		t.Fatalf("N = %d", rel.N)
+	}
+	if rel.Schema.Col("z") != 1 || rel.Schema.Col("v") != 2 {
+		t.Fatal("schema mismatch")
+	}
+	for i := 0; i < rel.N; i++ {
+		z := rel.Int(1, i)
+		if z < 1 || z > 100 {
+			t.Fatalf("z out of range: %d", z)
+		}
+		v := rel.Float(2, i)
+		if v < 0 || v >= 100 {
+			t.Fatalf("v out of range: %v", v)
+		}
+		if rel.Int(0, i) != int64(i) {
+			t.Fatalf("id[%d] = %d", i, rel.Int(0, i))
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a := Zipf("a", 1.0, 1000, 50, 7)
+	b := Zipf("b", 1.0, 1000, 50, 7)
+	if !reflect.DeepEqual(a.Cols[1].Ints, b.Cols[1].Ints) {
+		t.Fatal("same seed must generate identical z columns")
+	}
+	c := Zipf("c", 1.0, 1000, 50, 8)
+	if reflect.DeepEqual(a.Cols[1].Ints, c.Cols[1].Ints) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With θ=1, value 1 must be sampled far more often than value 50;
+	// with θ=0 the distribution is uniform.
+	n, g := 100000, 50
+	skewed := Zipf("s", 1.0, n, g, 1)
+	counts := GroupCounts(skewed, "z", g)
+	if counts[0] < 4*counts[g-1] {
+		t.Errorf("θ=1: count(z=1)=%d not ≫ count(z=%d)=%d", counts[0], g, counts[g-1])
+	}
+	uniform := Zipf("u", 0.0, n, g, 1)
+	ucounts := GroupCounts(uniform, "z", g)
+	mean := float64(n) / float64(g)
+	for k, c := range ucounts {
+		if math.Abs(float64(c)-mean) > mean*0.25 {
+			t.Errorf("θ=0: count(z=%d)=%d deviates from uniform mean %.0f", k+1, c, mean)
+		}
+	}
+}
+
+func TestZipfTheoreticalFrequency(t *testing.T) {
+	// For θ=1, P(1)/P(2) = 2; empirical ratio should be close.
+	n := 200000
+	rel := Zipf("z", 1.0, n, 100, 3)
+	counts := GroupCounts(rel, "z", 100)
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("P(1)/P(2) = %.2f, want ≈ 2", ratio)
+	}
+}
+
+func TestGroupCountsSumToN(t *testing.T) {
+	rel := Zipf("z", 0.8, 5000, 20, 11)
+	counts := GroupCounts(rel, "z", 20)
+	sum := 0
+	for _, c := range counts {
+		sum += int(c)
+	}
+	if sum != rel.N {
+		t.Fatalf("counts sum to %d, want %d", sum, rel.N)
+	}
+}
+
+func TestGids(t *testing.T) {
+	rel := Gids("gids", 100, 5)
+	if rel.N != 100 {
+		t.Fatalf("N = %d", rel.N)
+	}
+	for i := 0; i < rel.N; i++ {
+		if rel.Int(0, i) != int64(i+1) {
+			t.Fatalf("id[%d] = %d, want %d", i, rel.Int(0, i), i+1)
+		}
+	}
+}
+
+func TestSampleCDFBoundaries(t *testing.T) {
+	cdf := zipfCDF(1.0, 3)
+	if got := sampleCDF(cdf, 0.0); got != 1 {
+		t.Errorf("sample at u=0 → %d, want 1", got)
+	}
+	if got := sampleCDF(cdf, 1.0); got != 3 {
+		t.Errorf("sample at u=1 → %d, want 3", got)
+	}
+	if cdf[2] != 1.0 {
+		t.Errorf("CDF must end at 1.0, got %v", cdf[2])
+	}
+}

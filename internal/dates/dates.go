@@ -1,0 +1,81 @@
+// Package dates converts between civil dates and day numbers. The engine
+// stores DATE columns as int64 days since 1970-01-01, so date predicates and
+// EXTRACT(year/month) run as integer arithmetic inside operator loops.
+//
+// The algorithms are the classic Howard Hinnant civil-days conversions,
+// implemented from first principles (no dependency on package time in hot
+// paths).
+package dates
+
+// FromCivil returns the day number of the given civil date (1970-01-01 = 0).
+// Valid for the full proleptic Gregorian calendar range used here.
+func FromCivil(year, month, day int) int64 {
+	y := int64(year)
+	m := int64(month)
+	d := int64(day)
+	if m <= 2 {
+		y--
+	}
+	var era int64
+	if y >= 0 {
+		era = y / 400
+	} else {
+		era = (y - 399) / 400
+	}
+	yoe := y - era*400 // [0, 399]
+	var mp int64
+	if m > 2 {
+		mp = m - 3
+	} else {
+		mp = m + 9
+	}
+	doy := (153*mp+2)/5 + d - 1            // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy // [0, 146096]
+	return era*146097 + doe - 719468
+}
+
+// ToCivil returns the civil date of the given day number.
+func ToCivil(days int64) (year, month, day int) {
+	z := days + 719468
+	var era int64
+	if z >= 0 {
+		era = z / 146097
+	} else {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097                                  // [0, 146096]
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365 // [0, 399]
+	y := yoe + era*400                                     //
+	doy := doe - (365*yoe + yoe/4 - yoe/100)               // [0, 365]
+	mp := (5*doy + 2) / 153                                // [0, 11]
+	d := doy - (153*mp+2)/5 + 1                            // [1, 31]
+	var m int64
+	if mp < 10 {
+		m = mp + 3
+	} else {
+		m = mp - 9
+	}
+	if m <= 2 {
+		y++
+	}
+	return int(y), int(m), int(d)
+}
+
+// Year extracts the civil year of a day number.
+func Year(days int64) int64 {
+	y, _, _ := ToCivil(days)
+	return int64(y)
+}
+
+// Month extracts the civil month (1-12) of a day number.
+func Month(days int64) int64 {
+	_, m, _ := ToCivil(days)
+	return int64(m)
+}
+
+// YearMonth packs year*100+month, the grouping key used by the TPC-H Q1a
+// drill-down (GROUP BY year, month).
+func YearMonth(days int64) int64 {
+	y, m, _ := ToCivil(days)
+	return int64(y)*100 + int64(m)
+}

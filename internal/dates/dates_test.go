@@ -1,0 +1,85 @@
+package dates
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEpochIsZero(t *testing.T) {
+	if d := FromCivil(1970, 1, 1); d != 0 {
+		t.Fatalf("FromCivil(1970,1,1) = %d, want 0", d)
+	}
+}
+
+func TestKnownDates(t *testing.T) {
+	cases := []struct {
+		y, m, d int
+		want    int64
+	}{
+		{1970, 1, 2, 1},
+		{1969, 12, 31, -1},
+		{2000, 3, 1, 11017},
+		{1998, 12, 1, 10561},
+		{1992, 1, 1, 8035},
+	}
+	for _, c := range cases {
+		if got := FromCivil(c.y, c.m, c.d); got != c.want {
+			t.Errorf("FromCivil(%d,%d,%d) = %d, want %d", c.y, c.m, c.d, got, c.want)
+		}
+	}
+}
+
+func TestAgainstTimePackage(t *testing.T) {
+	// Cross-check the hand-rolled conversion against the stdlib for every
+	// 17th day across the TPC-H date range plus some margin.
+	start := time.Date(1985, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 800; i++ {
+		tm := start.AddDate(0, 0, i*17)
+		want := tm.Unix() / 86400
+		got := FromCivil(tm.Year(), int(tm.Month()), tm.Day())
+		if got != want {
+			t.Fatalf("FromCivil(%v) = %d, want %d", tm, got, want)
+		}
+		y, m, d := ToCivil(got)
+		if y != tm.Year() || m != int(tm.Month()) || d != tm.Day() {
+			t.Fatalf("ToCivil(%d) = %d-%d-%d, want %v", got, y, m, d, tm)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(offset int32) bool {
+		days := int64(offset % 200000) // ±~550 years around epoch
+		y, m, d := ToCivil(days)
+		return FromCivil(y, m, d) == days
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYearMonthExtraction(t *testing.T) {
+	d := FromCivil(1996, 4, 12)
+	if Year(d) != 1996 {
+		t.Errorf("Year = %d", Year(d))
+	}
+	if Month(d) != 4 {
+		t.Errorf("Month = %d", Month(d))
+	}
+	if YearMonth(d) != 199604 {
+		t.Errorf("YearMonth = %d", YearMonth(d))
+	}
+}
+
+func TestMonthBoundaries(t *testing.T) {
+	for y := 1990; y <= 2000; y++ {
+		for m := 1; m <= 12; m++ {
+			d := FromCivil(y, m, 1)
+			gy, gm, gd := ToCivil(d)
+			if gy != y || gm != m || gd != 1 {
+				t.Fatalf("ToCivil(FromCivil(%d,%d,1)) = %d-%d-%d", y, m, gy, gm, gd)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package exec_test
+
+import (
+	"testing"
+
+	"smoke/internal/exec"
+	"smoke/internal/expr"
+	"smoke/internal/ops"
+	"smoke/internal/storage"
+)
+
+// Edge cases: empty inputs, fully filtered inputs, and joins with no matches
+// must produce empty-but-valid results in every capture mode.
+
+func emptyRel(name string) *storage.Relation {
+	return storage.NewEmpty(name, storage.Schema{
+		{Name: "k", Type: storage.TInt},
+		{Name: "v", Type: storage.TFloat},
+	})
+}
+
+func TestSPJAEmptyInput(t *testing.T) {
+	for _, mode := range []ops.CaptureMode{ops.None, ops.Inject, ops.Defer} {
+		res, err := exec.Run(exec.Spec{
+			Tables: []exec.TableRef{{Rel: emptyRel("t")}},
+			Keys:   []exec.KeyRef{{Table: 0, Col: "k"}},
+			Aggs:   []exec.AggRef{{Fn: ops.Count, Table: 0, Name: "c"}},
+		}, exec.Opts{Mode: mode, Dirs: ops.CaptureBoth})
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if res.Out.N != 0 {
+			t.Fatalf("mode %v: empty input produced %d groups", mode, res.Out.N)
+		}
+	}
+}
+
+func TestSPJAFullyFilteredInput(t *testing.T) {
+	rel := emptyRel("t")
+	rel.AppendRow(1, 1.0)
+	rel.AppendRow(2, 2.0)
+	res, err := exec.Run(exec.Spec{
+		Tables: []exec.TableRef{{Rel: rel, Filter: expr.LtE(expr.C("v"), expr.F(-1))}},
+		Keys:   []exec.KeyRef{{Table: 0, Col: "k"}},
+		Aggs:   []exec.AggRef{{Fn: ops.Count, Table: 0, Name: "c"}},
+	}, exec.Opts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N != 0 {
+		t.Fatalf("fully filtered input produced %d groups", res.Out.N)
+	}
+	// Forward index exists and maps every rid to nothing.
+	fw, err := res.Capture.ForwardIndex("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < int32(rel.N); i++ {
+		if got := fw.TraceOne(i, nil); len(got) != 0 {
+			t.Fatalf("filtered rid %d has forward lineage %v", i, got)
+		}
+	}
+}
+
+func TestSPJAJoinWithNoMatches(t *testing.T) {
+	left := emptyRel("l")
+	left.AppendRow(1, 1.0)
+	right := storage.NewEmpty("r", storage.Schema{
+		{Name: "fk", Type: storage.TInt},
+		{Name: "x", Type: storage.TFloat},
+	})
+	right.AppendRow(999, 5.0) // no matching key
+	for _, mode := range []ops.CaptureMode{ops.Inject, ops.Defer} {
+		res, err := exec.Run(exec.Spec{
+			Tables: []exec.TableRef{{Rel: left}, {Rel: right}},
+			Joins:  []exec.JoinEdge{{LeftTable: 0, LeftCol: "k", RightCol: "fk"}},
+			Keys:   []exec.KeyRef{{Table: 0, Col: "k"}},
+			Aggs:   []exec.AggRef{{Fn: ops.Sum, Table: 1, Arg: expr.C("x"), Name: "s"}},
+		}, exec.Opts{Mode: mode, Dirs: ops.CaptureBoth})
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if res.Out.N != 0 {
+			t.Fatalf("mode %v: joinless query produced groups", mode)
+		}
+	}
+}
+
+func TestSPJASingleRowSingleGroup(t *testing.T) {
+	rel := emptyRel("t")
+	rel.AppendRow(7, 3.5)
+	res, err := exec.Run(exec.Spec{
+		Tables: []exec.TableRef{{Rel: rel}},
+		Keys:   []exec.KeyRef{{Table: 0, Col: "k"}},
+		Aggs: []exec.AggRef{
+			{Fn: ops.Min, Table: 0, Arg: expr.C("v"), Name: "mn"},
+			{Fn: ops.Max, Table: 0, Arg: expr.C("v"), Name: "mx"},
+			{Fn: ops.Avg, Table: 0, Arg: expr.C("v"), Name: "av"},
+		},
+	}, exec.Opts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N != 1 {
+		t.Fatalf("groups = %d", res.Out.N)
+	}
+	for _, col := range []string{"mn", "mx", "av"} {
+		if got := res.Out.Float(res.Out.Schema.MustCol(col), 0); got != 3.5 {
+			t.Fatalf("%s = %v", col, got)
+		}
+	}
+	bw, _ := res.Capture.BackwardIndex("t")
+	if got := bw.TraceOne(0, nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("lineage = %v", got)
+	}
+}

@@ -1,0 +1,53 @@
+package exec_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"smoke/internal/exec"
+	"smoke/internal/ops"
+)
+
+func TestRunLogicIdxMatchesSmokeCapture(t *testing.T) {
+	db := testDB(t)
+	for name, spec := range db.Queries() {
+		smoke, err := exec.Run(spec, exec.Opts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		logic, annotated, err := exec.RunLogicIdx(spec, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if logic.Out.N != smoke.Out.N {
+			t.Fatalf("%s: output cardinality differs", name)
+		}
+		// The annotated relation is denormalized: one row per join result.
+		total := 0
+		for _, c := range smoke.GroupCounts {
+			total += int(c)
+		}
+		if annotated.N != total {
+			t.Fatalf("%s: annotated N = %d, want %d", name, annotated.N, total)
+		}
+		// Same end-to-end backward indexes (groups may be ordered
+		// identically because both run the same pipelines).
+		for _, tbl := range spec.Tables {
+			sb, err1 := smoke.Capture.BackwardIndex(tbl.Rel.Name)
+			lb, err2 := logic.Capture.BackwardIndex(tbl.Rel.Name)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s: missing backward index for %s", name, tbl.Rel.Name)
+			}
+			for o := 0; o < smoke.Out.N; o++ {
+				a := append([]int32(nil), sb.TraceOne(int32(o), nil)...)
+				b := append([]int32(nil), lb.TraceOne(int32(o), nil)...)
+				sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+				sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("%s: %s backward differs at group %d", name, tbl.Rel.Name, o)
+				}
+			}
+		}
+	}
+}

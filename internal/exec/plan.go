@@ -1,0 +1,281 @@
+package exec
+
+import (
+	"fmt"
+
+	"smoke/internal/expr"
+	"smoke/internal/lineage"
+	"smoke/internal/ops"
+	"smoke/internal/storage"
+)
+
+// Node is a logical plan node of the generic (non-fused) executor. This path
+// implements the paper's naive multi-operator instrumentation: every operator
+// captures its own indexes, and the runner immediately composes them with its
+// child's end-to-end indexes so that intermediates can be garbage collected
+// (the propagation technique of §3.3 applied operator-at-a-time). It supports
+// arbitrary tree-shaped plans over the physical algebra; SPJA blocks should
+// prefer the fused executor in spja.go.
+type Node interface {
+	isNode()
+}
+
+// ScanNode reads a base relation.
+type ScanNode struct{ Table *storage.Relation }
+
+// FilterNode applies a predicate.
+type FilterNode struct {
+	Child Node
+	Pred  expr.Expr
+}
+
+// ProjectNode keeps the named columns (bag semantics: lineage is identity).
+type ProjectNode struct {
+	Child Node
+	Cols  []string
+}
+
+// GroupByNode hash-aggregates its child.
+type GroupByNode struct {
+	Child Node
+	Spec  ops.GroupBySpec
+}
+
+// JoinNode equi-joins its children (general M:N hash join, build on left).
+type JoinNode struct {
+	Left, Right       Node
+	LeftKey, RightKey string
+}
+
+// UnionNode computes a set union of its children over the given attributes.
+type UnionNode struct {
+	Left, Right Node
+	Attrs       []string
+}
+
+func (ScanNode) isNode()    {}
+func (FilterNode) isNode()  {}
+func (ProjectNode) isNode() {}
+func (GroupByNode) isNode() {}
+func (JoinNode) isNode()    {}
+func (UnionNode) isNode()   {}
+
+// PlanResult is the output of the generic executor: the result relation plus
+// end-to-end lineage to every captured base relation.
+type PlanResult struct {
+	Out     *storage.Relation
+	Capture *lineage.Capture
+}
+
+// nodeOut carries a node's relation and its per-base-relation end-to-end
+// indexes during recursive execution.
+type nodeOut struct {
+	rel *storage.Relation
+	bw  map[string]*lineage.Index
+	fw  map[string]*lineage.Index
+}
+
+// PlanOpts configures the generic executor.
+type PlanOpts struct {
+	Mode   ops.CaptureMode
+	Params expr.Params
+}
+
+// RunPlan executes a plan tree with end-to-end lineage capture.
+func RunPlan(n Node, opts PlanOpts) (PlanResult, error) {
+	out, err := runNode(n, opts)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	cap_ := lineage.NewCapture()
+	for name, ix := range out.bw {
+		cap_.SetBackward(name, ix)
+	}
+	for name, ix := range out.fw {
+		cap_.SetForward(name, ix)
+	}
+	return PlanResult{Out: out.rel, Capture: cap_}, nil
+}
+
+func identityIndex(n int) *lineage.Index {
+	arr := make([]lineage.Rid, n)
+	for i := range arr {
+		arr[i] = lineage.Rid(i)
+	}
+	return lineage.NewOneToOne(arr)
+}
+
+// composeAll maps a node's local indexes (out ↔ child) through the child's
+// end-to-end indexes (child ↔ base) to produce out ↔ base, after which the
+// local and child indexes are dropped.
+func composeAll(child nodeOut, localBW, localFW *lineage.Index) nodeOut {
+	res := nodeOut{bw: map[string]*lineage.Index{}, fw: map[string]*lineage.Index{}}
+	for name, cbw := range child.bw {
+		res.bw[name] = lineage.Compose(localBW, cbw)
+	}
+	for name, cfw := range child.fw {
+		res.fw[name] = lineage.Compose(cfw, localFW)
+	}
+	return res
+}
+
+func runNode(n Node, opts PlanOpts) (nodeOut, error) {
+	capture := opts.Mode != ops.None
+	mode := opts.Mode
+	switch node := n.(type) {
+	case ScanNode:
+		out := nodeOut{rel: node.Table}
+		if capture {
+			out.bw = map[string]*lineage.Index{node.Table.Name: identityIndex(node.Table.N)}
+			out.fw = map[string]*lineage.Index{node.Table.Name: identityIndex(node.Table.N)}
+		} else {
+			out.bw = map[string]*lineage.Index{}
+			out.fw = map[string]*lineage.Index{}
+		}
+		return out, nil
+
+	case FilterNode:
+		child, err := runNode(node.Child, opts)
+		if err != nil {
+			return nodeOut{}, err
+		}
+		pred, err := expr.CompilePred(node.Pred, child.rel, opts.Params)
+		if err != nil {
+			return nodeOut{}, err
+		}
+		selMode := ops.None
+		if capture {
+			selMode = ops.Inject
+		}
+		sres := ops.Select(child.rel.N, pred, ops.SelectOpts{Mode: selMode, Dirs: ops.CaptureBoth})
+		rel := child.rel.Gather(child.rel.Name+"_f", sres.OutRids)
+		if !capture {
+			return nodeOut{rel: rel, bw: child.bw, fw: child.fw}, nil
+		}
+		res := composeAll(child, lineage.NewOneToOne(sres.BW), lineage.NewOneToOne(sres.FW))
+		res.rel = rel
+		return res, nil
+
+	case ProjectNode:
+		child, err := runNode(node.Child, opts)
+		if err != nil {
+			return nodeOut{}, err
+		}
+		cols := make([]int, len(node.Cols))
+		for i, c := range node.Cols {
+			ci := child.rel.Schema.Col(c)
+			if ci < 0 {
+				return nodeOut{}, fmt.Errorf("exec: project column %q not found", c)
+			}
+			cols[i] = ci
+		}
+		// Bag-semantics projection needs no lineage (§3.2.1): rid i maps to
+		// rid i, so the child's indexes carry over unchanged.
+		return nodeOut{rel: child.rel.Project(child.rel.Name+"_p", cols), bw: child.bw, fw: child.fw}, nil
+
+	case GroupByNode:
+		child, err := runNode(node.Child, opts)
+		if err != nil {
+			return nodeOut{}, err
+		}
+		aggMode := mode
+		dirs := ops.Directions(0)
+		if capture {
+			if aggMode == ops.None {
+				aggMode = ops.Inject
+			}
+			dirs = ops.CaptureBoth
+		}
+		ares, err := ops.HashAgg(child.rel, nil, node.Spec, ops.AggOpts{Mode: aggMode, Dirs: dirs, Params: opts.Params})
+		if err != nil {
+			return nodeOut{}, err
+		}
+		if !capture {
+			return nodeOut{rel: ares.Out, bw: map[string]*lineage.Index{}, fw: map[string]*lineage.Index{}}, nil
+		}
+		res := composeAll(child, lineage.NewOneToMany(ares.BW), lineage.NewOneToOne(ares.FW))
+		res.rel = ares.Out
+		return res, nil
+
+	case JoinNode:
+		left, err := runNode(node.Left, opts)
+		if err != nil {
+			return nodeOut{}, err
+		}
+		right, err := runNode(node.Right, opts)
+		if err != nil {
+			return nodeOut{}, err
+		}
+		dirs := ops.Directions(0)
+		if capture {
+			dirs = ops.CaptureBoth
+		}
+		variant := ops.MNInject
+		if mode == ops.Defer {
+			variant = ops.MNDefer
+		}
+		jres, err := ops.HashJoinMN(left.rel, node.LeftKey, right.rel, node.RightKey, variant,
+			ops.JoinOpts{Dirs: dirs, Materialize: true})
+		if err != nil {
+			return nodeOut{}, err
+		}
+		if !capture {
+			return nodeOut{rel: jres.Out, bw: map[string]*lineage.Index{}, fw: map[string]*lineage.Index{}}, nil
+		}
+		res := nodeOut{rel: jres.Out, bw: map[string]*lineage.Index{}, fw: map[string]*lineage.Index{}}
+		lBW, rBW := lineage.NewOneToOne(jres.LeftBW), lineage.NewOneToOne(jres.RightBW)
+		lFW, rFW := lineage.NewOneToMany(jres.LeftFW), lineage.NewOneToMany(jres.RightFW)
+		for name, ix := range left.bw {
+			res.bw[name] = lineage.Compose(lBW, ix)
+		}
+		for name, ix := range right.bw {
+			res.bw[name] = lineage.Compose(rBW, ix)
+		}
+		for name, ix := range left.fw {
+			res.fw[name] = lineage.Compose(ix, lFW)
+		}
+		for name, ix := range right.fw {
+			res.fw[name] = lineage.Compose(ix, rFW)
+		}
+		return res, nil
+
+	case UnionNode:
+		left, err := runNode(node.Left, opts)
+		if err != nil {
+			return nodeOut{}, err
+		}
+		right, err := runNode(node.Right, opts)
+		if err != nil {
+			return nodeOut{}, err
+		}
+		setMode := ops.Inject
+		dirs := ops.Directions(0)
+		if capture {
+			dirs = ops.CaptureBoth
+		}
+		ures, err := ops.SetUnion(left.rel, node.Attrs, right.rel, node.Attrs, setMode, dirs)
+		if err != nil {
+			return nodeOut{}, err
+		}
+		if !capture {
+			return nodeOut{rel: ures.Out, bw: map[string]*lineage.Index{}, fw: map[string]*lineage.Index{}}, nil
+		}
+		res := nodeOut{rel: ures.Out, bw: map[string]*lineage.Index{}, fw: map[string]*lineage.Index{}}
+		aBW, bBW := lineage.NewOneToMany(ures.ABW), lineage.NewOneToMany(ures.BBW)
+		aFW, bFW := lineage.NewOneToOne(ures.AFW), lineage.NewOneToOne(ures.BFW)
+		for name, ix := range left.bw {
+			res.bw[name] = lineage.Compose(aBW, ix)
+		}
+		for name, ix := range right.bw {
+			res.bw[name] = lineage.Compose(bBW, ix)
+		}
+		for name, ix := range left.fw {
+			res.fw[name] = lineage.Compose(ix, aFW)
+		}
+		for name, ix := range right.fw {
+			res.fw[name] = lineage.Compose(ix, bFW)
+		}
+		return res, nil
+	}
+	return nodeOut{}, fmt.Errorf("exec: unsupported plan node %T", n)
+}

@@ -1,0 +1,215 @@
+package exec
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"smoke/internal/datagen"
+	"smoke/internal/expr"
+	"smoke/internal/ops"
+	"smoke/internal/storage"
+)
+
+func TestPlanFilterThenGroupBy(t *testing.T) {
+	rel := datagen.Zipf("zipf", 1.0, 2000, 10, 5)
+	plan := GroupByNode{
+		Child: FilterNode{Child: ScanNode{Table: rel}, Pred: expr.LtE(expr.C("v"), expr.F(50))},
+		Spec:  ops.GroupBySpec{Keys: []string{"z"}, Aggs: []ops.AggSpec{{Fn: ops.Count, Name: "c"}}},
+	}
+	res, err := RunPlan(plan, PlanOpts{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// End-to-end lineage must point at *base* rids: every rid in a group's
+	// lineage must satisfy the filter and carry the group's key.
+	bw, err := res.Capture.BackwardIndex("zipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcol := rel.Schema.MustCol("v")
+	zcol := rel.Schema.MustCol("z")
+	total := 0
+	for o := 0; o < res.Out.N; o++ {
+		key := res.Out.Int(0, o)
+		rids := bw.TraceOne(int32(o), nil)
+		total += len(rids)
+		for _, r := range rids {
+			if rel.Float(vcol, int(r)) >= 50 {
+				t.Fatalf("group %d lineage includes filtered-out rid %d", o, r)
+			}
+			if rel.Int(zcol, int(r)) != key {
+				t.Fatalf("group %d lineage includes rid with wrong key", o)
+			}
+		}
+	}
+	want := 0
+	for i := 0; i < rel.N; i++ {
+		if rel.Float(vcol, i) < 50 {
+			want++
+		}
+	}
+	if total != want {
+		t.Fatalf("lineage covers %d rids, want %d", total, want)
+	}
+	// Forward: every selected base rid maps to the group holding its key.
+	fw, err := res.Capture.ForwardIndex("zipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < int32(rel.N); i++ {
+		outs := fw.TraceOne(i, nil)
+		if rel.Float(vcol, int(i)) >= 50 {
+			if len(outs) != 0 {
+				t.Fatalf("filtered rid %d has forward lineage", i)
+			}
+			continue
+		}
+		if len(outs) != 1 {
+			t.Fatalf("selected rid %d maps to %d groups", i, len(outs))
+		}
+		if res.Out.Int(0, int(outs[0])) != rel.Int(zcol, int(i)) {
+			t.Fatalf("rid %d forward lineage points at wrong group", i)
+		}
+	}
+}
+
+func TestPlanJoinComposesBothSides(t *testing.T) {
+	gids := datagen.Gids("gids", 20, 1)
+	zipf := datagen.Zipf("zipf", 1.0, 500, 20, 2)
+	plan := GroupByNode{
+		Child: JoinNode{
+			Left:     ScanNode{Table: gids},
+			Right:    FilterNode{Child: ScanNode{Table: zipf}, Pred: expr.LtE(expr.C("v"), expr.F(40))},
+			LeftKey:  "id",
+			RightKey: "z",
+		},
+		// "id" exists on both sides, so the join qualifies it with the
+		// relation name.
+		Spec: ops.GroupBySpec{Keys: []string{"gids.id"}, Aggs: []ops.AggSpec{{Fn: ops.Count, Name: "c"}}},
+	}
+	res, err := RunPlan(plan, PlanOpts{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zbw, err := res.Capture.BackwardIndex("zipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbw, err := res.Capture.BackwardIndex("gids")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zcol := zipf.Schema.MustCol("z")
+	vcol := zipf.Schema.MustCol("v")
+	for o := 0; o < res.Out.N; o++ {
+		key := res.Out.Int(0, o)
+		// zipf lineage: matching z, passing filter.
+		for _, r := range zbw.TraceOne(int32(o), nil) {
+			if zipf.Int(zcol, int(r)) != key || zipf.Float(vcol, int(r)) >= 40 {
+				t.Fatalf("group %d: bad zipf lineage rid %d", o, r)
+			}
+		}
+		// gids lineage: the single matching dimension row (duplicated per join row).
+		grids := gbw.TraceOne(int32(o), nil)
+		for _, r := range grids {
+			if gids.Int(0, int(r)) != key {
+				t.Fatalf("group %d: bad gids lineage", o)
+			}
+		}
+		if len(grids) != len(zbw.TraceOne(int32(o), nil)) {
+			t.Fatalf("group %d: per-table lineage cardinalities differ", o)
+		}
+	}
+}
+
+func TestPlanProjectPreservesLineage(t *testing.T) {
+	rel := datagen.Zipf("zipf", 1.0, 100, 5, 9)
+	plan := ProjectNode{
+		Child: FilterNode{Child: ScanNode{Table: rel}, Pred: expr.LtE(expr.C("v"), expr.F(50))},
+		Cols:  []string{"z"},
+	}
+	res, err := RunPlan(plan, PlanOpts{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Out.Schema) != 1 || res.Out.Schema[0].Name != "z" {
+		t.Fatal("projection schema wrong")
+	}
+	bw, err := res.Capture.BackwardIndex("zipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output row i's lineage must carry the same z value.
+	for i := 0; i < res.Out.N; i++ {
+		rids := bw.TraceOne(int32(i), nil)
+		if len(rids) != 1 {
+			t.Fatalf("projection row %d has %d lineage rids", i, len(rids))
+		}
+		if rel.Int(rel.Schema.MustCol("z"), int(rids[0])) != res.Out.Int(0, i) {
+			t.Fatal("projection lineage mismatched")
+		}
+	}
+}
+
+func TestPlanUnionLineage(t *testing.T) {
+	a := storage.NewEmpty("a", storage.Schema{{Name: "k", Type: storage.TInt}})
+	for _, v := range []int{1, 2, 2} {
+		a.AppendRow(v)
+	}
+	b := storage.NewEmpty("b", storage.Schema{{Name: "k", Type: storage.TInt}})
+	for _, v := range []int{2, 3} {
+		b.AppendRow(v)
+	}
+	plan := UnionNode{Left: ScanNode{Table: a}, Right: ScanNode{Table: b}, Attrs: []string{"k"}}
+	res, err := RunPlan(plan, PlanOpts{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := append([]int64(nil), res.Out.Cols[0].Ints...)
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	if !reflect.DeepEqual(vals, []int64{1, 2, 3}) {
+		t.Fatalf("union = %v", vals)
+	}
+	abw, err := res.Capture.BackwardIndex("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o < res.Out.N; o++ {
+		if res.Out.Int(0, o) == 2 {
+			rids := append([]int32(nil), abw.TraceOne(int32(o), nil)...)
+			sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+			if !reflect.DeepEqual(rids, []int32{1, 2}) {
+				t.Fatalf("lineage of 2 in a = %v", rids)
+			}
+		}
+	}
+}
+
+func TestPlanNoCapture(t *testing.T) {
+	rel := datagen.Zipf("zipf", 1.0, 100, 5, 9)
+	plan := GroupByNode{
+		Child: ScanNode{Table: rel},
+		Spec:  ops.GroupBySpec{Keys: []string{"z"}, Aggs: []ops.AggSpec{{Fn: ops.Count, Name: "c"}}},
+	}
+	res, err := RunPlan(plan, PlanOpts{Mode: ops.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Capture.Relations()) != 0 {
+		t.Fatal("capture disabled but indexes present")
+	}
+	if res.Out.N != 5 {
+		t.Fatalf("groups = %d", res.Out.N)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	rel := datagen.Zipf("zipf", 1.0, 10, 2, 1)
+	if _, err := RunPlan(ProjectNode{Child: ScanNode{Table: rel}, Cols: []string{"nope"}}, PlanOpts{}); err == nil {
+		t.Error("bad projection should error")
+	}
+	if _, err := RunPlan(FilterNode{Child: ScanNode{Table: rel}, Pred: expr.C("z")}, PlanOpts{}); err == nil {
+		t.Error("non-boolean filter should error")
+	}
+}

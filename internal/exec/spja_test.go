@@ -1,0 +1,335 @@
+package exec_test
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"smoke/internal/exec"
+	"smoke/internal/lineage"
+	"smoke/internal/ops"
+	"smoke/internal/storage"
+	"smoke/internal/tpch"
+)
+
+func testDB(t *testing.T) *tpch.DB {
+	t.Helper()
+	return tpch.Generate(0.002, 42)
+}
+
+// naiveQ1 computes Q1's groups and per-group lineitem rid sets by brute force.
+func naiveQ1(db *tpch.DB) map[string]struct {
+	count int64
+	sum   float64
+	rids  []int32
+} {
+	li := db.Lineitem
+	sd := li.Schema.MustCol("l_shipdate")
+	rf := li.Schema.MustCol("l_returnflag")
+	ls := li.Schema.MustCol("l_linestatus")
+	qt := li.Schema.MustCol("l_quantity")
+	cut := int64(10561) // 1998-12-01
+	out := map[string]struct {
+		count int64
+		sum   float64
+		rids  []int32
+	}{}
+	for i := 0; i < li.N; i++ {
+		if li.Int(sd, i) >= cut {
+			continue
+		}
+		key := li.Str(rf, i) + "|" + li.Str(ls, i)
+		g := out[key]
+		g.count++
+		g.sum += li.Float(qt, i)
+		g.rids = append(g.rids, int32(i))
+		out[key] = g
+	}
+	return out
+}
+
+func TestSPJAQ1MatchesNaive(t *testing.T) {
+	db := testDB(t)
+	res, err := exec.Run(db.Q1(), exec.Opts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveQ1(db)
+	if res.Out.N != len(want) {
+		t.Fatalf("Q1 groups = %d, want %d", res.Out.N, len(want))
+	}
+	rf := res.Out.Schema.MustCol("l_returnflag")
+	ls := res.Out.Schema.MustCol("l_linestatus")
+	cnt := res.Out.Schema.MustCol("count_order")
+	sq := res.Out.Schema.MustCol("sum_qty")
+	bw, err := res.Capture.BackwardIndex("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o < res.Out.N; o++ {
+		key := res.Out.Str(rf, o) + "|" + res.Out.Str(ls, o)
+		g, ok := want[key]
+		if !ok {
+			t.Fatalf("unexpected group %q", key)
+		}
+		if res.Out.Int(cnt, o) != g.count {
+			t.Errorf("group %q count = %d, want %d", key, res.Out.Int(cnt, o), g.count)
+		}
+		if math.Abs(res.Out.Float(sq, o)-g.sum) > 1e-6*(1+g.sum) {
+			t.Errorf("group %q sum_qty = %v, want %v", key, res.Out.Float(sq, o), g.sum)
+		}
+		got := append([]int32(nil), bw.TraceOne(int32(o), nil)...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if !reflect.DeepEqual(got, g.rids) {
+			t.Errorf("group %q lineage has %d rids, want %d", key, len(got), len(g.rids))
+		}
+	}
+}
+
+func TestSPJAInjectDeferEquivalence(t *testing.T) {
+	db := testDB(t)
+	for name, spec := range db.Queries() {
+		inj, err := exec.Run(spec, exec.Opts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+		if err != nil {
+			t.Fatalf("%s inject: %v", name, err)
+		}
+		def, err := exec.Run(spec, exec.Opts{Mode: ops.Defer, Dirs: ops.CaptureBoth})
+		if err != nil {
+			t.Fatalf("%s defer: %v", name, err)
+		}
+		if inj.Out.N != def.Out.N {
+			t.Fatalf("%s: group counts differ (%d vs %d)", name, inj.Out.N, def.Out.N)
+		}
+		for _, tbl := range spec.Tables {
+			ib, err1 := inj.Capture.BackwardIndex(tbl.Rel.Name)
+			dbw, err2 := def.Capture.BackwardIndex(tbl.Rel.Name)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s: missing backward for %s", name, tbl.Rel.Name)
+			}
+			for o := 0; o < inj.Out.N; o++ {
+				a := append([]int32(nil), ib.TraceOne(int32(o), nil)...)
+				b := append([]int32(nil), dbw.TraceOne(int32(o), nil)...)
+				sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+				sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("%s: %s backward lineage differs at group %d", name, tbl.Rel.Name, o)
+				}
+			}
+		}
+	}
+}
+
+func TestSPJAQ3JoinLineage(t *testing.T) {
+	db := testDB(t)
+	res, err := exec.Run(db.Q3(), exec.Opts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every group's customer lineage must be BUILDING-segment customers, and
+	// its orders lineage must reference exactly the group's o_orderkey.
+	cbw, err := res.Capture.BackwardIndex("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obw, err := res.Capture.BackwardIndex("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := db.Customer.Schema.MustCol("c_mktsegment")
+	ok := res.Out.Schema.MustCol("o_orderkey")
+	okey := db.Orders.Schema.MustCol("o_orderkey")
+	for o := 0; o < res.Out.N; o++ {
+		for _, crid := range cbw.TraceOne(int32(o), nil) {
+			if db.Customer.Str(seg, int(crid)) != "BUILDING" {
+				t.Fatalf("group %d: non-BUILDING customer in lineage", o)
+			}
+		}
+		for _, orid := range obw.TraceOne(int32(o), nil) {
+			if db.Orders.Int(okey, int(orid)) != res.Out.Int(ok, o) {
+				t.Fatalf("group %d: lineage order key mismatch", o)
+			}
+		}
+	}
+	// Lineage cardinalities agree across tables (one rid per table per join row).
+	libw, _ := res.Capture.BackwardIndex("lineitem")
+	for o := 0; o < res.Out.N; o++ {
+		nl := len(libw.TraceOne(int32(o), nil))
+		no := len(obw.TraceOne(int32(o), nil))
+		nc := len(cbw.TraceOne(int32(o), nil))
+		if nl != no || nl != nc || nl != int(res.GroupCounts[o]) {
+			t.Fatalf("group %d: cardinalities differ (li=%d o=%d c=%d count=%d)", o, nl, no, nc, res.GroupCounts[o])
+		}
+	}
+}
+
+func TestSPJAForwardBackwardConsistency(t *testing.T) {
+	db := testDB(t)
+	res, err := exec.Run(db.Q12(), exec.Opts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last table (lineitem) forward is one-to-one; check round trip.
+	lifw, err := res.Capture.ForwardIndex("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	libw, _ := res.Capture.BackwardIndex("lineitem")
+	if lifw.Kind != lineage.OneToOne {
+		t.Fatal("fact-table forward index should be a rid array")
+	}
+	for rid, o := range lifw.Arr {
+		if o < 0 {
+			continue
+		}
+		found := false
+		for _, r := range libw.TraceOne(o, nil) {
+			if r == int32(rid) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("lineitem rid %d not in backward lineage of its group", rid)
+		}
+	}
+	// Dimension table (orders) forward is one-to-many and must agree with
+	// backward.
+	ofw, err := res.Capture.ForwardIndex("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obw, _ := res.Capture.BackwardIndex("orders")
+	for rid := 0; rid < db.Orders.N; rid++ {
+		for _, o := range ofw.TraceOne(int32(rid), nil) {
+			found := false
+			for _, r := range obw.TraceOne(o, nil) {
+				if r == int32(rid) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("orders rid %d forward edge not confirmed backward", rid)
+			}
+		}
+	}
+}
+
+func TestSPJATablePruning(t *testing.T) {
+	db := testDB(t)
+	spec := db.Q3()
+	// Capture only lineitem backward (tooltip workload, §4.1).
+	res, err := exec.Run(spec, exec.Opts{Mode: ops.Inject, TableDirs: []ops.Directions{0, 0, ops.CaptureBackward}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capture.HasBackward("customer") || res.Capture.HasBackward("orders") {
+		t.Fatal("pruned tables must not be captured")
+	}
+	if res.Capture.HasForward("lineitem") {
+		t.Fatal("pruned direction must not be captured")
+	}
+	if !res.Capture.HasBackward("lineitem") {
+		t.Fatal("requested index missing")
+	}
+	// Results identical to full capture.
+	full, err := exec.Run(spec, exec.Opts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N != full.Out.N {
+		t.Fatal("pruning changed query results")
+	}
+}
+
+func TestSPJABaselineNoCapture(t *testing.T) {
+	db := testDB(t)
+	res, err := exec.Run(db.Q10(), exec.Opts{Mode: ops.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Capture.Relations()) != 0 {
+		t.Fatal("baseline captured lineage")
+	}
+	if res.Out.N == 0 {
+		t.Fatal("Q10 returned no groups")
+	}
+}
+
+func TestSPJAQ12FilteredCounts(t *testing.T) {
+	db := testDB(t)
+	res, err := exec.Run(db.Q12(), exec.Opts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N == 0 || res.Out.N > 2 {
+		t.Fatalf("Q12 groups = %d, want 1-2 (MAIL, SHIP)", res.Out.N)
+	}
+	hc := res.Out.Schema.MustCol("high_line_count")
+	lc := res.Out.Schema.MustCol("low_line_count")
+	for o := 0; o < res.Out.N; o++ {
+		total := res.Out.Int(hc, o) + res.Out.Int(lc, o)
+		if total != res.GroupCounts[o] {
+			t.Fatalf("group %d: high+low = %d, want %d", o, total, res.GroupCounts[o])
+		}
+	}
+}
+
+func TestSPJAErrors(t *testing.T) {
+	db := testDB(t)
+	if _, err := exec.Run(exec.Spec{}, exec.Opts{}); err == nil {
+		t.Error("empty spec should error")
+	}
+	spec := db.Q3()
+	spec.Joins = spec.Joins[:1]
+	if _, err := exec.Run(spec, exec.Opts{}); err == nil {
+		t.Error("wrong join count should error")
+	}
+	bad := db.Q1()
+	bad.Keys = []exec.KeyRef{{Table: 0, Col: "nope"}}
+	if _, err := exec.Run(bad, exec.Opts{}); err == nil {
+		t.Error("unknown key column should error")
+	}
+	bad2 := db.Q1()
+	bad2.Aggs = []exec.AggRef{{Fn: ops.Sum, Table: 0, Name: "x"}}
+	if _, err := exec.Run(bad2, exec.Opts{}); err == nil {
+		t.Error("SUM without arg should error")
+	}
+	bad3 := db.Q1()
+	bad3.Keys = nil
+	if _, err := exec.Run(bad3, exec.Opts{}); err == nil {
+		t.Error("missing keys should error")
+	}
+}
+
+func TestSPJASingleIntKeyFastPath(t *testing.T) {
+	// A single TInt group key exercises the hashtab fast path.
+	rel := storage.NewEmpty("t", storage.Schema{
+		{Name: "k", Type: storage.TInt},
+		{Name: "v", Type: storage.TFloat},
+	})
+	rel.AppendRow(1, 1.0)
+	rel.AppendRow(2, 2.0)
+	rel.AppendRow(1, 3.0)
+	res, err := exec.Run(exec.Spec{
+		Tables: []exec.TableRef{{Rel: rel}},
+		Keys:   []exec.KeyRef{{Table: 0, Col: "k"}},
+		Aggs:   []exec.AggRef{{Fn: ops.Count, Table: 0, Name: "c"}},
+	}, exec.Opts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N != 2 {
+		t.Fatalf("groups = %d", res.Out.N)
+	}
+	bw, _ := res.Capture.BackwardIndex("t")
+	for o := 0; o < 2; o++ {
+		k := res.Out.Int(0, o)
+		for _, r := range bw.TraceOne(int32(o), nil) {
+			if rel.Int(0, int(r)) != k {
+				t.Fatal("lineage rid has wrong key")
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package hashtab provides an open-addressing int64→int32 hash table used by
+// the hash-based physical operators (group-by aggregation, hash joins, set
+// operations). The engine's hash tables are on the critical path of both
+// query execution and lineage capture — Smoke reuses them for capture
+// (principle P4) — so they avoid the allocation and hashing overheads of
+// Go's generic map in exchange for a fixed key type: operator key columns are
+// either int64 values or dictionary codes.
+package hashtab
+
+// Map is an open-addressing linear-probing hash table from int64 keys to
+// int32 values. The zero value is not usable; call New.
+type Map struct {
+	keys     []int64
+	vals     []int32
+	occupied []bool
+	mask     uint64
+	size     int
+	maxLoad  int
+}
+
+// New returns a map pre-sized for the given number of entries.
+func New(capacityHint int) *Map {
+	n := 16
+	for n < capacityHint*2 {
+		n <<= 1
+	}
+	return &Map{
+		keys:     make([]int64, n),
+		vals:     make([]int32, n),
+		occupied: make([]bool, n),
+		mask:     uint64(n - 1),
+		maxLoad:  n * 7 / 10,
+	}
+}
+
+// hash is the splitmix64 finalizer: cheap and well-distributed for both
+// sequential keys (orderkeys) and dictionary codes.
+func hash(k int64) uint64 {
+	x := uint64(k)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Len returns the number of entries.
+func (m *Map) Len() int { return m.size }
+
+// Get returns the value stored under key.
+func (m *Map) Get(key int64) (int32, bool) {
+	i := hash(key) & m.mask
+	for m.occupied[i] {
+		if m.keys[i] == key {
+			return m.vals[i], true
+		}
+		i = (i + 1) & m.mask
+	}
+	return 0, false
+}
+
+// Put stores val under key, replacing any existing value.
+func (m *Map) Put(key int64, val int32) {
+	if m.size >= m.maxLoad {
+		m.grow()
+	}
+	i := hash(key) & m.mask
+	for m.occupied[i] {
+		if m.keys[i] == key {
+			m.vals[i] = val
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+	m.occupied[i] = true
+	m.keys[i] = key
+	m.vals[i] = val
+	m.size++
+}
+
+// GetOrPut returns the existing value for key, or stores val and reports
+// inserted = true. This is the single-probe path group-by build loops use:
+// one hash computation covers both the lookup and the insert.
+func (m *Map) GetOrPut(key int64, val int32) (existing int32, inserted bool) {
+	if m.size >= m.maxLoad {
+		m.grow()
+	}
+	i := hash(key) & m.mask
+	for m.occupied[i] {
+		if m.keys[i] == key {
+			return m.vals[i], false
+		}
+		i = (i + 1) & m.mask
+	}
+	m.occupied[i] = true
+	m.keys[i] = key
+	m.vals[i] = val
+	m.size++
+	return val, true
+}
+
+func (m *Map) grow() {
+	oldKeys, oldVals, oldOcc := m.keys, m.vals, m.occupied
+	n := len(m.keys) * 2
+	m.keys = make([]int64, n)
+	m.vals = make([]int32, n)
+	m.occupied = make([]bool, n)
+	m.mask = uint64(n - 1)
+	m.maxLoad = n * 7 / 10
+	m.size = 0
+	for i, occ := range oldOcc {
+		if occ {
+			m.putFresh(oldKeys[i], oldVals[i])
+		}
+	}
+}
+
+// putFresh inserts a key known to be absent (rehash path).
+func (m *Map) putFresh(key int64, val int32) {
+	i := hash(key) & m.mask
+	for m.occupied[i] {
+		i = (i + 1) & m.mask
+	}
+	m.occupied[i] = true
+	m.keys[i] = key
+	m.vals[i] = val
+	m.size++
+}
+
+// Range calls f for every entry, in unspecified order.
+func (m *Map) Range(f func(key int64, val int32)) {
+	for i, occ := range m.occupied {
+		if occ {
+			f(m.keys[i], m.vals[i])
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package lineage
+
+import "fmt"
+
+// Capture holds the end-to-end lineage indexes produced while executing one
+// base query: for each base relation referenced by the query, a backward
+// index (output rid → base rids) and/or a forward index (base rid → output
+// rids). Workload-aware pruning (§4.1) simply omits entries.
+type Capture struct {
+	backward map[string]*Index
+	forward  map[string]*Index
+}
+
+// NewCapture returns an empty capture container.
+func NewCapture() *Capture {
+	return &Capture{backward: map[string]*Index{}, forward: map[string]*Index{}}
+}
+
+// SetBackward installs the backward index for a base relation.
+func (c *Capture) SetBackward(rel string, ix *Index) { c.backward[rel] = ix }
+
+// SetForward installs the forward index for a base relation.
+func (c *Capture) SetForward(rel string, ix *Index) { c.forward[rel] = ix }
+
+// BackwardIndex returns the backward index for rel, or an error if it was
+// pruned or never captured.
+func (c *Capture) BackwardIndex(rel string) (*Index, error) {
+	ix, ok := c.backward[rel]
+	if !ok {
+		return nil, fmt.Errorf("lineage: no backward index for relation %q (pruned or not captured)", rel)
+	}
+	return ix, nil
+}
+
+// ForwardIndex returns the forward index for rel, or an error if it was
+// pruned or never captured.
+func (c *Capture) ForwardIndex(rel string) (*Index, error) {
+	ix, ok := c.forward[rel]
+	if !ok {
+		return nil, fmt.Errorf("lineage: no forward index for relation %q (pruned or not captured)", rel)
+	}
+	return ix, nil
+}
+
+// HasBackward reports whether a backward index exists for rel.
+func (c *Capture) HasBackward(rel string) bool { _, ok := c.backward[rel]; return ok }
+
+// HasForward reports whether a forward index exists for rel.
+func (c *Capture) HasForward(rel string) bool { _, ok := c.forward[rel]; return ok }
+
+// Backward evaluates the backward lineage query Lb(out ⊆ O, rel): the base
+// rids of rel that contributed to the given output rids (duplicates
+// preserved, per transformational semantics).
+func (c *Capture) Backward(rel string, out []Rid) ([]Rid, error) {
+	ix, err := c.BackwardIndex(rel)
+	if err != nil {
+		return nil, err
+	}
+	return ix.Trace(out), nil
+}
+
+// Forward evaluates the forward lineage query Lf(in ⊆ rel, O): the output
+// rids that depend on the given base rids.
+func (c *Capture) Forward(rel string, in []Rid) ([]Rid, error) {
+	ix, err := c.ForwardIndex(rel)
+	if err != nil {
+		return nil, err
+	}
+	return ix.Trace(in), nil
+}
+
+// BackwardDistinct is Backward with set semantics (which-provenance).
+func (c *Capture) BackwardDistinct(rel string, out []Rid) ([]Rid, error) {
+	ix, err := c.BackwardIndex(rel)
+	if err != nil {
+		return nil, err
+	}
+	return ix.TraceDistinct(out), nil
+}
+
+// ForwardDistinct is Forward with set semantics.
+func (c *Capture) ForwardDistinct(rel string, in []Rid) ([]Rid, error) {
+	ix, err := c.ForwardIndex(rel)
+	if err != nil {
+		return nil, err
+	}
+	return ix.TraceDistinct(in), nil
+}
+
+// Relations returns the names of relations with at least one captured index.
+func (c *Capture) Relations() []string {
+	seen := map[string]struct{}{}
+	var out []string
+	for r := range c.backward {
+		if _, ok := seen[r]; !ok {
+			seen[r] = struct{}{}
+			out = append(out, r)
+		}
+	}
+	for r := range c.forward {
+		if _, ok := seen[r]; !ok {
+			seen[r] = struct{}{}
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package lineage
+
+import "testing"
+
+// Ablation: the paper attributes most capture cost to rid-array resizing.
+// These benchmarks compare the explicit 10→×1.5 growth policy, exact
+// preallocation (cardinality statistics), and Go's native append growth.
+
+func BenchmarkAppendRidGrowthPolicy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s []Rid
+		for r := Rid(0); r < 10000; r++ {
+			s = AppendRid(s, r)
+		}
+	}
+}
+
+func BenchmarkAppendRidPreallocated(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := make([]Rid, 0, 10000)
+		for r := Rid(0); r < 10000; r++ {
+			s = AppendRid(s, r)
+		}
+	}
+}
+
+func BenchmarkAppendNative(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s []Rid
+		for r := Rid(0); r < 10000; r++ {
+			s = append(s, r)
+		}
+	}
+}
+
+func BenchmarkRidIndexAppendSkewed(b *testing.B) {
+	// 1000 groups, zipf-ish sizes: group g receives 10000/(g+1) rids.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix := NewRidIndex(1000)
+		for g := 0; g < 1000; g++ {
+			n := 10000 / (g + 1)
+			for r := 0; r < n; r++ {
+				ix.Append(g, Rid(r))
+			}
+		}
+	}
+}
+
+func BenchmarkComposeOneToOneChain(b *testing.B) {
+	n := 100000
+	a := make([]Rid, n)
+	c := make([]Rid, n)
+	for i := range a {
+		a[i] = Rid((i * 7) % n)
+		c[i] = Rid((i * 13) % n)
+	}
+	outer, inner := NewOneToOne(a), NewOneToOne(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compose(outer, inner)
+	}
+}

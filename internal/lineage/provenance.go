@@ -1,0 +1,103 @@
+package lineage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Appendix E: Smoke's transformational semantics subsume the classic
+// provenance semantics. Backward indexes keep one entry per derivation, and
+// entries at the same position across the per-relation backward indexes of a
+// join-aggregate query belong to the same derivation (the SPJA executor
+// appends one rid per table per join row). That alignment makes:
+//
+//   - why-provenance: the set of witnesses, one witness per position — the
+//     tuple of rids across relations at that position;
+//   - which-provenance (lineage): the per-relation set union of the lists;
+//   - how-provenance: the polynomial Σ_positions Π_relations rid.
+//
+// These are lineage-consuming queries in the paper's framing; they are
+// provided here as library calls because applications ask for them directly.
+
+// Witness is one why-provenance witness: for each traced relation (in call
+// order), the rid that participated in the derivation.
+type Witness []Rid
+
+// WhyProvenance returns the witnesses of output record out with respect to
+// the given relations. All named relations must have backward indexes with
+// equal cardinality for the output (true for SPJA captures).
+func (c *Capture) WhyProvenance(rels []string, out Rid) ([]Witness, error) {
+	lists := make([][]Rid, len(rels))
+	n := -1
+	for i, r := range rels {
+		ix, err := c.BackwardIndex(r)
+		if err != nil {
+			return nil, err
+		}
+		lists[i] = ix.TraceOne(out, nil)
+		if n >= 0 && len(lists[i]) != n {
+			return nil, fmt.Errorf("lineage: backward lists for %v are not aligned (%d vs %d edges)", rels, n, len(lists[i]))
+		}
+		n = len(lists[i])
+	}
+	witnesses := make([]Witness, n)
+	for pos := 0; pos < n; pos++ {
+		w := make(Witness, len(rels))
+		for i := range rels {
+			w[i] = lists[i][pos]
+		}
+		witnesses[pos] = w
+	}
+	return witnesses, nil
+}
+
+// WhichProvenance returns the per-relation distinct rid sets contributing to
+// out (Cui et al. lineage; the set union of the backward lists).
+func (c *Capture) WhichProvenance(rels []string, out Rid) (map[string][]Rid, error) {
+	res := make(map[string][]Rid, len(rels))
+	for _, r := range rels {
+		rids, err := c.BackwardDistinct(r, []Rid{out})
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+		res[r] = rids
+	}
+	return res, nil
+}
+
+// HowProvenance renders the provenance polynomial of out over the given
+// relations: one product term per witness, summed. Rids print as rel[rid].
+// Repeated witnesses (possible under bag semantics) accumulate into integer
+// coefficients, matching the ℕ[X] semiring.
+func (c *Capture) HowProvenance(rels []string, out Rid) (string, error) {
+	ws, err := c.WhyProvenance(rels, out)
+	if err != nil {
+		return "", err
+	}
+	counts := map[string]int{}
+	var order []string
+	for _, w := range ws {
+		parts := make([]string, len(w))
+		for i, rid := range w {
+			parts[i] = fmt.Sprintf("%s[%d]", rels[i], rid)
+		}
+		term := strings.Join(parts, "*")
+		if counts[term] == 0 {
+			order = append(order, term)
+		}
+		counts[term]++
+	}
+	var b strings.Builder
+	for i, term := range order {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		if counts[term] > 1 {
+			fmt.Fprintf(&b, "%d*", counts[term])
+		}
+		b.WriteString(term)
+	}
+	return b.String(), nil
+}

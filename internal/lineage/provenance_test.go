@@ -1,0 +1,119 @@
+package lineage
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// appendix-E fixture: the paper's example query
+//
+//	SELECT COUNT(*), A.cname, B.pname FROM A, B WHERE A.cid = B.cid
+//	GROUP BY A.cname, B.pname
+//
+// with A = {a1:(1,Bob), a2:(2,Alice)} and B = {b1:(1,iPhone), b2:(1,iPhone),
+// b3:(2,XBox)}. Output o1=(2,Bob,iPhone) derives from (a1,b1) and (a1,b2);
+// o2=(1,Alice,XBox) from (a2,b3).
+func appendixEFixture() *Capture {
+	c := NewCapture()
+	aBW := NewRidIndex(2)
+	aBW.Append(0, 0) // o1 <- a1 (twice: once per join row)
+	aBW.Append(0, 0)
+	aBW.Append(1, 1) // o2 <- a2
+	bBW := NewRidIndex(2)
+	bBW.Append(0, 0) // o1 <- b1
+	bBW.Append(0, 1) // o1 <- b2
+	bBW.Append(1, 2) // o2 <- b3
+	c.SetBackward("A", NewOneToMany(aBW))
+	c.SetBackward("B", NewOneToMany(bBW))
+	return c
+}
+
+func TestWhyProvenance(t *testing.T) {
+	c := appendixEFixture()
+	ws, err := c.WhyProvenance([]string{"A", "B"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Witness{{0, 0}, {0, 1}} // {(a1,b1), (a1,b2)}
+	if !reflect.DeepEqual(ws, want) {
+		t.Fatalf("why(o1) = %v, want %v", ws, want)
+	}
+	ws, err = c.WhyProvenance([]string{"A", "B"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ws, []Witness{{1, 2}}) {
+		t.Fatalf("why(o2) = %v", ws)
+	}
+}
+
+func TestWhichProvenance(t *testing.T) {
+	c := appendixEFixture()
+	which, err := c.WhichProvenance([]string{"A", "B"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// which(o1) = {a1} ∪ {b1, b2}: the duplicate a1 collapses.
+	if !reflect.DeepEqual(which["A"], []Rid{0}) {
+		t.Fatalf("which(o1).A = %v", which["A"])
+	}
+	if !reflect.DeepEqual(which["B"], []Rid{0, 1}) {
+		t.Fatalf("which(o1).B = %v", which["B"])
+	}
+}
+
+func TestHowProvenance(t *testing.T) {
+	c := appendixEFixture()
+	// how(o1) = a1·b1 + a1·b2
+	how, err := c.HowProvenance([]string{"A", "B"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if how != "A[0]*B[0] + A[0]*B[1]" {
+		t.Fatalf("how(o1) = %q", how)
+	}
+	how, err = c.HowProvenance([]string{"A", "B"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if how != "A[1]*B[2]" {
+		t.Fatalf("how(o2) = %q", how)
+	}
+}
+
+func TestHowProvenanceCoefficients(t *testing.T) {
+	// A witness appearing twice accumulates an ℕ coefficient.
+	c := NewCapture()
+	aBW := NewRidIndex(1)
+	aBW.Append(0, 5)
+	aBW.Append(0, 5)
+	c.SetBackward("A", NewOneToMany(aBW))
+	how, err := c.HowProvenance([]string{"A"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if how != "2*A[5]" {
+		t.Fatalf("how = %q", how)
+	}
+}
+
+func TestWhyProvenanceErrors(t *testing.T) {
+	c := appendixEFixture()
+	if _, err := c.WhyProvenance([]string{"A", "missing"}, 0); err == nil {
+		t.Error("missing relation should error")
+	}
+	// Misaligned lists (different derivation counts) must be rejected.
+	bad := NewCapture()
+	x := NewRidIndex(1)
+	x.Append(0, 0)
+	y := NewRidIndex(1)
+	y.Append(0, 0)
+	y.Append(0, 1)
+	bad.SetBackward("X", NewOneToMany(x))
+	bad.SetBackward("Y", NewOneToMany(y))
+	if _, err := bad.WhyProvenance([]string{"X", "Y"}, 0); err == nil ||
+		!strings.Contains(err.Error(), "aligned") {
+		t.Errorf("misaligned lists should error, got %v", err)
+	}
+}

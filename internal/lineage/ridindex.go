@@ -1,0 +1,210 @@
+package lineage
+
+// RidIndex is the 1-to-N lineage representation (§3.1, Figure 3): an inverted
+// index whose i-th entry is the rid array of input (or output) records
+// associated with the i-th output (or input) record. Backward lineage of
+// GROUP BY and forward lineage of JOIN use this shape.
+type RidIndex struct {
+	lists [][]Rid
+}
+
+// NewRidIndex returns an index with n (initially empty) entries.
+func NewRidIndex(n int) *RidIndex {
+	return &RidIndex{lists: make([][]Rid, n)}
+}
+
+// NewRidIndexWithCounts returns an index whose entry i is preallocated to
+// exactly counts[i] capacity. This is the cardinality-statistics optimization:
+// with exact counts, Append never resizes.
+func NewRidIndexWithCounts(counts []int32) *RidIndex {
+	ix := &RidIndex{lists: make([][]Rid, len(counts))}
+	total := 0
+	for _, c := range counts {
+		total += int(c)
+	}
+	// One backing allocation for all lists keeps them dense in memory.
+	backing := make([]Rid, 0, total)
+	off := 0
+	for i, c := range counts {
+		ix.lists[i] = backing[off : off : off+int(c)]
+		off += int(c)
+	}
+	return ix
+}
+
+// Len returns the number of entries.
+func (ix *RidIndex) Len() int { return len(ix.lists) }
+
+// Append adds r to entry i under the growth policy.
+func (ix *RidIndex) Append(i int, r Rid) {
+	ix.lists[i] = AppendRid(ix.lists[i], r)
+}
+
+// AppendFast adds r to entry i assuming capacity was preallocated; it falls
+// back to the growth policy if the estimate was too small.
+func (ix *RidIndex) AppendFast(i int, r Rid) {
+	l := ix.lists[i]
+	if len(l) < cap(l) {
+		ix.lists[i] = l[:len(l)+1]
+		ix.lists[i][len(l)] = r
+		return
+	}
+	ix.lists[i] = AppendRid(l, r)
+}
+
+// SetList installs a complete rid array as entry i (used when hash-table
+// bucket lists are reused directly as lineage lists — the reuse principle P4).
+func (ix *RidIndex) SetList(i int, rids []Rid) { ix.lists[i] = rids }
+
+// List returns the rid array of entry i. The returned slice is owned by the
+// index; callers must not mutate it.
+func (ix *RidIndex) List(i int) []Rid { return ix.lists[i] }
+
+// Cardinality returns the total number of rid entries across all lists.
+func (ix *RidIndex) Cardinality() int {
+	n := 0
+	for _, l := range ix.lists {
+		n += len(l)
+	}
+	return n
+}
+
+// Kind distinguishes the two physical lineage representations.
+type Kind uint8
+
+const (
+	// OneToOne is a single rid array: entry i maps record i to exactly one
+	// record (rid -1 encodes "no match", e.g. records dropped by a filter).
+	OneToOne Kind = iota
+	// OneToMany is a RidIndex: entry i maps record i to a set of records.
+	OneToMany
+)
+
+// Index is a direction-agnostic lineage index: either a rid array or a rid
+// index. Backward indexes map output rids to input rids; forward indexes map
+// input rids to output rids.
+type Index struct {
+	Kind Kind
+	Arr  []Rid     // when Kind == OneToOne
+	Many *RidIndex // when Kind == OneToMany
+}
+
+// NewOneToOne wraps a rid array.
+func NewOneToOne(arr []Rid) *Index { return &Index{Kind: OneToOne, Arr: arr} }
+
+// NewOneToMany wraps a rid index.
+func NewOneToMany(ix *RidIndex) *Index { return &Index{Kind: OneToMany, Many: ix} }
+
+// Len returns the number of entries (source records) in the index.
+func (ix *Index) Len() int {
+	if ix.Kind == OneToOne {
+		return len(ix.Arr)
+	}
+	return ix.Many.Len()
+}
+
+// TraceOne appends the records mapped from source record i to dst and
+// returns it.
+func (ix *Index) TraceOne(i Rid, dst []Rid) []Rid {
+	if ix.Kind == OneToOne {
+		if r := ix.Arr[i]; r >= 0 {
+			dst = append(dst, r)
+		}
+		return dst
+	}
+	return append(dst, ix.Many.List(int(i))...)
+}
+
+// Trace returns the union (with duplicates preserved, per the paper's
+// transformational semantics) of the records mapped from each source rid.
+func (ix *Index) Trace(src []Rid) []Rid {
+	var dst []Rid
+	for _, i := range src {
+		dst = ix.TraceOne(i, dst)
+	}
+	return dst
+}
+
+// TraceDistinct returns the set of records mapped from the source rids, in
+// first-seen order. Lineage consuming queries that re-aggregate use Trace;
+// highlight-style consumers use TraceDistinct.
+func (ix *Index) TraceDistinct(src []Rid) []Rid {
+	seen := map[Rid]struct{}{}
+	var dst []Rid
+	var buf []Rid
+	for _, i := range src {
+		buf = ix.TraceOne(i, buf[:0])
+		for _, r := range buf {
+			if _, ok := seen[r]; !ok {
+				seen[r] = struct{}{}
+				dst = append(dst, r)
+			}
+		}
+	}
+	return dst
+}
+
+// Compose returns an index mapping the sources of outer to the targets of
+// inner: outer maps A→B, inner maps B→C, result maps A→C. This implements
+// lineage propagation across operator boundaries (§3.3): after composing, the
+// intermediate (B) indexes can be garbage collected.
+func Compose(outer, inner *Index) *Index {
+	if outer.Kind == OneToOne && inner.Kind == OneToOne {
+		arr := make([]Rid, len(outer.Arr))
+		for i, mid := range outer.Arr {
+			if mid < 0 {
+				arr[i] = -1
+			} else {
+				arr[i] = inner.Arr[mid]
+			}
+		}
+		return NewOneToOne(arr)
+	}
+	n := outer.Len()
+	out := NewRidIndex(n)
+	var buf []Rid
+	for i := 0; i < n; i++ {
+		buf = outer.TraceOne(Rid(i), buf[:0])
+		for _, mid := range buf {
+			out.lists[i] = inner.TraceOne(mid, out.lists[i])
+		}
+	}
+	return NewOneToMany(out)
+}
+
+// Invert builds the opposite-direction index given the number of target
+// records. Inverting a forward index yields a backward index and vice versa.
+func Invert(ix *Index, targets int) *Index {
+	// Count first so the result is exactly sized (no growth cost).
+	counts := make([]int32, targets)
+	switch ix.Kind {
+	case OneToOne:
+		for _, r := range ix.Arr {
+			if r >= 0 {
+				counts[r]++
+			}
+		}
+	case OneToMany:
+		for i := 0; i < ix.Many.Len(); i++ {
+			for _, r := range ix.Many.List(i) {
+				counts[r]++
+			}
+		}
+	}
+	out := NewRidIndexWithCounts(counts)
+	switch ix.Kind {
+	case OneToOne:
+		for i, r := range ix.Arr {
+			if r >= 0 {
+				out.AppendFast(int(r), Rid(i))
+			}
+		}
+	case OneToMany:
+		for i := 0; i < ix.Many.Len(); i++ {
+			for _, r := range ix.Many.List(i) {
+				out.AppendFast(int(r), Rid(i))
+			}
+		}
+	}
+	return NewOneToMany(out)
+}

@@ -1,0 +1,126 @@
+// Package ontime generates flight-record data shaped like the Ontime dataset
+// the paper's crossfilter experiment uses (§6.5.1): four dimensions matching
+// the four visualization views — a sparse <lat,lon> spatial bin, a date bin,
+// a departure-delay bin (8 buckets), and a carrier (29 values). The real
+// dataset (123.5M rows, 12GB) is not redistributable; this generator
+// reproduces what drives crossfilter cost — bin cardinalities, spatial
+// sparsity (few active cells out of a 256×256 grid), and skewed popularity —
+// at configurable scale.
+package ontime
+
+import (
+	"math/rand"
+
+	"smoke/internal/storage"
+)
+
+// Dimension cardinalities (the paper's view bin counts).
+const (
+	GridSide    = 256 // <lat,lon> bins form a 256×256 grid = 65,536 cells
+	DelayBins   = 8
+	NumCarriers = 29
+)
+
+// Config scales the generator.
+type Config struct {
+	Rows     int
+	Airports int // active <lat,lon> cells (paper: ~8,100 non-zero bins)
+	Days     int // date bins (paper: 7,762)
+	Seed     int64
+}
+
+// DefaultConfig returns a laptop-scale configuration preserving the paper's
+// shape: many sparse spatial bins, thousands of date bins, one skewed and one
+// tiny categorical dimension.
+func DefaultConfig() Config {
+	return Config{Rows: 2_000_000, Airports: 2000, Days: 2000, Seed: 1}
+}
+
+// Schema returns the flight-record schema. All dimensions are pre-binned
+// integers, as the crossfilter views consume them.
+func Schema() storage.Schema {
+	return storage.Schema{
+		{Name: "latlon", Type: storage.TInt},
+		{Name: "date", Type: storage.TInt},
+		{Name: "delay", Type: storage.TInt},
+		{Name: "carrier", Type: storage.TInt},
+	}
+}
+
+// Dims lists the four view dimensions in the paper's order.
+func Dims() []string { return []string{"latlon", "date", "delay", "carrier"} }
+
+// Generate builds the flight table deterministically.
+func Generate(cfg Config) *storage.Relation {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rel := storage.NewRelation("ontime", Schema(), cfg.Rows)
+
+	// Airports: random distinct grid cells with zipf-like popularity
+	// (hub-and-spoke traffic).
+	cells := make([]int64, cfg.Airports)
+	seen := map[int64]bool{}
+	for i := range cells {
+		for {
+			c := int64(rng.Intn(GridSide * GridSide))
+			if !seen[c] {
+				seen[c] = true
+				cells[i] = c
+				break
+			}
+		}
+	}
+	cum := make([]float64, cfg.Airports)
+	sum := 0.0
+	for i := range cum {
+		sum += 1.0 / float64(i+1)
+		cum[i] = sum
+	}
+	for i := range cum {
+		cum[i] /= sum
+	}
+	sampleAirport := func(u float64) int64 {
+		lo, hi := 0, cfg.Airports-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return cells[lo]
+	}
+
+	ll := rel.Cols[0].Ints
+	dt := rel.Cols[1].Ints
+	dl := rel.Cols[2].Ints
+	cr := rel.Cols[3].Ints
+	for i := 0; i < cfg.Rows; i++ {
+		ll[i] = sampleAirport(rng.Float64())
+		// Mild weekly seasonality on top of uniform days.
+		day := rng.Intn(cfg.Days)
+		if day%7 >= 5 && rng.Intn(3) == 0 {
+			day = (day + 2) % cfg.Days
+		}
+		dt[i] = int64(day)
+		// Delay: heavily skewed toward "on time" buckets.
+		r := rng.Float64()
+		switch {
+		case r < 0.55:
+			dl[i] = 0
+		case r < 0.75:
+			dl[i] = 1
+		case r < 0.85:
+			dl[i] = 2
+		default:
+			dl[i] = int64(3 + rng.Intn(DelayBins-3))
+		}
+		// Carriers: zipf-ish market share.
+		c := 0
+		for c < NumCarriers-1 && rng.Float64() > 0.25 {
+			c++
+		}
+		cr[i] = int64(c)
+	}
+	return rel
+}

@@ -1,0 +1,72 @@
+package ontime
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Config{Rows: 50000, Airports: 100, Days: 365, Seed: 1}
+	rel := Generate(cfg)
+	if rel.N != cfg.Rows {
+		t.Fatalf("N = %d", rel.N)
+	}
+	ll := rel.Cols[0].Ints
+	dt := rel.Cols[1].Ints
+	dl := rel.Cols[2].Ints
+	cr := rel.Cols[3].Ints
+	cells := map[int64]bool{}
+	for i := 0; i < rel.N; i++ {
+		cells[ll[i]] = true
+		if ll[i] < 0 || ll[i] >= GridSide*GridSide {
+			t.Fatalf("latlon bin out of grid: %d", ll[i])
+		}
+		if dt[i] < 0 || dt[i] >= int64(cfg.Days) {
+			t.Fatalf("date bin out of range: %d", dt[i])
+		}
+		if dl[i] < 0 || dl[i] >= DelayBins {
+			t.Fatalf("delay bin out of range: %d", dl[i])
+		}
+		if cr[i] < 0 || cr[i] >= NumCarriers {
+			t.Fatalf("carrier out of range: %d", cr[i])
+		}
+	}
+	if len(cells) > cfg.Airports {
+		t.Fatalf("%d active cells > %d airports", len(cells), cfg.Airports)
+	}
+	// Sparsity: active cells are a tiny fraction of the grid.
+	if len(cells)*100 > GridSide*GridSide {
+		t.Fatal("latlon dimension not sparse")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Config{Rows: 1000, Airports: 20, Days: 30, Seed: 7})
+	b := Generate(Config{Rows: 1000, Airports: 20, Days: 30, Seed: 7})
+	if !reflect.DeepEqual(a.Cols[0].Ints, b.Cols[0].Ints) {
+		t.Fatal("same seed differs")
+	}
+}
+
+func TestDelaySkew(t *testing.T) {
+	rel := Generate(Config{Rows: 100000, Airports: 50, Days: 100, Seed: 2})
+	counts := make([]int, DelayBins)
+	for _, d := range rel.Cols[2].Ints {
+		counts[d]++
+	}
+	if counts[0] < counts[DelayBins-1] {
+		t.Fatal("delay distribution should be skewed toward on-time")
+	}
+}
+
+func TestDims(t *testing.T) {
+	rel := Generate(Config{Rows: 10, Airports: 5, Days: 5, Seed: 1})
+	for _, d := range Dims() {
+		if rel.Schema.Col(d) < 0 {
+			t.Fatalf("dimension %q missing from schema", d)
+		}
+	}
+	if DefaultConfig().Rows <= 0 {
+		t.Fatal("default config empty")
+	}
+}

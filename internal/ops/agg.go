@@ -1,0 +1,750 @@
+package ops
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"smoke/internal/expr"
+	"smoke/internal/hashtab"
+	"smoke/internal/lineage"
+	"smoke/internal/storage"
+)
+
+// AggFn enumerates the supported aggregation functions. All are algebraic or
+// distributive, which is what the group-by push-down optimization requires
+// (§4.2).
+type AggFn uint8
+
+const (
+	// Count is COUNT(*).
+	Count AggFn = iota
+	// Sum is SUM(arg) over a numeric expression.
+	Sum
+	// Avg is AVG(arg).
+	Avg
+	// Min is MIN(arg).
+	Min
+	// Max is MAX(arg).
+	Max
+	// CountDistinct is COUNT(DISTINCT arg); the data-profiling application
+	// (§6.5.2) uses it for the HAVING COUNT(DISTINCT B) > 1 rewrite.
+	CountDistinct
+)
+
+// String names the function for output columns and plans.
+func (f AggFn) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case CountDistinct:
+		return "count_distinct"
+	}
+	return "?"
+}
+
+// AggSpec is one aggregate in the SELECT list.
+type AggSpec struct {
+	Fn   AggFn
+	Arg  expr.Expr // nil for COUNT(*)
+	Name string    // output column name; defaults to fn_<i>
+}
+
+// GroupBySpec describes a hash aggregation: group-by key columns and the
+// aggregates to compute.
+type GroupBySpec struct {
+	Keys []string
+	Aggs []AggSpec
+}
+
+// AggOpts configures aggregation instrumentation.
+type AggOpts struct {
+	Mode CaptureMode
+	Dirs Directions
+	// CountsByKey supplies exact group cardinalities indexed by a single
+	// integer group-by key k in [1, len(CountsByKey)] (the cardinality
+	// statistics of §6.1.1): group rid lists are preallocated exactly and
+	// never resize. Only meaningful with one TInt key column.
+	CountsByKey []int32
+	// Params binds expression parameters in aggregate arguments.
+	Params expr.Params
+
+	// Workload-aware push-downs (§4.2):
+
+	// PushdownFilter restricts backward-lineage capture to input records
+	// satisfying the predicate (selection push-down). The query result is
+	// unaffected; only the captured lineage shrinks.
+	PushdownFilter expr.Expr
+	// PartitionBy partitions each group's backward rid array by the given
+	// attributes (data skipping): parameterized consuming queries then scan
+	// only the matching partition. The result's BWPart replaces BW.
+	PartitionBy []string
+	// Observe, when non-nil, is called once per (group slot, input rid) pair
+	// during aggregation. The group-by push-down passes a cube.Builder's
+	// Observe here to materialize drill-down aggregates during capture.
+	Observe func(slot int32, rid Rid)
+}
+
+// AggResult is the output of an instrumented hash aggregation. Backward
+// lineage is 1-to-N (rid index: group → input rids); forward lineage is a rid
+// array (input rid → group). Output record i corresponds to hash-table group
+// slot i in discovery order.
+type AggResult struct {
+	Out *storage.Relation
+	BW  *lineage.RidIndex
+	// BWPart replaces BW when the data-skipping optimization partitions the
+	// backward rid arrays (AggOpts.PartitionBy).
+	BWPart *lineage.PartitionedIndex
+	FW     []Rid
+	// GroupCounts[i] is the input cardinality of group i (tracked for every
+	// mode; Defer uses it to preallocate exact backward lists).
+	GroupCounts []int64
+}
+
+// aggAcc accumulates one aggregate across groups (structure-of-arrays:
+// slot-indexed slices).
+type aggAcc struct {
+	fn   AggFn
+	num  expr.NumFn
+	argI expr.IntFn // CountDistinct over ints
+	argS expr.StrFn // CountDistinct over strings
+
+	sums []float64
+	mins []float64
+	maxs []float64
+	// COUNT(DISTINCT) state: the overwhelmingly common case in profiling
+	// workloads is one distinct value per group (the FD holds), so the first
+	// value is kept inline and the set is allocated lazily on the first
+	// disagreement.
+	firstI []int64
+	firstS []string
+	seen   []bool
+	setsI  []map[int64]struct{}
+	setsS  []map[string]struct{}
+}
+
+func (a *aggAcc) addGroup() {
+	switch a.fn {
+	case Sum, Avg:
+		a.sums = append(a.sums, 0)
+	case Min:
+		a.mins = append(a.mins, math.Inf(1))
+	case Max:
+		a.maxs = append(a.maxs, math.Inf(-1))
+	case CountDistinct:
+		a.seen = append(a.seen, false)
+		if a.argI != nil {
+			a.firstI = append(a.firstI, 0)
+			a.setsI = append(a.setsI, nil)
+		} else {
+			a.firstS = append(a.firstS, "")
+			a.setsS = append(a.setsS, nil)
+		}
+	}
+}
+
+func (a *aggAcc) update(slot int32, rid Rid) {
+	switch a.fn {
+	case Count:
+		// counts are tracked once for all aggregates
+	case Sum, Avg:
+		a.sums[slot] += a.num(rid)
+	case Min:
+		if v := a.num(rid); v < a.mins[slot] {
+			a.mins[slot] = v
+		}
+	case Max:
+		if v := a.num(rid); v > a.maxs[slot] {
+			a.maxs[slot] = v
+		}
+	case CountDistinct:
+		if a.argI != nil {
+			v := a.argI(rid)
+			if !a.seen[slot] {
+				a.seen[slot] = true
+				a.firstI[slot] = v
+			} else if s := a.setsI[slot]; s != nil {
+				s[v] = struct{}{}
+			} else if v != a.firstI[slot] {
+				a.setsI[slot] = map[int64]struct{}{a.firstI[slot]: {}, v: {}}
+			}
+		} else {
+			v := a.argS(rid)
+			if !a.seen[slot] {
+				a.seen[slot] = true
+				a.firstS[slot] = v
+			} else if s := a.setsS[slot]; s != nil {
+				s[v] = struct{}{}
+			} else if v != a.firstS[slot] {
+				a.setsS[slot] = map[string]struct{}{a.firstS[slot]: {}, v: {}}
+			}
+		}
+	}
+}
+
+// outType is the storage type of the aggregate's output column.
+func (a *aggAcc) outType() storage.Type {
+	switch a.fn {
+	case Count, CountDistinct:
+		return storage.TInt
+	default:
+		return storage.TFloat
+	}
+}
+
+type keyKind uint8
+
+const (
+	keyInt keyKind = iota // single TInt column: the value is the hash key
+	keyStr                // single TString column
+	keyComposite
+)
+
+// aggState carries the group-by hash table and all per-group state.
+type aggState struct {
+	in   *storage.Relation
+	mode CaptureMode
+	dirs Directions
+
+	kind    keyKind
+	intCol  []int64
+	strCol  []string
+	keyCols []int // composite: column indexes
+	buf     []byte
+
+	ht    *hashtab.Map
+	strHT map[string]int32
+
+	nGroups     int32
+	repRids     []Rid
+	counts      []int64
+	accs        []aggAcc
+	countsByKey []int32
+
+	groupRids [][]Rid // Inject backward lists (i_rids per group)
+	fw        []Rid
+
+	// push-down state (§4.2)
+	pdFilter expr.Pred
+	partKey  func(rid Rid) int64
+	partDict *lineage.Dict
+	partMaps []map[int64][]Rid
+	observe  func(slot int32, rid Rid)
+}
+
+func newAggState(in *storage.Relation, spec GroupBySpec, opts AggOpts) (*aggState, error) {
+	if len(spec.Keys) == 0 {
+		return nil, fmt.Errorf("ops: group-by needs at least one key column")
+	}
+	st := &aggState{in: in, mode: opts.Mode, dirs: opts.Dirs, countsByKey: opts.CountsByKey}
+	for _, k := range spec.Keys {
+		c := in.Schema.Col(k)
+		if c < 0 {
+			return nil, fmt.Errorf("ops: unknown group-by column %q in %s", k, in.Name)
+		}
+		st.keyCols = append(st.keyCols, c)
+	}
+	if len(spec.Keys) == 1 {
+		c := st.keyCols[0]
+		switch in.Schema[c].Type {
+		case storage.TInt:
+			st.kind = keyInt
+			st.intCol = in.Cols[c].Ints
+			st.ht = hashtab.New(64)
+		case storage.TString:
+			st.kind = keyStr
+			st.strCol = in.Cols[c].Strs
+			st.strHT = make(map[string]int32, 64)
+		default:
+			st.kind = keyComposite
+			st.strHT = make(map[string]int32, 64)
+		}
+	} else {
+		st.kind = keyComposite
+		st.strHT = make(map[string]int32, 64)
+	}
+	for i, a := range spec.Aggs {
+		acc := aggAcc{fn: a.Fn}
+		switch a.Fn {
+		case Count:
+		case CountDistinct:
+			if a.Arg == nil {
+				return nil, fmt.Errorf("ops: COUNT(DISTINCT) needs an argument")
+			}
+			t, err := expr.TypeOf(a.Arg, in.Schema, opts.Params)
+			if err != nil {
+				return nil, err
+			}
+			if t == storage.TString {
+				f, err := expr.CompileStr(a.Arg, in, opts.Params)
+				if err != nil {
+					return nil, err
+				}
+				acc.argS = f
+			} else {
+				f, err := expr.CompileInt(a.Arg, in, opts.Params)
+				if err != nil {
+					// Float distinct args are rare; compile via NumFn and
+					// bit-cast to int64 for set membership.
+					nf, nerr := expr.CompileNum(a.Arg, in, opts.Params)
+					if nerr != nil {
+						return nil, err
+					}
+					acc.argI = func(rid int32) int64 { return int64(math.Float64bits(nf(rid))) }
+				} else {
+					acc.argI = f
+				}
+			}
+		default:
+			if a.Arg == nil {
+				return nil, fmt.Errorf("ops: %s needs an argument", a.Fn)
+			}
+			f, err := expr.CompileNum(a.Arg, in, opts.Params)
+			if err != nil {
+				return nil, err
+			}
+			acc.num = f
+		}
+		st.accs = append(st.accs, acc)
+		_ = i
+	}
+	if opts.PushdownFilter != nil {
+		p, err := expr.CompilePred(opts.PushdownFilter, in, opts.Params)
+		if err != nil {
+			return nil, fmt.Errorf("ops: push-down filter: %w", err)
+		}
+		st.pdFilter = p
+	}
+	if len(opts.PartitionBy) > 0 {
+		pk, dict, err := partitionKeyFn(in, opts.PartitionBy)
+		if err != nil {
+			return nil, err
+		}
+		st.partKey = pk
+		st.partDict = dict
+	}
+	st.observe = opts.Observe
+	return st, nil
+}
+
+// partitionKeyFn compiles the data-skipping partition key: single TInt
+// attributes key directly by value; everything else interns the (composite)
+// value through a dictionary.
+func partitionKeyFn(in *storage.Relation, attrs []string) (func(Rid) int64, *lineage.Dict, error) {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		c := in.Schema.Col(a)
+		if c < 0 {
+			return nil, nil, fmt.Errorf("ops: unknown partition attribute %q", a)
+		}
+		cols[i] = c
+	}
+	if len(cols) == 1 && in.Schema[cols[0]].Type == storage.TInt {
+		col := in.Cols[cols[0]].Ints
+		return func(rid Rid) int64 { return col[rid] }, nil, nil
+	}
+	if len(cols) == 1 && in.Schema[cols[0]].Type == storage.TString {
+		col := in.Cols[cols[0]].Strs
+		dict := lineage.NewDict()
+		return func(rid Rid) int64 { return dict.Code(col[rid]) }, dict, nil
+	}
+	dict := lineage.NewDict()
+	var buf []byte
+	return func(rid Rid) int64 {
+		buf = buf[:0]
+		for _, c := range cols {
+			switch in.Schema[c].Type {
+			case storage.TInt:
+				var tmp [8]byte
+				binary.LittleEndian.PutUint64(tmp[:], uint64(in.Cols[c].Ints[rid]))
+				buf = append(buf, tmp[:]...)
+			case storage.TFloat:
+				var tmp [8]byte
+				binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(in.Cols[c].Floats[rid]))
+				buf = append(buf, tmp[:]...)
+			case storage.TString:
+				buf = append(buf, in.Cols[c].Strs[rid]...)
+				buf = append(buf, 0)
+			}
+		}
+		return dict.Code(string(buf))
+	}, dict, nil
+}
+
+// PartitionKey recomputes the partition code of an attribute-value
+// combination so consuming queries can address the right partition. Values
+// must be given in PartitionBy order.
+func PartitionKey(res *AggResult, in *storage.Relation, attrs []string, vals []any) (int64, bool) {
+	dict := res.BWPart.Dict()
+	if dict == nil {
+		// single int attribute
+		switch v := vals[0].(type) {
+		case int64:
+			return v, true
+		case int:
+			return int64(v), true
+		}
+		return 0, false
+	}
+	if len(attrs) == 1 {
+		s, ok := vals[0].(string)
+		if !ok {
+			return 0, false
+		}
+		return dictLookup(dict, s)
+	}
+	var buf []byte
+	for i, a := range attrs {
+		c := in.Schema.MustCol(a)
+		switch in.Schema[c].Type {
+		case storage.TInt:
+			var tmp [8]byte
+			iv, ok := vals[i].(int64)
+			if !ok {
+				if ii, ok2 := vals[i].(int); ok2 {
+					iv = int64(ii)
+				} else {
+					return 0, false
+				}
+			}
+			binary.LittleEndian.PutUint64(tmp[:], uint64(iv))
+			buf = append(buf, tmp[:]...)
+		case storage.TString:
+			s, ok := vals[i].(string)
+			if !ok {
+				return 0, false
+			}
+			buf = append(buf, s...)
+			buf = append(buf, 0)
+		}
+	}
+	return dictLookup(dict, string(buf))
+}
+
+func dictLookup(d *lineage.Dict, s string) (int64, bool) {
+	return d.Lookup(s)
+}
+
+// encodeComposite serializes the key columns of rid into st.buf.
+func (st *aggState) encodeComposite(rid Rid) {
+	st.buf = st.buf[:0]
+	for _, c := range st.keyCols {
+		switch st.in.Schema[c].Type {
+		case storage.TInt:
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], uint64(st.in.Cols[c].Ints[rid]))
+			st.buf = append(st.buf, tmp[:]...)
+		case storage.TFloat:
+			var tmp [8]byte
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(st.in.Cols[c].Floats[rid]))
+			st.buf = append(st.buf, tmp[:]...)
+		case storage.TString:
+			st.buf = append(st.buf, st.in.Cols[c].Strs[rid]...)
+			st.buf = append(st.buf, 0)
+		}
+	}
+}
+
+// lookupSlot returns the group slot of rid, inserting a new group if needed.
+func (st *aggState) lookupSlot(rid Rid) int32 {
+	switch st.kind {
+	case keyInt:
+		k := st.intCol[rid]
+		slot, inserted := st.ht.GetOrPut(k, st.nGroups)
+		if inserted {
+			st.newGroup(rid, k)
+		}
+		return slot
+	case keyStr:
+		k := st.strCol[rid]
+		if slot, ok := st.strHT[k]; ok {
+			return slot
+		}
+		slot := st.nGroups
+		st.strHT[k] = slot
+		st.newGroup(rid, 0)
+		return slot
+	default:
+		st.encodeComposite(rid)
+		if slot, ok := st.strHT[string(st.buf)]; ok {
+			return slot
+		}
+		slot := st.nGroups
+		st.strHT[string(st.buf)] = slot
+		st.newGroup(rid, 0)
+		return slot
+	}
+}
+
+// probeSlot returns the existing slot of rid (Defer's second pass); the group
+// must exist.
+func (st *aggState) probeSlot(rid Rid) int32 {
+	switch st.kind {
+	case keyInt:
+		slot, _ := st.ht.Get(st.intCol[rid])
+		return slot
+	case keyStr:
+		return st.strHT[st.strCol[rid]]
+	default:
+		st.encodeComposite(rid)
+		return st.strHT[string(st.buf)]
+	}
+}
+
+func (st *aggState) newGroup(rid Rid, key int64) {
+	st.nGroups++
+	st.repRids = append(st.repRids, rid)
+	st.counts = append(st.counts, 0)
+	for i := range st.accs {
+		st.accs[i].addGroup()
+	}
+	if st.mode == Inject && st.dirs.Backward() {
+		if st.partKey != nil {
+			st.partMaps = append(st.partMaps, nil)
+			return
+		}
+		var l []Rid
+		if st.countsByKey != nil && st.kind == keyInt && key >= 1 && int(key) <= len(st.countsByKey) {
+			l = make([]Rid, 0, st.countsByKey[key-1])
+		}
+		st.groupRids = append(st.groupRids, l)
+	}
+}
+
+// captureBackward writes rid into group slot's backward structure, honoring
+// selection push-down and data-skipping partitioning.
+func (st *aggState) captureBackward(slot int32, rid Rid) {
+	if st.pdFilter != nil && !st.pdFilter(rid) {
+		return
+	}
+	if st.partKey != nil {
+		m := st.partMaps[slot]
+		if m == nil {
+			m = map[int64][]Rid{}
+			st.partMaps[slot] = m
+		}
+		pk := st.partKey(rid)
+		m[pk] = lineage.AppendRid(m[pk], rid)
+		return
+	}
+	st.groupRids[slot] = lineage.AppendRid(st.groupRids[slot], rid)
+}
+
+func (st *aggState) processRow(rid Rid) {
+	slot := st.lookupSlot(rid)
+	st.counts[slot]++
+	for i := range st.accs {
+		st.accs[i].update(slot, rid)
+	}
+	if st.observe != nil {
+		st.observe(slot, rid)
+	}
+	if st.mode == Inject {
+		if st.dirs.Backward() {
+			st.captureBackward(slot, rid)
+		}
+		if st.fw != nil {
+			st.fw[rid] = slot
+		}
+	}
+}
+
+// HashAgg executes a hash group-by aggregation over in (all rows when inRids
+// is nil, otherwise only the listed rids — the shape lineage-consuming
+// queries take when they aggregate over a backward-lineage rid set).
+//
+// Inject (§3.2.3) augments each group's intermediate state with the rid array
+// of its input records and emits indexes directly from the hash table.
+// Defer stores only the group slot during execution and populates both
+// indexes in a second probe pass, preallocating exactly from the per-group
+// counts that aggregation tracks anyway.
+func HashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOpts) (AggResult, error) {
+	st, err := newAggState(in, spec, opts)
+	if err != nil {
+		return AggResult{}, err
+	}
+	if opts.Mode == Inject && opts.Dirs.Forward() {
+		st.fw = newForwardArray(in.N, inRids != nil)
+	}
+
+	if inRids == nil {
+		n := int32(in.N)
+		for rid := int32(0); rid < n; rid++ {
+			st.processRow(rid)
+		}
+	} else {
+		for _, rid := range inRids {
+			st.processRow(rid)
+		}
+	}
+
+	res := AggResult{Out: st.materialize(spec), GroupCounts: st.counts}
+
+	switch opts.Mode {
+	case Inject:
+		if opts.Dirs.Backward() {
+			if st.partKey != nil {
+				res.BWPart = lineage.NewPartitionedIndexFromParts(st.partMaps, st.partDict)
+			} else {
+				bw := lineage.NewRidIndex(int(st.nGroups))
+				for slot, l := range st.groupRids {
+					bw.SetList(slot, l) // reuse the hash-table rid lists (P4)
+				}
+				res.BW = bw
+			}
+		}
+		res.FW = st.fw
+	case Defer:
+		// Zγ (§3.2.3): rescan the input, reuse the pinned hash table to
+		// recover each record's group, and fill exactly-sized indexes.
+		var bw *lineage.RidIndex
+		if opts.Dirs.Backward() {
+			if st.partKey != nil {
+				st.partMaps = make([]map[int64][]Rid, st.nGroups)
+			} else {
+				c32 := make([]int32, st.nGroups)
+				for i, c := range st.counts {
+					c32[i] = int32(c)
+				}
+				bw = lineage.NewRidIndexWithCounts(c32)
+			}
+		}
+		var fw []Rid
+		if opts.Dirs.Forward() {
+			fw = newForwardArray(in.N, inRids != nil)
+		}
+		fill := func(rid Rid) {
+			slot := st.probeSlot(rid)
+			if opts.Dirs.Backward() {
+				if st.partKey != nil || st.pdFilter != nil {
+					if st.pdFilter == nil || st.pdFilter(rid) {
+						if st.partKey != nil {
+							st.captureBackward(slot, rid)
+						} else {
+							bw.AppendFast(int(slot), rid)
+						}
+					}
+				} else {
+					bw.AppendFast(int(slot), rid)
+				}
+			}
+			if fw != nil {
+				fw[rid] = slot
+			}
+		}
+		if inRids == nil {
+			n := int32(in.N)
+			for rid := int32(0); rid < n; rid++ {
+				fill(rid)
+			}
+		} else {
+			for _, rid := range inRids {
+				fill(rid)
+			}
+		}
+		if st.partKey != nil && opts.Dirs.Backward() {
+			res.BWPart = lineage.NewPartitionedIndexFromParts(st.partMaps, st.partDict)
+		} else {
+			res.BW = bw
+		}
+		res.FW = fw
+	}
+	return res, nil
+}
+
+// newForwardArray allocates a forward rid array; when the input is a subset
+// of the relation, unvisited entries must read as "no output" (-1).
+func newForwardArray(n int, sparse bool) []Rid {
+	fw := make([]Rid, n)
+	if sparse {
+		for i := range fw {
+			fw[i] = -1
+		}
+	}
+	return fw
+}
+
+// materialize builds the output relation: group-by keys (gathered via each
+// group's representative rid) followed by aggregate columns.
+func (st *aggState) materialize(spec GroupBySpec) *storage.Relation {
+	g := int(st.nGroups)
+	schema := make(storage.Schema, 0, len(spec.Keys)+len(spec.Aggs))
+	for _, k := range spec.Keys {
+		c := st.in.Schema.MustCol(k)
+		schema = append(schema, storage.Field{Name: k, Type: st.in.Schema[c].Type})
+	}
+	for i, a := range spec.Aggs {
+		name := a.Name
+		if name == "" {
+			name = fmt.Sprintf("%s_%d", a.Fn, i)
+		}
+		schema = append(schema, storage.Field{Name: name, Type: st.accs[i].outType()})
+	}
+	out := storage.NewRelation("groupby", schema, g)
+	for ki, k := range spec.Keys {
+		c := st.in.Schema.MustCol(k)
+		switch st.in.Schema[c].Type {
+		case storage.TInt:
+			src := st.in.Cols[c].Ints
+			dst := out.Cols[ki].Ints
+			for slot, rep := range st.repRids {
+				dst[slot] = src[rep]
+			}
+		case storage.TFloat:
+			src := st.in.Cols[c].Floats
+			dst := out.Cols[ki].Floats
+			for slot, rep := range st.repRids {
+				dst[slot] = src[rep]
+			}
+		case storage.TString:
+			src := st.in.Cols[c].Strs
+			dst := out.Cols[ki].Strs
+			for slot, rep := range st.repRids {
+				dst[slot] = src[rep]
+			}
+		}
+	}
+	for i := range st.accs {
+		acc := &st.accs[i]
+		col := len(spec.Keys) + i
+		switch acc.fn {
+		case Count:
+			dst := out.Cols[col].Ints
+			copy(dst, st.counts)
+		case CountDistinct:
+			dst := out.Cols[col].Ints
+			for slot := 0; slot < g; slot++ {
+				switch {
+				case acc.argI != nil && acc.setsI[slot] != nil:
+					dst[slot] = int64(len(acc.setsI[slot]))
+				case acc.argI == nil && acc.setsS[slot] != nil:
+					dst[slot] = int64(len(acc.setsS[slot]))
+				case acc.seen[slot]:
+					dst[slot] = 1
+				default:
+					dst[slot] = 0
+				}
+			}
+		case Sum:
+			copy(out.Cols[col].Floats, acc.sums)
+		case Avg:
+			dst := out.Cols[col].Floats
+			for slot := 0; slot < g; slot++ {
+				dst[slot] = acc.sums[slot] / float64(st.counts[slot])
+			}
+		case Min:
+			copy(out.Cols[col].Floats, acc.mins)
+		case Max:
+			copy(out.Cols[col].Floats, acc.maxs)
+		}
+	}
+	return out
+}

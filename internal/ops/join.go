@@ -1,0 +1,374 @@
+package ops
+
+import (
+	"fmt"
+
+	"smoke/internal/hashtab"
+	"smoke/internal/lineage"
+	"smoke/internal/storage"
+)
+
+// JoinOpts configures hash-join instrumentation.
+type JoinOpts struct {
+	Dirs Directions
+	// CountsByBuildKey supplies exact match counts per integer build key k in
+	// [1, len], used by Smoke-I+TC (§6.1.2) to preallocate the build side's
+	// forward rid index and avoid resizing.
+	CountsByBuildKey []int32
+	// Materialize controls whether the joined output relation is produced.
+	// The M:N microbenchmark (§6.1.3) disables it because the skewed join is
+	// nearly a cross product and materialization would dominate.
+	Materialize bool
+}
+
+// PKFKResult is the output of an instrumented primary-key/foreign-key join
+// with the hash table built on the primary-key side. Backward lineage is a
+// rid array per side (each output joins exactly one build row and one probe
+// row); the probe (foreign-key) side's forward index is a rid array because
+// each fk row produces at most one output; the build side's forward index is
+// a rid index. Inject and Defer coincide for pk-fk joins (§3.2.4).
+type PKFKResult struct {
+	Out     *storage.Relation
+	OutN    int
+	BuildBW []Rid
+	ProbeBW []Rid
+	BuildFW *lineage.RidIndex
+	ProbeFW []Rid
+}
+
+// intKeyCol validates and returns an integer join-key column.
+func intKeyCol(rel *storage.Relation, key string) ([]int64, error) {
+	c := rel.Schema.Col(key)
+	if c < 0 {
+		return nil, fmt.Errorf("ops: unknown join column %q in %s", key, rel.Name)
+	}
+	if rel.Schema[c].Type != storage.TInt {
+		return nil, fmt.Errorf("ops: join column %s.%s must be INT", rel.Name, key)
+	}
+	return rel.Cols[c].Ints, nil
+}
+
+// HashJoinPKFK joins build ⋈ probe on build.buildKey = probe.probeKey where
+// buildKey is unique (a primary key). buildRids/probeRids restrict each side
+// to a rid subset (nil = all rows), which is how filters pipeline into the
+// join inside SPJA blocks.
+//
+// Because the build key is unique, hash entries hold a single rid instead of
+// a rid array, and because the output cardinality is bounded by the probe
+// cardinality, backward arrays are preallocated (§3.2.4 "Further
+// optimizations").
+func HashJoinPKFK(build *storage.Relation, buildKey string, buildRids []Rid,
+	probe *storage.Relation, probeKey string, probeRids []Rid, opts JoinOpts) (PKFKResult, error) {
+
+	buildCol, err := intKeyCol(build, buildKey)
+	if err != nil {
+		return PKFKResult{}, err
+	}
+	probeCol, err := intKeyCol(probe, probeKey)
+	if err != nil {
+		return PKFKResult{}, err
+	}
+
+	// Build phase: pk side, single rid per entry.
+	nBuild := build.N
+	if buildRids != nil {
+		nBuild = len(buildRids)
+	}
+	ht := hashtab.New(nBuild)
+	if buildRids == nil {
+		for rid := int32(0); rid < int32(build.N); rid++ {
+			ht.Put(buildCol[rid], rid)
+		}
+	} else {
+		for _, rid := range buildRids {
+			ht.Put(buildCol[rid], rid)
+		}
+	}
+
+	nProbe := probe.N
+	if probeRids != nil {
+		nProbe = len(probeRids)
+	}
+
+	res := PKFKResult{}
+	capture := opts.Dirs != 0
+	if capture && opts.Dirs.Backward() {
+		res.BuildBW = make([]Rid, 0, nProbe)
+		res.ProbeBW = make([]Rid, 0, nProbe)
+	}
+	var buildFW *lineage.RidIndex
+	if capture && opts.Dirs.Forward() {
+		// Initialized to -1 unconditionally: even a pk-fk probe row can miss
+		// when the build side was filtered.
+		res.ProbeFW = newForwardArray(probe.N, true)
+		if opts.CountsByBuildKey != nil {
+			counts := make([]int32, build.N)
+			for rid := 0; rid < build.N; rid++ {
+				k := buildCol[rid]
+				if k >= 1 && int(k) <= len(opts.CountsByBuildKey) {
+					counts[rid] = opts.CountsByBuildKey[k-1]
+				}
+			}
+			buildFW = lineage.NewRidIndexWithCounts(counts)
+		} else {
+			buildFW = lineage.NewRidIndex(build.N)
+		}
+		res.BuildFW = buildFW
+	}
+
+	// When not materializing we still need output pairs only if capturing;
+	// without capture the probe loop just counts matches (the Baseline).
+	var outBuild, outProbe []Rid
+	if opts.Materialize && res.BuildBW == nil {
+		// The baseline knows the pk-fk output bound too: preallocate so the
+		// capture-vs-baseline comparison measures lineage writes, not
+		// incidental append growth.
+		outBuild = make([]Rid, 0, nProbe)
+		outProbe = make([]Rid, 0, nProbe)
+	}
+
+	o := int32(0)
+	probeOne := func(prid Rid) {
+		brid, ok := ht.Get(probeCol[prid])
+		if !ok {
+			return
+		}
+		if res.BuildBW != nil {
+			res.BuildBW = append(res.BuildBW, brid)
+			res.ProbeBW = append(res.ProbeBW, prid)
+		} else if outBuild != nil {
+			outBuild = append(outBuild, brid)
+			outProbe = append(outProbe, prid)
+		}
+		if res.ProbeFW != nil {
+			res.ProbeFW[prid] = o
+		}
+		if buildFW != nil {
+			if opts.CountsByBuildKey != nil {
+				buildFW.AppendFast(int(brid), o)
+			} else {
+				buildFW.Append(int(brid), o)
+			}
+		}
+		o++
+	}
+	if probeRids == nil {
+		for prid := int32(0); prid < int32(probe.N); prid++ {
+			probeOne(prid)
+		}
+	} else {
+		for _, prid := range probeRids {
+			probeOne(prid)
+		}
+	}
+	res.OutN = int(o)
+
+	if opts.Materialize {
+		b, p := res.BuildBW, res.ProbeBW
+		if b == nil {
+			b, p = outBuild, outProbe
+		}
+		res.Out = materializeJoin(build, probe, b, p)
+	}
+	return res, nil
+}
+
+// MNVariant selects the M:N join instrumentation (§3.2.4, Listings 10/11).
+type MNVariant uint8
+
+const (
+	// MNInject populates all four indexes inside the probe loop; the left
+	// forward rid index resizes whenever an input record has many matches.
+	MNInject MNVariant = iota
+	// MNDeferForward defers only the left forward index (Smoke-D-DeferForw):
+	// match cardinalities collected during the probe allow exact
+	// preallocation afterwards.
+	MNDeferForward
+	// MNDefer defers both left indexes (Smoke-D).
+	MNDefer
+)
+
+// MNResult is the output of an instrumented M:N hash join (build on left).
+// Backward lineage per side is a rid array over outputs; forward lineage per
+// side is a rid index (an input record can generate multiple join results).
+type MNResult struct {
+	Out     *storage.Relation
+	OutN    int
+	LeftBW  []Rid
+	RightBW []Rid
+	LeftFW  *lineage.RidIndex
+	RightFW *lineage.RidIndex
+}
+
+// mnEntry is a hash-table entry of the M:N build phase: the left rids sharing
+// a join key, plus (Defer variants) the first output rid of each probe match.
+type mnEntry struct {
+	iRids []Rid
+	oRids []Rid // Defer: output rid where each matching probe row's block starts
+}
+
+// HashJoinMN joins left ⋈ right on integer keys with general M:N
+// multiplicity, capturing lineage per the selected variant.
+func HashJoinMN(left *storage.Relation, leftKey string, right *storage.Relation, rightKey string,
+	variant MNVariant, opts JoinOpts) (MNResult, error) {
+
+	leftCol, err := intKeyCol(left, leftKey)
+	if err != nil {
+		return MNResult{}, err
+	}
+	rightCol, err := intKeyCol(right, rightKey)
+	if err != nil {
+		return MNResult{}, err
+	}
+
+	// Build phase (⋈ht): group left rids by key.
+	ht := hashtab.New(64)
+	var entries []mnEntry
+	for rid := int32(0); rid < int32(left.N); rid++ {
+		k := leftCol[rid]
+		idx, inserted := ht.GetOrPut(k, int32(len(entries)))
+		if inserted {
+			entries = append(entries, mnEntry{})
+			idx = int32(len(entries) - 1)
+		}
+		e := &entries[idx]
+		e.iRids = lineage.AppendRid(e.iRids, rid)
+	}
+
+	res := MNResult{}
+	capture := opts.Dirs != 0
+	deferLeft := variant != MNInject
+
+	if capture && opts.Dirs.Backward() {
+		res.RightBW = make([]Rid, 0, right.N)
+		if variant != MNDefer {
+			res.LeftBW = make([]Rid, 0, right.N)
+		}
+	}
+	if capture && opts.Dirs.Forward() {
+		res.RightFW = lineage.NewRidIndex(right.N)
+		if !deferLeft {
+			res.LeftFW = lineage.NewRidIndex(left.N)
+		}
+	}
+
+	// Probe phase (⋈probe).
+	o := int32(0)
+	for rrid := int32(0); rrid < int32(right.N); rrid++ {
+		idx, ok := ht.Get(rightCol[rrid])
+		if !ok {
+			continue
+		}
+		e := &entries[idx]
+		if capture && deferLeft {
+			// Outputs of this probe row are emitted contiguously, so o_rids
+			// only stores the first output rid of the block (§3.2.4).
+			e.oRids = lineage.AppendRid(e.oRids, o)
+		}
+		for j := 0; j < len(e.iRids); j++ {
+			if capture {
+				if res.LeftBW != nil && variant != MNDefer {
+					res.LeftBW = lineage.AppendRid(res.LeftBW, e.iRids[j])
+				}
+				if res.RightBW != nil {
+					res.RightBW = lineage.AppendRid(res.RightBW, rrid)
+				}
+				if res.LeftFW != nil {
+					res.LeftFW.Append(int(e.iRids[j]), o)
+				}
+				if res.RightFW != nil {
+					res.RightFW.Append(int(rrid), o)
+				}
+			}
+			o++
+		}
+	}
+	res.OutN = int(o)
+
+	// Deferred construction for the left side (scanht, Listing 11): exact
+	// cardinalities are now known, so indexes are preallocated and never
+	// resize.
+	if capture && deferLeft {
+		if opts.Dirs.Forward() {
+			counts := make([]int32, left.N)
+			for i := range entries {
+				e := &entries[i]
+				for _, r := range e.iRids {
+					counts[r] = int32(len(e.oRids))
+				}
+			}
+			res.LeftFW = lineage.NewRidIndexWithCounts(counts)
+		}
+		needBW := opts.Dirs.Backward() && variant == MNDefer
+		if needBW {
+			res.LeftBW = make([]Rid, res.OutN)
+		}
+		for i := range entries {
+			e := &entries[i]
+			for s, r := range e.iRids {
+				for _, first := range e.oRids {
+					out := first + Rid(s)
+					if res.LeftFW != nil {
+						res.LeftFW.AppendFast(int(r), out)
+					}
+					if needBW {
+						res.LeftBW[out] = r
+					}
+				}
+			}
+		}
+	}
+
+	if opts.Materialize {
+		lb, rb := res.LeftBW, res.RightBW
+		if lb == nil || rb == nil {
+			// Re-derive output pairs for materialization when backward
+			// capture was pruned.
+			lb = make([]Rid, 0, res.OutN)
+			rb = make([]Rid, 0, res.OutN)
+			for rrid := int32(0); rrid < int32(right.N); rrid++ {
+				idx, ok := ht.Get(rightCol[rrid])
+				if !ok {
+					continue
+				}
+				for _, lrid := range entries[idx].iRids {
+					lb = append(lb, lrid)
+					rb = append(rb, rrid)
+				}
+			}
+		}
+		res.Out = materializeJoin(left, right, lb, rb)
+	}
+	return res, nil
+}
+
+// materializeJoin gathers both sides into a single output relation. Columns
+// whose names collide get a relation-name prefix.
+func materializeJoin(left, right *storage.Relation, leftRids, rightRids []Rid) *storage.Relation {
+	lrel := left.Gather(left.Name, leftRids)
+	rrel := right.Gather(right.Name, rightRids)
+	schema := make(storage.Schema, 0, len(lrel.Schema)+len(rrel.Schema))
+	cols := make([]storage.Column, 0, cap(schema))
+	for i, f := range lrel.Schema {
+		name := f.Name
+		if right.Schema.Col(name) >= 0 {
+			name = left.Name + "." + name
+		}
+		schema = append(schema, storage.Field{Name: name, Type: f.Type})
+		cols = append(cols, lrel.Cols[i])
+	}
+	for i, f := range rrel.Schema {
+		name := f.Name
+		if left.Schema.Col(name) >= 0 {
+			name = right.Name + "." + name
+		}
+		schema = append(schema, storage.Field{Name: name, Type: f.Type})
+		cols = append(cols, rrel.Cols[i])
+	}
+	return &storage.Relation{
+		Name:   left.Name + "_join_" + right.Name,
+		Schema: schema,
+		Cols:   cols,
+		N:      len(leftRids),
+	}
+}

@@ -1,0 +1,147 @@
+package ops
+
+import (
+	"reflect"
+	"testing"
+
+	"smoke/internal/storage"
+)
+
+func nlFixture() (*storage.Relation, *storage.Relation) {
+	a := storage.NewEmpty("a", storage.Schema{{Name: "x", Type: storage.TInt}})
+	for _, v := range []int{1, 5, 9} {
+		a.AppendRow(v)
+	}
+	b := storage.NewEmpty("b", storage.Schema{{Name: "y", Type: storage.TInt}})
+	for _, v := range []int{3, 6, 8, 10} {
+		b.AppendRow(v)
+	}
+	return a, b
+}
+
+func TestNLJoinThetaMatchesNaive(t *testing.T) {
+	a, b := nlFixture()
+	ax := a.Cols[0].Ints
+	by := b.Cols[0].Ints
+	theta := func(i, j Rid) bool { return ax[i] < by[j] }
+
+	res, err := NLJoin(a, b, theta, JoinOpts{Dirs: CaptureBoth, Materialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][2]Rid
+	for i := int32(0); i < int32(a.N); i++ {
+		for j := int32(0); j < int32(b.N); j++ {
+			if ax[i] < by[j] {
+				want = append(want, [2]Rid{i, j})
+			}
+		}
+	}
+	if res.OutN != len(want) {
+		t.Fatalf("OutN = %d, want %d", res.OutN, len(want))
+	}
+	got := make([][2]Rid, res.OutN)
+	for o := 0; o < res.OutN; o++ {
+		got[o] = [2]Rid{res.LeftBW[o], res.RightBW[o]}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("theta join pairs = %v, want %v", got, want)
+	}
+	// Materialized output must satisfy theta.
+	xc, yc := res.Out.Schema.MustCol("x"), res.Out.Schema.MustCol("y")
+	for i := 0; i < res.Out.N; i++ {
+		if res.Out.Int(xc, i) >= res.Out.Int(yc, i) {
+			t.Fatalf("output row %d violates theta", i)
+		}
+	}
+	// fw/bw consistency.
+	for r := 0; r < a.N; r++ {
+		for _, o := range res.LeftFW.List(r) {
+			if res.LeftBW[o] != Rid(r) {
+				t.Fatal("left fw/bw mismatch")
+			}
+		}
+	}
+	for r := 0; r < b.N; r++ {
+		for _, o := range res.RightFW.List(r) {
+			if res.RightBW[o] != Rid(r) {
+				t.Fatal("right fw/bw mismatch")
+			}
+		}
+	}
+}
+
+func TestNLJoinEmptyResult(t *testing.T) {
+	a, b := nlFixture()
+	res, err := NLJoin(a, b, func(i, j Rid) bool { return false }, JoinOpts{Dirs: CaptureBoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutN != 0 || len(res.LeftBW) != 0 {
+		t.Fatal("empty theta join should produce nothing")
+	}
+}
+
+func TestNLJoinMaterializeWithoutCapture(t *testing.T) {
+	a, b := nlFixture()
+	res, err := NLJoin(a, b, func(i, j Rid) bool { return true }, JoinOpts{Materialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N != a.N*b.N {
+		t.Fatalf("materialized %d rows, want %d", res.Out.N, a.N*b.N)
+	}
+	if res.LeftBW != nil || res.LeftFW != nil {
+		t.Fatal("no capture requested")
+	}
+}
+
+func TestCrossLineageArithmetic(t *testing.T) {
+	a, b := nlFixture()
+	out, cl := CrossProduct(a, b, true)
+	if cl.OutN() != a.N*b.N || out.N != cl.OutN() {
+		t.Fatalf("cross product size %d", out.N)
+	}
+	xc, yc := out.Schema.MustCol("x"), out.Schema.MustCol("y")
+	for o := Rid(0); int(o) < cl.OutN(); o++ {
+		la, rb := cl.BackwardLeft(o), cl.BackwardRight(o)
+		if out.Int(xc, int(o)) != a.Int(0, int(la)) || out.Int(yc, int(o)) != b.Int(0, int(rb)) {
+			t.Fatalf("output %d: computed backward lineage wrong", o)
+		}
+	}
+	// Forward arithmetic: each left row generates exactly NRight outputs and
+	// every one of them traces back to it.
+	for l := Rid(0); int(l) < a.N; l++ {
+		outs := cl.ForwardLeft(l, nil)
+		if len(outs) != b.N {
+			t.Fatalf("forward left count = %d", len(outs))
+		}
+		for _, o := range outs {
+			if cl.BackwardLeft(o) != l {
+				t.Fatal("forward/backward left mismatch")
+			}
+		}
+	}
+	for r := Rid(0); int(r) < b.N; r++ {
+		outs := cl.ForwardRight(r, nil)
+		if len(outs) != a.N {
+			t.Fatalf("forward right count = %d", len(outs))
+		}
+		for _, o := range outs {
+			if cl.BackwardRight(o) != r {
+				t.Fatal("forward/backward right mismatch")
+			}
+		}
+	}
+}
+
+func TestCrossProductNoMaterialize(t *testing.T) {
+	a, b := nlFixture()
+	out, cl := CrossProduct(a, b, false)
+	if out != nil {
+		t.Fatal("materialization was disabled")
+	}
+	if cl.OutN() != a.N*b.N {
+		t.Fatal("lineage descriptor wrong")
+	}
+}

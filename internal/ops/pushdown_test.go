@@ -1,0 +1,211 @@
+package ops
+
+import (
+	"reflect"
+	"testing"
+
+	"smoke/internal/datagen"
+	"smoke/internal/expr"
+	"smoke/internal/storage"
+)
+
+func pushdownFixture() *storage.Relation {
+	rel := storage.NewEmpty("t", storage.Schema{
+		{Name: "z", Type: storage.TInt},
+		{Name: "mode", Type: storage.TString},
+		{Name: "v", Type: storage.TFloat},
+	})
+	modes := []string{"MAIL", "SHIP", "AIR"}
+	for i := 0; i < 300; i++ {
+		rel.AppendRow(1+i%3, modes[i%3], float64(i%100))
+	}
+	return rel
+}
+
+func countSpec() GroupBySpec {
+	return GroupBySpec{Keys: []string{"z"}, Aggs: []AggSpec{{Fn: Count, Name: "c"}}}
+}
+
+func TestSelectionPushdownPrunesBackward(t *testing.T) {
+	rel := pushdownFixture()
+	for _, mode := range []CaptureMode{Inject, Defer} {
+		res, err := HashAgg(rel, nil, countSpec(), AggOpts{
+			Mode: mode, Dirs: CaptureBoth,
+			PushdownFilter: expr.LtE(expr.C("v"), expr.F(50)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Query results unchanged.
+		if res.Out.N != 3 {
+			t.Fatalf("mode %v: groups = %d", mode, res.Out.N)
+		}
+		vcol := rel.Schema.MustCol("v")
+		total := 0
+		for slot := 0; slot < res.BW.Len(); slot++ {
+			for _, rid := range res.BW.List(slot) {
+				if rel.Float(vcol, int(rid)) >= 50 {
+					t.Fatalf("mode %v: filtered-out rid %d captured", mode, rid)
+				}
+				total++
+			}
+		}
+		want := 0
+		for i := 0; i < rel.N; i++ {
+			if rel.Float(vcol, i) < 50 {
+				want++
+			}
+		}
+		if total != want {
+			t.Fatalf("mode %v: captured %d rids, want %d", mode, total, want)
+		}
+	}
+}
+
+func TestDataSkippingPartitionsBackward(t *testing.T) {
+	rel := pushdownFixture()
+	for _, mode := range []CaptureMode{Inject, Defer} {
+		res, err := HashAgg(rel, nil, countSpec(), AggOpts{
+			Mode: mode, Dirs: CaptureBoth,
+			PartitionBy: []string{"mode"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BW != nil {
+			t.Fatalf("mode %v: plain BW should be replaced by partitioned index", mode)
+		}
+		if res.BWPart == nil {
+			t.Fatalf("mode %v: partitioned index missing", mode)
+		}
+		// Partition (group, 'MAIL') holds exactly the MAIL rids of the group.
+		mcol := rel.Schema.MustCol("mode")
+		zcol := rel.Schema.MustCol("z")
+		attrs := []string{"mode"}
+		pk, ok := PartitionKey(&res, rel, attrs, []any{"MAIL"})
+		if !ok {
+			t.Fatalf("mode %v: MAIL partition key not found", mode)
+		}
+		for slot := 0; slot < res.BWPart.Len(); slot++ {
+			key := res.Out.Int(0, slot)
+			for _, rid := range res.BWPart.Partition(slot, pk) {
+				if rel.Str(mcol, int(rid)) != "MAIL" || rel.Int(zcol, int(rid)) != key {
+					t.Fatalf("mode %v: wrong rid in MAIL partition", mode)
+				}
+			}
+		}
+		// All partitions together cover the input.
+		if res.BWPart.Cardinality() != rel.N {
+			t.Fatalf("mode %v: partitions cover %d, want %d", mode, res.BWPart.Cardinality(), rel.N)
+		}
+	}
+}
+
+func TestDataSkippingIntAttribute(t *testing.T) {
+	rel := datagen.Zipf("zipf", 1.0, 500, 5, 3)
+	res, err := HashAgg(rel, nil, countSpec(), AggOpts{
+		Mode: Inject, Dirs: CaptureBackward,
+		PartitionBy: []string{"id"}, // int attribute: direct value keys
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, ok := PartitionKey(&res, rel, []string{"id"}, []any{7})
+	if !ok || pk != 7 {
+		t.Fatalf("int partition key = %d, %v", pk, ok)
+	}
+}
+
+func TestDataSkippingCompositeKey(t *testing.T) {
+	rel := pushdownFixture()
+	res, err := HashAgg(rel, nil, countSpec(), AggOpts{
+		Mode: Inject, Dirs: CaptureBackward,
+		PartitionBy: []string{"mode", "z"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, ok := PartitionKey(&res, rel, []string{"mode", "z"}, []any{"MAIL", int64(1)})
+	if !ok {
+		t.Fatal("composite partition key not found")
+	}
+	mcol := rel.Schema.MustCol("mode")
+	zcol := rel.Schema.MustCol("z")
+	n := 0
+	for slot := 0; slot < res.BWPart.Len(); slot++ {
+		for _, rid := range res.BWPart.Partition(slot, pk) {
+			if rel.Str(mcol, int(rid)) != "MAIL" || rel.Int(zcol, int(rid)) != 1 {
+				t.Fatal("wrong rid in composite partition")
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("composite partition empty")
+	}
+	// Unseen combination reports not-found.
+	if _, ok := PartitionKey(&res, rel, []string{"mode", "z"}, []any{"NOPE", int64(1)}); ok {
+		t.Fatal("unseen combination should not resolve")
+	}
+}
+
+func TestObserveHookSeesEveryRow(t *testing.T) {
+	rel := pushdownFixture()
+	type pair struct {
+		slot int32
+		rid  Rid
+	}
+	var seen []pair
+	_, err := HashAgg(rel, nil, countSpec(), AggOpts{
+		Mode: Inject, Dirs: CaptureBoth,
+		Observe: func(slot int32, rid Rid) { seen = append(seen, pair{slot, rid}) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != rel.N {
+		t.Fatalf("observe saw %d rows, want %d", len(seen), rel.N)
+	}
+	// Observed rids must be 0..N-1 in scan order.
+	for i, p := range seen {
+		if p.rid != Rid(i) {
+			t.Fatalf("observe order broken at %d", i)
+		}
+	}
+}
+
+func TestPushdownErrors(t *testing.T) {
+	rel := pushdownFixture()
+	if _, err := HashAgg(rel, nil, countSpec(), AggOpts{Mode: Inject, Dirs: CaptureBoth,
+		PushdownFilter: expr.C("v")}); err == nil {
+		t.Error("non-boolean push-down filter should error")
+	}
+	if _, err := HashAgg(rel, nil, countSpec(), AggOpts{Mode: Inject, Dirs: CaptureBoth,
+		PartitionBy: []string{"nope"}}); err == nil {
+		t.Error("unknown partition attribute should error")
+	}
+}
+
+func TestPushdownCombination(t *testing.T) {
+	// Selection push-down and data skipping compose: partitions only hold
+	// filtered rids.
+	rel := pushdownFixture()
+	res, err := HashAgg(rel, nil, countSpec(), AggOpts{
+		Mode: Inject, Dirs: CaptureBackward,
+		PushdownFilter: expr.LtE(expr.C("v"), expr.F(50)),
+		PartitionBy:    []string{"mode"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcol := rel.Schema.MustCol("v")
+	for slot := 0; slot < res.BWPart.Len(); slot++ {
+		for _, rid := range res.BWPart.All(slot) {
+			if rel.Float(vcol, int(rid)) >= 50 {
+				t.Fatal("partition contains filtered-out rid")
+			}
+		}
+	}
+}
+
+var _ = reflect.DeepEqual

@@ -1,0 +1,125 @@
+package ops
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smoke/internal/datagen"
+	"smoke/internal/expr"
+)
+
+// Property: for any threshold, Inject selection's indexes are mutually
+// consistent and agree with direct predicate evaluation.
+func TestSelectionLineageProperty(t *testing.T) {
+	rel := datagen.Zipf("zipf", 0.7, 3000, 20, 23)
+	v := rel.Cols[rel.Schema.MustCol("v")].Floats
+	f := func(raw uint8) bool {
+		threshold := float64(raw) / 2 // 0..127.5 covers empty..full selection
+		pred, err := expr.CompilePred(expr.LtE(expr.C("v"), expr.F(threshold)), rel, nil)
+		if err != nil {
+			return false
+		}
+		res := Select(rel.N, pred, SelectOpts{Mode: Inject, Dirs: CaptureBoth})
+		// fw and bw are inverse; membership agrees with the predicate.
+		for i := int32(0); i < int32(rel.N); i++ {
+			selected := v[i] < threshold
+			if selected != (res.FW[i] >= 0) {
+				return false
+			}
+			if selected && res.BW[res.FW[i]] != i {
+				return false
+			}
+		}
+		return len(res.BW) == countTrue(v, threshold)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func countTrue(v []float64, threshold float64) int {
+	n := 0
+	for _, x := range v {
+		if x < threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// Property: for random zipf parameters and modes, group-by lineage partitions
+// the input and the group count column equals each list's length.
+func TestGroupByLineagePartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 500 + rng.Intn(3000)
+		g := 1 + rng.Intn(50)
+		theta := rng.Float64() * 1.5
+		rel := datagen.Zipf("zipf", theta, n, g, seed)
+		mode := Inject
+		if seed%2 == 0 {
+			mode = Defer
+		}
+		res, err := HashAgg(rel, nil, GroupBySpec{
+			Keys: []string{"z"},
+			Aggs: []AggSpec{{Fn: Count, Name: "c"}},
+		}, AggOpts{Mode: mode, Dirs: CaptureBoth})
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, n)
+		cc := res.Out.Schema.MustCol("c")
+		for slot := 0; slot < res.BW.Len(); slot++ {
+			l := res.BW.List(slot)
+			if int64(len(l)) != res.Out.Int(cc, slot) {
+				return false
+			}
+			for _, rid := range l {
+				if seen[rid] || res.FW[rid] != Rid(slot) {
+					return false
+				}
+				seen[rid] = true
+			}
+		}
+		for _, ok := range seen {
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: M:N join output cardinality equals the sum over keys of
+// |left(k)| * |right(k)|, and forward cardinalities match it on both sides.
+func TestMNJoinCardinalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lg := 1 + rng.Intn(20)
+		left := datagen.Zipf("l", 1.0, 100+rng.Intn(400), lg, seed)
+		right := datagen.Zipf("r", 1.0, 100+rng.Intn(400), 1+rng.Intn(40), seed+1)
+		res, err := HashJoinMN(left, "z", right, "z", MNVariant(seed%3), JoinOpts{Dirs: CaptureBoth})
+		if err != nil {
+			return false
+		}
+		lCounts := map[int64]int{}
+		for _, k := range left.Cols[1].Ints {
+			lCounts[k]++
+		}
+		want := 0
+		for _, k := range right.Cols[1].Ints {
+			want += lCounts[k]
+		}
+		return res.OutN == want &&
+			res.LeftFW.Cardinality() == want &&
+			res.RightFW.Cardinality() == want &&
+			len(res.LeftBW) == want && len(res.RightBW) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

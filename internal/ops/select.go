@@ -1,0 +1,118 @@
+package ops
+
+import (
+	"smoke/internal/expr"
+	"smoke/internal/lineage"
+	"smoke/internal/storage"
+)
+
+// SelectOpts configures selection instrumentation.
+type SelectOpts struct {
+	Mode CaptureMode
+	Dirs Directions
+	// EstimatedSelectivity, when > 0, preallocates the backward rid array to
+	// ceil(n * estimate) entries (the Smoke-I+EC variant of Appendix G.1).
+	// Overestimating is cheap; underestimating falls back to resizing.
+	EstimatedSelectivity float64
+}
+
+// SelectResult is the output of an instrumented selection. Selection is
+// 1-to-1 in both directions (§3.2.2): backward lineage is a rid array whose
+// i-th entry is the input rid of output record i, and forward lineage is a
+// rid array over the input with -1 marking filtered records.
+//
+// OutRids always holds the selected rids in input order — the engine needs
+// them to materialize the output regardless of capture. Under Inject, BW
+// aliases OutRids (the rid list is reused as the backward index, principle
+// P4) but is built with the lineage growth policy.
+type SelectResult struct {
+	OutRids []Rid
+	BW      []Rid
+	FW      []Rid
+}
+
+// Select runs a selection over rids [0, n) of a relation. The predicate is a
+// compiled closure; the loop is the paper's "if condition in a for loop".
+// Defer is not implemented for selection because it is strictly inferior to
+// Inject (§3.2.2).
+func Select(n int, pred expr.Pred, opts SelectOpts) SelectResult {
+	var res SelectResult
+	switch {
+	case opts.Mode == None:
+		// Plain execution: collect output rids with Go's native growth.
+		out := make([]Rid, 0, 16)
+		for i := int32(0); i < int32(n); i++ {
+			if pred(i) {
+				out = append(out, i)
+			}
+		}
+		res.OutRids = out
+	default:
+		// Inject (§3.2.2): ctri is the loop variable, ctro is len(bw).
+		var bw []Rid
+		if opts.Dirs.Backward() {
+			if opts.EstimatedSelectivity > 0 {
+				est := int(float64(n)*opts.EstimatedSelectivity) + 1
+				bw = make([]Rid, 0, est)
+			}
+		}
+		var fw []Rid
+		if opts.Dirs.Forward() {
+			// The forward rid array is pre-allocated at input cardinality.
+			fw = make([]Rid, n)
+		}
+		switch {
+		case opts.Dirs.Backward() && opts.Dirs.Forward():
+			for i := int32(0); i < int32(n); i++ {
+				if pred(i) {
+					fw[i] = Rid(len(bw))
+					bw = lineage.AppendRid(bw, i)
+				} else {
+					fw[i] = -1
+				}
+			}
+		case opts.Dirs.Backward():
+			for i := int32(0); i < int32(n); i++ {
+				if pred(i) {
+					bw = lineage.AppendRid(bw, i)
+				}
+			}
+		case opts.Dirs.Forward():
+			// Forward-only capture still needs the output rids to
+			// materialize the result, but they can use native growth.
+			out := make([]Rid, 0, 16)
+			for i := int32(0); i < int32(n); i++ {
+				if pred(i) {
+					fw[i] = Rid(len(out))
+					out = append(out, i)
+				} else {
+					fw[i] = -1
+				}
+			}
+			res.OutRids = out
+			res.FW = fw
+			return res
+		default:
+			// Capture requested but both directions pruned: plain execution.
+			out := make([]Rid, 0, 16)
+			for i := int32(0); i < int32(n); i++ {
+				if pred(i) {
+					out = append(out, i)
+				}
+			}
+			res.OutRids = out
+			return res
+		}
+		res.OutRids = bw
+		res.BW = bw
+		res.FW = fw
+	}
+	return res
+}
+
+// SelectMaterialize runs Select and gathers the selected rows into a new
+// relation (the SELECT * microbenchmark shape of Appendix G.1).
+func SelectMaterialize(in *storage.Relation, pred expr.Pred, opts SelectOpts) (*storage.Relation, SelectResult) {
+	res := Select(in.N, pred, opts)
+	return in.Gather(in.Name+"_sel", res.OutRids), res
+}

@@ -1,0 +1,125 @@
+// Package physician generates data shaped like the Physician Compare
+// National dataset used by the paper's data-profiling experiment (§6.5.2)
+// and the HoloClean paper: practitioner records over which four functional
+// dependencies mostly hold — NPI→PAC_ID, Zip→State, Zip→City, LBN1→CCN1 —
+// except for an injected fraction of violations. FD-profiling cost is driven
+// by distinct-value counts and violation counts, both of which the generator
+// controls; the real 2.2M-row dataset is not redistributable.
+package physician
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smoke/internal/storage"
+)
+
+// FDs lists the four functional dependencies of Figure 15, in paper order.
+func FDs() [][2]string {
+	return [][2]string{
+		{"NPI", "PAC_ID"},
+		{"Zip", "State"},
+		{"Zip", "City"},
+		{"LBN1", "CCN1"},
+	}
+}
+
+// Config scales the generator.
+type Config struct {
+	Rows          int
+	Zips          int     // distinct zip codes
+	Orgs          int     // distinct legal business names (LBN1)
+	ViolationRate float64 // fraction of rows whose dependent values are corrupted
+	Seed          int64
+}
+
+// DefaultConfig returns a laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{Rows: 500_000, Zips: 5000, Orgs: 2000, ViolationRate: 0.001, Seed: 1}
+}
+
+var states = []string{
+	"AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+	"HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+	"MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+	"NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC",
+	"SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+}
+
+// Schema returns the profiled table's schema. NPI is an integer (the paper
+// notes Metanome's string-typed model slows integer attributes); the rest are
+// strings, matching the paper's note that zip is a string.
+func Schema() storage.Schema {
+	return storage.Schema{
+		{Name: "NPI", Type: storage.TInt},
+		{Name: "PAC_ID", Type: storage.TInt},
+		{Name: "Zip", Type: storage.TString},
+		{Name: "State", Type: storage.TString},
+		{Name: "City", Type: storage.TString},
+		{Name: "LBN1", Type: storage.TString},
+		{Name: "CCN1", Type: storage.TString},
+	}
+}
+
+// Generate builds the table deterministically. Each physician (NPI) may
+// appear on multiple rows (practice locations), all agreeing on PAC_ID
+// except injected violations; zips determine state/city except injected
+// violations; organizations determine CCN1 except injected violations.
+func Generate(cfg Config) *storage.Relation {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rel := storage.NewRelation("physician", Schema(), cfg.Rows)
+
+	zipState := make([]string, cfg.Zips)
+	zipCity := make([]string, cfg.Zips)
+	for z := 0; z < cfg.Zips; z++ {
+		zipState[z] = states[z*len(states)/cfg.Zips]
+		zipCity[z] = fmt.Sprintf("CITY_%04d", z/3) // a few zips per city
+	}
+	orgCCN := make([]string, cfg.Orgs)
+	for o := 0; o < cfg.Orgs; o++ {
+		orgCCN[o] = fmt.Sprintf("CCN%06d", o*7+13)
+	}
+
+	nPhysicians := cfg.Rows / 3 // ~3 locations per physician
+	if nPhysicians < 1 {
+		nPhysicians = 1
+	}
+	npiOf := func(p int) int64 { return int64(1000000000 + p) }
+	pacOf := func(p int) int64 { return int64(42000000 + p*3) }
+
+	npi := rel.Cols[0].Ints
+	pac := rel.Cols[1].Ints
+	zip := rel.Cols[2].Strs
+	st := rel.Cols[3].Strs
+	city := rel.Cols[4].Strs
+	lbn := rel.Cols[5].Strs
+	ccn := rel.Cols[6].Strs
+
+	for i := 0; i < cfg.Rows; i++ {
+		p := rng.Intn(nPhysicians)
+		z := rng.Intn(cfg.Zips)
+		o := rng.Intn(cfg.Orgs)
+		npi[i] = npiOf(p)
+		pac[i] = pacOf(p)
+		zip[i] = fmt.Sprintf("%05d", 10000+z)
+		st[i] = zipState[z]
+		city[i] = zipCity[z]
+		lbn[i] = fmt.Sprintf("ORG_%05d", o)
+		ccn[i] = orgCCN[o]
+
+		// Injected violations: corrupt the dependent attribute of one FD.
+		if rng.Float64() < cfg.ViolationRate {
+			switch rng.Intn(4) {
+			case 0:
+				pac[i] = pacOf(p) + 1 // NPI→PAC_ID violated
+			case 1:
+				st[i] = states[rng.Intn(len(states))] // Zip→State (may coincide)
+			case 2:
+				city[i] = fmt.Sprintf("CITY_%04d", rng.Intn(cfg.Zips/3+1)) // Zip→City
+			case 3:
+				ccn[i] = fmt.Sprintf("CCN%06d", rng.Intn(1000000)) // LBN1→CCN1
+			}
+		}
+	}
+	return rel
+}

@@ -1,0 +1,73 @@
+package physician
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Config{Rows: 10000, Zips: 200, Orgs: 100, ViolationRate: 0.001, Seed: 1}
+	rel := Generate(cfg)
+	if rel.N != cfg.Rows {
+		t.Fatalf("N = %d", rel.N)
+	}
+	for _, f := range []string{"NPI", "PAC_ID", "Zip", "State", "City", "LBN1", "CCN1"} {
+		if rel.Schema.Col(f) < 0 {
+			t.Fatalf("column %q missing", f)
+		}
+	}
+}
+
+func TestFDsMostlyHold(t *testing.T) {
+	cfg := Config{Rows: 20000, Zips: 200, Orgs: 100, ViolationRate: 0.001, Seed: 3}
+	rel := Generate(cfg)
+	// Count rows that disagree with the majority mapping for Zip→State.
+	zc, sc := rel.Schema.MustCol("Zip"), rel.Schema.MustCol("State")
+	first := map[string]string{}
+	disagree := 0
+	for i := 0; i < rel.N; i++ {
+		z := rel.Str(zc, i)
+		s := rel.Str(sc, i)
+		if f, ok := first[z]; ok {
+			if f != s {
+				disagree++
+			}
+		} else {
+			first[z] = s
+		}
+	}
+	if disagree == 0 {
+		t.Error("no Zip→State violations injected")
+	}
+	if disagree > rel.N/100 {
+		t.Errorf("too many violations: %d of %d", disagree, rel.N)
+	}
+}
+
+func TestCleanGeneration(t *testing.T) {
+	rel := Generate(Config{Rows: 5000, Zips: 100, Orgs: 50, ViolationRate: 0, Seed: 4})
+	// NPI→PAC_ID must hold exactly.
+	nc, pc := rel.Schema.MustCol("NPI"), rel.Schema.MustCol("PAC_ID")
+	seen := map[int64]int64{}
+	for i := 0; i < rel.N; i++ {
+		n, p := rel.Int(nc, i), rel.Int(pc, i)
+		if prev, ok := seen[n]; ok && prev != p {
+			t.Fatal("clean data violates NPI→PAC_ID")
+		}
+		seen[n] = p
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Config{Rows: 1000, Zips: 50, Orgs: 20, ViolationRate: 0.01, Seed: 9})
+	b := Generate(Config{Rows: 1000, Zips: 50, Orgs: 20, ViolationRate: 0.01, Seed: 9})
+	if !reflect.DeepEqual(a.Cols[2].Strs, b.Cols[2].Strs) {
+		t.Fatal("same seed differs")
+	}
+	if FDs()[0] != [2]string{"NPI", "PAC_ID"} {
+		t.Fatal("FD order changed")
+	}
+	if DefaultConfig().Rows <= 0 {
+		t.Fatal("default config empty")
+	}
+}

@@ -1,0 +1,210 @@
+// Package profiling implements the paper's data-profiling application
+// (§6.5.2): given a functional dependency A → B over a table T, find the
+// distinct values a ∈ A that violate the FD and build the bipartite graph
+// connecting each violation to the tuples {t ∈ T | t.A = a}. Three
+// implementations are compared in Figure 15:
+//
+//   - Smoke-CD: one aggregation query — SELECT A FROM T GROUP BY A HAVING
+//     COUNT(DISTINCT B) > 1 — whose backward/forward lineage indexes *are*
+//     the bipartite graph.
+//   - Smoke-UG: UGuide's algorithm in lineage terms — distinct A and
+//     distinct B queries with captured lineage; a value a violates the FD
+//     when the forward trace of its backward lineage reaches more than one
+//     distinct B value.
+//   - Metanome-UG: the UG algorithm under Metanome's constraints — every
+//     attribute handled as a string and every lineage edge emitted through a
+//     dynamic dispatch (the virtual-call and data-model costs the paper
+//     identifies; JVM overhead is out of scope, see DESIGN.md).
+package profiling
+
+import (
+	"fmt"
+
+	"smoke/internal/baselines"
+	"smoke/internal/expr"
+	"smoke/internal/lineage"
+	"smoke/internal/ops"
+	"smoke/internal/storage"
+)
+
+// Rid aliases the record id type.
+type Rid = lineage.Rid
+
+// Violation is one violating LHS value with the tuples responsible for it —
+// one edge set of the bipartite graph.
+type Violation struct {
+	// Value is the violating A value rendered as a string (NPIs print as
+	// integers).
+	Value string
+	// Rids are the tuples t with t.A = Value.
+	Rids []Rid
+}
+
+// Result is the outcome of one FD check.
+type Result struct {
+	FD         [2]string
+	Violations []Violation
+}
+
+// CheckCD implements Smoke-CD: the COUNT(DISTINCT) rewrite with Inject
+// capture; the lineage indexes of the violating groups form the graph.
+func CheckCD(rel *storage.Relation, lhs, rhs string) (Result, error) {
+	res, err := ops.HashAgg(rel, nil, ops.GroupBySpec{
+		Keys: []string{lhs},
+		Aggs: []ops.AggSpec{{Fn: ops.CountDistinct, Arg: expr.C(rhs), Name: "cd"}},
+	}, ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{FD: [2]string{lhs, rhs}}
+	cd := res.Out.Schema.MustCol("cd")
+	for o := 0; o < res.Out.N; o++ {
+		if res.Out.Int(cd, o) > 1 {
+			out.Violations = append(out.Violations, Violation{
+				Value: renderKey(res.Out, 0, o),
+				Rids:  res.BW.List(o),
+			})
+		}
+	}
+	return out, nil
+}
+
+// CheckUG implements Smoke-UG: build lineage-indexed distinct-value queries
+// for A and B once, then decide each a by tracing backward to T and forward
+// into the B groups.
+func CheckUG(rel *storage.Relation, lhs, rhs string) (Result, error) {
+	aRes, err := ops.HashAgg(rel, nil, ops.GroupBySpec{
+		Keys: []string{lhs},
+		Aggs: []ops.AggSpec{{Fn: ops.Count, Name: "c"}},
+	}, ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureBackward})
+	if err != nil {
+		return Result{}, err
+	}
+	bRes, err := ops.HashAgg(rel, nil, ops.GroupBySpec{
+		Keys: []string{rhs},
+		Aggs: []ops.AggSpec{{Fn: ops.Count, Name: "c"}},
+	}, ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureForward})
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{FD: [2]string{lhs, rhs}}
+	seen := map[Rid]bool{}
+	for o := 0; o < aRes.Out.N; o++ {
+		rids := aRes.BW.List(o)
+		// Forward trace into B's groups; >1 distinct group = violation.
+		for k := range seen {
+			delete(seen, k)
+		}
+		distinct := 0
+		for _, rid := range rids {
+			g := bRes.FW[rid]
+			if !seen[g] {
+				seen[g] = true
+				distinct++
+				if distinct > 1 {
+					break
+				}
+			}
+		}
+		if distinct > 1 {
+			out.Violations = append(out.Violations, Violation{
+				Value: renderKey(aRes.Out, 0, o),
+				Rids:  rids,
+			})
+		}
+	}
+	return out, nil
+}
+
+// CheckMetanomeUG implements the Metanome-UG simulation: the UG algorithm
+// with (a) all attribute values handled as strings — integer columns are
+// stringified first, reproducing Metanome's data model penalty on NPI — and
+// (b) per-edge capture through the EdgeSink dynamic dispatch.
+func CheckMetanomeUG(rel *storage.Relation, lhs, rhs string) (Result, error) {
+	lhsVals, err := stringColumn(rel, lhs)
+	if err != nil {
+		return Result{}, err
+	}
+	rhsVals, err := stringColumn(rel, rhs)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Distinct-A with lineage through the virtual-call sink.
+	aSink := baselines.NewMemSink(rel.N)
+	aGroups := stringDistinct(lhsVals, aSink)
+	// Distinct-B likewise; only the forward side is consumed.
+	bSink := baselines.NewMemSink(rel.N)
+	stringDistinct(rhsVals, bSink)
+
+	out := Result{FD: [2]string{lhs, rhs}}
+	seen := map[Rid]bool{}
+	for o, rids := range aSink.BW {
+		for k := range seen {
+			delete(seen, k)
+		}
+		distinct := 0
+		for _, rid := range rids {
+			g := bSink.FW[rid]
+			if !seen[g] {
+				seen[g] = true
+				distinct++
+				if distinct > 1 {
+					break
+				}
+			}
+		}
+		if distinct > 1 {
+			out.Violations = append(out.Violations, Violation{Value: aGroups[o], Rids: rids})
+		}
+	}
+	return out, nil
+}
+
+// stringDistinct groups rows by a string value, emitting one lineage edge per
+// row through the sink (dynamic dispatch per edge).
+func stringDistinct(vals []string, sink baselines.EdgeSink) []string {
+	slots := map[string]int32{}
+	var keys []string
+	for rid, v := range vals {
+		slot, ok := slots[v]
+		if !ok {
+			slot = int32(len(keys))
+			slots[v] = slot
+			keys = append(keys, v)
+		}
+		sink.Emit(slot, Rid(rid))
+	}
+	return keys
+}
+
+// stringColumn renders any column as strings (Metanome's model).
+func stringColumn(rel *storage.Relation, name string) ([]string, error) {
+	c := rel.Schema.Col(name)
+	if c < 0 {
+		return nil, fmt.Errorf("profiling: unknown column %q", name)
+	}
+	switch rel.Schema[c].Type {
+	case storage.TString:
+		return rel.Cols[c].Strs, nil
+	case storage.TInt:
+		out := make([]string, rel.N)
+		for i, v := range rel.Cols[c].Ints {
+			out[i] = fmt.Sprintf("%d", v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("profiling: column %q has unsupported type", name)
+	}
+}
+
+func renderKey(out *storage.Relation, col, row int) string {
+	switch out.Schema[col].Type {
+	case storage.TInt:
+		return fmt.Sprintf("%d", out.Int(col, row))
+	case storage.TString:
+		return out.Str(col, row)
+	default:
+		return fmt.Sprintf("%v", out.Value(col, row))
+	}
+}

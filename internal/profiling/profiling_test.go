@@ -1,0 +1,151 @@
+package profiling
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"smoke/internal/physician"
+	"smoke/internal/storage"
+)
+
+func smallData(t *testing.T) *storage.Relation {
+	t.Helper()
+	return physician.Generate(physician.Config{
+		Rows: 30000, Zips: 300, Orgs: 150, ViolationRate: 0.002, Seed: 5,
+	})
+}
+
+// naiveFD finds violating LHS values with plain maps.
+func naiveFD(rel *storage.Relation, lhs, rhs string) map[string][]Rid {
+	lc := rel.Schema.MustCol(lhs)
+	rc := rel.Schema.MustCol(rhs)
+	get := func(c, i int) string {
+		if rel.Schema[c].Type == storage.TInt {
+			return fmt.Sprintf("%d", rel.Int(c, i))
+		}
+		return rel.Str(c, i)
+	}
+	rids := map[string][]Rid{}
+	vals := map[string]map[string]bool{}
+	for i := 0; i < rel.N; i++ {
+		a := get(lc, i)
+		rids[a] = append(rids[a], Rid(i))
+		if vals[a] == nil {
+			vals[a] = map[string]bool{}
+		}
+		vals[a][get(rc, i)] = true
+	}
+	out := map[string][]Rid{}
+	for a, set := range vals {
+		if len(set) > 1 {
+			out[a] = rids[a]
+		}
+	}
+	return out
+}
+
+func checkAgainstNaive(t *testing.T, rel *storage.Relation, lhs, rhs string,
+	check func(*storage.Relation, string, string) (Result, error)) {
+	t.Helper()
+	want := naiveFD(rel, lhs, rhs)
+	got, err := check(rel, lhs, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Violations) != len(want) {
+		t.Fatalf("%s→%s: %d violations, want %d", lhs, rhs, len(got.Violations), len(want))
+	}
+	for _, v := range got.Violations {
+		wantRids, ok := want[v.Value]
+		if !ok {
+			t.Fatalf("%s→%s: unexpected violation %q", lhs, rhs, v.Value)
+		}
+		gotRids := append([]Rid(nil), v.Rids...)
+		sort.Slice(gotRids, func(i, j int) bool { return gotRids[i] < gotRids[j] })
+		if !reflect.DeepEqual(gotRids, wantRids) {
+			t.Fatalf("%s→%s: bipartite edges differ for %q", lhs, rhs, v.Value)
+		}
+	}
+}
+
+func TestCheckCDAllFDs(t *testing.T) {
+	rel := smallData(t)
+	for _, fd := range physician.FDs() {
+		checkAgainstNaive(t, rel, fd[0], fd[1], CheckCD)
+	}
+}
+
+func TestCheckUGAllFDs(t *testing.T) {
+	rel := smallData(t)
+	for _, fd := range physician.FDs() {
+		checkAgainstNaive(t, rel, fd[0], fd[1], CheckUG)
+	}
+}
+
+func TestCheckMetanomeUGAllFDs(t *testing.T) {
+	rel := smallData(t)
+	for _, fd := range physician.FDs() {
+		checkAgainstNaive(t, rel, fd[0], fd[1], CheckMetanomeUG)
+	}
+}
+
+func TestViolationsActuallyInjected(t *testing.T) {
+	rel := smallData(t)
+	total := 0
+	for _, fd := range physician.FDs() {
+		res, err := CheckCD(rel, fd[0], fd[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(res.Violations)
+	}
+	if total == 0 {
+		t.Fatal("generator injected no detectable violations")
+	}
+}
+
+func TestCleanDataHasNoViolations(t *testing.T) {
+	rel := physician.Generate(physician.Config{
+		Rows: 5000, Zips: 100, Orgs: 50, ViolationRate: 0, Seed: 2,
+	})
+	for _, fd := range physician.FDs() {
+		res, err := CheckUG(rel, fd[0], fd[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("%v: clean data reported %d violations", fd, len(res.Violations))
+		}
+	}
+}
+
+func TestBipartiteGraphShape(t *testing.T) {
+	rel := smallData(t)
+	res, err := CheckCD(rel, "Zip", "State")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zc := rel.Schema.MustCol("Zip")
+	for _, v := range res.Violations {
+		if len(v.Rids) < 2 {
+			t.Fatalf("violation %q has %d tuples; needs ≥2 to disagree", v.Value, len(v.Rids))
+		}
+		for _, rid := range v.Rids {
+			if rel.Str(zc, int(rid)) != v.Value {
+				t.Fatalf("violation %q edge points at tuple with different zip", v.Value)
+			}
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	rel := smallData(t)
+	if _, err := CheckCD(rel, "nope", "State"); err == nil {
+		t.Error("unknown lhs should error")
+	}
+	if _, err := CheckMetanomeUG(rel, "Zip", "nope"); err == nil {
+		t.Error("unknown rhs should error")
+	}
+}

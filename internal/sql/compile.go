@@ -1,0 +1,177 @@
+package sql
+
+import (
+	"fmt"
+
+	"smoke/internal/core"
+	"smoke/internal/expr"
+	"smoke/internal/storage"
+)
+
+// Compile parses src and lowers it onto the engine facade, producing a query
+// ready to Run with any capture options. WHERE conjuncts are pushed down to
+// the single table they reference (selections pipeline into scans); join
+// predicates must use JOIN ... ON.
+func Compile(db *core.DB, src string) (*core.Query, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(db, st)
+}
+
+// Lower turns a parsed statement into a core.Query.
+func Lower(db *core.DB, st *Stmt) (*core.Query, error) {
+	tables := []string{st.From}
+	schemas := map[string]storage.Schema{}
+	rel, err := db.Table(st.From)
+	if err != nil {
+		return nil, err
+	}
+	schemas[st.From] = rel.Schema
+	for _, j := range st.Joins {
+		rel, err := db.Table(j.Table)
+		if err != nil {
+			return nil, err
+		}
+		schemas[j.Table] = rel.Schema
+		tables = append(tables, j.Table)
+	}
+
+	// Assign WHERE conjuncts to tables.
+	filters := map[string]expr.Expr{}
+	if st.Where != nil {
+		for _, conj := range conjuncts(st.Where) {
+			t, err := tableOf(conj, tables, schemas)
+			if err != nil {
+				return nil, err
+			}
+			if f, ok := filters[t]; ok {
+				filters[t] = expr.And{L: f, R: conj}
+			} else {
+				filters[t] = conj
+			}
+		}
+	}
+
+	q := db.Query().From(st.From, filters[st.From])
+	prefix := []string{st.From}
+	for _, j := range st.Joins {
+		leftRef, rightRef := j.LeftRef, j.RightRef
+		// Normalize: leftRef must resolve within the prefix, rightRef within
+		// the joined table. Accept either order in the ON clause.
+		lt, lerr := resolveRef(leftRef, prefix, schemas)
+		if lerr != nil || !contains(prefix, lt) {
+			leftRef, rightRef = rightRef, leftRef
+			lt, lerr = resolveRef(leftRef, prefix, schemas)
+			if lerr != nil {
+				return nil, fmt.Errorf("sql: join condition for %s does not reference the query prefix", j.Table)
+			}
+		}
+		rt, rerr := resolveRef(rightRef, []string{j.Table}, schemas)
+		if rerr != nil || rt != j.Table {
+			return nil, fmt.Errorf("sql: join condition for %s must reference %s on one side", j.Table, j.Table)
+		}
+		q = q.Join(j.Table, filters[j.Table], lt, leftRef.Col, rightRef.Col)
+		prefix = append(prefix, j.Table)
+	}
+
+	groupSet := map[string]bool{}
+	var keys []string
+	for _, g := range st.GroupBy {
+		keys = append(keys, g.Col)
+		groupSet[g.Col] = true
+	}
+	if len(keys) > 0 {
+		q = q.GroupBy(keys...)
+	}
+
+	aggIdx := 0
+	for _, it := range st.Items {
+		switch {
+		case it.Col != nil:
+			if !groupSet[it.Col.Col] {
+				return nil, fmt.Errorf("sql: select column %s must appear in GROUP BY", it.Col)
+			}
+		case it.Agg != nil:
+			name := it.Agg.Alias
+			if name == "" {
+				name = fmt.Sprintf("%s_%d", it.Agg.Fn, aggIdx)
+			}
+			q = q.Agg(it.Agg.Fn, it.Agg.Arg, name)
+			aggIdx++
+		}
+	}
+	if aggIdx == 0 {
+		return nil, fmt.Errorf("sql: only aggregation queries are supported; add an aggregate to the select list")
+	}
+	return q, nil
+}
+
+// conjuncts flattens a conjunction tree.
+func conjuncts(e expr.Expr) []expr.Expr {
+	if a, ok := e.(expr.And); ok {
+		return append(conjuncts(a.L), conjuncts(a.R)...)
+	}
+	return []expr.Expr{e}
+}
+
+// tableOf returns the unique table whose schema covers every column of e.
+func tableOf(e expr.Expr, tables []string, schemas map[string]storage.Schema) (string, error) {
+	cols := expr.Columns(e)
+	if len(cols) == 0 {
+		return "", fmt.Errorf("sql: constant predicate %s is not supported", e)
+	}
+	found := ""
+	for _, t := range tables {
+		all := true
+		for _, c := range cols {
+			if schemas[t].Col(c) < 0 {
+				all = false
+				break
+			}
+		}
+		if all {
+			if found != "" {
+				return "", fmt.Errorf("sql: predicate %s is ambiguous between %s and %s", e, found, t)
+			}
+			found = t
+		}
+	}
+	if found == "" {
+		return "", fmt.Errorf("sql: predicate %s references columns from multiple tables; use JOIN ... ON for join conditions", e)
+	}
+	return found, nil
+}
+
+// resolveRef finds the table a column reference belongs to.
+func resolveRef(c ColRef, tables []string, schemas map[string]storage.Schema) (string, error) {
+	if c.Table != "" {
+		if schemas[c.Table].Col(c.Col) < 0 {
+			return "", fmt.Errorf("sql: %s has no column %s", c.Table, c.Col)
+		}
+		return c.Table, nil
+	}
+	found := ""
+	for _, t := range tables {
+		if schemas[t].Col(c.Col) >= 0 {
+			if found != "" {
+				return "", fmt.Errorf("sql: column %s is ambiguous", c.Col)
+			}
+			found = t
+		}
+	}
+	if found == "" {
+		return "", fmt.Errorf("sql: column %s not found", c.Col)
+	}
+	return found, nil
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

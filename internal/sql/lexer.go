@@ -1,0 +1,159 @@
+// Package sql is a front-end for the SQL subset the paper's queries use:
+// SELECT with aggregates, FROM with JOIN ... ON equi-joins, WHERE
+// conjunctions, and GROUP BY. Statements lower onto the engine facade
+// (internal/core), producing the same SPJA blocks as the builder API — the
+// architecture's "Parser + Optimizer" box (Figure 2).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokSymbol
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "AS": true,
+	"JOIN": true, "ON": true, "COUNT": true, "SUM": true, "AVG": true,
+	"MIN": true, "MAX": true, "DISTINCT": true, "YEAR": true, "MONTH": true,
+	"SQRT": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits src into tokens. Keywords are case-insensitive; identifiers keep
+// their case.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.ident()
+		case unicode.IsDigit(rune(c)):
+			if err := l.number(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.str(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.symbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' {
+			l.pos++
+		} else {
+			break
+		}
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: upper, pos: start})
+	} else {
+		l.toks = append(l.toks, token{kind: tokIdent, text: text, pos: start})
+	}
+}
+
+func (l *lexer) number() error {
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsDigit(rune(c)) {
+			l.pos++
+		} else if c == '.' && !isFloat {
+			isFloat = true
+			l.pos++
+		} else {
+			break
+		}
+	}
+	kind := tokInt
+	if isFloat {
+		kind = tokFloat
+	}
+	l.toks = append(l.toks, token{kind: kind, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) str() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string literal at %d", start)
+}
+
+func (l *lexer) symbol() error {
+	start := l.pos
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.toks = append(l.toks, token{kind: tokSymbol, text: two, pos: start})
+		l.pos += 2
+		return nil
+	}
+	switch c := l.src[l.pos]; c {
+	case '(', ')', ',', '.', '=', '<', '>', '*', '+', '-', '/', ':':
+		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+		l.pos++
+		return nil
+	default:
+		return fmt.Errorf("sql: unexpected character %q at %d", c, start)
+	}
+}

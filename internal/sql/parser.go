@@ -1,0 +1,500 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"smoke/internal/expr"
+	"smoke/internal/ops"
+)
+
+// Stmt is a parsed SELECT statement.
+type Stmt struct {
+	Items   []SelectItem
+	From    string
+	Joins   []Join
+	Where   expr.Expr // nil if absent
+	GroupBy []ColRef
+}
+
+// SelectItem is one projection: either a group-by column or an aggregate.
+type SelectItem struct {
+	// Col is set for plain column references.
+	Col *ColRef
+	// Agg is set for aggregate calls.
+	Agg *AggItem
+}
+
+// ColRef is a possibly table-qualified column.
+type ColRef struct {
+	Table string // "" if unqualified
+	Col   string
+}
+
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Col
+	}
+	return c.Table + "." + c.Col
+}
+
+// AggItem is an aggregate call in the select list.
+type AggItem struct {
+	Fn       ops.AggFn
+	Distinct bool
+	Arg      expr.Expr // nil for COUNT(*)
+	Alias    string
+}
+
+// Join is JOIN <table> ON <left.col> = <right.col>.
+type Join struct {
+	Table    string
+	LeftRef  ColRef
+	RightRef ColRef
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: unexpected %q after statement", p.peek().text)
+	}
+	return st, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.peek().kind == tokSymbol && p.peek().text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sql: expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return fmt.Errorf("sql: expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.peek().kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier, got %q", p.peek().text)
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) selectStmt() (*Stmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	st := &Stmt{}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.From = from
+	for p.acceptKeyword("JOIN") {
+		j, err := p.join()
+		if err != nil {
+			return nil, err
+		}
+		st.Joins = append(st.Joins, j)
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, c)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) join() (Join, error) {
+	table, err := p.expectIdent()
+	if err != nil {
+		return Join{}, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return Join{}, err
+	}
+	l, err := p.colRef()
+	if err != nil {
+		return Join{}, err
+	}
+	if err := p.expectSymbol("="); err != nil {
+		return Join{}, err
+	}
+	r, err := p.colRef()
+	if err != nil {
+		return Join{}, err
+	}
+	return Join{Table: table, LeftRef: l, RightRef: r}, nil
+}
+
+func (p *parser) colRef() (ColRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.acceptSymbol(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: name, Col: col}, nil
+	}
+	return ColRef{Col: name}, nil
+}
+
+var aggKeywords = map[string]ops.AggFn{
+	"COUNT": ops.Count, "SUM": ops.Sum, "AVG": ops.Avg, "MIN": ops.Min, "MAX": ops.Max,
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	if p.peek().kind == tokKeyword {
+		if fn, ok := aggKeywords[p.peek().text]; ok {
+			p.next()
+			if err := p.expectSymbol("("); err != nil {
+				return SelectItem{}, err
+			}
+			agg := &AggItem{Fn: fn}
+			switch {
+			case fn == ops.Count && p.acceptSymbol("*"):
+				// COUNT(*)
+			case fn == ops.Count && p.acceptKeyword("DISTINCT"):
+				arg, err := p.addExpr()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				agg.Fn = ops.CountDistinct
+				agg.Distinct = true
+				agg.Arg = arg
+			default:
+				arg, err := p.addExpr()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				agg.Arg = arg
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return SelectItem{}, err
+			}
+			if p.acceptKeyword("AS") {
+				alias, err := p.expectIdent()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				agg.Alias = alias
+			}
+			return SelectItem{Agg: agg}, nil
+		}
+	}
+	c, err := p.colRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: &c}, nil
+}
+
+// Expression grammar: or → and → not → cmp → add → mul → unary.
+
+func (p *parser) orExpr() (expr.Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (expr.Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (expr.Expr, error) {
+	if p.acceptKeyword("NOT") {
+		inner, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not{E: inner}, nil
+	}
+	return p.cmpExpr()
+}
+
+var cmpOps = map[string]expr.CmpOp{
+	"=": expr.Eq, "<>": expr.Ne, "!=": expr.Ne,
+	"<": expr.Lt, "<=": expr.Le, ">": expr.Gt, ">=": expr.Ge,
+}
+
+func (p *parser) cmpExpr() (expr.Expr, error) {
+	if p.acceptSymbol("(") {
+		inner, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		// A parenthesized boolean may continue with AND/OR at the caller.
+		return inner, nil
+	}
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokSymbol {
+		if op, ok := cmpOps[p.peek().text]; ok {
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return expr.Cmp{Op: op, L: l, R: r}, nil
+		}
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var set []string
+		for {
+			if p.peek().kind != tokString {
+				return nil, fmt.Errorf("sql: IN list supports string literals, got %q", p.peek().text)
+			}
+			set = append(set, p.next().text)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return expr.InStr{E: l, Set: set}, nil
+	}
+	return nil, fmt.Errorf("sql: expected comparison near %q", p.peek().text)
+}
+
+func (p *parser) addExpr() (expr.Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("+"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.Arith{Op: expr.Add, L: l, R: r}
+		case p.acceptSymbol("-"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.Arith{Op: expr.Sub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) mulExpr() (expr.Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("*"):
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.Arith{Op: expr.Mul, L: l, R: r}
+		case p.acceptSymbol("/"):
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.Arith{Op: expr.Div, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unary() (expr.Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad integer %q", t.text)
+		}
+		return expr.IntLit{V: v}, nil
+	case tokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad float %q", t.text)
+		}
+		return expr.FloatLit{V: v}, nil
+	case tokString:
+		p.next()
+		return expr.StrLit{V: t.text}, nil
+	case tokSymbol:
+		switch t.text {
+		case "(":
+			p.next()
+			inner, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		case ":":
+			p.next()
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return expr.Param{Name: name}, nil
+		}
+	case tokKeyword:
+		switch t.text {
+		case "YEAR", "MONTH", "SQRT":
+			p.next()
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			inner, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "YEAR":
+				return expr.Year{E: inner}, nil
+			case "MONTH":
+				return expr.Month{E: inner}, nil
+			default:
+				return expr.Sqrt{E: inner}, nil
+			}
+		}
+	case tokIdent:
+		c, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		// Qualified references compile against a single relation, so the
+		// qualifier only disambiguates; the column name is what resolves.
+		_ = c.Table
+		return expr.Col{Name: c.Col}, nil
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q", t.text)
+}
+
+// String renders the statement (debugging).
+func (st *Stmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range st.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Col != nil {
+			b.WriteString(it.Col.String())
+		} else {
+			fmt.Fprintf(&b, "%s(...)", it.Agg.Fn)
+		}
+	}
+	fmt.Fprintf(&b, " FROM %s", st.From)
+	return b.String()
+}

@@ -1,0 +1,302 @@
+package sql_test
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"smoke/internal/core"
+	"smoke/internal/datagen"
+	"smoke/internal/expr"
+	"smoke/internal/ops"
+	"smoke/internal/sql"
+	"smoke/internal/tpch"
+)
+
+func zipfDB(t *testing.T) *core.DB {
+	t.Helper()
+	db := core.Open()
+	db.Register(datagen.Zipf("zipf", 1.0, 2000, 10, 1))
+	return db
+}
+
+func TestParseMicrobenchQuery(t *testing.T) {
+	st, err := sql.Parse(`SELECT z, COUNT(*), SUM(v), SUM(v*v), SUM(SQRT(v)), MIN(v), MAX(v)
+		FROM zipf GROUP BY z`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.From != "zipf" || len(st.Items) != 7 || len(st.GroupBy) != 1 {
+		t.Fatalf("parsed shape wrong: %+v", st)
+	}
+	if st.Items[0].Col == nil || st.Items[1].Agg == nil {
+		t.Fatal("item kinds wrong")
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := sql.Parse("SELECT 'unterminated FROM t"); err == nil {
+		t.Error("unterminated string should error")
+	}
+	if _, err := sql.Parse("SELECT a FROM t WHERE a = ~1"); err == nil {
+		t.Error("bad character should error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"FROM t",
+		"SELECT COUNT(* FROM t",
+		"SELECT a, FROM t",
+		"SELECT COUNT(*) FROM t GROUP BY",
+		"SELECT COUNT(*) FROM t WHERE",
+		"SELECT COUNT(*) FROM t JOIN",
+		"SELECT COUNT(*) FROM t extra",
+		"SELECT COUNT(*) FROM t WHERE a IN (1, 2)",
+	}
+	for _, src := range bad {
+		if _, err := sql.Parse(src); err == nil {
+			t.Errorf("Parse(%q) should error", src)
+		}
+	}
+}
+
+func TestEndToEndGroupBy(t *testing.T) {
+	db := zipfDB(t)
+	q, err := sql.Compile(db, "SELECT z, COUNT(*) AS cnt, SUM(v) AS total FROM zipf WHERE v < 50 GROUP BY z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run(core.CaptureOptions{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference via the builder API.
+	want, err := db.Query().From("zipf", mustParseExpr(t, "v < 50")).
+		GroupBy("z").
+		Agg(ops.Count, nil, "cnt").
+		Run(core.CaptureOptions{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N != want.Out.N {
+		t.Fatalf("SQL path %d groups, builder %d", res.Out.N, want.Out.N)
+	}
+	// Same lineage, matched by key.
+	for o := 0; o < res.Out.N; o++ {
+		key := res.Out.Int(0, o)
+		got, err := res.Backward("zipf", []core.Rid{core.Rid(o)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref []core.Rid
+		for wo := 0; wo < want.Out.N; wo++ {
+			if want.Out.Int(0, wo) == key {
+				ref, _ = want.Backward("zipf", []core.Rid{core.Rid(wo)})
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("lineage differs for group %d", key)
+		}
+	}
+}
+
+// mustParseExpr extracts a predicate from a throwaway statement.
+func mustParseExpr(t *testing.T, pred string) expr.Expr {
+	t.Helper()
+	st, err := sql.Parse("SELECT COUNT(*) FROM zipf WHERE " + pred + " GROUP BY z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Where
+}
+
+func TestEndToEndTPCHQ1(t *testing.T) {
+	tp := tpch.Generate(0.002, 42)
+	db := core.Open()
+	db.Register(tp.Lineitem)
+	q, err := sql.Compile(db, `
+		SELECT l_returnflag, l_linestatus,
+		       SUM(l_quantity) AS sum_qty,
+		       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+		       AVG(l_discount) AS avg_disc,
+		       COUNT(*) AS count_order
+		FROM lineitem
+		WHERE l_shipdate < 10561
+		GROUP BY l_returnflag, l_linestatus`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run(core.CaptureOptions{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N == 0 || res.Out.N > 4 {
+		t.Fatalf("Q1 groups = %d", res.Out.N)
+	}
+	// Spot check: counts sum to the filtered cardinality.
+	sd := tp.Lineitem.Schema.MustCol("l_shipdate")
+	want := int64(0)
+	for i := 0; i < tp.Lineitem.N; i++ {
+		if tp.Lineitem.Int(sd, i) < 10561 {
+			want++
+		}
+	}
+	cc := res.Out.Schema.MustCol("count_order")
+	got := int64(0)
+	for o := 0; o < res.Out.N; o++ {
+		got += res.Out.Int(cc, o)
+	}
+	if got != want {
+		t.Fatalf("counts sum to %d, want %d", got, want)
+	}
+}
+
+func TestEndToEndJoin(t *testing.T) {
+	tp := tpch.Generate(0.002, 42)
+	db := core.Open()
+	db.Register(tp.Customer)
+	db.Register(tp.Orders)
+	db.Register(tp.Lineitem)
+	q, err := sql.Compile(db, `
+		SELECT o_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+		FROM customer
+		JOIN orders ON c_custkey = o_custkey
+		JOIN lineitem ON o_orderkey = l_orderkey
+		WHERE c_mktsegment = 'BUILDING'
+		GROUP BY o_orderkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run(core.CaptureOptions{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N == 0 {
+		t.Fatal("no groups")
+	}
+	rids, err := res.Backward("customer", []core.Rid{0})
+	if err != nil || len(rids) == 0 {
+		t.Fatalf("customer lineage: %v, %v", rids, err)
+	}
+	seg := tp.Customer.Schema.MustCol("c_mktsegment")
+	for _, r := range rids {
+		if tp.Customer.Str(seg, int(r)) != "BUILDING" {
+			t.Fatal("lineage violates pushed-down filter")
+		}
+	}
+}
+
+func TestJoinOnEitherOrder(t *testing.T) {
+	tp := tpch.Generate(0.001, 7)
+	db := core.Open()
+	db.Register(tp.Orders)
+	db.Register(tp.Lineitem)
+	for _, on := range []string{
+		"ON o_orderkey = l_orderkey",
+		"ON l_orderkey = o_orderkey",
+		"ON orders.o_orderkey = lineitem.l_orderkey",
+	} {
+		q, err := sql.Compile(db, "SELECT l_shipmode, COUNT(*) AS c FROM orders JOIN lineitem "+on+" GROUP BY l_shipmode")
+		if err != nil {
+			t.Fatalf("%s: %v", on, err)
+		}
+		res, err := q.Run(core.CaptureOptions{Mode: ops.None})
+		if err != nil {
+			t.Fatalf("%s: %v", on, err)
+		}
+		cc := res.Out.Schema.MustCol("c")
+		total := int64(0)
+		for o := 0; o < res.Out.N; o++ {
+			total += res.Out.Int(cc, o)
+		}
+		if total != int64(tp.Lineitem.N) {
+			t.Fatalf("%s: join lost rows (%d of %d)", on, total, tp.Lineitem.N)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	db := zipfDB(t)
+	bad := []string{
+		"SELECT z, COUNT(*) FROM nope GROUP BY z",
+		"SELECT q, COUNT(*) FROM zipf GROUP BY z",             // select col not grouped
+		"SELECT z FROM zipf GROUP BY z",                       // no aggregate
+		"SELECT z, COUNT(*) FROM zipf WHERE 1 < 2 GROUP BY z", // constant predicate
+	}
+	for _, src := range bad {
+		if _, err := sql.Compile(db, src); err == nil {
+			t.Errorf("Compile(%q) should error", src)
+		}
+	}
+}
+
+func TestParameterizedQuery(t *testing.T) {
+	db := zipfDB(t)
+	q, err := sql.Compile(db, "SELECT z, COUNT(*) AS c FROM zipf WHERE v < :cap GROUP BY z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run(core.CaptureOptions{Mode: ops.None, Params: map[string]any{"cap": 25.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := res.Out.Schema.MustCol("c")
+	total := int64(0)
+	for o := 0; o < res.Out.N; o++ {
+		total += res.Out.Int(cc, o)
+	}
+	rel, _ := db.Table("zipf")
+	want := int64(0)
+	vc := rel.Schema.MustCol("v")
+	for i := 0; i < rel.N; i++ {
+		if rel.Float(vc, i) < 25.0 {
+			want++
+		}
+	}
+	if total != want {
+		t.Fatalf("parameterized count %d, want %d", total, want)
+	}
+}
+
+func TestCountDistinctAndFunctions(t *testing.T) {
+	tp := tpch.Generate(0.001, 7)
+	db := core.Open()
+	db.Register(tp.Lineitem)
+	q, err := sql.Compile(db, `SELECT l_shipmode, COUNT(DISTINCT l_returnflag) AS flags,
+		MIN(l_quantity) AS mn, MAX(l_quantity) AS mx
+		FROM lineitem GROUP BY l_shipmode`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run(core.CaptureOptions{Mode: ops.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := res.Out.Schema.MustCol("flags")
+	for o := 0; o < res.Out.N; o++ {
+		d := res.Out.Int(fc, o)
+		if d < 1 || d > 3 {
+			t.Fatalf("distinct flags = %d", d)
+		}
+		mn := res.Out.Float(res.Out.Schema.MustCol("mn"), o)
+		mx := res.Out.Float(res.Out.Schema.MustCol("mx"), o)
+		if mn > mx || math.IsInf(mn, 0) {
+			t.Fatal("min/max wrong")
+		}
+	}
+}
+
+func TestStatementString(t *testing.T) {
+	st, err := sql.Parse("SELECT z, COUNT(*) FROM zipf GROUP BY z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st.String(), "FROM zipf") {
+		t.Errorf("String() = %q", st.String())
+	}
+}

@@ -1,0 +1,91 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ForeignKey records that child.Column references parent.Column, where the
+// parent column is a primary key. The SPJA executor uses this metadata to
+// pick the pk-fk join specialization (§3.2.4).
+type ForeignKey struct {
+	ChildTable   string
+	ChildColumn  string
+	ParentTable  string
+	ParentColumn string
+}
+
+// Catalog names relations and tracks primary/foreign key metadata.
+type Catalog struct {
+	rels map[string]*Relation
+	pks  map[string]string // table -> pk column
+	fks  []ForeignKey
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{rels: map[string]*Relation{}, pks: map[string]string{}}
+}
+
+// Register adds (or replaces) a relation under its own name.
+func (c *Catalog) Register(r *Relation) {
+	c.rels[r.Name] = r
+}
+
+// Relation returns the named relation, or an error naming known tables.
+func (c *Catalog) Relation(name string) (*Relation, error) {
+	r, ok := c.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown relation %q (have %v)", name, c.Names())
+	}
+	return r, nil
+}
+
+// MustRelation is Relation for internal callers that know the table exists.
+func (c *Catalog) MustRelation(name string) *Relation {
+	r, err := c.Relation(name)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Names returns the registered relation names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.rels))
+	for n := range c.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetPrimaryKey declares the primary key column of a table.
+func (c *Catalog) SetPrimaryKey(table, column string) { c.pks[table] = column }
+
+// PrimaryKey returns the declared primary key column of a table ("" if none).
+func (c *Catalog) PrimaryKey(table string) string { return c.pks[table] }
+
+// AddForeignKey declares a pk-fk relationship.
+func (c *Catalog) AddForeignKey(fk ForeignKey) { c.fks = append(c.fks, fk) }
+
+// IsPKFK reports whether joining left.leftCol = right.rightCol is a declared
+// primary-key/foreign-key join, and if so whether the primary key is on the
+// left side.
+func (c *Catalog) IsPKFK(left, leftCol, right, rightCol string) (isPKFK, pkOnLeft bool) {
+	if c.pks[left] == leftCol {
+		for _, fk := range c.fks {
+			if fk.ParentTable == left && fk.ParentColumn == leftCol && fk.ChildTable == right && fk.ChildColumn == rightCol {
+				return true, true
+			}
+		}
+	}
+	if c.pks[right] == rightCol {
+		for _, fk := range c.fks {
+			if fk.ParentTable == right && fk.ParentColumn == rightCol && fk.ChildTable == left && fk.ChildColumn == leftCol {
+				return true, false
+			}
+		}
+	}
+	return false, false
+}

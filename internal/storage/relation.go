@@ -1,0 +1,154 @@
+package storage
+
+import "fmt"
+
+// Column holds the data of one attribute. Exactly one of the slices is
+// non-nil, according to the field's Type. Keeping concrete typed slices (as
+// opposed to []any) is what lets operator inner loops run without boxing or
+// interface dispatch — the Go analogue of the paper's compiled tight loops.
+type Column struct {
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+}
+
+// Relation is an in-memory table. Records are addressed by rid (row index in
+// [0, N)); lineage indexes store rids and lookups index directly into the
+// column slices.
+type Relation struct {
+	Name   string
+	Schema Schema
+	Cols   []Column
+	N      int
+}
+
+// NewRelation allocates a relation with capacity for n rows in every column.
+// The rows are zero-valued; generators fill the slices directly.
+func NewRelation(name string, schema Schema, n int) *Relation {
+	r := &Relation{Name: name, Schema: schema, Cols: make([]Column, len(schema)), N: n}
+	for i, f := range schema {
+		switch f.Type {
+		case TInt:
+			r.Cols[i].Ints = make([]int64, n)
+		case TFloat:
+			r.Cols[i].Floats = make([]float64, n)
+		case TString:
+			r.Cols[i].Strs = make([]string, n)
+		}
+	}
+	return r
+}
+
+// NewEmpty allocates a relation with zero rows and nil column slices, ready
+// for AppendRow-style construction.
+func NewEmpty(name string, schema Schema) *Relation {
+	return &Relation{Name: name, Schema: schema, Cols: make([]Column, len(schema))}
+}
+
+// Int returns the integer value at (col, rid).
+func (r *Relation) Int(col, rid int) int64 { return r.Cols[col].Ints[rid] }
+
+// Float returns the float value at (col, rid).
+func (r *Relation) Float(col, rid int) float64 { return r.Cols[col].Floats[rid] }
+
+// Str returns the string value at (col, rid).
+func (r *Relation) Str(col, rid int) string { return r.Cols[col].Strs[rid] }
+
+// Value returns the value at (col, rid) boxed as any. Intended for tests,
+// result rendering and slow paths only.
+func (r *Relation) Value(col, rid int) any {
+	switch r.Schema[col].Type {
+	case TInt:
+		return r.Cols[col].Ints[rid]
+	case TFloat:
+		return r.Cols[col].Floats[rid]
+	case TString:
+		return r.Cols[col].Strs[rid]
+	}
+	return nil
+}
+
+// AppendRow appends one row given as boxed values in schema order. Intended
+// for tests and small fixtures; bulk loads write column slices directly.
+func (r *Relation) AppendRow(vals ...any) {
+	if len(vals) != len(r.Schema) {
+		panic(fmt.Sprintf("storage: AppendRow got %d values for %d columns", len(vals), len(r.Schema)))
+	}
+	for i, f := range r.Schema {
+		switch f.Type {
+		case TInt:
+			switch v := vals[i].(type) {
+			case int64:
+				r.Cols[i].Ints = append(r.Cols[i].Ints, v)
+			case int:
+				r.Cols[i].Ints = append(r.Cols[i].Ints, int64(v))
+			default:
+				panic(fmt.Sprintf("storage: column %s expects int, got %T", f.Name, vals[i]))
+			}
+		case TFloat:
+			switch v := vals[i].(type) {
+			case float64:
+				r.Cols[i].Floats = append(r.Cols[i].Floats, v)
+			case int:
+				r.Cols[i].Floats = append(r.Cols[i].Floats, float64(v))
+			default:
+				panic(fmt.Sprintf("storage: column %s expects float, got %T", f.Name, vals[i]))
+			}
+		case TString:
+			s, ok := vals[i].(string)
+			if !ok {
+				panic(fmt.Sprintf("storage: column %s expects string, got %T", f.Name, vals[i]))
+			}
+			r.Cols[i].Strs = append(r.Cols[i].Strs, s)
+		}
+	}
+	r.N++
+}
+
+// Row returns the boxed values of one row in schema order (tests/rendering).
+func (r *Relation) Row(rid int) []any {
+	out := make([]any, len(r.Schema))
+	for c := range r.Schema {
+		out[c] = r.Value(c, rid)
+	}
+	return out
+}
+
+// Gather materializes the subset of rows identified by rids (in order) into a
+// new relation. It is the physical realization of an indexed secondary scan:
+// lineage query results are rid sets, and consuming queries gather them.
+func (r *Relation) Gather(name string, rids []int32) *Relation {
+	out := NewRelation(name, r.Schema, len(rids))
+	for c, f := range r.Schema {
+		switch f.Type {
+		case TInt:
+			src, dst := r.Cols[c].Ints, out.Cols[c].Ints
+			for i, rid := range rids {
+				dst[i] = src[rid]
+			}
+		case TFloat:
+			src, dst := r.Cols[c].Floats, out.Cols[c].Floats
+			for i, rid := range rids {
+				dst[i] = src[rid]
+			}
+		case TString:
+			src, dst := r.Cols[c].Strs, out.Cols[c].Strs
+			for i, rid := range rids {
+				dst[i] = src[rid]
+			}
+		}
+	}
+	return out
+}
+
+// Project returns a new relation with only the given columns, sharing the
+// underlying column slices (zero-copy). Bag-semantics projection needs no
+// lineage: output rid i is input rid i in both directions.
+func (r *Relation) Project(name string, cols []int) *Relation {
+	out := &Relation{Name: name, Schema: make(Schema, len(cols)), Cols: make([]Column, len(cols)), N: r.N}
+	for i, c := range cols {
+		out.Schema[i] = r.Schema[c]
+		out.Cols[i] = r.Cols[c]
+	}
+	return out
+}

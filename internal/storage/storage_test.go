@@ -1,0 +1,209 @@
+package storage
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testSchema() Schema {
+	return Schema{
+		{Name: "id", Type: TInt},
+		{Name: "v", Type: TFloat},
+		{Name: "name", Type: TString},
+	}
+}
+
+func TestSchemaCol(t *testing.T) {
+	s := testSchema()
+	if got := s.Col("id"); got != 0 {
+		t.Errorf("Col(id) = %d, want 0", got)
+	}
+	if got := s.Col("name"); got != 2 {
+		t.Errorf("Col(name) = %d, want 2", got)
+	}
+	if got := s.Col("missing"); got != -1 {
+		t.Errorf("Col(missing) = %d, want -1", got)
+	}
+}
+
+func TestSchemaMustColPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCol on missing column should panic")
+		}
+	}()
+	testSchema().MustCol("missing")
+}
+
+func TestSchemaClone(t *testing.T) {
+	s := testSchema()
+	c := s.Clone()
+	c[0].Name = "changed"
+	if s[0].Name != "id" {
+		t.Error("Clone should not alias the original schema")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{TInt: "INT", TFloat: "FLOAT", TString: "STRING"}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+	if got := Type(99).String(); got != "Type(99)" {
+		t.Errorf("unknown type String() = %q", got)
+	}
+}
+
+func TestNewRelationAllocates(t *testing.T) {
+	r := NewRelation("t", testSchema(), 5)
+	if r.N != 5 {
+		t.Fatalf("N = %d, want 5", r.N)
+	}
+	if len(r.Cols[0].Ints) != 5 || len(r.Cols[1].Floats) != 5 || len(r.Cols[2].Strs) != 5 {
+		t.Fatal("columns not allocated to n rows")
+	}
+	if r.Cols[0].Floats != nil || r.Cols[1].Ints != nil {
+		t.Fatal("wrong-typed slices should stay nil")
+	}
+}
+
+func TestAppendRowAndAccessors(t *testing.T) {
+	r := NewEmpty("t", testSchema())
+	r.AppendRow(1, 2.5, "a")
+	r.AppendRow(int64(2), 3.5, "b")
+	if r.N != 2 {
+		t.Fatalf("N = %d, want 2", r.N)
+	}
+	if r.Int(0, 1) != 2 {
+		t.Errorf("Int(0,1) = %d, want 2", r.Int(0, 1))
+	}
+	if r.Float(1, 0) != 2.5 {
+		t.Errorf("Float(1,0) = %v, want 2.5", r.Float(1, 0))
+	}
+	if r.Str(2, 1) != "b" {
+		t.Errorf("Str(2,1) = %q, want b", r.Str(2, 1))
+	}
+	if got := r.Row(0); !reflect.DeepEqual(got, []any{int64(1), 2.5, "a"}) {
+		t.Errorf("Row(0) = %v", got)
+	}
+}
+
+func TestAppendRowIntToFloatCoercion(t *testing.T) {
+	r := NewEmpty("t", Schema{{Name: "f", Type: TFloat}})
+	r.AppendRow(3)
+	if r.Float(0, 0) != 3.0 {
+		t.Errorf("int literal should coerce into float column")
+	}
+}
+
+func TestAppendRowArityPanics(t *testing.T) {
+	r := NewEmpty("t", testSchema())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendRow with wrong arity should panic")
+		}
+	}()
+	r.AppendRow(1, 2.5)
+}
+
+func TestAppendRowTypePanics(t *testing.T) {
+	r := NewEmpty("t", testSchema())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendRow with wrong type should panic")
+		}
+	}()
+	r.AppendRow("not-an-int", 2.5, "a")
+}
+
+func TestGather(t *testing.T) {
+	r := NewEmpty("t", testSchema())
+	for i := 0; i < 5; i++ {
+		r.AppendRow(i, float64(i)/2, string(rune('a'+i)))
+	}
+	g := r.Gather("sub", []int32{4, 0, 2})
+	if g.N != 3 {
+		t.Fatalf("N = %d, want 3", g.N)
+	}
+	wantIds := []int64{4, 0, 2}
+	if !reflect.DeepEqual(g.Cols[0].Ints, wantIds) {
+		t.Errorf("gathered ids = %v, want %v", g.Cols[0].Ints, wantIds)
+	}
+	if g.Str(2, 0) != "e" {
+		t.Errorf("gathered str = %q, want e", g.Str(2, 0))
+	}
+}
+
+func TestProjectZeroCopy(t *testing.T) {
+	r := NewEmpty("t", testSchema())
+	r.AppendRow(1, 2.5, "a")
+	p := r.Project("p", []int{2, 0})
+	if len(p.Schema) != 2 || p.Schema[0].Name != "name" || p.Schema[1].Name != "id" {
+		t.Fatalf("projected schema = %v", p.Schema)
+	}
+	if p.N != 1 || p.Str(0, 0) != "a" || p.Int(1, 0) != 1 {
+		t.Fatal("projected values wrong")
+	}
+	// Zero copy: mutating the base shows through the projection.
+	r.Cols[0].Ints[0] = 42
+	if p.Int(1, 0) != 42 {
+		t.Error("Project should share column storage")
+	}
+}
+
+func TestValueBoxed(t *testing.T) {
+	r := NewEmpty("t", testSchema())
+	r.AppendRow(7, 1.5, "x")
+	if r.Value(0, 0) != int64(7) || r.Value(1, 0) != 1.5 || r.Value(2, 0) != "x" {
+		t.Errorf("Value boxed accessors wrong: %v %v %v", r.Value(0, 0), r.Value(1, 0), r.Value(2, 0))
+	}
+}
+
+func TestCatalogBasics(t *testing.T) {
+	c := NewCatalog()
+	r := NewEmpty("orders", testSchema())
+	c.Register(r)
+	got, err := c.Relation("orders")
+	if err != nil || got != r {
+		t.Fatalf("Relation(orders) = %v, %v", got, err)
+	}
+	if _, err := c.Relation("nope"); err == nil {
+		t.Fatal("Relation(nope) should error")
+	}
+	if names := c.Names(); !reflect.DeepEqual(names, []string{"orders"}) {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestCatalogMustRelationPanics(t *testing.T) {
+	c := NewCatalog()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRelation on unknown table should panic")
+		}
+	}()
+	c.MustRelation("nope")
+}
+
+func TestCatalogPKFK(t *testing.T) {
+	c := NewCatalog()
+	c.SetPrimaryKey("gids", "id")
+	c.AddForeignKey(ForeignKey{ChildTable: "zipf", ChildColumn: "z", ParentTable: "gids", ParentColumn: "id"})
+
+	isPKFK, pkLeft := c.IsPKFK("gids", "id", "zipf", "z")
+	if !isPKFK || !pkLeft {
+		t.Errorf("IsPKFK(gids.id, zipf.z) = %v, %v; want true, true", isPKFK, pkLeft)
+	}
+	isPKFK, pkLeft = c.IsPKFK("zipf", "z", "gids", "id")
+	if !isPKFK || pkLeft {
+		t.Errorf("IsPKFK(zipf.z, gids.id) = %v, %v; want true, false", isPKFK, pkLeft)
+	}
+	if got, _ := c.IsPKFK("zipf", "z", "zipf", "z"); got {
+		t.Error("self join on fk should not be pk-fk")
+	}
+	if pk := c.PrimaryKey("gids"); pk != "id" {
+		t.Errorf("PrimaryKey(gids) = %q", pk)
+	}
+}

@@ -1,0 +1,71 @@
+// Package storage provides the in-memory storage substrate of the engine:
+// typed columns, schemas, relations addressed by record id (rid), and a
+// catalog with key metadata. Relations are stored column-major for compact
+// memory layout, while execution remains row-oriented (operators iterate rid
+// by rid), matching the paper's single-threaded row-oriented model.
+package storage
+
+import "fmt"
+
+// Type identifies the runtime type of a column.
+type Type uint8
+
+const (
+	// TInt is a 64-bit signed integer column. Dates are stored as TInt
+	// (days since 1970-01-01).
+	TInt Type = iota
+	// TFloat is a 64-bit IEEE float column.
+	TFloat
+	// TString is a string column.
+	TString
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "INT"
+	case TFloat:
+		return "FLOAT"
+	case TString:
+		return "STRING"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Field is a named, typed attribute of a schema.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of fields.
+type Schema []Field
+
+// Col returns the index of the named field, or -1 if absent.
+func (s Schema) Col(name string) int {
+	for i, f := range s {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustCol returns the index of the named field and panics if absent.
+// It is intended for internal plan construction where the field is known
+// to exist; user-facing paths validate first.
+func (s Schema) MustCol(name string) int {
+	c := s.Col(name)
+	if c < 0 {
+		panic(fmt.Sprintf("storage: schema has no column %q", name))
+	}
+	return c
+}
+
+// Clone returns a deep copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}

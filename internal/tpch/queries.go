@@ -1,0 +1,132 @@
+package tpch
+
+import (
+	"smoke/internal/dates"
+	"smoke/internal/exec"
+	"smoke/internal/expr"
+	"smoke/internal/ops"
+)
+
+// revenue is SUM(l_extendedprice * (1 - l_discount)).
+func revenue() expr.Expr {
+	return expr.MulE(expr.C("l_extendedprice"), expr.SubE(expr.F(1), expr.C("l_discount")))
+}
+
+// Q1 is the pricing summary report (as the paper states it: a single
+// aggregation over lineitem with a high-selectivity shipdate filter; the
+// hash-based engine omits ORDER BY).
+//
+//	SELECT l_returnflag, l_linestatus, sum(l_quantity), sum(l_extendedprice),
+//	       sum(l_extendedprice*(1-l_discount)),
+//	       sum(l_extendedprice*(1-l_discount)*(1+l_tax)),
+//	       avg(l_quantity), avg(l_extendedprice), avg(l_discount), count(*)
+//	FROM lineitem WHERE l_shipdate < '1998-12-01'
+//	GROUP BY l_returnflag, l_linestatus
+func (db *DB) Q1() exec.Spec {
+	return exec.Spec{
+		Tables: []exec.TableRef{{
+			Rel:    db.Lineitem,
+			Filter: expr.LtE(expr.C("l_shipdate"), expr.I(dates.FromCivil(1998, 12, 1))),
+		}},
+		Keys: []exec.KeyRef{{Table: 0, Col: "l_returnflag"}, {Table: 0, Col: "l_linestatus"}},
+		Aggs: []exec.AggRef{
+			{Fn: ops.Sum, Table: 0, Arg: expr.C("l_quantity"), Name: "sum_qty"},
+			{Fn: ops.Sum, Table: 0, Arg: expr.C("l_extendedprice"), Name: "sum_base_price"},
+			{Fn: ops.Sum, Table: 0, Arg: revenue(), Name: "sum_disc_price"},
+			{Fn: ops.Sum, Table: 0, Arg: expr.MulE(revenue(), expr.AddE(expr.F(1), expr.C("l_tax"))), Name: "sum_charge"},
+			{Fn: ops.Avg, Table: 0, Arg: expr.C("l_quantity"), Name: "avg_qty"},
+			{Fn: ops.Avg, Table: 0, Arg: expr.C("l_extendedprice"), Name: "avg_price"},
+			{Fn: ops.Avg, Table: 0, Arg: expr.C("l_discount"), Name: "avg_disc"},
+			{Fn: ops.Count, Table: 0, Name: "count_order"},
+		},
+	}
+}
+
+// Q3 is the shipping priority query: customer ⋈ orders ⋈ lineitem, left-deep
+// with pk-fk joins, grouped by order.
+func (db *DB) Q3() exec.Spec {
+	cutoff := expr.I(dates.FromCivil(1995, 3, 15))
+	return exec.Spec{
+		Tables: []exec.TableRef{
+			{Rel: db.Customer, Filter: expr.EqE(expr.C("c_mktsegment"), expr.S("BUILDING"))},
+			{Rel: db.Orders, Filter: expr.LtE(expr.C("o_orderdate"), cutoff)},
+			{Rel: db.Lineitem, Filter: expr.GtE(expr.C("l_shipdate"), cutoff)},
+		},
+		Joins: []exec.JoinEdge{
+			{LeftTable: 0, LeftCol: "c_custkey", RightCol: "o_custkey"},
+			{LeftTable: 1, LeftCol: "o_orderkey", RightCol: "l_orderkey"},
+		},
+		Keys: []exec.KeyRef{
+			{Table: 1, Col: "o_orderkey"},
+			{Table: 1, Col: "o_orderdate"},
+			{Table: 1, Col: "o_shippriority"},
+		},
+		Aggs: []exec.AggRef{{Fn: ops.Sum, Table: 2, Arg: revenue(), Name: "revenue"}},
+	}
+}
+
+// Q10 is the returned-item reporting query: nation ⋈ customer ⋈ orders ⋈
+// lineitem with the returnflag filter on lineitem, grouped by customer.
+func (db *DB) Q10() exec.Spec {
+	lo := expr.I(dates.FromCivil(1993, 10, 1))
+	hi := expr.I(dates.FromCivil(1994, 1, 1))
+	return exec.Spec{
+		Tables: []exec.TableRef{
+			{Rel: db.Nation},
+			{Rel: db.Customer},
+			{Rel: db.Orders, Filter: expr.AndE(
+				expr.GeE(expr.C("o_orderdate"), lo),
+				expr.LtE(expr.C("o_orderdate"), hi),
+			)},
+			{Rel: db.Lineitem, Filter: expr.EqE(expr.C("l_returnflag"), expr.S("R"))},
+		},
+		Joins: []exec.JoinEdge{
+			{LeftTable: 0, LeftCol: "n_nationkey", RightCol: "c_nationkey"},
+			{LeftTable: 1, LeftCol: "c_custkey", RightCol: "o_custkey"},
+			{LeftTable: 2, LeftCol: "o_orderkey", RightCol: "l_orderkey"},
+		},
+		Keys: []exec.KeyRef{
+			{Table: 1, Col: "c_custkey"},
+			{Table: 1, Col: "c_name"},
+			{Table: 1, Col: "c_acctbal"},
+			{Table: 0, Col: "n_name"},
+		},
+		Aggs: []exec.AggRef{{Fn: ops.Sum, Table: 3, Arg: revenue(), Name: "revenue"}},
+	}
+}
+
+// Q12 is the shipping-modes query: orders ⋈ lineitem grouped by l_shipmode,
+// with the CASE WHEN priority counters expressed as filtered counts.
+func (db *DB) Q12() exec.Spec {
+	lo := expr.I(dates.FromCivil(1994, 1, 1))
+	hi := expr.I(dates.FromCivil(1995, 1, 1))
+	urgent := expr.InStr{E: expr.C("o_orderpriority"), Set: []string{"1-URGENT", "2-HIGH"}}
+	return exec.Spec{
+		Tables: []exec.TableRef{
+			{Rel: db.Orders},
+			{Rel: db.Lineitem, Filter: expr.AndE(
+				expr.InStr{E: expr.C("l_shipmode"), Set: []string{"MAIL", "SHIP"}},
+				expr.LtE(expr.C("l_commitdate"), expr.C("l_receiptdate")),
+				expr.LtE(expr.C("l_shipdate"), expr.C("l_commitdate")),
+				expr.GeE(expr.C("l_receiptdate"), lo),
+				expr.LtE(expr.C("l_receiptdate"), hi),
+			)},
+		},
+		Joins: []exec.JoinEdge{{LeftTable: 0, LeftCol: "o_orderkey", RightCol: "l_orderkey"}},
+		Keys:  []exec.KeyRef{{Table: 1, Col: "l_shipmode"}},
+		Aggs: []exec.AggRef{
+			{Fn: ops.Count, Table: 0, Filter: urgent, Name: "high_line_count"},
+			{Fn: ops.Count, Table: 0, Filter: expr.Not{E: urgent}, Name: "low_line_count"},
+		},
+	}
+}
+
+// Queries returns the four evaluation queries keyed by their paper names.
+func (db *DB) Queries() map[string]exec.Spec {
+	return map[string]exec.Spec{
+		"Q1":  db.Q1(),
+		"Q3":  db.Q3(),
+		"Q10": db.Q10(),
+		"Q12": db.Q12(),
+	}
+}

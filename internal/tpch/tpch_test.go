@@ -1,0 +1,157 @@
+package tpch
+
+import (
+	"testing"
+
+	"smoke/internal/dates"
+)
+
+func smallDB(t *testing.T) *DB {
+	t.Helper()
+	return Generate(0.002, 42) // ~3000 orders, ~12000 lineitems
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	db := smallDB(t)
+	if db.Nation.N != 25 {
+		t.Errorf("nation N = %d", db.Nation.N)
+	}
+	if db.Customer.N < 100 {
+		t.Errorf("customer N = %d", db.Customer.N)
+	}
+	if db.Orders.N < 1000 {
+		t.Errorf("orders N = %d", db.Orders.N)
+	}
+	if db.Lineitem.N < db.Orders.N {
+		t.Errorf("lineitem N = %d should exceed orders N = %d", db.Lineitem.N, db.Orders.N)
+	}
+	avgLines := float64(db.Lineitem.N) / float64(db.Orders.N)
+	if avgLines < 3.0 || avgLines > 5.0 {
+		t.Errorf("avg lines per order = %.2f, want ≈ 4", avgLines)
+	}
+}
+
+func TestForeignKeyIntegrity(t *testing.T) {
+	db := smallDB(t)
+	// Every l_orderkey references an existing order (keys are 1..N).
+	oc := db.Lineitem.Schema.MustCol("l_orderkey")
+	for i := 0; i < db.Lineitem.N; i++ {
+		k := db.Lineitem.Int(oc, i)
+		if k < 1 || k > int64(db.Orders.N) {
+			t.Fatalf("lineitem %d references order %d out of range", i, k)
+		}
+	}
+	cc := db.Orders.Schema.MustCol("o_custkey")
+	for i := 0; i < db.Orders.N; i++ {
+		k := db.Orders.Int(cc, i)
+		if k < 1 || k > int64(db.Customer.N) {
+			t.Fatalf("order %d references customer %d out of range", i, k)
+		}
+	}
+	nc := db.Customer.Schema.MustCol("c_nationkey")
+	for i := 0; i < db.Customer.N; i++ {
+		k := db.Customer.Int(nc, i)
+		if k < 0 || k >= 25 {
+			t.Fatalf("customer %d references nation %d out of range", i, k)
+		}
+	}
+}
+
+func TestPrimaryKeysUnique(t *testing.T) {
+	db := smallDB(t)
+	seen := map[int64]bool{}
+	kc := db.Orders.Schema.MustCol("o_orderkey")
+	for i := 0; i < db.Orders.N; i++ {
+		k := db.Orders.Int(kc, i)
+		if seen[k] {
+			t.Fatalf("duplicate o_orderkey %d", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestDateConsistency(t *testing.T) {
+	db := smallDB(t)
+	od := db.Orders.Schema.MustCol("o_orderdate")
+	sd := db.Lineitem.Schema.MustCol("l_shipdate")
+	rd := db.Lineitem.Schema.MustCol("l_receiptdate")
+	ok := db.Lineitem.Schema.MustCol("l_orderkey")
+	lo := dates.FromCivil(1992, 1, 1)
+	hi := dates.FromCivil(1999, 6, 1)
+	for i := 0; i < db.Lineitem.N; i++ {
+		orderRid := db.Lineitem.Int(ok, i) - 1
+		odate := db.Orders.Int(od, int(orderRid))
+		ship := db.Lineitem.Int(sd, i)
+		recv := db.Lineitem.Int(rd, i)
+		if ship <= odate {
+			t.Fatalf("lineitem %d shipped before its order", i)
+		}
+		if recv <= ship {
+			t.Fatalf("lineitem %d received before shipped", i)
+		}
+		if ship < lo || ship > hi {
+			t.Fatalf("lineitem %d shipdate out of range", i)
+		}
+	}
+}
+
+func TestReturnFlagRule(t *testing.T) {
+	db := smallDB(t)
+	rf := db.Lineitem.Schema.MustCol("l_returnflag")
+	rd := db.Lineitem.Schema.MustCol("l_receiptdate")
+	cutoff := dates.FromCivil(1995, 6, 17)
+	sawR := false
+	for i := 0; i < db.Lineitem.N; i++ {
+		flag := db.Lineitem.Str(rf, i)
+		if db.Lineitem.Int(rd, i) <= cutoff {
+			if flag != "R" && flag != "A" {
+				t.Fatalf("early lineitem %d has flag %q", i, flag)
+			}
+			if flag == "R" {
+				sawR = true
+			}
+		} else if flag != "N" {
+			t.Fatalf("late lineitem %d has flag %q", i, flag)
+		}
+	}
+	if !sawR {
+		t.Fatal("no R lineitems generated; Q10's filter would be empty")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(0.001, 7)
+	b := Generate(0.001, 7)
+	if a.Lineitem.N != b.Lineitem.N {
+		t.Fatal("same seed produced different sizes")
+	}
+	pc := a.Lineitem.Schema.MustCol("l_extendedprice")
+	for i := 0; i < a.Lineitem.N; i += 97 {
+		if a.Lineitem.Float(pc, i) != b.Lineitem.Float(pc, i) {
+			t.Fatal("same seed produced different values")
+		}
+	}
+}
+
+func TestCatalogMetadata(t *testing.T) {
+	db := smallDB(t)
+	isPKFK, pkLeft := db.Catalog.IsPKFK("orders", "o_orderkey", "lineitem", "l_orderkey")
+	if !isPKFK || !pkLeft {
+		t.Fatal("orders-lineitem pk-fk not declared")
+	}
+	if _, err := db.Catalog.Relation("lineitem"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuerySpecsWellFormed(t *testing.T) {
+	db := smallDB(t)
+	for name, spec := range db.Queries() {
+		if len(spec.Tables) == 0 || len(spec.Keys) == 0 || len(spec.Aggs) == 0 {
+			t.Errorf("%s: malformed spec", name)
+		}
+		if len(spec.Joins) != len(spec.Tables)-1 {
+			t.Errorf("%s: %d joins for %d tables", name, len(spec.Joins), len(spec.Tables))
+		}
+	}
+}

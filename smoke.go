@@ -1,0 +1,162 @@
+// Package smoke is a Go reproduction of "Smoke: Fine-grained Lineage at
+// Interactive Speed" (Psallidas & Wu, VLDB 2018): an in-memory,
+// single-threaded, hash-based query engine that captures record-level
+// (rid-to-rid) lineage inside its physical operators with low overhead and
+// answers backward/forward lineage queries — and lineage-consuming queries —
+// at interactive speed.
+//
+// The root package re-exports the engine facade (internal/core), the storage
+// and expression substrates, and the capture knobs, so applications program
+// against one import:
+//
+//	db := smoke.Open()
+//	db.Register(rel)
+//	res, err := db.Query().
+//	    From("lineitem", smoke.LtE(smoke.C("l_shipdate"), smoke.I(cutoff))).
+//	    GroupBy("l_returnflag", "l_linestatus").
+//	    Agg(smoke.Sum, smoke.C("l_quantity"), "sum_qty").
+//	    Run(smoke.CaptureOptions{Mode: smoke.Inject})
+//	rids, err := res.Backward("lineitem", []smoke.Rid{0})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package smoke
+
+import (
+	"smoke/internal/core"
+	"smoke/internal/cube"
+	"smoke/internal/expr"
+	"smoke/internal/lineage"
+	"smoke/internal/ops"
+	"smoke/internal/storage"
+)
+
+// Engine facade.
+type (
+	// DB is an in-memory database instance.
+	DB = core.DB
+	// Query builds an SPJA block.
+	Query = core.Query
+	// Result is an executed base query with its captured lineage.
+	Result = core.Result
+	// CaptureOptions selects instrumentation and workload-aware optimizations.
+	CaptureOptions = core.CaptureOptions
+	// Rid is a record id within a relation.
+	Rid = lineage.Rid
+)
+
+// Open returns an empty database.
+func Open() *DB { return core.Open() }
+
+// Storage substrate.
+type (
+	// Relation is an in-memory table addressed by rid.
+	Relation = storage.Relation
+	// Schema is an ordered list of fields.
+	Schema = storage.Schema
+	// Field is a named, typed attribute.
+	Field = storage.Field
+	// Type identifies a column type.
+	Type = storage.Type
+)
+
+// Column types.
+const (
+	TInt    = storage.TInt
+	TFloat  = storage.TFloat
+	TString = storage.TString
+)
+
+// NewRelation allocates a relation with n zero-valued rows.
+func NewRelation(name string, schema Schema, n int) *Relation {
+	return storage.NewRelation(name, schema, n)
+}
+
+// NewEmpty allocates an empty relation for AppendRow-style construction.
+func NewEmpty(name string, schema Schema) *Relation { return storage.NewEmpty(name, schema) }
+
+// Capture modes (§3.2): Baseline / Inject / Defer.
+const (
+	// NoCapture runs the base query without lineage capture.
+	NoCapture = ops.None
+	// Inject captures lineage inside operator execution.
+	Inject = ops.Inject
+	// Defer postpones index construction until after execution.
+	Defer = ops.Defer
+)
+
+// CaptureMode selects the instrumentation paradigm.
+type CaptureMode = ops.CaptureMode
+
+// Directions selects which lineage directions to capture.
+type Directions = ops.Directions
+
+// Direction values; pruning the unused one is the §4.1 optimization.
+const (
+	CaptureBackward = ops.CaptureBackward
+	CaptureForward  = ops.CaptureForward
+	CaptureBoth     = ops.CaptureBoth
+)
+
+// Aggregation functions.
+type AggFn = ops.AggFn
+
+// Supported aggregates (algebraic and distributive, plus COUNT DISTINCT for
+// profiling workloads).
+const (
+	Count         = ops.Count
+	Sum           = ops.Sum
+	Avg           = ops.Avg
+	Min           = ops.Min
+	Max           = ops.Max
+	CountDistinct = ops.CountDistinct
+)
+
+// GroupBySpec describes a hash aggregation for consuming queries.
+type GroupBySpec = ops.GroupBySpec
+
+// AggSpec is one aggregate in a GroupBySpec.
+type AggSpec = ops.AggSpec
+
+// Expression language.
+type (
+	// Expr is an expression tree node.
+	Expr = expr.Expr
+	// Params binds named parameters at compile time.
+	Params = expr.Params
+)
+
+// Expression constructors (see internal/expr for the full AST).
+var (
+	// C references a column.
+	C = expr.C
+	// I is an integer literal.
+	I = expr.I
+	// F is a float literal.
+	F = expr.F
+	// S is a string literal.
+	S = expr.S
+	// P is a named parameter (:name).
+	P = expr.P
+	// EqE, LtE, LeE, GtE, GeE build comparisons.
+	EqE = expr.EqE
+	LtE = expr.LtE
+	LeE = expr.LeE
+	GtE = expr.GtE
+	GeE = expr.GeE
+	// AndE conjoins expressions; MulE/SubE/AddE build arithmetic.
+	AndE = expr.AndE
+	MulE = expr.MulE
+	SubE = expr.SubE
+	AddE = expr.AddE
+)
+
+// Group-by push-down (partial data cubes, §4.2).
+type (
+	// CubeSpec declares drill-down dimensions and per-cell aggregates.
+	CubeSpec = cube.Spec
+	// CubeAgg is one materialized aggregate per cube cell.
+	CubeAgg = cube.AggDef
+	// Cube is the materialized result, queryable per output group.
+	Cube = cube.Cube
+)

@@ -1,0 +1,177 @@
+package smoke_test
+
+import (
+	"sort"
+	"testing"
+
+	"smoke"
+)
+
+// These tests exercise the library through the public facade only — the way
+// a downstream user consumes it.
+
+func salesDB(t *testing.T) (*smoke.DB, *smoke.Relation) {
+	t.Helper()
+	rel := smoke.NewEmpty("sales", smoke.Schema{
+		{Name: "region", Type: smoke.TString},
+		{Name: "product", Type: smoke.TString},
+		{Name: "amount", Type: smoke.TFloat},
+		{Name: "qty", Type: smoke.TInt},
+	})
+	rows := []struct {
+		r, p string
+		a    float64
+		q    int
+	}{
+		{"east", "widget", 120, 2}, {"east", "gadget", 80, 1}, {"west", "widget", 200, 4},
+		{"west", "widget", 40, 1}, {"east", "widget", 60, 1}, {"west", "gadget", 90, 3},
+	}
+	for _, x := range rows {
+		rel.AppendRow(x.r, x.p, x.a, x.q)
+	}
+	db := smoke.Open()
+	db.Register(rel)
+	return db, rel
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	db, rel := salesDB(t)
+	res, err := db.Query().
+		From("sales", nil).
+		GroupBy("region").
+		Agg(smoke.Sum, smoke.C("amount"), "revenue").
+		Agg(smoke.Count, nil, "orders").
+		Run(smoke.CaptureOptions{Mode: smoke.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N != 2 {
+		t.Fatalf("groups = %d", res.Out.N)
+	}
+	for o := 0; o < res.Out.N; o++ {
+		back, err := res.Backward("sales", []smoke.Rid{smoke.Rid(o)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		region := res.Out.Str(0, o)
+		sum := 0.0
+		for _, rid := range back {
+			if rel.Str(0, int(rid)) != region {
+				t.Fatal("lineage crosses groups")
+			}
+			sum += rel.Float(2, int(rid))
+		}
+		if sum != res.Out.Float(1, o) {
+			t.Fatalf("group %s: lineage sums to %v, output says %v", region, sum, res.Out.Float(1, o))
+		}
+		fwd, err := res.Forward("sales", back[:1])
+		if err != nil || len(fwd) != 1 || fwd[0] != smoke.Rid(o) {
+			t.Fatalf("forward(backward) != identity: %v, %v", fwd, err)
+		}
+	}
+}
+
+func TestPublicAPIWithFilterAndParams(t *testing.T) {
+	db, _ := salesDB(t)
+	res, err := db.Query().
+		From("sales", smoke.GeE(smoke.C("amount"), smoke.P("min"))).
+		GroupBy("product").
+		Agg(smoke.Avg, smoke.C("amount"), "avg_amount").
+		Run(smoke.CaptureOptions{Mode: smoke.Defer, Params: smoke.Params{"min": 80.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows with amount < 80 must be invisible to lineage.
+	for o := 0; o < res.Out.N; o++ {
+		back, _ := res.Backward("sales", []smoke.Rid{smoke.Rid(o)})
+		for _, rid := range back {
+			if rid == 3 || rid == 4 { // amounts 40 and 60
+				t.Fatal("filtered row leaked into lineage")
+			}
+		}
+	}
+}
+
+func TestPublicAPIDataSkippingAndCube(t *testing.T) {
+	db, rel := salesDB(t)
+	res, err := db.Query().
+		From("sales", nil).
+		GroupBy("region").
+		Agg(smoke.Sum, smoke.C("amount"), "revenue").
+		Run(smoke.CaptureOptions{
+			Mode:        smoke.Inject,
+			PartitionBy: []string{"product"},
+			Cube: &smoke.CubeSpec{
+				Dims: []string{"product"},
+				Aggs: []smoke.CubeAgg{{Fn: smoke.Sum, Arg: smoke.C("amount"), Name: "revenue"}},
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := res.BackwardPartition(0, []any{"widget"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rid := range part {
+		if rel.Str(1, int(rid)) != "widget" {
+			t.Fatal("partition holds non-widget rows")
+		}
+	}
+	ans, err := res.Cube().Query(0, map[string]any{"product": "widget"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.N != 1 {
+		t.Fatalf("cube cells = %d", ans.N)
+	}
+	// Cube cell must equal summing the partition directly.
+	sum := 0.0
+	for _, rid := range part {
+		sum += rel.Float(2, int(rid))
+	}
+	if ans.Float(1, 0) != sum {
+		t.Fatalf("cube revenue %v != partition sum %v", ans.Float(1, 0), sum)
+	}
+}
+
+func TestPublicAPILinkedBrushing(t *testing.T) {
+	// The Figure 1 pattern through the facade: backward from one view,
+	// forward into another.
+	db, _ := salesDB(t)
+	v1, err := db.Query().From("sales", nil).GroupBy("region").
+		Agg(smoke.Count, nil, "c").
+		Run(smoke.CaptureOptions{Mode: smoke.Inject, Dirs: smoke.CaptureBackward})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := db.Query().From("sales", nil).GroupBy("product").
+		Agg(smoke.Count, nil, "c").
+		Run(smoke.CaptureOptions{Mode: smoke.Inject, Dirs: smoke.CaptureForward})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brush "east" in v1 → X records → bars in v2.
+	var east smoke.Rid = -1
+	for o := 0; o < v1.Out.N; o++ {
+		if v1.Out.Str(0, o) == "east" {
+			east = smoke.Rid(o)
+		}
+	}
+	back, err := v1.BackwardDistinct("sales", []smoke.Rid{east})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bars, err := v2.ForwardDistinct("sales", back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{}
+	for _, b := range bars {
+		names = append(names, v2.Out.Str(0, int(b)))
+	}
+	sort.Strings(names)
+	if len(names) != 2 || names[0] != "gadget" || names[1] != "widget" {
+		t.Fatalf("highlighted bars = %v", names)
+	}
+}
