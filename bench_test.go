@@ -72,3 +72,8 @@ func BenchmarkFig22_PruningRelations(b *testing.B) { runExp(b, "fig22") }
 
 // Figure 23 (Appendix G.2): selection push-down crossover.
 func BenchmarkFig23_SelectionPushdown(b *testing.B) { runExp(b, "fig23") }
+
+// Beyond-paper: morsel-parallel worker scaling (workers = 1/2/4/8) for the
+// select and group-by microbenches, with a serial-vs-parallel lineage
+// equality gate. cmd/smokebench -exp parscale emits BENCH_parallel.json.
+func BenchmarkParScale_WorkerScaling(b *testing.B) { runExp(b, "parscale") }

@@ -34,7 +34,7 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Scale: *scale, Reps: *reps, W: os.Stdout}
+	cfg := bench.Config{Scale: *scale, Reps: *reps, W: os.Stdout, JSONDir: "."}
 	runners := bench.Experiments()
 
 	var ids []string

@@ -1,0 +1,3 @@
+module smoke
+
+go 1.24

@@ -24,6 +24,10 @@ type Config struct {
 	Reps int
 	// W receives the experiment's rows.
 	W io.Writer
+	// JSONDir, when non-empty, is where experiments that emit
+	// machine-readable results (e.g. parscale's BENCH_parallel.json) write
+	// them; empty suppresses the files (tests and benchmarks).
+	JSONDir string
 }
 
 // DefaultConfig returns the small-scale configuration.
@@ -79,21 +83,22 @@ type Runner func(Config) error
 // runners.
 func Experiments() map[string]Runner {
 	return map[string]Runner{
-		"fig5":   Fig5,
-		"fig5tc": Fig5TC,
-		"fig6":   Fig6,
-		"fig7":   Fig7,
-		"fig8":   Fig8,
-		"fig9":   Fig9,
-		"fig10":  Fig10,
-		"fig11":  Fig11,
-		"fig12":  Fig12,
-		"fig13":  Fig13,
-		"fig14":  Fig14,
-		"fig15":  Fig15,
-		"fig21":  Fig21,
-		"fig22":  Fig22,
-		"fig23":  Fig23,
+		"fig5":     Fig5,
+		"fig5tc":   Fig5TC,
+		"fig6":     Fig6,
+		"fig7":     Fig7,
+		"fig8":     Fig8,
+		"fig9":     Fig9,
+		"fig10":    Fig10,
+		"fig11":    Fig11,
+		"fig12":    Fig12,
+		"fig13":    Fig13,
+		"fig14":    Fig14,
+		"fig15":    Fig15,
+		"fig21":    Fig21,
+		"fig22":    Fig22,
+		"fig23":    Fig23,
+		"parscale": ParScale,
 	}
 }
 
@@ -102,5 +107,6 @@ func Order() []string {
 	return []string{
 		"fig5", "fig5tc", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig21", "fig22", "fig23",
+		"parscale",
 	}
 }

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"time"
+
+	"smoke/internal/datagen"
+	"smoke/internal/expr"
+	"smoke/internal/ops"
+	"smoke/internal/pool"
+)
+
+// ParScale is the worker-scaling experiment for the morsel-parallel engine:
+// the select and group-by microbenchmarks (§6.1) run end-to-end (execute +
+// capture, Inject, both directions) at workers = 1/2/4/8 over one shared
+// pool. Before timing, it asserts that every parallel run's lineage is
+// element-for-element identical to the serial run — scaling numbers for
+// wrong lineage would be meaningless. Results also land in
+// BENCH_parallel.json (the perf-trajectory record; see DESIGN.md).
+//
+// Speedups track physical core count: expect ~1x at every worker count on a
+// single-core machine and >= 2x at workers=4 on >= 4 cores.
+func ParScale(cfg Config) error {
+	n := 1_000_000
+	groups := 10_000
+	if cfg.paper() {
+		n = 10_000_000
+	}
+	workerCounts := []int{1, 2, 4, 8}
+	p := pool.New(workerCounts[len(workerCounts)-1])
+	defer p.Close()
+
+	rel := datagen.Zipf("zipf", 1.0, n, groups, 42)
+	pred, err := expr.CompilePred(expr.LtE(expr.C("v"), expr.F(50)), rel, nil)
+	if err != nil {
+		return err
+	}
+	aggSpec := microAggSpec()
+
+	// Correctness gate: parallel lineage must equal serial lineage.
+	serialSel := ops.Select(rel.N, pred, ops.SelectOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+	serialAgg, err := ops.HashAgg(rel, nil, aggSpec, ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+	if err != nil {
+		return err
+	}
+	for _, w := range workerCounts[1:] {
+		sres := ops.Select(rel.N, pred, ops.SelectOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth, Workers: w, Pool: p})
+		if !reflect.DeepEqual(sres.BW, serialSel.BW) || !reflect.DeepEqual(sres.FW, serialSel.FW) {
+			return fmt.Errorf("parscale: select lineage at workers=%d differs from serial", w)
+		}
+		ares, err := ops.HashAgg(rel, nil, aggSpec, ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth, Workers: w, Pool: p})
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(ares.FW, serialAgg.FW) {
+			return fmt.Errorf("parscale: group-by forward lineage at workers=%d differs from serial", w)
+		}
+		for g := 0; g < serialAgg.BW.Len(); g++ {
+			sl, pl := serialAgg.BW.List(g), ares.BW.List(g)
+			if len(sl) != len(pl) || (len(sl) > 0 && !reflect.DeepEqual(sl, pl)) {
+				return fmt.Errorf("parscale: group-by backward lineage at workers=%d differs from serial (group %d)", w, g)
+			}
+		}
+	}
+
+	type row struct {
+		Op      string  `json:"op"`
+		Workers int     `json:"workers"`
+		Ms      float64 `json:"ms"`
+		Speedup float64 `json:"speedup_vs_serial"`
+	}
+	report := struct {
+		Tuples  int    `json:"tuples"`
+		Groups  int    `json:"groups"`
+		Cores   int    `json:"cores"`
+		Mode    string `json:"mode"`
+		Rows    []row  `json:"rows"`
+		Created string `json:"created"`
+	}{Tuples: n, Groups: groups, Cores: runtime.NumCPU(), Mode: "inject+both", Created: time.Now().Format(time.RFC3339)}
+
+	cfg.printf("Figure P (beyond-paper): worker scaling, execute+capture latency (ms; speedup vs workers=1), %d tuples, %d cores\n", n, report.Cores)
+	cfg.printf("%-10s", "op")
+	for _, w := range workerCounts {
+		cfg.printf(" %-16s", fmt.Sprintf("workers=%d", w))
+	}
+	cfg.printf("\n")
+
+	run := func(op string, f func(w int)) {
+		var serial time.Duration
+		cfg.printf("%-10s", op)
+		for _, w := range workerCounts {
+			w := w
+			d := cfg.Median(func() { f(w) })
+			if w == 1 {
+				serial = d
+			}
+			sp := float64(serial) / float64(d)
+			report.Rows = append(report.Rows, row{Op: op, Workers: w, Ms: ms(d), Speedup: sp})
+			cfg.printf(" %-16s", fmt.Sprintf("%.1f (%.2fx)", ms(d), sp))
+		}
+		cfg.printf("\n")
+	}
+	run("select", func(w int) {
+		ops.Select(rel.N, pred, ops.SelectOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth, Workers: w, Pool: p})
+	})
+	run("groupby", func(w int) {
+		_, err := ops.HashAgg(rel, nil, aggSpec, ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth, Workers: w, Pool: p})
+		must(err)
+	})
+
+	if cfg.JSONDir != "" {
+		path := filepath.Join(cfg.JSONDir, "BENCH_parallel.json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&report); err != nil {
+			return err
+		}
+		cfg.printf("wrote %s\n", path)
+	}
+	return nil
+}

@@ -5,31 +5,83 @@
 // group-by push-down); a Result answers backward/forward lineage queries and
 // executes lineage-consuming queries over the captured indexes.
 //
+// Execution is morsel-parallel: Open(WithWorkers(n)) shares a worker pool
+// across queries, each query splits its scans into contiguous row-range
+// partitions with partition-local lineage capture, and the merged result is
+// identical to the workers=1 (serial) specialization that reproduces the
+// paper's experiments. A DB is safe for concurrent Query().Run() calls.
+//
 // The root package smoke re-exports this API for library users.
 package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"smoke/internal/cube"
 	"smoke/internal/exec"
 	"smoke/internal/expr"
 	"smoke/internal/lineage"
 	"smoke/internal/ops"
+	"smoke/internal/pool"
 	"smoke/internal/storage"
 )
 
 // Rid is a record id within a relation.
 type Rid = lineage.Rid
 
-// DB is an in-memory database instance.
+// DB is an in-memory database instance. A DB is safe for concurrent use:
+// queries may Run concurrently with each other (and with Register calls)
+// from any number of goroutines, sharing one worker pool.
 type DB struct {
-	cat *storage.Catalog
+	cat     *storage.Catalog
+	workers int
+
+	mu     sync.Mutex // guards pool creation and closed
+	pool   *pool.Pool
+	closed bool
 }
 
-// Open returns an empty database.
-func Open() *DB {
-	return &DB{cat: storage.NewCatalog()}
+// Option configures a DB at Open time.
+type Option func(*DB)
+
+// WithWorkers sets the DB's default intra-query parallelism: queries run
+// their morsel-parallel kernels over a shared pool of n workers (n <= 1
+// keeps the serial specialization, the paper's original execution model).
+// Per-query CaptureOptions.Parallelism overrides the default.
+func WithWorkers(n int) Option {
+	return func(db *DB) {
+		if n < 1 {
+			n = 1
+		}
+		db.workers = n
+	}
+}
+
+// Open returns an empty database. The worker pool is created lazily by the
+// first parallel query (sharedPool), so a DB that never runs one spawns no
+// goroutines.
+func Open(opts ...Option) *DB {
+	db := &DB{cat: storage.NewCatalog(), workers: 1}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
+
+// Workers returns the DB's default intra-query parallelism.
+func (db *DB) Workers() int { return db.workers }
+
+// Close releases the DB's worker-pool goroutines. It is idempotent, safe on
+// a never-parallel DB, and safe to call while queries are in flight (they
+// finish normally; the pool drains once the last one releases it). Queries
+// run after Close execute serially.
+func (db *DB) Close() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.closed = true
+	db.pool.Close()
 }
 
 // Register adds a relation under its own name.
@@ -66,6 +118,65 @@ type CaptureOptions struct {
 	Cube *cube.Spec
 	// Params binds named expression parameters.
 	Params expr.Params
+	// Parallelism overrides the DB's worker count for this query: 0 uses
+	// the DB default (Open(WithWorkers(n))), 1 forces the serial path, and
+	// n > 1 runs the morsel-parallel kernels with n partitions. Parallel
+	// runs produce lineage identical to serial runs; float aggregates (SUM,
+	// AVG) can differ in the final ulp because partial sums accumulate per
+	// partition (addition order), all other output is identical.
+	Parallelism int
+}
+
+// workers resolves the effective parallelism for a query against db's
+// default. The morsel count is clamped to a small multiple of the pool's
+// worker count: more morsels than that adds partition-local state (hash
+// tables, accumulators) without adding concurrency, so an absurd override
+// (e.g. derived from data size) cannot balloon memory.
+func (o CaptureOptions) workers(db *DB) (int, *pool.Pool) {
+	w := o.Parallelism
+	if w == 0 {
+		w = db.workers
+	}
+	if w <= 1 {
+		return 1, nil
+	}
+	pl := db.sharedPool(w)
+	if pl == nil {
+		return 1, nil // closed DB: serial fallback
+	}
+	if max := 4 * pl.Workers(); w > max {
+		w = max
+	}
+	return w, pl
+}
+
+// sharedPool returns the DB's pool, creating it on first parallel use, or
+// nil once the DB is closed. The pool is never replaced once created
+// (replacing would leak the old pool's worker goroutines, and closing it
+// could race with queries still using it): a Parallelism override larger
+// than the pool still splits the query into that many morsels, which
+// multiplex onto the existing workers. Worker count is the operator's
+// explicit Open(WithWorkers(n)) choice; a per-query override can only size
+// the pool up to GOMAXPROCS, so one query passing a huge Parallelism (e.g.
+// derived from data size) cannot spawn unbounded long-lived goroutines.
+func (db *DB) sharedPool(w int) *pool.Pool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	if db.pool == nil {
+		n := db.workers
+		if n < 2 {
+			// Pool sized by a Parallelism override rather than Open.
+			n = w
+			if g := runtime.GOMAXPROCS(0); n > g {
+				n = g
+			}
+		}
+		db.pool = pool.New(n)
+	}
+	return db.pool
 }
 
 func (o CaptureOptions) dirs() ops.Directions {
@@ -240,6 +351,7 @@ func (q *Query) Run(opts CaptureOptions) (*Result, error) {
 func (q *Query) runSingle(opts CaptureOptions) (*Result, error) {
 	rel := q.tables[0].Rel
 	name := q.names[0]
+	workers, pl := opts.workers(q.db)
 
 	// Pipelined filter: materialize the selected rid set once; the group-by
 	// runs over it and lineage rids stay base-relation rids.
@@ -249,7 +361,10 @@ func (q *Query) runSingle(opts CaptureOptions) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		sres := ops.Select(rel.N, pred, ops.SelectOpts{Mode: ops.None})
+		// Select guarantees a non-nil OutRids under Mode None even for zero
+		// matches — load-bearing here, because a nil rid subset means "all
+		// rows" to HashAgg.
+		sres := ops.Select(rel.N, pred, ops.SelectOpts{Mode: ops.None, Workers: workers, Pool: pl})
 		inRids = sres.OutRids
 	}
 
@@ -274,6 +389,7 @@ func (q *Query) runSingle(opts CaptureOptions) (*Result, error) {
 		Params:         opts.Params,
 		PushdownFilter: opts.PushdownFilter,
 		PartitionBy:    opts.PartitionBy,
+		Workers:        workers, Pool: pl,
 	}
 	var cb *cube.Builder
 	if opts.Cube != nil {
@@ -310,6 +426,7 @@ func (q *Query) runSingle(opts CaptureOptions) (*Result, error) {
 
 func (q *Query) runSPJA(opts CaptureOptions) (*Result, error) {
 	eopts := exec.Opts{Mode: opts.Mode, Dirs: opts.dirs(), Params: opts.Params}
+	eopts.Workers, eopts.Pool = opts.workers(q.db)
 	if opts.TableDirs != nil {
 		eopts.TableDirs = make([]ops.Directions, len(q.tables))
 		for i, n := range q.names {
@@ -394,7 +511,9 @@ func (r *Result) Cube() *cube.Cube { return r.cube }
 // rid subset (typically the result of Backward), itself instrumented with the
 // given options — consuming queries can act as base queries for further
 // lineage queries (§2.1), which is how Q1b becomes the base query of Q1c.
-// Only single-table results support this.
+// Only single-table results support this. Consuming queries always run the
+// serial kernels: backward rid sets preserve duplicates (transformational
+// semantics), and the morsel-parallel aggregation requires distinct rids.
 func (r *Result) ConsumeGroupBy(rids []Rid, spec ops.GroupBySpec, opts CaptureOptions) (*Result, error) {
 	if r.baseRel == nil {
 		return nil, fmt.Errorf("core: consuming queries are supported over single-table results")

@@ -6,6 +6,7 @@ import (
 	"smoke/internal/expr"
 	"smoke/internal/lineage"
 	"smoke/internal/ops"
+	"smoke/internal/pool"
 	"smoke/internal/storage"
 )
 
@@ -79,6 +80,12 @@ type nodeOut struct {
 type PlanOpts struct {
 	Mode   ops.CaptureMode
 	Params expr.Params
+	// Workers > 1 runs the morsel-parallel operator kernels (selection scans
+	// and hash aggregations) where their merge semantics apply; other
+	// operators run serially. Workers <= 1 is fully serial.
+	Workers int
+	// Pool schedules parallel kernels; nil runs them inline.
+	Pool *pool.Pool
 }
 
 // RunPlan executes a plan tree with end-to-end lineage capture.
@@ -147,7 +154,9 @@ func runNode(n Node, opts PlanOpts) (nodeOut, error) {
 		if capture {
 			selMode = ops.Inject
 		}
-		sres := ops.Select(child.rel.N, pred, ops.SelectOpts{Mode: selMode, Dirs: ops.CaptureBoth})
+		sres := ops.Select(child.rel.N, pred, ops.SelectOpts{
+			Mode: selMode, Dirs: ops.CaptureBoth, Workers: opts.Workers, Pool: opts.Pool,
+		})
 		rel := child.rel.Gather(child.rel.Name+"_f", sres.OutRids)
 		if !capture {
 			return nodeOut{rel: rel, bw: child.bw, fw: child.fw}, nil
@@ -186,7 +195,9 @@ func runNode(n Node, opts PlanOpts) (nodeOut, error) {
 			}
 			dirs = ops.CaptureBoth
 		}
-		ares, err := ops.HashAgg(child.rel, nil, node.Spec, ops.AggOpts{Mode: aggMode, Dirs: dirs, Params: opts.Params})
+		ares, err := ops.HashAgg(child.rel, nil, node.Spec, ops.AggOpts{
+			Mode: aggMode, Dirs: dirs, Params: opts.Params, Workers: opts.Workers, Pool: opts.Pool,
+		})
 		if err != nil {
 			return nodeOut{}, err
 		}

@@ -6,6 +6,13 @@
 // output directly to every base relation — no intermediate lineage is
 // materialized (the propagation technique). A generic per-operator plan
 // runner with index composition covers arbitrary plans (plan.go).
+//
+// The block executor is morsel-parallel (spja_parallel.go): join chains
+// build serially, then the final pipeline — where all aggregation and
+// capture work happens — runs over contiguous row-range partitions of the
+// last table's scan, each with a partition-local aggregation and
+// partition-local lineage, merged in partition order into the exact serial
+// result. Workers <= 1 in Opts is the serial specialization.
 package exec
 
 import (
@@ -17,6 +24,7 @@ import (
 	"smoke/internal/hashtab"
 	"smoke/internal/lineage"
 	"smoke/internal/ops"
+	"smoke/internal/pool"
 	"smoke/internal/storage"
 )
 
@@ -71,6 +79,15 @@ type Opts struct {
 	TableDirs []ops.Directions
 	// Params binds expression parameters in filters and aggregates.
 	Params expr.Params
+	// Workers > 1 runs the final pipeline morsel-parallel: the join chain
+	// builds serially (its hash tables are then probed read-only), the last
+	// table's scan splits into contiguous partitions each feeding a
+	// partition-local aggregation with partition-local capture, and the
+	// merge (spja_parallel.go) reproduces the serial output and lineage
+	// exactly. Workers <= 1 is the serial specialization.
+	Workers int
+	// Pool schedules the partition kernels; nil runs them inline.
+	Pool *pool.Pool
 }
 
 func (o Opts) dirsFor(t int) ops.Directions {
@@ -231,15 +248,22 @@ func (p *pipeline) buildChains() {
 	}
 }
 
-// forEachLast runs the final pipeline: scan the last table with its filter
-// inlined, probe the chain, and visit every joined row (as base-rid chains).
+// forEachLast runs the final pipeline over the whole last table.
 func (p *pipeline) forEachLast(visit func(chain []lineage.Rid, rid int32)) {
+	p.forEachLastRange(0, p.spec.Tables[len(p.spec.Tables)-1].Rel.N, visit)
+}
+
+// forEachLastRange is the final-pipeline range kernel: scan rids [lo, hi) of
+// the last table with its filter inlined, probe the (read-only) chain, and
+// visit every joined row (as base-rid chains). Concurrent calls over
+// disjoint ranges are safe — the kernel only reads shared state and each
+// call owns its chain buffer.
+func (p *pipeline) forEachLastRange(lo, hi int, visit func(chain []lineage.Rid, rid int32)) {
 	k := len(p.spec.Tables)
 	last := k - 1
-	rel := p.spec.Tables[last].Rel
 	if k == 1 {
 		chain := make([]lineage.Rid, 1)
-		for rid := int32(0); rid < int32(rel.N); rid++ {
+		for rid := int32(lo); rid < int32(hi); rid++ {
 			if p.filters[last] != nil && !p.filters[last](rid) {
 				continue
 			}
@@ -250,7 +274,7 @@ func (p *pipeline) forEachLast(visit func(chain []lineage.Rid, rid int32)) {
 	}
 	probeKey := p.rightKeyCols[last-1]
 	buf := make([]lineage.Rid, k)
-	for rid := int32(0); rid < int32(rel.N); rid++ {
+	for rid := int32(lo); rid < int32(hi); rid++ {
 		if p.filters[last] != nil && !p.filters[last](rid) {
 			continue
 		}
@@ -268,13 +292,18 @@ func (p *pipeline) forEachLast(visit func(chain []lineage.Rid, rid int32)) {
 	}
 }
 
-// Run executes the SPJA block.
+// Run executes the SPJA block: chain build serial, final pipeline and
+// aggregation morsel-parallel when opts.Workers > 1.
 func Run(spec Spec, opts Opts) (Result, error) {
 	pipe, err := compilePipeline(spec, opts.Params)
 	if err != nil {
 		return Result{}, err
 	}
 	pipe.buildChains()
+
+	if opts.Workers > 1 && spec.Tables[len(spec.Tables)-1].Rel.N > 1 {
+		return runParallel(pipe, spec, opts)
+	}
 
 	agg, err := newSPJAAgg(spec, opts)
 	if err != nil {
@@ -337,6 +366,12 @@ type spjaAgg struct {
 	fwLast    []lineage.Rid     // last table: one-to-one
 	fwMany    []*lineage.RidIndex
 	deferBW   []*lineage.RidIndex // Defer: exact-sized backward indexes
+	// Partition-local aggregations collect non-last forward edges as
+	// (rid, local slot) pairs instead of filling fwMany — a relation-sized
+	// index per partition would multiply memory by the worker count; the
+	// merge builds one exactly-sized index from the pairs.
+	collectFW        bool
+	fwPairR, fwPairS [][]lineage.Rid // [table] parallel pair arrays
 }
 
 type spjaAcc struct {
@@ -351,7 +386,17 @@ type spjaAcc struct {
 }
 
 func newSPJAAgg(spec Spec, opts Opts) (*spjaAgg, error) {
-	a := &spjaAgg{spec: &spec, opts: opts, keyCols: spec.Keys}
+	return newSPJAAggShared(spec, opts, nil, false)
+}
+
+// newSPJAAggShared is the partition-local constructor of the parallel path
+// (partitionLocal true): all partitions write last-table forward entries
+// into one shared, rid-addressed array (their rid ranges are disjoint)
+// instead of each allocating and -1-filling its own, and non-last forward
+// edges are collected as pairs rather than relation-sized per-partition
+// indexes. Serial newSPJAAgg keeps the direct-index form.
+func newSPJAAggShared(spec Spec, opts Opts, sharedFwLast []lineage.Rid, partitionLocal bool) (*spjaAgg, error) {
+	a := &spjaAgg{spec: &spec, opts: opts, keyCols: spec.Keys, collectFW: partitionLocal}
 	if len(spec.Keys) == 1 {
 		kr := spec.Keys[0]
 		rel := spec.Tables[kr.Table].Rel
@@ -407,14 +452,24 @@ func newSPJAAgg(spec Spec, opts Opts) (*spjaAgg, error) {
 	}
 	a.groupRids = make([][][]lineage.Rid, k)
 	a.fwMany = make([]*lineage.RidIndex, k)
+	if a.collectFW {
+		a.fwPairR = make([][]lineage.Rid, k)
+		a.fwPairS = make([][]lineage.Rid, k)
+	}
 	for t := 0; t < k; t++ {
 		d := a.tableDirs[t]
 		if d.Forward() {
 			if t == k-1 {
-				a.fwLast = make([]lineage.Rid, spec.Tables[t].Rel.N)
-				for i := range a.fwLast {
-					a.fwLast[i] = -1
+				if sharedFwLast != nil {
+					a.fwLast = sharedFwLast
+				} else {
+					a.fwLast = make([]lineage.Rid, spec.Tables[t].Rel.N)
+					for i := range a.fwLast {
+						a.fwLast[i] = -1
+					}
 				}
+			} else if a.collectFW {
+				// pair arrays grow on demand
 			} else {
 				a.fwMany[t] = lineage.NewRidIndex(spec.Tables[t].Rel.N)
 			}
@@ -527,6 +582,27 @@ func (a *spjaAgg) update(slot int32, chain []lineage.Rid) {
 	}
 }
 
+// mergeFrom folds partition-local group s of o into global group g (all
+// SPJA aggregates are algebraic, so the merge is exact up to float addition
+// order).
+func (a *spjaAcc) mergeFrom(g int32, o *spjaAcc, s int32) {
+	switch a.fn {
+	case ops.Count:
+		a.cnts[g] += o.cnts[s]
+	case ops.Sum, ops.Avg:
+		a.sums[g] += o.sums[s]
+		a.cnts[g] += o.cnts[s]
+	case ops.Min:
+		if o.mins[s] < a.mins[g] {
+			a.mins[g] = o.mins[s]
+		}
+	case ops.Max:
+		if o.maxs[s] > a.maxs[g] {
+			a.maxs[g] = o.maxs[s]
+		}
+	}
+}
+
 // captureRow writes one output row's lineage edges for every captured table.
 func (a *spjaAgg) captureRow(slot int32, chain []lineage.Rid) {
 	last := len(a.spec.Tables) - 1
@@ -546,6 +622,9 @@ func (a *spjaAgg) captureRow(slot int32, chain []lineage.Rid) {
 		if d.Forward() {
 			if t == last {
 				a.fwLast[rid] = slot
+			} else if a.collectFW {
+				a.fwPairR[t] = append(a.fwPairR[t], rid)
+				a.fwPairS[t] = append(a.fwPairS[t], slot)
 			} else {
 				a.fwMany[t].Append(int(rid), slot)
 			}

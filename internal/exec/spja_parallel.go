@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"smoke/internal/lineage"
+	"smoke/internal/ops"
+	"smoke/internal/pool"
+)
+
+// Morsel-parallel SPJA execution. The join chain is built serially (its
+// lineage-annotated hash tables are then shared read-only); the last table's
+// scan — the paper's final pipeline, where both the aggregation work and the
+// capture writes happen — splits into contiguous rid-range partitions, each
+// feeding its own spjaAgg. Partition-local group tables, per-table rid
+// lists, and forward indexes merge in partition order, which reproduces the
+// serial group discovery order (a group's first occurrence lies in the first
+// partition that contains it) and therefore the serial output relation and
+// every lineage index exactly.
+
+func runParallel(pipe *pipeline, spec Spec, opts Opts) (Result, error) {
+	k := len(spec.Tables)
+	last := k - 1
+	n := spec.Tables[last].Rel.N
+	ranges := pool.Split(n, opts.Workers)
+
+	// The last table's forward index is rid-addressed and partitions own
+	// disjoint rid ranges, so all partitions share one array (writing
+	// partition-local group slots, rebased after the merge).
+	var fwLast []lineage.Rid
+	if opts.dirsFor(last).Forward() {
+		fwLast = make([]lineage.Rid, n)
+		for i := range fwLast {
+			fwLast[i] = -1
+		}
+	}
+	locals := make([]*spjaAgg, len(ranges))
+	for p := range locals {
+		a, err := newSPJAAggShared(spec, opts, fwLast, true)
+		if err != nil {
+			return Result{}, err
+		}
+		locals[p] = a
+	}
+
+	inject := opts.Mode == ops.Inject
+	opts.Pool.RunSplit(ranges, func(part, lo, hi int) {
+		a := locals[part]
+		pipe.forEachLastRange(lo, hi, func(chain []lineage.Rid, rid int32) {
+			slot := a.lookup(chain)
+			a.update(slot, chain)
+			if inject {
+				a.captureRow(slot, chain)
+			}
+		})
+		if opts.Mode == ops.Defer {
+			// Partition-local Zγ pass: local counts are exact for the local
+			// range, so the local backward indexes preallocate exactly.
+			a.prepareDefer()
+			pipe.forEachLastRange(lo, hi, func(chain []lineage.Rid, rid int32) {
+				a.captureRow(a.probe(chain), chain)
+			})
+		}
+	})
+
+	// Merge partition tables in partition order. The merged aggregation
+	// carries no capture plumbing (Mode None); indexes are stitched from the
+	// partition-local structures below.
+	merged, err := newSPJAAgg(spec, Opts{Params: opts.Params})
+	if err != nil {
+		return Result{}, err
+	}
+	slotMaps := make([][]lineage.Rid, len(locals))
+	for p, a := range locals {
+		sm := make([]lineage.Rid, a.nGroups)
+		for s := int32(0); s < a.nGroups; s++ {
+			g := merged.lookup(a.repChain[s])
+			sm[s] = g
+			merged.counts[g] += a.counts[s]
+			for i := range merged.accs {
+				merged.accs[i].mergeFrom(g, &a.accs[i], s)
+			}
+		}
+		slotMaps[p] = sm
+	}
+	nG := int(merged.nGroups)
+
+	res := Result{Out: merged.materialize(), GroupCounts: merged.counts, Capture: lineage.NewCapture()}
+	capMode := opts.Mode == ops.Inject || opts.Mode == ops.Defer
+	if !capMode {
+		return res, nil
+	}
+	for t := 0; t < k; t++ {
+		d := locals[0].tableDirs[t]
+		name := spec.Tables[t].Rel.Name
+		if d.Backward() {
+			var ix *lineage.RidIndex
+			if opts.Mode == ops.Defer {
+				parts := make([]*lineage.RidIndex, len(locals))
+				for p, a := range locals {
+					parts[p] = a.deferBW[t]
+				}
+				ix = lineage.MergeIndexesBySlot(parts, slotMaps, nG)
+			} else {
+				lists := make([][][]lineage.Rid, len(locals))
+				for p, a := range locals {
+					lists[p] = a.groupRids[t]
+				}
+				ix = lineage.MergeListsBySlot(lists, slotMaps, nG)
+			}
+			res.Capture.SetBackward(name, lineage.NewOneToMany(ix))
+		}
+		if d.Forward() {
+			if t == last {
+				// Rebase shared last-table forward entries from local to
+				// global slots, each partition covering only its rid range.
+				opts.Pool.RunSplit(ranges, func(part, lo, hi int) {
+					lineage.SlotRebase(fwLast, lo, hi, slotMaps[part])
+				})
+				res.Capture.SetForward(name, lineage.NewOneToOne(fwLast))
+			} else {
+				pairR := make([][]lineage.Rid, len(locals))
+				pairS := make([][]lineage.Rid, len(locals))
+				for p, a := range locals {
+					pairR[p] = a.fwPairR[t]
+					pairS[p] = a.fwPairS[t]
+				}
+				fw := lineage.MergePairsByRid(pairR, pairS, spec.Tables[t].Rel.N,
+					func(part int, s lineage.Rid) lineage.Rid { return slotMaps[part][s] })
+				res.Capture.SetForward(name, lineage.NewOneToMany(fw))
+			}
+		}
+	}
+	return res, nil
+}

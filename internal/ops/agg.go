@@ -8,6 +8,7 @@ import (
 	"smoke/internal/expr"
 	"smoke/internal/hashtab"
 	"smoke/internal/lineage"
+	"smoke/internal/pool"
 	"smoke/internal/storage"
 )
 
@@ -72,7 +73,10 @@ type AggOpts struct {
 	// CountsByKey supplies exact group cardinalities indexed by a single
 	// integer group-by key k in [1, len(CountsByKey)] (the cardinality
 	// statistics of §6.1.1): group rid lists are preallocated exactly and
-	// never resize. Only meaningful with one TInt key column.
+	// never resize. Only meaningful with one TInt key column. Serial only:
+	// the parallel path ignores it (global counts would overallocate every
+	// partition) and sizes the merged index exactly from the partition-local
+	// list lengths instead.
 	CountsByKey []int32
 	// Params binds expression parameters in aggregate arguments.
 	Params expr.Params
@@ -91,6 +95,16 @@ type AggOpts struct {
 	// during aggregation. The group-by push-down passes a cube.Builder's
 	// Observe here to materialize drill-down aggregates during capture.
 	Observe func(slot int32, rid Rid)
+
+	// Workers > 1 runs the aggregation morsel-parallel: two-phase, with
+	// partition-local hash tables and rid lists merged in partition order
+	// (see agg_parallel.go). Workers <= 1 is the serial specialization.
+	// Parallel execution requires inRids entries to be distinct (rid sets
+	// from selections are); paths the merge does not cover (Observe, and
+	// non-int or composite PartitionBy) fall back to serial.
+	Workers int
+	// Pool schedules the partition kernels; nil runs them inline.
+	Pool *pool.Pool
 }
 
 // AggResult is the output of an instrumented hash aggregation. Backward
@@ -167,24 +181,83 @@ func (a *aggAcc) update(slot int32, rid Rid) {
 		}
 	case CountDistinct:
 		if a.argI != nil {
-			v := a.argI(rid)
-			if !a.seen[slot] {
-				a.seen[slot] = true
-				a.firstI[slot] = v
-			} else if s := a.setsI[slot]; s != nil {
-				s[v] = struct{}{}
-			} else if v != a.firstI[slot] {
-				a.setsI[slot] = map[int64]struct{}{a.firstI[slot]: {}, v: {}}
+			a.addDistinctI(slot, a.argI(rid))
+		} else {
+			a.addDistinctS(slot, a.argS(rid))
+		}
+	}
+}
+
+// addDistinctI folds one int value into slot's COUNT(DISTINCT) state (same
+// policy as update: first value inline, set allocated on disagreement).
+func (a *aggAcc) addDistinctI(slot int32, v int64) {
+	if !a.seen[slot] {
+		a.seen[slot] = true
+		a.firstI[slot] = v
+		return
+	}
+	if s := a.setsI[slot]; s != nil {
+		s[v] = struct{}{}
+		return
+	}
+	if v != a.firstI[slot] {
+		a.setsI[slot] = map[int64]struct{}{a.firstI[slot]: {}, v: {}}
+	}
+}
+
+// addDistinctS is addDistinctI for string arguments.
+func (a *aggAcc) addDistinctS(slot int32, v string) {
+	if !a.seen[slot] {
+		a.seen[slot] = true
+		a.firstS[slot] = v
+		return
+	}
+	if s := a.setsS[slot]; s != nil {
+		s[v] = struct{}{}
+		return
+	}
+	if v != a.firstS[slot] {
+		a.setsS[slot] = map[string]struct{}{a.firstS[slot]: {}, v: {}}
+	}
+}
+
+// mergeFrom folds partition-local slot s of o into global slot g. All
+// supported aggregates are algebraic or distributive, so the merge is exact;
+// float sums accumulate per partition first, which can differ from serial in
+// the last ulp (addition order), never in lineage.
+func (a *aggAcc) mergeFrom(g int32, o *aggAcc, s int32) {
+	switch a.fn {
+	case Count:
+		// counts are tracked once for all aggregates
+	case Sum, Avg:
+		a.sums[g] += o.sums[s]
+	case Min:
+		if o.mins[s] < a.mins[g] {
+			a.mins[g] = o.mins[s]
+		}
+	case Max:
+		if o.maxs[s] > a.maxs[g] {
+			a.maxs[g] = o.maxs[s]
+		}
+	case CountDistinct:
+		if !o.seen[s] {
+			return
+		}
+		if a.argI != nil {
+			if set := o.setsI[s]; set != nil {
+				for v := range set {
+					a.addDistinctI(g, v)
+				}
+			} else {
+				a.addDistinctI(g, o.firstI[s])
 			}
 		} else {
-			v := a.argS(rid)
-			if !a.seen[slot] {
-				a.seen[slot] = true
-				a.firstS[slot] = v
-			} else if s := a.setsS[slot]; s != nil {
-				s[v] = struct{}{}
-			} else if v != a.firstS[slot] {
-				a.setsS[slot] = map[string]struct{}{a.firstS[slot]: {}, v: {}}
+			if set := o.setsS[s]; set != nil {
+				for v := range set {
+					a.addDistinctS(g, v)
+				}
+			} else {
+				a.addDistinctS(g, o.firstS[s])
 			}
 		}
 	}
@@ -566,7 +639,20 @@ func (st *aggState) processRow(rid Rid) {
 // Defer stores only the group slot during execution and populates both
 // indexes in a second probe pass, preallocating exactly from the per-group
 // counts that aggregation tracks anyway.
+//
+// With opts.Workers > 1 the aggregation runs morsel-parallel (two-phase,
+// partition-local tables and indexes merged in partition order); the merged
+// output and lineage are identical to a serial run.
 func HashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOpts) (AggResult, error) {
+	if opts.Workers > 1 && parallelizableAgg(in, opts) {
+		n := in.N
+		if inRids != nil {
+			n = len(inRids)
+		}
+		if n > 1 {
+			return parHashAgg(in, inRids, spec, opts)
+		}
+	}
 	st, err := newAggState(in, spec, opts)
 	if err != nil {
 		return AggResult{}, err

@@ -1,0 +1,186 @@
+package ops
+
+import (
+	"smoke/internal/lineage"
+	"smoke/internal/pool"
+	"smoke/internal/storage"
+)
+
+// Morsel-parallel hash aggregation: the paper-style two-phase plan. Phase 1
+// splits the input into contiguous row-range partitions; each worker runs the
+// unmodified serial kernel (aggState.processRow) against its own hash table
+// and appends rids into its own partition-local lists — no shared-state
+// writes in the hot loop beyond rid-disjoint forward-array slots. Phase 2
+// merges the partition tables in partition order: because a group's first
+// global occurrence lies in the first partition that contains it, the merged
+// group discovery order — and therefore the output relation, the group
+// counts, and every backward rid list — is element-for-element identical to
+// the workers=1 run.
+
+// parallelizableAgg reports whether the two-phase merge covers the requested
+// options. Observe (group-by push-down cube building) is stateful and
+// order-sensitive, and data-skipping partition codes are only stable across
+// partition-local dictionaries for single TInt attributes (string codes are
+// assigned in discovery order, which differs per partition); those paths run
+// serial.
+func parallelizableAgg(in *storage.Relation, opts AggOpts) bool {
+	if opts.Observe != nil {
+		return false
+	}
+	if len(opts.PartitionBy) == 0 {
+		return true
+	}
+	if len(opts.PartitionBy) > 1 {
+		return false
+	}
+	c := in.Schema.Col(opts.PartitionBy[0])
+	return c >= 0 && in.Schema[c].Type == storage.TInt
+}
+
+func parHashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOpts) (AggResult, error) {
+	n := in.N
+	if inRids != nil {
+		n = len(inRids)
+	}
+	ranges := pool.Split(n, opts.Workers)
+
+	// Partition-local states compile up front (serially) so expression
+	// errors surface deterministically before any kernel runs. CountsByKey
+	// is dropped for the locals: the counts are global, so every partition
+	// would preallocate each group's list at full-table cardinality
+	// (workers × total-rid memory); the merge builds an exactly-sized index
+	// from the local list lengths regardless.
+	popts := opts
+	popts.CountsByKey = nil
+	sts := make([]*aggState, len(ranges))
+	for p := range sts {
+		st, err := newAggState(in, spec, popts)
+		if err != nil {
+			return AggResult{}, err
+		}
+		sts[p] = st
+	}
+
+	wantBW := opts.Mode != None && opts.Dirs.Backward()
+	wantFW := opts.Mode != None && opts.Dirs.Forward()
+	var fw []Rid
+	if wantFW {
+		// One shared forward array: partitions own disjoint rid sets, so
+		// each writes its rows' entries (with partition-local group slots,
+		// rebased to global slots after the merge) without conflicts.
+		fw = newForwardArray(in.N, inRids != nil)
+		if opts.Mode == Inject {
+			for _, st := range sts {
+				st.fw = fw
+			}
+		}
+	}
+	deferBWs := make([]*lineage.RidIndex, len(ranges))
+
+	opts.Pool.RunSplit(ranges, func(part, lo, hi int) {
+		st := sts[part]
+		if inRids == nil {
+			for rid := int32(lo); rid < int32(hi); rid++ {
+				st.processRow(rid)
+			}
+		} else {
+			for _, rid := range inRids[lo:hi] {
+				st.processRow(rid)
+			}
+		}
+		if opts.Mode != Defer {
+			return
+		}
+		// Partition-local Zγ pass (§3.2.3): the local counts are exact for
+		// the local range, so the local backward lists preallocate exactly
+		// and never resize — Defer keeps its no-growth property per morsel.
+		var bw *lineage.RidIndex
+		if wantBW {
+			if st.partKey != nil {
+				st.partMaps = make([]map[int64][]Rid, st.nGroups)
+			} else {
+				c32 := make([]int32, st.nGroups)
+				for i, c := range st.counts {
+					c32[i] = int32(c)
+				}
+				bw = lineage.NewRidIndexWithCounts(c32)
+			}
+		}
+		fill := func(rid Rid) {
+			slot := st.probeSlot(rid)
+			if wantBW && (st.pdFilter == nil || st.pdFilter(rid)) {
+				if st.partKey != nil {
+					st.captureBackward(slot, rid)
+				} else {
+					bw.AppendFast(int(slot), rid)
+				}
+			}
+			if fw != nil {
+				fw[rid] = slot
+			}
+		}
+		if inRids == nil {
+			for rid := int32(lo); rid < int32(hi); rid++ {
+				fill(rid)
+			}
+		} else {
+			for _, rid := range inRids[lo:hi] {
+				fill(rid)
+			}
+		}
+		deferBWs[part] = bw
+	})
+
+	// Phase 2: merge partition tables in partition order. The merged state
+	// carries no capture options — indexes are stitched from the locals.
+	merged, err := newAggState(in, spec, AggOpts{Params: opts.Params})
+	if err != nil {
+		return AggResult{}, err
+	}
+	slotMaps := make([][]Rid, len(sts))
+	for p, st := range sts {
+		sm := make([]Rid, st.nGroups)
+		for s := int32(0); s < st.nGroups; s++ {
+			g := merged.lookupSlot(st.repRids[s])
+			sm[s] = Rid(g)
+			merged.counts[g] += st.counts[s]
+			for i := range merged.accs {
+				merged.accs[i].mergeFrom(g, &st.accs[i], s)
+			}
+		}
+		slotMaps[p] = sm
+	}
+	nG := int(merged.nGroups)
+
+	res := AggResult{Out: merged.materialize(spec), GroupCounts: merged.counts}
+	if wantBW {
+		if sts[0].partKey != nil {
+			parts := make([][]map[int64][]Rid, len(sts))
+			for p, st := range sts {
+				parts[p] = st.partMaps
+			}
+			res.BWPart = lineage.MergePartitionMaps(parts, slotMaps, nG, nil)
+		} else if opts.Mode == Inject {
+			lists := make([][][]Rid, len(sts))
+			for p, st := range sts {
+				lists[p] = st.groupRids
+			}
+			res.BW = lineage.MergeListsBySlot(lists, slotMaps, nG)
+		} else {
+			res.BW = lineage.MergeIndexesBySlot(deferBWs, slotMaps, nG)
+		}
+	}
+	if wantFW {
+		// Rebase partition-local slots to global slots, in parallel: each
+		// partition revisits exactly the rids it wrote.
+		opts.Pool.RunSplit(ranges, func(part, lo, hi int) {
+			if inRids == nil {
+				lineage.SlotRebase(fw, lo, hi, slotMaps[part])
+			} else {
+				lineage.SlotRebaseRids(fw, inRids[lo:hi], slotMaps[part])
+			}
+		})
+		res.FW = fw
+	}
+	return res, nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"smoke/internal/hashtab"
 	"smoke/internal/lineage"
+	"smoke/internal/pool"
 	"smoke/internal/storage"
 )
 
@@ -13,12 +14,25 @@ type JoinOpts struct {
 	Dirs Directions
 	// CountsByBuildKey supplies exact match counts per integer build key k in
 	// [1, len], used by Smoke-I+TC (§6.1.2) to preallocate the build side's
-	// forward rid index and avoid resizing.
+	// forward rid index and avoid resizing. Serial only: the parallel probe
+	// builds partition-local indexes under the growth policy and merges them
+	// into an exactly-sized index instead (global counts would overallocate
+	// every partition).
 	CountsByBuildKey []int32
 	// Materialize controls whether the joined output relation is produced.
 	// The M:N microbenchmark (§6.1.3) disables it because the skewed join is
 	// nearly a cross product and materialization would dominate.
 	Materialize bool
+	// Workers > 1 runs the pk-fk probe phase morsel-parallel: the build is
+	// always serial (the hash table is then shared read-only), probe
+	// partitions capture into partition-local arrays, and the merge rebases
+	// partition-local output rids by each partition's output offset. The
+	// merged result is identical to workers=1. Parallel execution requires
+	// probeRids entries to be distinct (rid sets from selections are):
+	// partitions share the probe-side forward array keyed by rid.
+	Workers int
+	// Pool schedules the probe partitions; nil runs them inline.
+	Pool *pool.Pool
 }
 
 // PKFKResult is the output of an instrumented primary-key/foreign-key join
@@ -90,13 +104,19 @@ func HashJoinPKFK(build *storage.Relation, buildKey string, buildRids []Rid,
 		nProbe = len(probeRids)
 	}
 
+	if opts.Workers > 1 && nProbe > 1 {
+		return pkfkParallelProbe(build, probe, probeCol, ht, probeRids, nProbe, opts), nil
+	}
+
+	// Serial probe: one range kernel invocation covering the whole input
+	// (the workers=1 specialization of the parallel path). Backward arrays
+	// preallocate at the probe-side output bound; without capture, the
+	// baseline's materialization pairs preallocate the same way so the
+	// capture-vs-baseline comparison measures lineage writes, not
+	// incidental append growth.
 	res := PKFKResult{}
 	capture := opts.Dirs != 0
-	if capture && opts.Dirs.Backward() {
-		res.BuildBW = make([]Rid, 0, nProbe)
-		res.ProbeBW = make([]Rid, 0, nProbe)
-	}
-	var buildFW *lineage.RidIndex
+	var l pkfkLocal
 	if capture && opts.Dirs.Forward() {
 		// Initialized to -1 unconditionally: even a pk-fk probe row can miss
 		// when the build side was filtered.
@@ -109,64 +129,21 @@ func HashJoinPKFK(build *storage.Relation, buildKey string, buildRids []Rid,
 					counts[rid] = opts.CountsByBuildKey[k-1]
 				}
 			}
-			buildFW = lineage.NewRidIndexWithCounts(counts)
+			l.buildFW = lineage.NewRidIndexWithCounts(counts)
 		} else {
-			buildFW = lineage.NewRidIndex(build.N)
+			l.buildFW = lineage.NewRidIndex(build.N)
 		}
-		res.BuildFW = buildFW
+		res.BuildFW = l.buildFW
 	}
-
-	// When not materializing we still need output pairs only if capturing;
-	// without capture the probe loop just counts matches (the Baseline).
-	var outBuild, outProbe []Rid
-	if opts.Materialize && res.BuildBW == nil {
-		// The baseline knows the pk-fk output bound too: preallocate so the
-		// capture-vs-baseline comparison measures lineage writes, not
-		// incidental append growth.
-		outBuild = make([]Rid, 0, nProbe)
-		outProbe = make([]Rid, 0, nProbe)
-	}
-
-	o := int32(0)
-	probeOne := func(prid Rid) {
-		brid, ok := ht.Get(probeCol[prid])
-		if !ok {
-			return
-		}
-		if res.BuildBW != nil {
-			res.BuildBW = append(res.BuildBW, brid)
-			res.ProbeBW = append(res.ProbeBW, prid)
-		} else if outBuild != nil {
-			outBuild = append(outBuild, brid)
-			outProbe = append(outProbe, prid)
-		}
-		if res.ProbeFW != nil {
-			res.ProbeFW[prid] = o
-		}
-		if buildFW != nil {
-			if opts.CountsByBuildKey != nil {
-				buildFW.AppendFast(int(brid), o)
-			} else {
-				buildFW.Append(int(brid), o)
-			}
-		}
-		o++
-	}
-	if probeRids == nil {
-		for prid := int32(0); prid < int32(probe.N); prid++ {
-			probeOne(prid)
-		}
-	} else {
-		for _, prid := range probeRids {
-			probeOne(prid)
-		}
-	}
-	res.OutN = int(o)
+	pkfkProbeRange(0, nProbe, probeCol, ht, probeRids, res.ProbeFW,
+		opts.CountsByBuildKey != nil, false, capture && opts.Dirs.Backward(), opts.Materialize, &l)
+	res.BuildBW, res.ProbeBW = l.buildBW, l.probeBW
+	res.OutN = int(l.outN)
 
 	if opts.Materialize {
 		b, p := res.BuildBW, res.ProbeBW
 		if b == nil {
-			b, p = outBuild, outProbe
+			b, p = l.outBuild, l.outProbe
 		}
 		res.Out = materializeJoin(build, probe, b, p)
 	}

@@ -12,6 +12,15 @@
 // alone a dynamic dispatch) separates execution from capture. That is the
 // paper's tight-integration principle P1; the Phys-Mem baseline in
 // internal/baselines deliberately violates it to measure the cost.
+//
+// Operators are written in range-kernel form: the hot loop runs over a
+// contiguous rid range (lo, hi) with partition-local capture state. With
+// Workers > 1 in the operator options, the input splits into morsels
+// (contiguous ranges) executed concurrently over a shared pool, and
+// partition-local indexes merge in partition order into structures identical
+// to a serial run's (see agg_parallel.go and internal/lineage/merge.go).
+// Workers <= 1 is the serial specialization, which reproduces the paper's
+// single-threaded experiments exactly.
 package ops
 
 import "smoke/internal/lineage"

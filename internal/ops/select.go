@@ -3,6 +3,7 @@ package ops
 import (
 	"smoke/internal/expr"
 	"smoke/internal/lineage"
+	"smoke/internal/pool"
 	"smoke/internal/storage"
 )
 
@@ -14,6 +15,13 @@ type SelectOpts struct {
 	// ceil(n * estimate) entries (the Smoke-I+EC variant of Appendix G.1).
 	// Overestimating is cheap; underestimating falls back to resizing.
 	EstimatedSelectivity float64
+	// Workers > 1 runs the selection morsel-parallel: the input range splits
+	// into contiguous partitions, each executed by the range kernel with
+	// partition-local capture, merged in partition order (identical output
+	// and lineage to workers=1). Workers <= 1 is the serial specialization.
+	Workers int
+	// Pool schedules the partition kernels; nil runs them inline.
+	Pool *pool.Pool
 }
 
 // SelectResult is the output of an instrumented selection. Selection is
@@ -25,23 +33,29 @@ type SelectOpts struct {
 // them to materialize the output regardless of capture. Under Inject, BW
 // aliases OutRids (the rid list is reused as the backward index, principle
 // P4) but is built with the lineage growth policy.
+//
+// Invariant: under Mode None, OutRids is non-nil even when nothing matched
+// (callers pass it as a rid subset to interfaces where nil means "all
+// rows"). Serial and parallel runs return the same shape in every mode.
 type SelectResult struct {
 	OutRids []Rid
 	BW      []Rid
 	FW      []Rid
 }
 
-// Select runs a selection over rids [0, n) of a relation. The predicate is a
-// compiled closure; the loop is the paper's "if condition in a for loop".
-// Defer is not implemented for selection because it is strictly inferior to
-// Inject (§3.2.2).
-func Select(n int, pred expr.Pred, opts SelectOpts) SelectResult {
+// selectRange is the selection range kernel: it scans rids [lo, hi), returns
+// the local output/backward arrays (absolute input rids), and writes forward
+// entries into the shared, rid-addressed fw array (nil when forward capture
+// is off). Forward values are partition-local output positions; the driver
+// rebases them by the partition's global output offset. Partitions own
+// disjoint [lo, hi) ranges, so the fw writes never conflict.
+func selectRange(lo, hi int, pred expr.Pred, opts SelectOpts, fw []Rid) SelectResult {
 	var res SelectResult
 	switch {
 	case opts.Mode == None:
 		// Plain execution: collect output rids with Go's native growth.
 		out := make([]Rid, 0, 16)
-		for i := int32(0); i < int32(n); i++ {
+		for i := int32(lo); i < int32(hi); i++ {
 			if pred(i) {
 				out = append(out, i)
 			}
@@ -52,18 +66,13 @@ func Select(n int, pred expr.Pred, opts SelectOpts) SelectResult {
 		var bw []Rid
 		if opts.Dirs.Backward() {
 			if opts.EstimatedSelectivity > 0 {
-				est := int(float64(n)*opts.EstimatedSelectivity) + 1
+				est := int(float64(hi-lo)*opts.EstimatedSelectivity) + 1
 				bw = make([]Rid, 0, est)
 			}
 		}
-		var fw []Rid
-		if opts.Dirs.Forward() {
-			// The forward rid array is pre-allocated at input cardinality.
-			fw = make([]Rid, n)
-		}
 		switch {
 		case opts.Dirs.Backward() && opts.Dirs.Forward():
-			for i := int32(0); i < int32(n); i++ {
+			for i := int32(lo); i < int32(hi); i++ {
 				if pred(i) {
 					fw[i] = Rid(len(bw))
 					bw = lineage.AppendRid(bw, i)
@@ -72,7 +81,7 @@ func Select(n int, pred expr.Pred, opts SelectOpts) SelectResult {
 				}
 			}
 		case opts.Dirs.Backward():
-			for i := int32(0); i < int32(n); i++ {
+			for i := int32(lo); i < int32(hi); i++ {
 				if pred(i) {
 					bw = lineage.AppendRid(bw, i)
 				}
@@ -81,7 +90,7 @@ func Select(n int, pred expr.Pred, opts SelectOpts) SelectResult {
 			// Forward-only capture still needs the output rids to
 			// materialize the result, but they can use native growth.
 			out := make([]Rid, 0, 16)
-			for i := int32(0); i < int32(n); i++ {
+			for i := int32(lo); i < int32(hi); i++ {
 				if pred(i) {
 					fw[i] = Rid(len(out))
 					out = append(out, i)
@@ -95,7 +104,7 @@ func Select(n int, pred expr.Pred, opts SelectOpts) SelectResult {
 		default:
 			// Capture requested but both directions pruned: plain execution.
 			out := make([]Rid, 0, 16)
-			for i := int32(0); i < int32(n); i++ {
+			for i := int32(lo); i < int32(hi); i++ {
 				if pred(i) {
 					out = append(out, i)
 				}
@@ -105,6 +114,62 @@ func Select(n int, pred expr.Pred, opts SelectOpts) SelectResult {
 		}
 		res.OutRids = bw
 		res.BW = bw
+		res.FW = fw
+	}
+	return res
+}
+
+// Select runs a selection over rids [0, n) of a relation. The predicate is a
+// compiled closure; the loop is the paper's "if condition in a for loop".
+// Defer is not implemented for selection because it is strictly inferior to
+// Inject (§3.2.2). With opts.Workers > 1 the scan runs morsel-parallel and
+// the merged result is identical to the serial one.
+func Select(n int, pred expr.Pred, opts SelectOpts) SelectResult {
+	wantFW := opts.Mode != None && opts.Dirs.Forward()
+	if opts.Workers <= 1 || n < 2 {
+		var fw []Rid
+		if wantFW {
+			// The forward rid array is pre-allocated at input cardinality.
+			fw = make([]Rid, n)
+		}
+		return selectRange(0, n, pred, opts, fw)
+	}
+
+	var fw []Rid
+	if wantFW {
+		fw = make([]Rid, n)
+	}
+	ranges := pool.Split(n, opts.Workers)
+	locals := make([]SelectResult, len(ranges))
+	opts.Pool.RunSplit(ranges, func(part, lo, hi int) {
+		locals[part] = selectRange(lo, hi, pred, opts, fw)
+	})
+
+	// Merge in partition order: output/backward arrays concatenate (input
+	// order is preserved because partitions are contiguous and ordered), and
+	// forward entries rebase by each partition's output offset.
+	var res SelectResult
+	outParts := make([][]Rid, len(locals))
+	for p := range locals {
+		outParts[p] = locals[p].OutRids
+	}
+	res.OutRids = lineage.ConcatRidArrays(outParts)
+	if res.OutRids == nil {
+		// Zero matches: ConcatRidArrays returns nil, but nil and empty
+		// differ at downstream interfaces (nil inRids means "all rows" to
+		// HashAgg). Partition 0 ran the same kernel over its range, so its
+		// empty result has exactly the serial kernel's shape for this mode.
+		res.OutRids = locals[0].OutRids
+	}
+	if opts.Mode != None && opts.Dirs.Backward() {
+		res.BW = res.OutRids // BW aliases OutRids, as in the serial kernel
+	}
+	if wantFW {
+		off := Rid(0)
+		for p, r := range ranges {
+			lineage.OffsetRebase(fw, r.Lo, r.Hi, off)
+			off += Rid(len(locals[p].OutRids))
+		}
 		res.FW = fw
 	}
 	return res

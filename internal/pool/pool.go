@@ -1,0 +1,179 @@
+// Package pool provides the shared worker pool behind the engine's
+// morsel-driven parallelism. A Pool owns a fixed set of long-lived worker
+// goroutines; executors submit range tasks (morsels — contiguous row ranges)
+// and block until their own tasks drain. Tasks from concurrent queries
+// interleave freely on the same workers, so a DB's pool bounds the
+// execution parallelism added on top of the querying goroutines themselves:
+// each RunSplit caller also runs one partition inline (the no-deadlock
+// guarantee), so the hard bound with q concurrent queries is workers + q.
+//
+// Determinism contract: RunRanges always splits [0, n) into contiguous
+// ranges in order and reports the partition id to the kernel, so callers can
+// merge partition-local results in partition order and produce output (and
+// lineage) identical to a serial run.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size worker pool. The zero value is not usable; call New.
+// A nil *Pool is valid everywhere and means "run serially inline".
+type Pool struct {
+	workers int
+
+	mu     sync.Mutex
+	tasks  chan func()
+	closed bool
+	active int // in-flight RunSplit calls holding the task channel
+}
+
+// New returns a pool that will run at most n tasks concurrently (in addition
+// to the submitting goroutine, which also executes one partition of every
+// RunRanges call). n <= 0 defaults to GOMAXPROCS.
+func New(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: n}
+}
+
+// Workers returns the pool's parallelism bound (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// start lazily spawns the worker goroutines on first parallel use, so a
+// workers=1 DB never pays for idle goroutines. It returns the task channel
+// and takes an active reference on it (released by finish), or nil once the
+// pool is closed (callers then run everything inline).
+func (p *Pool) start() chan func() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	if p.tasks == nil {
+		tasks := make(chan func(), 4*p.workers)
+		p.tasks = tasks
+		for i := 0; i < p.workers; i++ {
+			go func() {
+				for f := range tasks {
+					f()
+				}
+			}()
+		}
+	}
+	p.active++
+	return p.tasks
+}
+
+// finish releases start's active reference; the last in-flight run after a
+// Close performs the deferred channel close.
+func (p *Pool) finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.active--
+	if p.closed && p.active == 0 && p.tasks != nil {
+		close(p.tasks)
+		p.tasks = nil
+	}
+}
+
+// Close releases the worker goroutines. It is idempotent, nil-safe, and
+// safe to call while RunSplit/RunRanges calls are in flight: the task
+// channel is only closed once no run holds it (the last one closes it on
+// the way out), and runs started after Close execute inline on the caller.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.active == 0 && p.tasks != nil {
+		close(p.tasks)
+		p.tasks = nil
+	}
+}
+
+// Range is one contiguous morsel of [0, n).
+type Range struct {
+	Part   int // partition index, dense in [0, Parts)
+	Lo, Hi int // half-open row range
+}
+
+// Split partitions [0, n) into at most parts contiguous ranges of
+// near-equal size (never more ranges than rows). parts <= 1 or n <= 1 yields
+// a single range.
+func Split(n, parts int) []Range {
+	if parts > n {
+		parts = n
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([]Range, 0, parts)
+	lo := 0
+	for i := 0; i < parts; i++ {
+		hi := lo + (n-lo)/(parts-i)
+		if i == parts-1 {
+			hi = n
+		}
+		out = append(out, Range{Part: i, Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return out
+}
+
+// RunRanges splits [0, n) into up to parts contiguous ranges and invokes
+// kernel once per range, concurrently, returning the ranges after every
+// kernel call finishes.
+func (p *Pool) RunRanges(n, parts int, kernel func(part, lo, hi int)) []Range {
+	ranges := Split(n, parts)
+	p.RunSplit(ranges, kernel)
+	return ranges
+}
+
+// RunSplit invokes kernel once per pre-computed range (see Split),
+// concurrently, and blocks until every kernel call finishes. Callers that
+// need per-partition state sized before execution Split first, allocate,
+// then RunSplit. The submitting goroutine runs the last partition itself
+// (and everything, when the pool is nil or the split collapses to one
+// range), so RunSplit never deadlocks even if all pool workers are busy with
+// other queries. Kernels must not call back into the pool.
+func (p *Pool) RunSplit(ranges []Range, kernel func(part, lo, hi int)) {
+	if p == nil || len(ranges) == 1 {
+		for _, r := range ranges {
+			kernel(r.Part, r.Lo, r.Hi)
+		}
+		return
+	}
+	tasks := p.start()
+	if tasks == nil { // closed pool: inline fallback
+		for _, r := range ranges {
+			kernel(r.Part, r.Lo, r.Hi)
+		}
+		return
+	}
+	defer p.finish()
+	var wg sync.WaitGroup
+	for _, r := range ranges[:len(ranges)-1] {
+		r := r
+		wg.Add(1)
+		tasks <- func() {
+			defer wg.Done()
+			kernel(r.Part, r.Lo, r.Hi)
+		}
+	}
+	last := ranges[len(ranges)-1]
+	kernel(last.Part, last.Lo, last.Hi)
+	wg.Wait()
+}

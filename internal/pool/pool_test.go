@@ -1,0 +1,122 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSplitCoversRange(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{0, 4}, {1, 4}, {3, 4}, {4, 4}, {10, 3}, {100, 8}, {7, 1}, {5, 0},
+	} {
+		rs := Split(tc.n, tc.parts)
+		next := 0
+		for i, r := range rs {
+			if r.Part != i {
+				t.Fatalf("Split(%d,%d): part %d has id %d", tc.n, tc.parts, i, r.Part)
+			}
+			if r.Lo != next {
+				t.Fatalf("Split(%d,%d): gap at %d", tc.n, tc.parts, r.Lo)
+			}
+			if r.Hi < r.Lo {
+				t.Fatalf("Split(%d,%d): inverted range %+v", tc.n, tc.parts, r)
+			}
+			next = r.Hi
+		}
+		if next != tc.n {
+			t.Fatalf("Split(%d,%d): covers [0,%d)", tc.n, tc.parts, next)
+		}
+		if tc.parts >= 1 && len(rs) > tc.parts {
+			t.Fatalf("Split(%d,%d): %d ranges", tc.n, tc.parts, len(rs))
+		}
+	}
+}
+
+func TestNilPoolRunsSerially(t *testing.T) {
+	var p *Pool
+	var order []int
+	p.RunRanges(10, 4, func(part, lo, hi int) { order = append(order, part) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool ran parts out of order: %v", order)
+		}
+	}
+}
+
+func TestRunRangesVisitsEveryRow(t *testing.T) {
+	p := New(4)
+	seen := make([]int32, 1000)
+	p.RunRanges(len(seen), 8, func(part, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("row %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestCloseReleasesWorkersAndStaysUsable(t *testing.T) {
+	p := New(3)
+	var n atomic.Int32
+	p.RunRanges(100, 3, func(part, lo, hi int) { n.Add(int32(hi - lo)) })
+	p.Close()
+	p.Close() // idempotent
+	// After Close, RunRanges still completes — inline on the caller.
+	p.RunRanges(100, 3, func(part, lo, hi int) { n.Add(int32(hi - lo)) })
+	if n.Load() != 200 {
+		t.Fatalf("visited %d rows, want 200", n.Load())
+	}
+	var nilPool *Pool
+	nilPool.Close() // nil-safe
+	New(2).Close()  // close before first use
+}
+
+// Close racing in-flight RunRanges must not panic ("send on closed
+// channel"): the channel close is deferred to the last active run, and runs
+// observing a closed pool fall back to inline execution.
+func TestCloseDuringRunRanges(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		p := New(2)
+		var wg sync.WaitGroup
+		var total atomic.Int64
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.RunRanges(200, 4, func(part, lo, hi int) {
+					total.Add(int64(hi - lo))
+				})
+			}()
+		}
+		p.Close() // races the submissions above
+		wg.Wait()
+		if total.Load() != 4*200 {
+			t.Fatalf("trial %d: visited %d rows, want %d", trial, total.Load(), 4*200)
+		}
+	}
+}
+
+// Concurrent RunRanges calls from many goroutines must all complete (the
+// caller always runs one partition itself, so a busy pool cannot deadlock).
+func TestConcurrentRunRanges(t *testing.T) {
+	p := New(2)
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.RunRanges(100, 4, func(part, lo, hi int) {
+				total.Add(int64(hi - lo))
+			})
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 16*100 {
+		t.Fatalf("total rows %d, want %d", total.Load(), 16*100)
+	}
+}

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // ForeignKey records that child.Column references parent.Column, where the
@@ -15,8 +16,11 @@ type ForeignKey struct {
 	ParentColumn string
 }
 
-// Catalog names relations and tracks primary/foreign key metadata.
+// Catalog names relations and tracks primary/foreign key metadata. A
+// Catalog is safe for concurrent use: lookups from concurrently executing
+// queries may race with Register and key-metadata declarations.
 type Catalog struct {
+	mu   sync.RWMutex
 	rels map[string]*Relation
 	pks  map[string]string // table -> pk column
 	fks  []ForeignKey
@@ -29,12 +33,16 @@ func NewCatalog() *Catalog {
 
 // Register adds (or replaces) a relation under its own name.
 func (c *Catalog) Register(r *Relation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.rels[r.Name] = r
 }
 
 // Relation returns the named relation, or an error naming known tables.
 func (c *Catalog) Relation(name string) (*Relation, error) {
+	c.mu.RLock()
 	r, ok := c.rels[name]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("storage: unknown relation %q (have %v)", name, c.Names())
 	}
@@ -52,27 +60,43 @@ func (c *Catalog) MustRelation(name string) *Relation {
 
 // Names returns the registered relation names, sorted.
 func (c *Catalog) Names() []string {
+	c.mu.RLock()
 	out := make([]string, 0, len(c.rels))
 	for n := range c.rels {
 		out = append(out, n)
 	}
+	c.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
 
 // SetPrimaryKey declares the primary key column of a table.
-func (c *Catalog) SetPrimaryKey(table, column string) { c.pks[table] = column }
+func (c *Catalog) SetPrimaryKey(table, column string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pks[table] = column
+}
 
 // PrimaryKey returns the declared primary key column of a table ("" if none).
-func (c *Catalog) PrimaryKey(table string) string { return c.pks[table] }
+func (c *Catalog) PrimaryKey(table string) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.pks[table]
+}
 
 // AddForeignKey declares a pk-fk relationship.
-func (c *Catalog) AddForeignKey(fk ForeignKey) { c.fks = append(c.fks, fk) }
+func (c *Catalog) AddForeignKey(fk ForeignKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fks = append(c.fks, fk)
+}
 
 // IsPKFK reports whether joining left.leftCol = right.rightCol is a declared
 // primary-key/foreign-key join, and if so whether the primary key is on the
 // left side.
 func (c *Catalog) IsPKFK(left, leftCol, right, rightCol string) (isPKFK, pkOnLeft bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if c.pks[left] == leftCol {
 		for _, fk := range c.fks {
 			if fk.ParentTable == left && fk.ParentColumn == leftCol && fk.ChildTable == right && fk.ChildColumn == rightCol {

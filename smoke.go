@@ -1,15 +1,25 @@
 // Package smoke is a Go reproduction of "Smoke: Fine-grained Lineage at
-// Interactive Speed" (Psallidas & Wu, VLDB 2018): an in-memory,
-// single-threaded, hash-based query engine that captures record-level
-// (rid-to-rid) lineage inside its physical operators with low overhead and
-// answers backward/forward lineage queries — and lineage-consuming queries —
-// at interactive speed.
+// Interactive Speed" (Psallidas & Wu, VLDB 2018): an in-memory, hash-based
+// query engine that captures record-level (rid-to-rid) lineage inside its
+// physical operators with low overhead and answers backward/forward lineage
+// queries — and lineage-consuming queries — at interactive speed.
+//
+// Execution is morsel-parallel: opening with smoke.WithWorkers(n) splits
+// every scan into contiguous row-range partitions executed over a shared
+// worker pool, with partition-local lineage capture merged in partition
+// order — the paper's tight-integration principle (P1) holds per partition,
+// and the merged lineage is identical to a serial run (float aggregates can
+// differ in the final ulp from partial-sum order; nothing else does). The
+// workers=1 default is the serial specialization the paper describes (and
+// the one its experiments reproduce); a DB is safe for concurrent
+// Query().Run() calls either way.
 //
 // The root package re-exports the engine facade (internal/core), the storage
 // and expression substrates, and the capture knobs, so applications program
 // against one import:
 //
-//	db := smoke.Open()
+//	db := smoke.Open(smoke.WithWorkers(4))
+//	defer db.Close() // releases the worker pool
 //	db.Register(rel)
 //	res, err := db.Query().
 //	    From("lineitem", smoke.LtE(smoke.C("l_shipdate"), smoke.I(cutoff))).
@@ -43,10 +53,19 @@ type (
 	CaptureOptions = core.CaptureOptions
 	// Rid is a record id within a relation.
 	Rid = lineage.Rid
+	// Option configures a DB at Open time.
+	Option = core.Option
 )
 
-// Open returns an empty database.
-func Open() *DB { return core.Open() }
+// Open returns an empty database. Parallel databases (WithWorkers(n > 1))
+// own worker goroutines once a parallel query has run; call db.Close when
+// done with a DB you will abandon.
+func Open(opts ...Option) *DB { return core.Open(opts...) }
+
+// WithWorkers sets the DB's default intra-query parallelism: n > 1 runs the
+// morsel-parallel kernels over a shared worker pool; n <= 1 keeps the serial
+// specialization. CaptureOptions.Parallelism overrides it per query.
+func WithWorkers(n int) Option { return core.WithWorkers(n) }
 
 // Storage substrate.
 type (
