@@ -7,6 +7,9 @@
 //	smokebench -exp fig5,fig8          # run specific experiments
 //	smokebench -exp all                # run everything, paper order
 //	smokebench -exp fig13 -scale paper # paper-scale datasets (slow, RAM-hungry)
+//	smokebench -exp compress,parscale -scale tiny -reps 1
+//	                                   # CI smoke-job: lineage-equality gates
+//	                                   # at sub-second scale
 //	smokebench -list                   # list experiment ids
 package main
 
@@ -22,7 +25,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids (see -list), or 'all'")
-	scale := flag.String("scale", "small", "dataset scale: small | paper")
+	scale := flag.String("scale", "small", "dataset scale: tiny | small | paper")
 	reps := flag.Int("reps", 3, "timed repetitions per measurement (median reported)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
@@ -34,7 +37,13 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Scale: *scale, Reps: *reps, W: os.Stdout, JSONDir: "."}
+	// Tiny scale exists for CI gate runs; its timings are noise, so it must
+	// not overwrite the committed BENCH_*.json artifacts in the cwd.
+	jsonDir := "."
+	if *scale == "tiny" {
+		jsonDir = ""
+	}
+	cfg := bench.Config{Scale: *scale, Reps: *reps, W: os.Stdout, JSONDir: jsonDir}
 	runners := bench.Experiments()
 
 	var ids []string

@@ -18,7 +18,9 @@ import (
 // Config controls experiment scale and output.
 type Config struct {
 	// Scale is "small" (seconds per experiment; the default for tests and
-	// benchmarks) or "paper" (the paper's dataset sizes where feasible).
+	// benchmarks), "paper" (the paper's dataset sizes where feasible), or
+	// "tiny" (sub-second; the CI smoke-job scale — correctness gates still
+	// run, timings are noise).
 	Scale string
 	// Reps is how many timed repetitions the median is taken over.
 	Reps int
@@ -36,6 +38,7 @@ func DefaultConfig(w io.Writer) Config {
 }
 
 func (c Config) paper() bool { return c.Scale == "paper" }
+func (c Config) tiny() bool  { return c.Scale == "tiny" }
 
 // Median runs f reps times and returns the median wall-clock duration. A GC
 // runs before each repetition so one experiment's garbage is not charged to
@@ -99,6 +102,7 @@ func Experiments() map[string]Runner {
 		"fig22":    Fig22,
 		"fig23":    Fig23,
 		"parscale": ParScale,
+		"compress": Compress,
 	}
 }
 
@@ -107,6 +111,6 @@ func Order() []string {
 	return []string{
 		"fig5", "fig5tc", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig21", "fig22", "fig23",
-		"parscale",
+		"parscale", "compress",
 	}
 }

@@ -28,8 +28,12 @@ import (
 func ParScale(cfg Config) error {
 	n := 1_000_000
 	groups := 10_000
-	if cfg.paper() {
+	switch {
+	case cfg.paper():
 		n = 10_000_000
+	case cfg.tiny():
+		n = 100_000
+		groups = 1_000
 	}
 	workerCounts := []int{1, 2, 4, 8}
 	p := pool.New(workerCounts[len(workerCounts)-1])

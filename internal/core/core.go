@@ -125,6 +125,14 @@ type CaptureOptions struct {
 	// AVG) can differ in the final ulp because partial sums accumulate per
 	// partition (addition order), all other output is identical.
 	Parallelism int
+	// Compress stores the captured lineage indexes in their adaptive
+	// compressed forms (per-list choice among raw rids, delta+varint,
+	// run-length, and bitmap encodings — see internal/lineage). Encoding
+	// happens post-capture (per partition in parallel runs, merged by
+	// concatenating encoded lists); Backward/Forward and consuming queries
+	// read the encoded indexes in place, element-identically to raw capture.
+	// Data-skipping (PartitionBy) indexes are not compressed.
+	Compress bool
 }
 
 // workers resolves the effective parallelism for a query against db's
@@ -390,6 +398,7 @@ func (q *Query) runSingle(opts CaptureOptions) (*Result, error) {
 		PushdownFilter: opts.PushdownFilter,
 		PartitionBy:    opts.PartitionBy,
 		Workers:        workers, Pool: pl,
+		Compress: opts.Compress,
 	}
 	var cb *cube.Builder
 	if opts.Cube != nil {
@@ -409,14 +418,14 @@ func (q *Query) runSingle(opts CaptureOptions) (*Result, error) {
 		db: q.db, capture: lineage.NewCapture(),
 		baseRel: rel, baseAgg: &ares, partAttrs: opts.PartitionBy, params: opts.Params,
 	}
-	if ares.BW != nil {
-		res.capture.SetBackward(name, lineage.NewOneToMany(ares.BW))
+	if ix := ares.BackwardIndex(); ix != nil {
+		res.capture.SetBackward(name, ix)
 	}
 	if ares.BWPart != nil {
 		res.bwPart = ares.BWPart
 	}
-	if ares.FW != nil {
-		res.capture.SetForward(name, lineage.NewOneToOne(ares.FW))
+	if ix := ares.ForwardIndex(); ix != nil {
+		res.capture.SetForward(name, ix)
 	}
 	if cb != nil {
 		res.cube = cb.Build()
@@ -425,7 +434,7 @@ func (q *Query) runSingle(opts CaptureOptions) (*Result, error) {
 }
 
 func (q *Query) runSPJA(opts CaptureOptions) (*Result, error) {
-	eopts := exec.Opts{Mode: opts.Mode, Dirs: opts.dirs(), Params: opts.Params}
+	eopts := exec.Opts{Mode: opts.Mode, Dirs: opts.dirs(), Params: opts.Params, Compress: opts.Compress}
 	eopts.Workers, eopts.Pool = opts.workers(q.db)
 	if opts.TableDirs != nil {
 		eopts.TableDirs = make([]ops.Directions, len(q.tables))
@@ -521,6 +530,7 @@ func (r *Result) ConsumeGroupBy(rids []Rid, spec ops.GroupBySpec, opts CaptureOp
 	aggOpts := ops.AggOpts{
 		Mode: opts.Mode, Dirs: opts.dirs(), Params: opts.Params,
 		PushdownFilter: opts.PushdownFilter, PartitionBy: opts.PartitionBy,
+		Compress: opts.Compress,
 	}
 	var cb *cube.Builder
 	if opts.Cube != nil {
@@ -540,14 +550,14 @@ func (r *Result) ConsumeGroupBy(rids []Rid, spec ops.GroupBySpec, opts CaptureOp
 		db: r.db, capture: lineage.NewCapture(),
 		baseRel: r.baseRel, baseAgg: &ares, partAttrs: opts.PartitionBy, params: opts.Params,
 	}
-	if ares.BW != nil {
-		out.capture.SetBackward(r.baseRel.Name, lineage.NewOneToMany(ares.BW))
+	if ix := ares.BackwardIndex(); ix != nil {
+		out.capture.SetBackward(r.baseRel.Name, ix)
 	}
 	if ares.BWPart != nil {
 		out.bwPart = ares.BWPart
 	}
-	if ares.FW != nil {
-		out.capture.SetForward(r.baseRel.Name, lineage.NewOneToOne(ares.FW))
+	if ix := ares.ForwardIndex(); ix != nil {
+		out.capture.SetForward(r.baseRel.Name, ix)
 	}
 	if cb != nil {
 		out.cube = cb.Build()

@@ -1,0 +1,74 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDifferentialLineageEquivalence is the archetype gate: randomized SPJA
+// queries must produce element-identical lineage (and equal output) under
+// serial, morsel-parallel, Inject, Defer, and compressed capture.
+func TestDifferentialLineageEquivalence(t *testing.T) {
+	seeds := []int64{1, 42, 2026}
+	queries := 8
+	if testing.Short() {
+		seeds = seeds[:1]
+		queries = 4
+	}
+	for _, seed := range seeds {
+		if err := Check(seed, queries); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestVariantsCoverTheMatrix pins the configuration matrix: 2 modes × 2
+// parallelism levels × 2 representations, reference first.
+func TestVariantsCoverTheMatrix(t *testing.T) {
+	vs := Variants()
+	if len(vs) != 8 {
+		t.Fatalf("got %d variants, want 8", len(vs))
+	}
+	if vs[0].Name != "serial/inject/raw" {
+		t.Fatalf("reference variant is %q", vs[0].Name)
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v.Name] {
+			t.Fatalf("duplicate variant %q", v.Name)
+		}
+		seen[v.Name] = true
+	}
+	for _, want := range []string{
+		"serial/inject/raw", "serial/inject/compressed",
+		"serial/defer/raw", "serial/defer/compressed",
+		"par3/inject/raw", "par3/inject/compressed",
+		"par3/defer/raw", "par3/defer/compressed",
+	} {
+		if !seen[want] {
+			t.Fatalf("missing variant %q", want)
+		}
+	}
+}
+
+// TestGenDatasetDeterministic pins seeded reproducibility: the harness must
+// generate identical data for identical seeds (failure reports reference the
+// seed, so replays have to reproduce the exact session).
+func TestGenDatasetDeterministic(t *testing.T) {
+	r1 := newSeeded(7)
+	r2 := newSeeded(7)
+	d1 := GenDataset(r1)
+	defer d1.DB.Close()
+	d2 := GenDataset(r2)
+	defer d2.DB.Close()
+	if d1.FactN != d2.FactN || d1.DimN != d2.DimN {
+		t.Fatalf("sizes differ: (%d,%d) vs (%d,%d)", d1.DimN, d1.FactN, d2.DimN, d2.FactN)
+	}
+	for i := 0; i < d1.FactN; i++ {
+		if d1.Fact.Cols[0].Ints[i] != d2.Fact.Cols[0].Ints[i] {
+			t.Fatalf("fact.k[%d] differs", i)
+		}
+	}
+}
+
+func newSeeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

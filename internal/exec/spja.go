@@ -88,6 +88,12 @@ type Opts struct {
 	Workers int
 	// Pool schedules the partition kernels; nil runs them inline.
 	Pool *pool.Pool
+	// Compress encodes the captured indexes into their adaptive compressed
+	// forms after capture (serial: the whole capture encodes post-run;
+	// parallel: each partition encodes its local backward lists and the merge
+	// concatenates encoded lists without re-encoding). Backward/Forward and
+	// consuming queries read the encoded indexes in place.
+	Compress bool
 }
 
 func (o Opts) dirsFor(t int) ops.Directions {
@@ -335,6 +341,9 @@ func Run(spec Spec, opts Opts) (Result, error) {
 			agg.captureRow(slot, chain)
 		})
 		agg.emitInject(res.Capture)
+	}
+	if opts.Compress && opts.Mode != ops.None {
+		res.Capture.EncodeAll()
 	}
 	return res, nil
 }

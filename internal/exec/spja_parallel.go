@@ -42,6 +42,10 @@ func runParallel(pipe *pipeline, spec Spec, opts Opts) (Result, error) {
 	}
 
 	inject := opts.Mode == ops.Inject
+	// Compressed capture: each partition encodes its local backward lists
+	// inside the worker (encBW[part][t]); the merge below concatenates the
+	// encoded lists per global group without re-encoding.
+	encBW := make([][]*lineage.EncodedIndex, len(ranges))
 	opts.Pool.RunSplit(ranges, func(part, lo, hi int) {
 		a := locals[part]
 		pipe.forEachLastRange(lo, hi, func(chain []lineage.Rid, rid int32) {
@@ -58,6 +62,19 @@ func runParallel(pipe *pipeline, spec Spec, opts Opts) (Result, error) {
 			pipe.forEachLastRange(lo, hi, func(chain []lineage.Rid, rid int32) {
 				a.captureRow(a.probe(chain), chain)
 			})
+		}
+		if opts.Compress && opts.Mode != ops.None {
+			encBW[part] = make([]*lineage.EncodedIndex, k)
+			for t := 0; t < k; t++ {
+				if !a.tableDirs[t].Backward() {
+					continue
+				}
+				if opts.Mode == ops.Defer {
+					encBW[part][t] = lineage.EncodeRidIndex(a.deferBW[t])
+				} else {
+					encBW[part][t] = lineage.EncodeLists(a.groupRids[t])
+				}
+			}
 		}
 	})
 
@@ -92,21 +109,30 @@ func runParallel(pipe *pipeline, spec Spec, opts Opts) (Result, error) {
 		d := locals[0].tableDirs[t]
 		name := spec.Tables[t].Rel.Name
 		if d.Backward() {
-			var ix *lineage.RidIndex
-			if opts.Mode == ops.Defer {
+			if opts.Compress {
+				// Compression-aware merge: concatenate the partition-encoded
+				// lists per global group — no re-encoding.
+				parts := make([]*lineage.EncodedIndex, len(locals))
+				for p := range locals {
+					parts[p] = encBW[p][t]
+				}
+				merged := lineage.MergeEncodedBySlot(parts, slotMaps, nG)
+				res.Capture.SetBackward(name, lineage.NewEncodedMany(merged))
+			} else if opts.Mode == ops.Defer {
 				parts := make([]*lineage.RidIndex, len(locals))
 				for p, a := range locals {
 					parts[p] = a.deferBW[t]
 				}
-				ix = lineage.MergeIndexesBySlot(parts, slotMaps, nG)
+				ix := lineage.MergeIndexesBySlot(parts, slotMaps, nG)
+				res.Capture.SetBackward(name, lineage.NewOneToMany(ix))
 			} else {
 				lists := make([][][]lineage.Rid, len(locals))
 				for p, a := range locals {
 					lists[p] = a.groupRids[t]
 				}
-				ix = lineage.MergeListsBySlot(lists, slotMaps, nG)
+				ix := lineage.MergeListsBySlot(lists, slotMaps, nG)
+				res.Capture.SetBackward(name, lineage.NewOneToMany(ix))
 			}
-			res.Capture.SetBackward(name, lineage.NewOneToMany(ix))
 		}
 		if d.Forward() {
 			if t == last {
@@ -115,7 +141,11 @@ func runParallel(pipe *pipeline, spec Spec, opts Opts) (Result, error) {
 				opts.Pool.RunSplit(ranges, func(part, lo, hi int) {
 					lineage.SlotRebase(fwLast, lo, hi, slotMaps[part])
 				})
-				res.Capture.SetForward(name, lineage.NewOneToOne(fwLast))
+				fwIx := lineage.NewOneToOne(fwLast)
+				if opts.Compress {
+					fwIx = lineage.EncodeIndex(fwIx)
+				}
+				res.Capture.SetForward(name, fwIx)
 			} else {
 				pairR := make([][]lineage.Rid, len(locals))
 				pairS := make([][]lineage.Rid, len(locals))
@@ -125,7 +155,11 @@ func runParallel(pipe *pipeline, spec Spec, opts Opts) (Result, error) {
 				}
 				fw := lineage.MergePairsByRid(pairR, pairS, spec.Tables[t].Rel.N,
 					func(part int, s lineage.Rid) lineage.Rid { return slotMaps[part][s] })
-				res.Capture.SetForward(name, lineage.NewOneToMany(fw))
+				if opts.Compress {
+					res.Capture.SetForward(name, lineage.NewEncodedMany(lineage.EncodeRidIndex(fw)))
+				} else {
+					res.Capture.SetForward(name, lineage.NewOneToMany(fw))
+				}
 			}
 		}
 	}

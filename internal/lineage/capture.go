@@ -87,6 +87,19 @@ func (c *Capture) ForwardDistinct(rel string, in []Rid) ([]Rid, error) {
 	return ix.TraceDistinct(in), nil
 }
 
+// EncodeAll compresses every captured index in place (post-capture encoding:
+// operators capture into raw append-friendly structures, then the finished
+// indexes shrink to their adaptive encoded forms). Queries over the capture
+// read the encoded indexes transparently.
+func (c *Capture) EncodeAll() {
+	for rel, ix := range c.backward {
+		c.backward[rel] = EncodeIndex(ix)
+	}
+	for rel, ix := range c.forward {
+		c.forward[rel] = EncodeIndex(ix)
+	}
+}
+
 // Relations returns the names of relations with at least one captured index.
 func (c *Capture) Relations() []string {
 	seen := map[string]struct{}{}

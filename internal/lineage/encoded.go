@@ -1,0 +1,439 @@
+package lineage
+
+// Compressed rid-set representations. Lineage memory grows linearly with
+// capture cardinality when rid lists are raw []Rid slices; the encoded forms
+// here shrink the common shapes — dense ranges from contiguous-morsel
+// capture, near-sorted lists with small gaps, clustered sets — while staying
+// queryable in place: tracing iterates the encoded bytes directly and never
+// materializes a decompressed index (cf. "Compression and In-Situ Query
+// Processing for Fine-Grained Array Lineage", Zhao & Krishnan).
+//
+// An encoded list is a sequence of self-contained chunks, each
+//
+//	tag byte | uvarint element count | payload
+//
+// so two encoded lists concatenate into a valid encoded list. That is what
+// makes the parallel merge compression-aware: partition-local lists encode
+// independently and the merge concatenates their chunk bytes in partition
+// order (MergeEncodedBySlot) without re-encoding — decode order reproduces
+// serial append order exactly, because partitions cover disjoint, ordered rid
+// ranges and merge in partition order.
+//
+// Chunk encodings (chosen adaptively per list, smallest wins):
+//
+//   - range:  one contiguous ascending run; payload is the uvarint start.
+//   - rle:    run-length: uvarint first start, then alternating uvarint run
+//     length and uvarint gap to the next run. Strictly ascending lists only.
+//   - bitmap: fixed-width bitmap over [base, base+8·nbytes); payload is
+//     uvarint base, uvarint nbytes, then the bitmap. Strictly ascending only.
+//   - delta:  zigzag varints — absolute first value, then deltas. Handles
+//     arbitrary (unsorted, duplicated) lists.
+//   - raw:    4-byte little-endian rids; the incompressibility fallback that
+//     bounds worst-case size at raw-array cost.
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+const (
+	chunkRaw byte = iota
+	chunkRange
+	chunkDelta
+	chunkRLE
+	chunkBitmap
+)
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func uvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// EncodedIndex is a compressed RidIndex: n encoded lists packed into one byte
+// buffer with n+1 offsets. Entry i's chunks live in data[offs[i]:offs[i+1]];
+// an empty list occupies zero bytes.
+type EncodedIndex struct {
+	offs []uint32
+	data []byte
+	card int
+}
+
+// Len returns the number of entries.
+func (e *EncodedIndex) Len() int { return len(e.offs) - 1 }
+
+// Cardinality returns the total number of rid elements across all lists.
+func (e *EncodedIndex) Cardinality() int { return e.card }
+
+// SizeBytes returns the memory footprint of the encoded payload plus the
+// offset directory (the bytes-per-rid numerator in the compress experiment).
+func (e *EncodedIndex) SizeBytes() int { return len(e.data) + 4*len(e.offs) }
+
+// ListBytes returns entry i's raw chunk bytes (shared, read-only). Because
+// chunks are self-contained, these bytes may be concatenated with another
+// list's to form the encoded concatenation of the two lists.
+func (e *EncodedIndex) ListBytes(i int) []byte { return e.data[e.offs[i]:e.offs[i+1]] }
+
+// AppendList decodes entry i onto dst and returns it (the TraceOne shape —
+// the hot trace path, so it is a direct loop with no per-call closure).
+func (e *EncodedIndex) AppendList(i int, dst []Rid) []Rid {
+	b := e.ListBytes(i)
+	for len(b) > 0 {
+		tag := b[0]
+		n64, k := binary.Uvarint(b[1:])
+		b = b[1+k:]
+		n := int(n64)
+		switch tag {
+		case chunkRaw:
+			for j := 0; j < n; j++ {
+				dst = append(dst, Rid(binary.LittleEndian.Uint32(b[4*j:])))
+			}
+			b = b[4*n:]
+		case chunkRange:
+			s, k := binary.Uvarint(b)
+			b = b[k:]
+			for j := 0; j < n; j++ {
+				dst = append(dst, Rid(s)+Rid(j))
+			}
+		case chunkDelta:
+			var prev int64
+			for j := 0; j < n; j++ {
+				u, k := binary.Uvarint(b)
+				b = b[k:]
+				if j == 0 {
+					prev = unzigzag(u)
+				} else {
+					prev += unzigzag(u)
+				}
+				dst = append(dst, Rid(prev))
+			}
+		case chunkRLE:
+			s, k := binary.Uvarint(b)
+			b = b[k:]
+			cur := int64(s)
+			for rem := n; rem > 0; {
+				l64, k := binary.Uvarint(b)
+				b = b[k:]
+				for j := int64(0); j < int64(l64); j++ {
+					dst = append(dst, Rid(cur+j))
+				}
+				cur += int64(l64)
+				rem -= int(l64)
+				if rem > 0 {
+					g, k := binary.Uvarint(b)
+					b = b[k:]
+					cur += int64(g)
+				}
+			}
+		case chunkBitmap:
+			base, k := binary.Uvarint(b)
+			b = b[k:]
+			nb, k := binary.Uvarint(b)
+			b = b[k:]
+			for bi := 0; bi < int(nb); bi++ {
+				w := b[bi]
+				for w != 0 {
+					dst = append(dst, Rid(base)+Rid(bi*8+bits.TrailingZeros8(w)))
+					w &= w - 1
+				}
+			}
+			b = b[nb:]
+		}
+	}
+	return dst
+}
+
+// ListLen returns entry i's element count by summing chunk headers (payloads
+// are skipped, not decoded).
+func (e *EncodedIndex) ListLen(i int) int {
+	b := e.ListBytes(i)
+	total := 0
+	for len(b) > 0 {
+		tag := b[0]
+		n64, k := binary.Uvarint(b[1:])
+		b = b[1+k:]
+		n := int(n64)
+		total += n
+		switch tag {
+		case chunkRaw:
+			b = b[4*n:]
+		case chunkRange:
+			_, k := binary.Uvarint(b)
+			b = b[k:]
+		case chunkDelta:
+			for j := 0; j < n; j++ {
+				_, k := binary.Uvarint(b)
+				b = b[k:]
+			}
+		case chunkRLE:
+			_, k := binary.Uvarint(b)
+			b = b[k:]
+			for rem := n; rem > 0; {
+				l64, k := binary.Uvarint(b)
+				b = b[k:]
+				rem -= int(l64)
+				if rem > 0 {
+					g, k := binary.Uvarint(b)
+					b = b[k:]
+					_ = g
+				}
+			}
+		case chunkBitmap:
+			_, k := binary.Uvarint(b)
+			b = b[k:]
+			nb, k := binary.Uvarint(b)
+			b = b[k+int(nb):]
+		}
+	}
+	return total
+}
+
+// EncodedBuilder assembles an EncodedIndex one list at a time.
+type EncodedBuilder struct {
+	offs []uint32
+	data []byte
+	card int
+}
+
+// NewEncodedBuilder returns a builder with capacity hints for n lists.
+func NewEncodedBuilder(n int) *EncodedBuilder {
+	return &EncodedBuilder{offs: make([]uint32, 1, n+1)}
+}
+
+// checkEncodedSize makes payload growth past the uint32 offset ceiling loud:
+// silent wraparound would corrupt every list boundary after the 4 GiB mark.
+// Raw cost is 4 bytes/rid, so this only triggers past ~10^9 captured rids in
+// one index — shard the capture (or prune directions) before that.
+func checkEncodedSize(n int) {
+	if uint64(n) > uint64(^uint32(0)) {
+		panic("lineage: encoded index payload exceeds the 4 GiB uint32-offset ceiling; shard the capture")
+	}
+}
+
+// Add encodes list as the next entry, picking the smallest encoding.
+func (b *EncodedBuilder) Add(list []Rid) {
+	b.data = appendEncodedList(b.data, list)
+	checkEncodedSize(len(b.data))
+	b.offs = append(b.offs, uint32(len(b.data)))
+	b.card += len(list)
+}
+
+// Build finalizes the index. The builder must not be reused.
+func (b *EncodedBuilder) Build() *EncodedIndex {
+	return &EncodedIndex{offs: b.offs, data: b.data, card: b.card}
+}
+
+// appendEncodedList appends list as one adaptively-chosen chunk. Empty lists
+// append nothing (a zero-byte list decodes as empty).
+func appendEncodedList(data []byte, list []Rid) []byte {
+	n := len(list)
+	if n == 0 {
+		return data
+	}
+	// One analysis pass: strict ascension, exact delta and RLE payload sizes.
+	ascending := true
+	deltaSize := uvarintLen(zigzag(int64(list[0])))
+	rleSize := uvarintLen(uint64(list[0]))
+	runs := 1
+	runLen := 1
+	for i := 1; i < n; i++ {
+		d := int64(list[i]) - int64(list[i-1])
+		deltaSize += uvarintLen(zigzag(d))
+		if d <= 0 {
+			ascending = false
+		}
+		if !ascending {
+			continue
+		}
+		if d == 1 {
+			runLen++
+		} else {
+			rleSize += uvarintLen(uint64(runLen)) + uvarintLen(uint64(d-1))
+			runs++
+			runLen = 1
+		}
+	}
+	rawSize := 4 * n
+
+	var tag byte
+	var size int
+	if ascending && runs == 1 {
+		tag = chunkRange
+	} else {
+		tag, size = chunkDelta, deltaSize
+		if rawSize < size {
+			tag, size = chunkRaw, rawSize
+		}
+		if ascending {
+			rleSize += uvarintLen(uint64(runLen)) // close the last run
+			if rleSize <= size {
+				tag, size = chunkRLE, rleSize
+			}
+			span := int64(list[n-1]) - int64(list[0]) + 1
+			nb := (span + 7) / 8
+			bmSize := uvarintLen(uint64(list[0])) + uvarintLen(uint64(nb)) + int(nb)
+			if bmSize < size {
+				tag = chunkBitmap
+			}
+		}
+	}
+
+	data = append(data, tag)
+	data = binary.AppendUvarint(data, uint64(n))
+	switch tag {
+	case chunkRange:
+		data = binary.AppendUvarint(data, uint64(list[0]))
+	case chunkRaw:
+		for _, r := range list {
+			data = binary.LittleEndian.AppendUint32(data, uint32(r))
+		}
+	case chunkDelta:
+		data = binary.AppendUvarint(data, zigzag(int64(list[0])))
+		for i := 1; i < n; i++ {
+			data = binary.AppendUvarint(data, zigzag(int64(list[i])-int64(list[i-1])))
+		}
+	case chunkRLE:
+		data = binary.AppendUvarint(data, uint64(list[0]))
+		runLen := 1
+		for i := 1; i < n; i++ {
+			if list[i] == list[i-1]+1 {
+				runLen++
+				continue
+			}
+			data = binary.AppendUvarint(data, uint64(runLen))
+			data = binary.AppendUvarint(data, uint64(list[i]-list[i-1]-1))
+			runLen = 1
+		}
+		data = binary.AppendUvarint(data, uint64(runLen))
+	case chunkBitmap:
+		base := list[0]
+		span := int64(list[n-1]) - int64(base) + 1
+		nb := int((span + 7) / 8)
+		data = binary.AppendUvarint(data, uint64(base))
+		data = binary.AppendUvarint(data, uint64(nb))
+		off := len(data)
+		data = append(data, make([]byte, nb)...)
+		for _, r := range list {
+			bit := int(r - base)
+			data[off+bit/8] |= 1 << (bit % 8)
+		}
+	}
+	return data
+}
+
+// EncodeLists encodes a slice of rid lists (e.g. partition-local per-group
+// lists) into an EncodedIndex.
+func EncodeLists(lists [][]Rid) *EncodedIndex {
+	b := NewEncodedBuilder(len(lists))
+	for _, l := range lists {
+		b.Add(l)
+	}
+	return b.Build()
+}
+
+// EncodeRidIndex encodes every list of a raw rid index.
+func EncodeRidIndex(ix *RidIndex) *EncodedIndex { return EncodeLists(ix.lists) }
+
+// DecodeRidIndex materializes the raw form (tests and debugging; the query
+// path never calls this).
+func DecodeRidIndex(e *EncodedIndex) *RidIndex {
+	ix := NewRidIndex(e.Len())
+	for i := 0; i < e.Len(); i++ {
+		ix.lists[i] = e.AppendList(i, nil)
+	}
+	return ix
+}
+
+// EncodedArr is a compressed rid array (the 1-to-1 representation): maximal
+// runs of sequential (arr[j] = v + j - start) or constant (repeated value,
+// including the -1 "no match" filler) entries, random-accessed by binary
+// search over run starts. Forward arrays of selections are long sequential
+// and constant(-1) runs; forward arrays of aggregations over clustered keys
+// are constant runs per group.
+type EncodedArr struct {
+	n      int
+	starts []int32
+	vals   []Rid
+	seq    []bool
+}
+
+const (
+	arrRunCost = 9 // 4 (start) + 4 (val) + 1 (kind) bytes per run
+	rawRidCost = 4
+)
+
+// EncodeArr encodes arr, or returns nil when the run form is not smaller than
+// the raw array (the adaptive fallback: interleaved values — and arrays too
+// small for the run directory to pay off — stay raw).
+func EncodeArr(arr []Rid) *EncodedArr {
+	n := len(arr)
+	if n == 0 {
+		return nil
+	}
+	maxRuns := n * rawRidCost / arrRunCost
+	return encodeArrRuns(arr, maxRuns)
+}
+
+// encodeArrRuns builds the run directory, abandoning (nil) once more than
+// maxRuns runs accumulate.
+func encodeArrRuns(arr []Rid, maxRuns int) *EncodedArr {
+	n := len(arr)
+	e := &EncodedArr{n: n}
+	for i := 0; i < n; {
+		start := i
+		v := arr[i]
+		seq := false
+		i++
+		if i < n && arr[i] == v {
+			for i < n && arr[i] == v {
+				i++
+			}
+		} else if i < n && v >= 0 && arr[i] == v+1 {
+			seq = true
+			for i < n && arr[i] == v+Rid(i-start) {
+				i++
+			}
+		}
+		e.starts = append(e.starts, int32(start))
+		e.vals = append(e.vals, v)
+		e.seq = append(e.seq, seq)
+		if len(e.starts) > maxRuns {
+			return nil // incompressible: keep the raw array
+		}
+	}
+	return e
+}
+
+// Len returns the number of entries.
+func (e *EncodedArr) Len() int { return e.n }
+
+// SizeBytes returns the memory footprint of the run directory.
+func (e *EncodedArr) SizeBytes() int { return len(e.starts) * arrRunCost }
+
+// Get returns entry i.
+func (e *EncodedArr) Get(i Rid) Rid {
+	lo, hi := 0, len(e.starts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.starts[mid] <= int32(i) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	k := lo - 1
+	if e.seq[k] {
+		return e.vals[k] + Rid(int32(i)-e.starts[k])
+	}
+	return e.vals[k]
+}
+
+// Decode materializes the raw array (tests and debugging).
+func (e *EncodedArr) Decode() []Rid {
+	out := make([]Rid, e.n)
+	for i := range out {
+		out[i] = e.Get(Rid(i))
+	}
+	return out
+}

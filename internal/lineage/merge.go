@@ -122,6 +122,47 @@ func MergeIndexesBySlot(parts []*RidIndex, slotMaps [][]Rid, nGlobal int) *RidIn
 	return MergeListsBySlot(lists, slotMaps, nGlobal)
 }
 
+// MergeEncodedBySlot is the compression-aware partition merge: partition-local
+// encoded indexes combine into one global EncodedIndex by concatenating each
+// local list's chunk bytes onto its global slot, in partition order — no list
+// is re-encoded. This is sound because chunks are self-contained and
+// partition rid ranges are disjoint and ordered: concatenation in partition
+// order decodes to exactly the rid sequence a serial run would have appended.
+// (The merged byte layout can differ from a serial run's single-chunk
+// encoding — one chunk per contributing partition — but the decoded lineage
+// is element-identical, which is what the equivalence gates assert.)
+func MergeEncodedBySlot(parts []*EncodedIndex, slotMaps [][]Rid, nGlobal int) *EncodedIndex {
+	sizes := make([]int, nGlobal)
+	card, total := 0, 0
+	for p, e := range parts {
+		sm := slotMaps[p]
+		for s := 0; s < e.Len(); s++ {
+			n := len(e.ListBytes(s))
+			sizes[sm[s]] += n
+			total += n
+		}
+		card += e.Cardinality()
+	}
+	checkEncodedSize(total)
+	offs := make([]uint32, nGlobal+1)
+	for i := 0; i < nGlobal; i++ {
+		offs[i+1] = offs[i] + uint32(sizes[i])
+	}
+	data := make([]byte, offs[nGlobal])
+	cursor := make([]uint32, nGlobal)
+	copy(cursor, offs[:nGlobal])
+	for p, e := range parts {
+		sm := slotMaps[p]
+		for s := 0; s < e.Len(); s++ {
+			g := sm[s]
+			b := e.ListBytes(s)
+			copy(data[cursor[g]:], b)
+			cursor[g] += uint32(len(b))
+		}
+	}
+	return &EncodedIndex{offs: offs, data: data, card: card}
+}
+
 // MergePairsByRid builds one exactly-sized forward RidIndex from
 // partition-local (entry rid, value) pair arrays collected in scan order —
 // the memory-lean alternative to a relation-sized index per partition.

@@ -69,7 +69,7 @@ func (ix *RidIndex) Cardinality() int {
 	return n
 }
 
-// Kind distinguishes the two physical lineage representations.
+// Kind distinguishes the physical lineage representations.
 type Kind uint8
 
 const (
@@ -78,15 +78,23 @@ const (
 	OneToOne Kind = iota
 	// OneToMany is a RidIndex: entry i maps record i to a set of records.
 	OneToMany
+	// EncodedOne is a compressed rid array (run directory, EncodedArr).
+	EncodedOne
+	// EncodedMany is a compressed rid index (per-list adaptive chunks,
+	// EncodedIndex). Queries read it in place; it is never decompressed
+	// wholesale.
+	EncodedMany
 )
 
-// Index is a direction-agnostic lineage index: either a rid array or a rid
-// index. Backward indexes map output rids to input rids; forward indexes map
-// input rids to output rids.
+// Index is a direction-agnostic lineage index: a rid array or a rid index, in
+// raw or encoded form. Backward indexes map output rids to input rids;
+// forward indexes map input rids to output rids.
 type Index struct {
-	Kind Kind
-	Arr  []Rid     // when Kind == OneToOne
-	Many *RidIndex // when Kind == OneToMany
+	Kind   Kind
+	Arr    []Rid         // when Kind == OneToOne
+	Many   *RidIndex     // when Kind == OneToMany
+	EncArr *EncodedArr   // when Kind == EncodedOne
+	Enc    *EncodedIndex // when Kind == EncodedMany
 }
 
 // NewOneToOne wraps a rid array.
@@ -95,24 +103,79 @@ func NewOneToOne(arr []Rid) *Index { return &Index{Kind: OneToOne, Arr: arr} }
 // NewOneToMany wraps a rid index.
 func NewOneToMany(ix *RidIndex) *Index { return &Index{Kind: OneToMany, Many: ix} }
 
+// NewEncodedOne wraps a compressed rid array.
+func NewEncodedOne(e *EncodedArr) *Index { return &Index{Kind: EncodedOne, EncArr: e} }
+
+// NewEncodedMany wraps a compressed rid index.
+func NewEncodedMany(e *EncodedIndex) *Index { return &Index{Kind: EncodedMany, Enc: e} }
+
+// Encoded reports whether the index is stored in compressed form.
+func (ix *Index) Encoded() bool { return ix.Kind == EncodedOne || ix.Kind == EncodedMany }
+
+// EncodeIndex returns the compressed form of ix (or ix itself when already
+// encoded, or when a rid array is incompressible and raw is the adaptive
+// choice). Trace, Compose, and Invert read the result in place.
+func EncodeIndex(ix *Index) *Index {
+	switch ix.Kind {
+	case OneToOne:
+		if e := EncodeArr(ix.Arr); e != nil {
+			return NewEncodedOne(e)
+		}
+		return ix
+	case OneToMany:
+		return NewEncodedMany(EncodeRidIndex(ix.Many))
+	}
+	return ix
+}
+
+// SizeBytes returns the index's payload memory footprint (4 bytes per rid
+// for raw forms; the encoded byte size otherwise).
+func (ix *Index) SizeBytes() int {
+	switch ix.Kind {
+	case OneToOne:
+		return 4 * len(ix.Arr)
+	case OneToMany:
+		return 4*ix.Many.Cardinality() + 24*ix.Many.Len() // lists + slice headers
+	case EncodedOne:
+		return ix.EncArr.SizeBytes()
+	default:
+		return ix.Enc.SizeBytes()
+	}
+}
+
 // Len returns the number of entries (source records) in the index.
 func (ix *Index) Len() int {
-	if ix.Kind == OneToOne {
+	switch ix.Kind {
+	case OneToOne:
 		return len(ix.Arr)
+	case OneToMany:
+		return ix.Many.Len()
+	case EncodedOne:
+		return ix.EncArr.Len()
+	default:
+		return ix.Enc.Len()
 	}
-	return ix.Many.Len()
 }
 
 // TraceOne appends the records mapped from source record i to dst and
-// returns it.
+// returns it. Encoded indexes decode the one touched entry in place.
 func (ix *Index) TraceOne(i Rid, dst []Rid) []Rid {
-	if ix.Kind == OneToOne {
+	switch ix.Kind {
+	case OneToOne:
 		if r := ix.Arr[i]; r >= 0 {
 			dst = append(dst, r)
 		}
 		return dst
+	case OneToMany:
+		return append(dst, ix.Many.List(int(i))...)
+	case EncodedOne:
+		if r := ix.EncArr.Get(i); r >= 0 {
+			dst = append(dst, r)
+		}
+		return dst
+	default:
+		return ix.Enc.AppendList(int(i), dst)
 	}
-	return append(dst, ix.Many.List(int(i))...)
 }
 
 // Trace returns the union (with duplicates preserved, per the paper's
@@ -147,7 +210,10 @@ func (ix *Index) TraceDistinct(src []Rid) []Rid {
 // Compose returns an index mapping the sources of outer to the targets of
 // inner: outer maps A→B, inner maps B→C, result maps A→C. This implements
 // lineage propagation across operator boundaries (§3.3): after composing, the
-// intermediate (B) indexes can be garbage collected.
+// intermediate (B) indexes can be garbage collected. Encoded operands are
+// read in place, one entry at a time, and yield an encoded result (each
+// composed list encodes as soon as it is complete — the full raw index is
+// never materialized).
 func Compose(outer, inner *Index) *Index {
 	if outer.Kind == OneToOne && inner.Kind == OneToOne {
 		arr := make([]Rid, len(outer.Arr))
@@ -161,6 +227,19 @@ func Compose(outer, inner *Index) *Index {
 		return NewOneToOne(arr)
 	}
 	n := outer.Len()
+	if outer.Encoded() || inner.Encoded() {
+		b := NewEncodedBuilder(n)
+		var mids, row []Rid
+		for i := 0; i < n; i++ {
+			mids = outer.TraceOne(Rid(i), mids[:0])
+			row = row[:0]
+			for _, mid := range mids {
+				row = inner.TraceOne(mid, row)
+			}
+			b.Add(row)
+		}
+		return NewEncodedMany(b.Build())
+	}
 	out := NewRidIndex(n)
 	var buf []Rid
 	for i := 0; i < n; i++ {
@@ -174,6 +253,8 @@ func Compose(outer, inner *Index) *Index {
 
 // Invert builds the opposite-direction index given the number of target
 // records. Inverting a forward index yields a backward index and vice versa.
+// An encoded input is streamed in place (two decode passes, no materialized
+// raw copy of the input) and yields an encoded result.
 func Invert(ix *Index, targets int) *Index {
 	// Count first so the result is exactly sized (no growth cost).
 	counts := make([]int32, targets)
@@ -187,6 +268,15 @@ func Invert(ix *Index, targets int) *Index {
 	case OneToMany:
 		for i := 0; i < ix.Many.Len(); i++ {
 			for _, r := range ix.Many.List(i) {
+				counts[r]++
+			}
+		}
+	default:
+		n := ix.Len()
+		var buf []Rid
+		for i := 0; i < n; i++ {
+			buf = ix.TraceOne(Rid(i), buf[:0])
+			for _, r := range buf {
 				counts[r]++
 			}
 		}
@@ -205,6 +295,18 @@ func Invert(ix *Index, targets int) *Index {
 				out.AppendFast(int(r), Rid(i))
 			}
 		}
+	default:
+		n := ix.Len()
+		var buf []Rid
+		for i := 0; i < n; i++ {
+			buf = ix.TraceOne(Rid(i), buf[:0])
+			for _, r := range buf {
+				out.AppendFast(int(r), Rid(i))
+			}
+		}
+	}
+	if ix.Encoded() {
+		return NewEncodedMany(EncodeRidIndex(out))
 	}
 	return NewOneToMany(out)
 }

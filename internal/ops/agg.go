@@ -105,6 +105,16 @@ type AggOpts struct {
 	Workers int
 	// Pool schedules the partition kernels; nil runs them inline.
 	Pool *pool.Pool
+
+	// Compress encodes the finished lineage indexes into their adaptive
+	// compressed forms (internal/lineage encoded.go) after capture: the
+	// operator loop still appends into raw structures (Inject) or
+	// exactly-sized arrays (Defer), and encoding happens post-capture —
+	// per partition in the parallel path, whose merge then concatenates
+	// encoded lists without re-encoding. The result's BWEnc/FWEnc replace
+	// BW/FW; queries read them in place. PartitionBy (data-skipping) indexes
+	// are not compressed.
+	Compress bool
 }
 
 // AggResult is the output of an instrumented hash aggregation. Backward
@@ -114,13 +124,57 @@ type AggOpts struct {
 type AggResult struct {
 	Out *storage.Relation
 	BW  *lineage.RidIndex
+	// BWEnc replaces BW when AggOpts.Compress encoded the backward index.
+	BWEnc *lineage.EncodedIndex
 	// BWPart replaces BW when the data-skipping optimization partitions the
 	// backward rid arrays (AggOpts.PartitionBy).
 	BWPart *lineage.PartitionedIndex
 	FW     []Rid
+	// FWEnc replaces FW when AggOpts.Compress encoded the forward array
+	// (the encoder adaptively keeps FW raw when runs don't pay off).
+	FWEnc *lineage.EncodedArr
 	// GroupCounts[i] is the input cardinality of group i (tracked for every
 	// mode; Defer uses it to preallocate exact backward lists).
 	GroupCounts []int64
+}
+
+// BackwardIndex wraps whichever backward representation the result holds
+// (raw or encoded) as a direction-agnostic index, or nil if backward lineage
+// was not captured (BWPart, the data-skipping form, is exposed separately).
+func (r *AggResult) BackwardIndex() *lineage.Index {
+	switch {
+	case r.BWEnc != nil:
+		return lineage.NewEncodedMany(r.BWEnc)
+	case r.BW != nil:
+		return lineage.NewOneToMany(r.BW)
+	}
+	return nil
+}
+
+// ForwardIndex wraps whichever forward representation the result holds, or
+// nil if forward lineage was not captured.
+func (r *AggResult) ForwardIndex() *lineage.Index {
+	switch {
+	case r.FWEnc != nil:
+		return lineage.NewEncodedOne(r.FWEnc)
+	case r.FW != nil:
+		return lineage.NewOneToOne(r.FW)
+	}
+	return nil
+}
+
+// compress applies post-capture encoding to the finished raw indexes.
+func (r *AggResult) compress() {
+	if r.BW != nil {
+		r.BWEnc = lineage.EncodeRidIndex(r.BW)
+		r.BW = nil
+	}
+	if r.FW != nil {
+		if e := lineage.EncodeArr(r.FW); e != nil {
+			r.FWEnc = e
+			r.FW = nil
+		}
+	}
 }
 
 // aggAcc accumulates one aggregate across groups (structure-of-arrays:
@@ -742,6 +796,11 @@ func HashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOpts)
 			res.BW = bw
 		}
 		res.FW = fw
+	}
+	if opts.Compress {
+		// Post-capture (and Defer-time) encoding: the finished indexes shrink
+		// to their adaptive encoded forms; the hot loop above is unchanged.
+		res.compress()
 	}
 	return res, nil
 }

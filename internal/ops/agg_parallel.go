@@ -76,6 +76,12 @@ func parHashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOp
 		}
 	}
 	deferBWs := make([]*lineage.RidIndex, len(ranges))
+	// Compressed capture: each partition encodes its own local lists after
+	// its kernel finishes (inside the worker, so encoding parallelizes), and
+	// the merge concatenates the encoded lists per global slot without
+	// re-encoding (lineage.MergeEncodedBySlot).
+	encodeLocal := opts.Compress && wantBW && sts[0].partKey == nil
+	encBWs := make([]*lineage.EncodedIndex, len(ranges))
 
 	opts.Pool.RunSplit(ranges, func(part, lo, hi int) {
 		st := sts[part]
@@ -89,6 +95,9 @@ func parHashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOp
 			}
 		}
 		if opts.Mode != Defer {
+			if encodeLocal && opts.Mode == Inject {
+				encBWs[part] = lineage.EncodeLists(st.groupRids)
+			}
 			return
 		}
 		// Partition-local Zγ pass (§3.2.3): the local counts are exact for
@@ -129,6 +138,9 @@ func parHashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOp
 			}
 		}
 		deferBWs[part] = bw
+		if encodeLocal && bw != nil {
+			encBWs[part] = lineage.EncodeRidIndex(bw)
+		}
 	})
 
 	// Phase 2: merge partition tables in partition order. The merged state
@@ -160,6 +172,8 @@ func parHashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOp
 				parts[p] = st.partMaps
 			}
 			res.BWPart = lineage.MergePartitionMaps(parts, slotMaps, nG, nil)
+		} else if encodeLocal {
+			res.BWEnc = lineage.MergeEncodedBySlot(encBWs, slotMaps, nG)
 		} else if opts.Mode == Inject {
 			lists := make([][][]Rid, len(sts))
 			for p, st := range sts {
@@ -181,6 +195,12 @@ func parHashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOp
 			}
 		})
 		res.FW = fw
+		if opts.Compress {
+			if e := lineage.EncodeArr(fw); e != nil {
+				res.FWEnc = e
+				res.FW = nil
+			}
+		}
 	}
 	return res, nil
 }

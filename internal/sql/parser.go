@@ -55,9 +55,26 @@ type Join struct {
 }
 
 type parser struct {
-	toks []token
-	i    int
+	toks  []token
+	i     int
+	depth int
 }
+
+// maxDepth bounds expression-tree recursion. Without it, adversarial input
+// like a few thousand opening parens (found by FuzzParse) recurses once per
+// paren and can exhaust the goroutine stack; deeper nesting than this has no
+// legitimate use in the supported SQL subset.
+const maxDepth = 200
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxDepth {
+		return fmt.Errorf("sql: expression nesting deeper than %d", maxDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 // Parse parses one SELECT statement.
 func Parse(src string) (*Stmt, error) {
@@ -262,6 +279,10 @@ func (p *parser) selectItem() (SelectItem, error) {
 // Expression grammar: or → and → not → cmp → add → mul → unary.
 
 func (p *parser) orExpr() (expr.Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	l, err := p.andExpr()
 	if err != nil {
 		return nil, err
@@ -293,6 +314,10 @@ func (p *parser) andExpr() (expr.Expr, error) {
 
 func (p *parser) notExpr() (expr.Expr, error) {
 	if p.acceptKeyword("NOT") {
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
+		defer p.leave()
 		inner, err := p.notExpr()
 		if err != nil {
 			return nil, err
@@ -356,6 +381,10 @@ func (p *parser) cmpExpr() (expr.Expr, error) {
 }
 
 func (p *parser) addExpr() (expr.Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	l, err := p.mulExpr()
 	if err != nil {
 		return nil, err

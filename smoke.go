@@ -14,6 +14,15 @@
 // the one its experiments reproduce); a DB is safe for concurrent
 // Query().Run() calls either way.
 //
+// Captured indexes can be stored compressed: CaptureOptions{Compress: true}
+// encodes every finished rid list adaptively (raw rids, delta+varint,
+// run-length, or bitmap — whichever is smallest per list) after capture, and
+// Backward/Forward and lineage-consuming queries read the encoded indexes in
+// place, element-identically to raw capture. Dense capture shapes (range
+// scans, clustered groups) shrink by an order of magnitude; adversarial
+// shapes are bounded at raw cost. See DESIGN.md "Compressed lineage
+// representations".
+//
 // The root package re-exports the engine facade (internal/core), the storage
 // and expression substrates, and the capture knobs, so applications program
 // against one import:
