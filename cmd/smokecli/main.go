@@ -4,6 +4,7 @@
 //
 //	smokecli -dataset tpch -sf 0.01
 //	smoke> SELECT l_shipmode, COUNT(*) AS c FROM lineitem GROUP BY l_shipmode;
+//	smoke> EXPLAIN SELECT l_shipmode, COUNT(*) AS c FROM orders JOIN lineitem ON o_orderkey = l_orderkey GROUP BY l_shipmode;
 //	smoke> \backward lineitem 0
 //	smoke> \forward lineitem 123
 package main
@@ -45,7 +46,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
 		os.Exit(1)
 	}
-	fmt.Println(`queries capture lineage (Inject); end with ';'. Commands: \backward <table> <outrid>, \forward <table> <rid>, \quit`)
+	fmt.Println(`queries capture lineage (Inject); end with ';'. EXPLAIN SELECT ... prints the optimizer trace. Commands: \backward <table> <outrid>, \forward <table> <rid>, \quit`)
 
 	var last *core.Result
 	scanner := bufio.NewScanner(os.Stdin)
@@ -76,7 +77,21 @@ func main() {
 }
 
 func runQuery(db *core.DB, stmt string) *core.Result {
-	q, err := sql.Compile(db, stmt)
+	st, err := sql.Parse(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return nil
+	}
+	if st.Explain {
+		out, err := sql.ExplainStmt(db, st)
+		if err != nil {
+			fmt.Println("error:", err)
+			return nil
+		}
+		fmt.Print(out)
+		return nil
+	}
+	q, err := sql.CompileStmt(db, st)
 	if err != nil {
 		fmt.Println("error:", err)
 		return nil

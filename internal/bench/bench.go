@@ -103,6 +103,7 @@ func Experiments() map[string]Runner {
 		"fig23":    Fig23,
 		"parscale": ParScale,
 		"compress": Compress,
+		"plan":     PlanBench,
 	}
 }
 
@@ -111,6 +112,6 @@ func Order() []string {
 	return []string{
 		"fig5", "fig5tc", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig21", "fig22", "fig23",
-		"parscale", "compress",
+		"parscale", "compress", "plan",
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"smoke/internal/expr"
 	"smoke/internal/lineage"
 	"smoke/internal/ops"
+	"smoke/internal/plan"
 	"smoke/internal/pool"
 	"smoke/internal/storage"
 )
@@ -198,7 +199,10 @@ func (o CaptureOptions) dirs() ops.Directions {
 }
 
 // Query builds an SPJA block against a DB. Errors accumulate and surface at
-// Run, so call chains stay uncluttered.
+// Run, so call chains stay uncluttered. Run lowers the builder state onto the
+// logical plan layer (internal/plan), runs the optimizer — whose fusion rule,
+// not the front end, decides when the fused SPJA executor applies — and
+// executes the optimized plan (exec.RunPlan).
 type Query struct {
 	db     *DB
 	names  []string
@@ -207,10 +211,19 @@ type Query struct {
 	keys   []exec.KeyRef
 	aggs   []exec.AggRef
 	err    error
+
+	// prebuilt carries an externally lowered plan (QueryPlan, the SQL front
+	// end); when set, the builder state above is unused.
+	prebuilt plan.Node
 }
 
 // Query starts a new query.
 func (db *DB) Query() *Query { return &Query{db: db} }
+
+// QueryPlan wraps an already-lowered logical plan (e.g. from the SQL front
+// end) as a runnable query: Run optimizes and executes it exactly like a
+// builder query.
+func (db *DB) QueryPlan(n plan.Node) *Query { return &Query{db: db, prebuilt: n} }
 
 // From sets the first (or only) table with an optional filter.
 func (q *Query) From(table string, filter expr.Expr) *Query {
@@ -310,12 +323,88 @@ func (q *Query) fail(err error) {
 	}
 }
 
+// asSingleBlock extracts a prebuilt plan's single-table aggregation block
+// when it has exactly the shape runSingle serves — a GroupBy over one
+// (possibly filtered) base scan with unfiltered aggregates — as a builder
+// query. HAVING/ORDER BY/LIMIT residue or joins disqualify it.
+func (q *Query) asSingleBlock() (*Query, bool) {
+	gb, ok := q.prebuilt.(plan.GroupBy)
+	if !ok {
+		return nil, false
+	}
+	child := gb.Child
+	var filter expr.Expr
+	if f, isFilter := child.(plan.Filter); isFilter {
+		filter = f.Pred
+		child = f.Child
+	}
+	sc, ok := child.(plan.Scan)
+	if !ok {
+		return nil, false
+	}
+	if sc.Filter != nil {
+		if filter == nil {
+			filter = sc.Filter
+		} else {
+			filter = expr.And{L: sc.Filter, R: filter}
+		}
+	}
+	nq := &Query{db: q.db, names: []string{sc.Table},
+		tables: []exec.TableRef{{Rel: sc.Rel, Filter: filter}}}
+	for _, k := range gb.Keys {
+		nq.keys = append(nq.keys, exec.KeyRef{Col: k})
+	}
+	for i, a := range gb.Aggs {
+		if a.Filter != nil {
+			return nil, false
+		}
+		nq.aggs = append(nq.aggs, exec.AggRef{Fn: a.Fn, Arg: a.Arg, Name: a.OutName(i)})
+	}
+	return nq, true
+}
+
 // Spec exposes the underlying SPJA block (for the benchmark harness).
 func (q *Query) Spec() (exec.Spec, error) {
 	if q.err != nil {
 		return exec.Spec{}, q.err
 	}
 	return exec.Spec{Tables: q.tables, Joins: q.joins, Keys: q.keys, Aggs: q.aggs}, nil
+}
+
+// Plan lowers the query onto the logical plan IR (unoptimized): scans with
+// their pipelined filters, a left-deep join chain, and a group-by on top.
+// Prebuilt plans (QueryPlan) are returned as-is.
+func (q *Query) Plan() (plan.Node, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	if q.prebuilt != nil {
+		return q.prebuilt, nil
+	}
+	if len(q.tables) == 0 {
+		return nil, fmt.Errorf("core: query has no tables")
+	}
+	if len(q.keys) == 0 {
+		return nil, fmt.Errorf("core: only aggregation queries are supported; add GroupBy")
+	}
+	var n plan.Node = plan.Scan{Table: q.names[0], Rel: q.tables[0].Rel, Filter: q.tables[0].Filter}
+	for i, je := range q.joins {
+		n = plan.Join{
+			Left:     n,
+			Right:    plan.Scan{Table: q.names[i+1], Rel: q.tables[i+1].Rel, Filter: q.tables[i+1].Filter},
+			LeftKey:  je.LeftCol,
+			RightKey: je.RightCol,
+			LeftQual: q.names[je.LeftTable], // the builder names the prefix table explicitly
+		}
+	}
+	gb := plan.GroupBy{Child: n}
+	for _, k := range q.keys {
+		gb.Keys = append(gb.Keys, k.Col)
+	}
+	for _, a := range q.aggs {
+		gb.Aggs = append(gb.Aggs, plan.AggDef{Fn: a.Fn, Arg: a.Arg, Filter: a.Filter, Name: a.Name})
+	}
+	return gb, nil
 }
 
 // Result is an executed base query: its output relation plus captured
@@ -335,25 +424,60 @@ type Result struct {
 	params    expr.Params
 }
 
-// Run executes the query with the given capture options.
+// Run executes the query with the given capture options: the builder state
+// (or prebuilt SQL plan) lowers onto the plan IR, the optimizer rewrites it
+// (predicate pushdown, projection pruning, pk-fk detection, SPJA fusion), and
+// exec.RunPlan executes the optimized plan. The workload-aware capture
+// push-downs of §4.2 (cardinality statistics, selection push-down, data
+// skipping, cube materialization) bypass the plan layer: they are
+// capture-time options of the single-table hash aggregation and keep their
+// dedicated path (runSingle).
 func (q *Query) Run(opts CaptureOptions) (*Result, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
-	if len(q.tables) == 0 {
-		return nil, fmt.Errorf("core: query has no tables")
+	if opts.PushdownFilter != nil || opts.PartitionBy != nil || opts.Cube != nil || opts.CountsByKey != nil {
+		target := q
+		if q.prebuilt != nil {
+			// SQL-compiled queries qualify when their plan is a plain
+			// single-table aggregation block.
+			sq, ok := q.asSingleBlock()
+			if !ok {
+				return nil, fmt.Errorf("core: push-down options currently require a single-table query block")
+			}
+			target = sq
+		} else if len(q.tables) != 1 {
+			return nil, fmt.Errorf("core: push-down options currently require a single-table query block")
+		}
+		if len(target.keys) == 0 {
+			return nil, fmt.Errorf("core: only aggregation queries are supported; add GroupBy")
+		}
+		return target.runSingle(opts)
 	}
-	if len(q.keys) == 0 {
-		return nil, fmt.Errorf("core: only aggregation queries are supported; add GroupBy")
+	p, err := q.Plan()
+	if err != nil {
+		return nil, err
 	}
-	singleTable := len(q.tables) == 1
-	if !singleTable && (opts.PushdownFilter != nil || opts.PartitionBy != nil || opts.Cube != nil || opts.CountsByKey != nil) {
-		return nil, fmt.Errorf("core: push-down options currently require a single-table query block")
+	optimized, _ := plan.Optimize(p, plan.Opts{Catalog: q.db.cat})
+	eopts := exec.PlanOpts{
+		Mode: opts.Mode, Dirs: opts.Dirs, TableDirs: opts.TableDirs,
+		Params: opts.Params, Compress: opts.Compress,
 	}
-	if singleTable {
-		return q.runSingle(opts)
+	eopts.Workers, eopts.Pool = opts.workers(q.db)
+	pres, err := exec.RunPlan(optimized, eopts)
+	if err != nil {
+		return nil, err
 	}
-	return q.runSPJA(opts)
+	res := &Result{
+		Out: pres.Out, GroupCounts: pres.GroupCounts,
+		db: q.db, capture: pres.Capture, params: opts.Params,
+	}
+	// Single-base plans keep consuming-query support (ConsumeGroupBy
+	// re-aggregates base rows addressed by backward rids).
+	if rel := plan.SingleBase(optimized); rel != nil {
+		res.baseRel = rel
+	}
+	return res, nil
 }
 
 func (q *Query) runSingle(opts CaptureOptions) (*Result, error) {
@@ -431,25 +555,6 @@ func (q *Query) runSingle(opts CaptureOptions) (*Result, error) {
 		res.cube = cb.Build()
 	}
 	return res, nil
-}
-
-func (q *Query) runSPJA(opts CaptureOptions) (*Result, error) {
-	eopts := exec.Opts{Mode: opts.Mode, Dirs: opts.dirs(), Params: opts.Params, Compress: opts.Compress}
-	eopts.Workers, eopts.Pool = opts.workers(q.db)
-	if opts.TableDirs != nil {
-		eopts.TableDirs = make([]ops.Directions, len(q.tables))
-		for i, n := range q.names {
-			eopts.TableDirs[i] = opts.TableDirs[n]
-		}
-	}
-	eres, err := exec.Run(exec.Spec{Tables: q.tables, Joins: q.joins, Keys: q.keys, Aggs: q.aggs}, eopts)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Out: eres.Out, GroupCounts: eres.GroupCounts,
-		db: q.db, capture: eres.Capture, params: opts.Params,
-	}, nil
 }
 
 // Backward evaluates Lb(outRids ⊆ Out, table): the base rids of table that

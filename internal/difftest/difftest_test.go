@@ -22,6 +22,52 @@ func TestDifferentialLineageEquivalence(t *testing.T) {
 	}
 }
 
+// TestMultiBlockDifferentialEquivalence is the plan-layer gate: randomized
+// multi-block plans (fusible star blocks with HAVING/ORDER BY/LIMIT residue,
+// aggregations over joins over grouped subqueries, group-bys over set unions)
+// plus fixed multi-block SQL queries must be element-identical across
+// fused/generic lowering × serial/par3 × Inject/Defer × raw/compressed.
+func TestMultiBlockDifferentialEquivalence(t *testing.T) {
+	seeds := []int64{3, 77, 2027}
+	plans := 6
+	if testing.Short() {
+		seeds = seeds[:1]
+		plans = 3
+	}
+	for _, seed := range seeds {
+		if err := CheckMultiBlock(seed, plans); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPlanVariantsCoverTheMatrix pins the multi-block matrix: 2 lowerings ×
+// 2 parallelism levels × 2 modes × 2 representations, reference first.
+func TestPlanVariantsCoverTheMatrix(t *testing.T) {
+	vs := PlanVariants(nil)
+	if len(vs) != 16 {
+		t.Fatalf("got %d plan variants, want 16", len(vs))
+	}
+	if vs[0].Name != "generic/serial/inject/raw" {
+		t.Fatalf("reference variant is %q", vs[0].Name)
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v.Name] {
+			t.Fatalf("duplicate variant %q", v.Name)
+		}
+		seen[v.Name] = true
+	}
+	for _, want := range []string{
+		"generic/par3/defer/compressed", "fused/serial/inject/raw",
+		"fused/par3/inject/compressed", "fused/par3/defer/raw",
+	} {
+		if !seen[want] {
+			t.Fatalf("missing variant %q", want)
+		}
+	}
+}
+
 // TestVariantsCoverTheMatrix pins the configuration matrix: 2 modes × 2
 // parallelism levels × 2 representations, reference first.
 func TestVariantsCoverTheMatrix(t *testing.T) {

@@ -8,16 +8,18 @@ import (
 	"smoke/internal/datagen"
 	"smoke/internal/expr"
 	"smoke/internal/ops"
+	"smoke/internal/plan"
 	"smoke/internal/storage"
 )
 
 func TestPlanFilterThenGroupBy(t *testing.T) {
 	rel := datagen.Zipf("zipf", 1.0, 2000, 10, 5)
-	plan := GroupByNode{
-		Child: FilterNode{Child: ScanNode{Table: rel}, Pred: expr.LtE(expr.C("v"), expr.F(50))},
-		Spec:  ops.GroupBySpec{Keys: []string{"z"}, Aggs: []ops.AggSpec{{Fn: ops.Count, Name: "c"}}},
+	p := plan.GroupBy{
+		Child: plan.Filter{Child: plan.Scan{Table: "zipf", Rel: rel}, Pred: expr.LtE(expr.C("v"), expr.F(50))},
+		Keys:  []string{"z"},
+		Aggs:  []plan.AggDef{{Fn: ops.Count, Name: "c"}},
 	}
-	res, err := RunPlan(plan, PlanOpts{Mode: ops.Inject})
+	res, err := RunPlan(p, PlanOpts{Mode: ops.Inject})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,18 +79,19 @@ func TestPlanFilterThenGroupBy(t *testing.T) {
 func TestPlanJoinComposesBothSides(t *testing.T) {
 	gids := datagen.Gids("gids", 20, 1)
 	zipf := datagen.Zipf("zipf", 1.0, 500, 20, 2)
-	plan := GroupByNode{
-		Child: JoinNode{
-			Left:     ScanNode{Table: gids},
-			Right:    FilterNode{Child: ScanNode{Table: zipf}, Pred: expr.LtE(expr.C("v"), expr.F(40))},
+	p := plan.GroupBy{
+		Child: plan.Join{
+			Left:     plan.Scan{Table: "gids", Rel: gids},
+			Right:    plan.Filter{Child: plan.Scan{Table: "zipf", Rel: zipf}, Pred: expr.LtE(expr.C("v"), expr.F(40))},
 			LeftKey:  "id",
 			RightKey: "z",
 		},
 		// "id" exists on both sides, so the join qualifies it with the
 		// relation name.
-		Spec: ops.GroupBySpec{Keys: []string{"gids.id"}, Aggs: []ops.AggSpec{{Fn: ops.Count, Name: "c"}}},
+		Keys: []string{"gids.id"},
+		Aggs: []plan.AggDef{{Fn: ops.Count, Name: "c"}},
 	}
-	res, err := RunPlan(plan, PlanOpts{Mode: ops.Inject})
+	res, err := RunPlan(p, PlanOpts{Mode: ops.Inject})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,11 +128,11 @@ func TestPlanJoinComposesBothSides(t *testing.T) {
 
 func TestPlanProjectPreservesLineage(t *testing.T) {
 	rel := datagen.Zipf("zipf", 1.0, 100, 5, 9)
-	plan := ProjectNode{
-		Child: FilterNode{Child: ScanNode{Table: rel}, Pred: expr.LtE(expr.C("v"), expr.F(50))},
+	p := plan.Project{
+		Child: plan.Filter{Child: plan.Scan{Table: "zipf", Rel: rel}, Pred: expr.LtE(expr.C("v"), expr.F(50))},
 		Cols:  []string{"z"},
 	}
-	res, err := RunPlan(plan, PlanOpts{Mode: ops.Inject})
+	res, err := RunPlan(p, PlanOpts{Mode: ops.Inject})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,8 +164,8 @@ func TestPlanUnionLineage(t *testing.T) {
 	for _, v := range []int{2, 3} {
 		b.AppendRow(v)
 	}
-	plan := UnionNode{Left: ScanNode{Table: a}, Right: ScanNode{Table: b}, Attrs: []string{"k"}}
-	res, err := RunPlan(plan, PlanOpts{Mode: ops.Inject})
+	p := plan.Union{Left: plan.Scan{Table: "a", Rel: a}, Right: plan.Scan{Table: "b", Rel: b}, Attrs: []string{"k"}}
+	res, err := RunPlan(p, PlanOpts{Mode: ops.Inject})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,13 +189,82 @@ func TestPlanUnionLineage(t *testing.T) {
 	}
 }
 
+func TestPlanOrderByLimitLineage(t *testing.T) {
+	rel := datagen.Zipf("zipf", 1.0, 500, 10, 3)
+	p := plan.Limit{
+		N: 3,
+		Child: plan.OrderBy{
+			Keys: []plan.SortKey{{Col: "c", Desc: true}, {Col: "z"}},
+			Child: plan.GroupBy{
+				Child: plan.Scan{Table: "zipf", Rel: rel},
+				Keys:  []string{"z"},
+				Aggs:  []plan.AggDef{{Fn: ops.Count, Name: "c"}},
+			},
+		},
+	}
+	res, err := RunPlan(p, PlanOpts{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N != 3 {
+		t.Fatalf("limit kept %d rows", res.Out.N)
+	}
+	cc := res.Out.Schema.MustCol("c")
+	for i := 1; i < res.Out.N; i++ {
+		if res.Out.Int(cc, i) > res.Out.Int(cc, i-1) {
+			t.Fatal("not sorted desc by count")
+		}
+	}
+	if len(res.GroupCounts) != 3 {
+		t.Fatalf("group counts not threaded through order/limit: %v", res.GroupCounts)
+	}
+	// Row 0 is the biggest group; its lineage must carry its key and have
+	// cardinality equal to its count.
+	bw, err := res.Capture.BackwardIndex("zipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zcol := rel.Schema.MustCol("z")
+	for o := 0; o < res.Out.N; o++ {
+		rids := bw.TraceOne(int32(o), nil)
+		if int64(len(rids)) != res.Out.Int(cc, o) {
+			t.Fatalf("row %d lineage cardinality %d != count %d", o, len(rids), res.Out.Int(cc, o))
+		}
+		for _, r := range rids {
+			if rel.Int(zcol, int(r)) != res.Out.Int(0, o) {
+				t.Fatalf("row %d lineage rid %d has wrong key", o, r)
+			}
+		}
+	}
+	// Forward lineage of a base rid in a cut-off group is empty.
+	fw, err := res.Capture.ForwardIndex("zipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := map[int64]int{}
+	for o := 0; o < res.Out.N; o++ {
+		kept[res.Out.Int(0, o)] = o
+	}
+	for i := 0; i < rel.N; i++ {
+		outs := fw.TraceOne(int32(i), nil)
+		if o, ok := kept[rel.Int(zcol, i)]; ok {
+			if len(outs) != 1 || int(outs[0]) != o {
+				t.Fatalf("rid %d forward = %v, want [%d]", i, outs, o)
+			}
+		} else if len(outs) != 0 {
+			t.Fatalf("rid %d of a cut-off group has forward lineage %v", i, outs)
+		}
+	}
+}
+
 func TestPlanNoCapture(t *testing.T) {
 	rel := datagen.Zipf("zipf", 1.0, 100, 5, 9)
-	plan := GroupByNode{
-		Child: ScanNode{Table: rel},
-		Spec:  ops.GroupBySpec{Keys: []string{"z"}, Aggs: []ops.AggSpec{{Fn: ops.Count, Name: "c"}}},
+	p := plan.GroupBy{
+		Child: plan.Scan{Table: "zipf", Rel: rel},
+		Keys:  []string{"z"},
+		Aggs:  []plan.AggDef{{Fn: ops.Count, Name: "c"}},
 	}
-	res, err := RunPlan(plan, PlanOpts{Mode: ops.None})
+	res, err := RunPlan(p, PlanOpts{Mode: ops.None})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,10 +278,81 @@ func TestPlanNoCapture(t *testing.T) {
 
 func TestPlanErrors(t *testing.T) {
 	rel := datagen.Zipf("zipf", 1.0, 10, 2, 1)
-	if _, err := RunPlan(ProjectNode{Child: ScanNode{Table: rel}, Cols: []string{"nope"}}, PlanOpts{}); err == nil {
+	if _, err := RunPlan(plan.Project{Child: plan.Scan{Table: "zipf", Rel: rel}, Cols: []string{"nope"}}, PlanOpts{}); err == nil {
 		t.Error("bad projection should error")
 	}
-	if _, err := RunPlan(FilterNode{Child: ScanNode{Table: rel}, Pred: expr.C("z")}, PlanOpts{}); err == nil {
+	if _, err := RunPlan(plan.Filter{Child: plan.Scan{Table: "zipf", Rel: rel}, Pred: expr.C("z")}, PlanOpts{}); err == nil {
 		t.Error("non-boolean filter should error")
+	}
+	if _, err := RunPlan(plan.GroupBy{
+		Child: plan.Scan{Table: "zipf", Rel: rel},
+		Keys:  []string{"z"},
+		Aggs:  []plan.AggDef{{Fn: ops.Count, Filter: expr.LtE(expr.C("v"), expr.F(1)), Name: "c"}},
+	}, PlanOpts{}); err == nil {
+		t.Error("filtered aggregate outside a fusible block should error")
+	}
+}
+
+// TestPlanSPJAOverSubplan runs a fused block whose first input is itself an
+// aggregation (the multi-block shape): the block's capture must compose with
+// the subplan's end-to-end indexes.
+func TestPlanSPJAOverSubplan(t *testing.T) {
+	gids := datagen.Gids("gids", 20, 1)
+	zipf := datagen.Zipf("zipf", 1.0, 500, 20, 2)
+	inner := plan.GroupBy{
+		Child: plan.Scan{Table: "zipf", Rel: zipf},
+		Keys:  []string{"z"},
+		Aggs:  []plan.AggDef{{Fn: ops.Count, Name: "cnt"}},
+	}
+	p := plan.SPJA{
+		Inputs:  []plan.Node{inner, plan.Scan{Table: "gids", Rel: gids}},
+		Filters: []expr.Expr{nil, nil},
+		Joins:   []plan.SPJAJoin{{LeftInput: 0, LeftCol: "z", RightCol: "id"}},
+		Keys:    []plan.SPJAKey{{Input: 1, Col: "id"}},
+		Aggs:    []plan.SPJAAgg{{Fn: ops.Sum, Input: 0, Arg: expr.C("cnt"), Name: "total"}},
+	}
+	res, err := RunPlan(p, PlanOpts{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backward lineage of every output must reach the zipf *base* rows whose
+	// z equals the output's id.
+	bw, err := res.Capture.BackwardIndex("zipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zcol := zipf.Schema.MustCol("z")
+	total := 0
+	for o := 0; o < res.Out.N; o++ {
+		id := res.Out.Int(0, o)
+		rids := bw.TraceOne(int32(o), nil)
+		total += len(rids)
+		for _, r := range rids {
+			if zipf.Int(zcol, int(r)) != id {
+				t.Fatalf("output %d (id=%d): lineage rid %d has wrong z", o, id, r)
+			}
+		}
+		// SUM(cnt) equals the number of base rows traced.
+		if got := res.Out.Float(1, o); got != float64(len(rids)) {
+			t.Fatalf("output %d: total=%v but %d base rows", o, got, len(rids))
+		}
+	}
+	if total != zipf.N {
+		t.Fatalf("composed lineage covers %d of %d base rows", total, zipf.N)
+	}
+	// Forward: base row -> the single output of its group.
+	fw, err := res.Capture.ForwardIndex("zipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < zipf.N; i++ {
+		outs := fw.TraceOne(int32(i), nil)
+		if len(outs) != 1 || res.Out.Int(0, int(outs[0])) != zipf.Int(zcol, i) {
+			t.Fatalf("rid %d forward lineage wrong: %v", i, outs)
+		}
+	}
+	// gids is a direct scan input: its capture must be keyed by base name.
+	if !res.Capture.HasBackward("gids") || !res.Capture.HasForward("gids") {
+		t.Fatal("scan input capture missing")
 	}
 }

@@ -4,8 +4,11 @@
 // annotate their hash tables with base-relation rid chains, and the final
 // aggregation emits a single set of lineage indexes connecting the query
 // output directly to every base relation — no intermediate lineage is
-// materialized (the propagation technique). A generic per-operator plan
-// runner with index composition covers arbitrary plans (plan.go).
+// materialized (the propagation technique). RunPlan (plan.go) is the
+// physical lowering of the logical plan layer (internal/plan): the
+// optimizer's fusion rule decides which subtrees run on this block executor,
+// and the non-fusible residue runs operator-at-a-time with index
+// composition.
 //
 // The block executor is morsel-parallel (spja_parallel.go): join chains
 // build serially, then the final pipeline — where all aggregation and

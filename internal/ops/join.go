@@ -23,13 +23,18 @@ type JoinOpts struct {
 	// The M:N microbenchmark (§6.1.3) disables it because the skewed join is
 	// nearly a cross product and materialization would dominate.
 	Materialize bool
-	// Workers > 1 runs the pk-fk probe phase morsel-parallel: the build is
-	// always serial (the hash table is then shared read-only), probe
-	// partitions capture into partition-local arrays, and the merge rebases
-	// partition-local output rids by each partition's output offset. The
-	// merged result is identical to workers=1. Parallel execution requires
-	// probeRids entries to be distinct (rid sets from selections are):
-	// partitions share the probe-side forward array keyed by rid.
+	// Cols, when non-nil, restricts the materialized output to the named
+	// columns (projection pruning — the plan optimizer passes the column set
+	// the ancestors actually read). Lineage is unaffected.
+	Cols []string
+	// Workers > 1 runs the probe phase morsel-parallel (both the pk-fk and
+	// the M:N join): the build is always serial (the hash table is then
+	// shared read-only), probe partitions capture into partition-local
+	// arrays, and the merge rebases partition-local output rids by each
+	// partition's output offset. The merged result is identical to
+	// workers=1. Parallel pk-fk execution requires probeRids entries to be
+	// distinct (rid sets from selections are): partitions share the
+	// probe-side forward array keyed by rid.
 	Workers int
 	// Pool schedules the probe partitions; nil runs them inline.
 	Pool *pool.Pool
@@ -145,7 +150,7 @@ func HashJoinPKFK(build *storage.Relation, buildKey string, buildRids []Rid,
 		if b == nil {
 			b, p = l.outBuild, l.outProbe
 		}
-		res.Out = materializeJoin(build, probe, b, p)
+		res.Out = materializeJoinCols(build, probe, b, p, opts.Cols)
 	}
 	return res, nil
 }
@@ -210,6 +215,13 @@ func HashJoinMN(left *storage.Relation, leftKey string, right *storage.Relation,
 		}
 		e := &entries[idx]
 		e.iRids = lineage.AppendRid(e.iRids, rid)
+	}
+
+	if opts.Workers > 1 && right.N > 1 {
+		// Morsel-parallel probe (mn_parallel.go). Partition-local capture is
+		// inject-style for every variant: serial Inject and Defer build
+		// element-identical indexes, so the merged result matches both.
+		return mnParallelProbe(left, right, rightCol, ht, entries, opts), nil
 	}
 
 	res := MNResult{}
@@ -314,7 +326,7 @@ func HashJoinMN(left *storage.Relation, leftKey string, right *storage.Relation,
 				}
 			}
 		}
-		res.Out = materializeJoin(left, right, lb, rb)
+		res.Out = materializeJoinCols(left, right, lb, rb, opts.Cols)
 	}
 	return res, nil
 }
@@ -322,25 +334,73 @@ func HashJoinMN(left *storage.Relation, leftKey string, right *storage.Relation,
 // materializeJoin gathers both sides into a single output relation. Columns
 // whose names collide get a relation-name prefix.
 func materializeJoin(left, right *storage.Relation, leftRids, rightRids []Rid) *storage.Relation {
-	lrel := left.Gather(left.Name, leftRids)
-	rrel := right.Gather(right.Name, rightRids)
-	schema := make(storage.Schema, 0, len(lrel.Schema)+len(rrel.Schema))
+	return materializeJoinCols(left, right, leftRids, rightRids, nil)
+}
+
+// materializeJoinCols is materializeJoin restricted to the named columns
+// (nil = all): the gather loops only touch columns the caller needs, which is
+// the physical half of the optimizer's projection-pruning rule. Columns whose
+// names collide between the sides are always kept (under a relation-name
+// prefix) — the optimizer never prunes across a collision.
+func materializeJoinCols(left, right *storage.Relation, leftRids, rightRids []Rid, keep []string) *storage.Relation {
+	kept := func(name string) bool {
+		if keep == nil {
+			return true
+		}
+		for _, k := range keep {
+			if k == name {
+				return true
+			}
+		}
+		return false
+	}
+	schema := make(storage.Schema, 0, len(left.Schema)+len(right.Schema))
 	cols := make([]storage.Column, 0, cap(schema))
-	for i, f := range lrel.Schema {
+	gatherCol := func(rel *storage.Relation, c int, rids []Rid, name string) {
+		f := rel.Schema[c]
+		schema = append(schema, storage.Field{Name: name, Type: f.Type})
+		var col storage.Column
+		switch f.Type {
+		case storage.TInt:
+			src := rel.Cols[c].Ints
+			col.Ints = make([]int64, len(rids))
+			for i, rid := range rids {
+				col.Ints[i] = src[rid]
+			}
+		case storage.TFloat:
+			src := rel.Cols[c].Floats
+			col.Floats = make([]float64, len(rids))
+			for i, rid := range rids {
+				col.Floats[i] = src[rid]
+			}
+		case storage.TString:
+			src := rel.Cols[c].Strs
+			col.Strs = make([]string, len(rids))
+			for i, rid := range rids {
+				col.Strs[i] = src[rid]
+			}
+		}
+		cols = append(cols, col)
+	}
+	for c, f := range left.Schema {
 		name := f.Name
-		if right.Schema.Col(name) >= 0 {
+		collides := right.Schema.Col(name) >= 0
+		if collides {
 			name = left.Name + "." + name
 		}
-		schema = append(schema, storage.Field{Name: name, Type: f.Type})
-		cols = append(cols, lrel.Cols[i])
+		if collides || kept(f.Name) {
+			gatherCol(left, c, leftRids, name)
+		}
 	}
-	for i, f := range rrel.Schema {
+	for c, f := range right.Schema {
 		name := f.Name
-		if left.Schema.Col(name) >= 0 {
+		collides := left.Schema.Col(name) >= 0
+		if collides {
 			name = right.Name + "." + name
 		}
-		schema = append(schema, storage.Field{Name: name, Type: f.Type})
-		cols = append(cols, rrel.Cols[i])
+		if collides || kept(f.Name) {
+			gatherCol(right, c, rightRids, name)
+		}
 	}
 	return &storage.Relation{
 		Name:   left.Name + "_join_" + right.Name,

@@ -157,7 +157,7 @@ func pkfkParallelProbe(build, probe *storage.Relation, probeCol []int64, ht *has
 			}
 			b, p = lineage.ConcatRidArrays(ob), lineage.ConcatRidArrays(op)
 		}
-		res.Out = materializeJoin(build, probe, b, p)
+		res.Out = materializeJoinCols(build, probe, b, p, opts.Cols)
 	}
 	return res
 }

@@ -1,0 +1,141 @@
+package ops
+
+import (
+	"smoke/internal/lineage"
+	"smoke/internal/pool"
+	"smoke/internal/storage"
+)
+
+// Morsel-parallel M:N hash-join probe. The build phase stays serial (its
+// hash table and entry lists are then shared read-only); the probe side
+// splits into contiguous rid-range partitions, each capturing into
+// partition-local arrays with partition-local output rids, merged in
+// partition order via the shared merge primitives — which reproduces the
+// serial probe loop's output and lineage exactly.
+//
+// Partitions capture inject-style for every variant: serial Inject and Defer
+// build element-identical indexes (a left rid's outputs are appended in
+// ascending output order either way), so the merged parallel result matches
+// both.
+
+// mnLocal is one probe partition's capture state.
+type mnLocal struct {
+	leftBW, rightBW   []Rid
+	outLeft, outRight []Rid // materialization pairs when backward capture is off
+	fwPairL, fwPairLO []Rid // (left rid, local output rid)
+	fwPairR, fwPairRO []Rid // (right rid, local output rid)
+	outN              Rid
+}
+
+// mnProbeRange probes right rids [lo, hi) against the shared read-only build
+// table, capturing into l with range-local output rids.
+func mnProbeRange(lo, hi int, rightCol []int64, ht htGetter, entries []mnEntry,
+	wantBW, wantFW, wantPairs bool, l *mnLocal) {
+
+	if wantBW {
+		l.leftBW = make([]Rid, 0, hi-lo)
+		l.rightBW = make([]Rid, 0, hi-lo)
+	} else if wantPairs {
+		l.outLeft = make([]Rid, 0, hi-lo)
+		l.outRight = make([]Rid, 0, hi-lo)
+	}
+	o := Rid(0)
+	for rrid := int32(lo); rrid < int32(hi); rrid++ {
+		idx, ok := ht.Get(rightCol[rrid])
+		if !ok {
+			continue
+		}
+		e := &entries[idx]
+		for _, lrid := range e.iRids {
+			if wantBW {
+				l.leftBW = append(l.leftBW, lrid)
+				l.rightBW = append(l.rightBW, rrid)
+			} else if wantPairs {
+				l.outLeft = append(l.outLeft, lrid)
+				l.outRight = append(l.outRight, rrid)
+			}
+			if wantFW {
+				l.fwPairL = append(l.fwPairL, lrid)
+				l.fwPairLO = append(l.fwPairLO, o)
+				l.fwPairR = append(l.fwPairR, rrid)
+				l.fwPairRO = append(l.fwPairRO, o)
+			}
+			o++
+		}
+	}
+	l.outN = o
+}
+
+// htGetter is the read-only view of the build hash table the probe needs.
+type htGetter interface {
+	Get(k int64) (int32, bool)
+}
+
+// mnParallelProbe runs the probe phase of HashJoinMN morsel-parallel and
+// merges partition-local captures in partition order.
+func mnParallelProbe(left, right *storage.Relation, rightCol []int64, ht htGetter,
+	entries []mnEntry, opts JoinOpts) MNResult {
+
+	capture := opts.Dirs != 0
+	wantBW := capture && opts.Dirs.Backward()
+	wantFW := capture && opts.Dirs.Forward()
+
+	ranges := pool.Split(right.N, opts.Workers)
+	locals := make([]mnLocal, len(ranges))
+	opts.Pool.RunSplit(ranges, func(part, lo, hi int) {
+		mnProbeRange(lo, hi, rightCol, ht, entries, wantBW, wantFW,
+			opts.Materialize && !wantBW, &locals[part])
+	})
+
+	offsets := make([]Rid, len(locals))
+	off := Rid(0)
+	for p := range locals {
+		offsets[p] = off
+		off += locals[p].outN
+	}
+	res := MNResult{OutN: int(off)}
+
+	if wantBW {
+		lb := make([][]Rid, len(locals))
+		rb := make([][]Rid, len(locals))
+		for p := range locals {
+			lb[p] = locals[p].leftBW
+			rb[p] = locals[p].rightBW
+		}
+		res.LeftBW = lineage.ConcatRidArrays(lb)
+		res.RightBW = lineage.ConcatRidArrays(rb)
+		if res.LeftBW == nil {
+			// Zero matches: keep the serial kernel's non-nil empty shape.
+			res.LeftBW, res.RightBW = locals[0].leftBW, locals[0].rightBW
+		}
+	}
+	if wantFW {
+		pairL := make([][]Rid, len(locals))
+		pairLO := make([][]Rid, len(locals))
+		pairR := make([][]Rid, len(locals))
+		pairRO := make([][]Rid, len(locals))
+		for p := range locals {
+			pairL[p] = locals[p].fwPairL
+			pairLO[p] = locals[p].fwPairLO
+			pairR[p] = locals[p].fwPairR
+			pairRO[p] = locals[p].fwPairRO
+		}
+		rebase := func(part int, o Rid) Rid { return o + offsets[part] }
+		res.LeftFW = lineage.MergePairsByRid(pairL, pairLO, left.N, rebase)
+		res.RightFW = lineage.MergePairsByRid(pairR, pairRO, right.N, rebase)
+	}
+	if opts.Materialize {
+		lb, rb := res.LeftBW, res.RightBW
+		if lb == nil || rb == nil {
+			ol := make([][]Rid, len(locals))
+			or := make([][]Rid, len(locals))
+			for p := range locals {
+				ol[p] = locals[p].outLeft
+				or[p] = locals[p].outRight
+			}
+			lb, rb = lineage.ConcatRidArrays(ol), lineage.ConcatRidArrays(or)
+		}
+		res.Out = materializeJoinCols(left, right, lb, rb, opts.Cols)
+	}
+	return res
+}

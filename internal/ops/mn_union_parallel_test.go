@@ -1,0 +1,121 @@
+package ops
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"smoke/internal/pool"
+	"smoke/internal/storage"
+)
+
+func mnTestRels(seed int64, nLeft, nRight, keyDomain int) (*storage.Relation, *storage.Relation) {
+	r := rand.New(rand.NewSource(seed))
+	left := storage.NewRelation("L", storage.Schema{{Name: "k", Type: storage.TInt}}, nLeft)
+	for i := 0; i < nLeft; i++ {
+		left.Cols[0].Ints[i] = int64(r.Intn(keyDomain))
+	}
+	right := storage.NewRelation("R", storage.Schema{{Name: "j", Type: storage.TInt}}, nRight)
+	for i := 0; i < nRight; i++ {
+		right.Cols[0].Ints[i] = int64(r.Intn(keyDomain))
+	}
+	return left, right
+}
+
+// TestMNJoinParallelMatchesSerial pins the morsel-parallel M:N probe against
+// the serial loop: output cardinality and all four lineage indexes must be
+// element-identical, for both Inject and Defer and several worker counts.
+func TestMNJoinParallelMatchesSerial(t *testing.T) {
+	p := pool.New(4)
+	defer p.Close()
+	for _, variant := range []MNVariant{MNInject, MNDefer, MNDeferForward} {
+		for _, shape := range []struct{ nl, nr, dom int }{
+			{50, 300, 10},   // heavy duplication
+			{200, 200, 500}, // sparse matches
+			{5, 40, 1000},   // near-empty result
+		} {
+			left, right := mnTestRels(7, shape.nl, shape.nr, shape.dom)
+			serial, err := HashJoinMN(left, "k", right, "j", variant,
+				JoinOpts{Dirs: CaptureBoth, Materialize: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{2, 3, 8} {
+				par, err := HashJoinMN(left, "k", right, "j", variant,
+					JoinOpts{Dirs: CaptureBoth, Materialize: true, Workers: w, Pool: p})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tag := fmt.Sprintf("variant=%d shape=%+v workers=%d", variant, shape, w)
+				if par.OutN != serial.OutN {
+					t.Fatalf("%s: OutN %d != %d", tag, par.OutN, serial.OutN)
+				}
+				if !reflect.DeepEqual(par.LeftBW, serial.LeftBW) || !reflect.DeepEqual(par.RightBW, serial.RightBW) {
+					t.Fatalf("%s: backward arrays differ", tag)
+				}
+				for i := 0; i < left.N; i++ {
+					if !ridListsEqual(par.LeftFW.List(i), serial.LeftFW.List(i)) {
+						t.Fatalf("%s: LeftFW[%d] differs: %v vs %v", tag, i, par.LeftFW.List(i), serial.LeftFW.List(i))
+					}
+				}
+				for i := 0; i < right.N; i++ {
+					if !ridListsEqual(par.RightFW.List(i), serial.RightFW.List(i)) {
+						t.Fatalf("%s: RightFW[%d] differs", tag, i)
+					}
+				}
+				if par.Out.N != serial.Out.N {
+					t.Fatalf("%s: materialized rows differ", tag)
+				}
+			}
+		}
+	}
+}
+
+// TestSetUnionParallelMatchesSerial pins the morsel-parallel union capture
+// against serial Inject and Defer.
+func TestSetUnionParallelMatchesSerial(t *testing.T) {
+	p := pool.New(4)
+	defer p.Close()
+	a, b := mnTestRels(11, 120, 90, 25)
+	aAttrs, bAttrs := []string{"k"}, []string{"j"}
+	for _, mode := range []CaptureMode{Inject, Defer} {
+		serial, err := SetUnion(a, aAttrs, b, bAttrs, mode, CaptureBoth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 3, 8} {
+			par, err := SetUnionPar(a, aAttrs, b, bAttrs, mode, CaptureBoth, w, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tag := fmt.Sprintf("mode=%v workers=%d", mode, w)
+			if par.Out.N != serial.Out.N {
+				t.Fatalf("%s: output rows %d != %d", tag, par.Out.N, serial.Out.N)
+			}
+			for o := 0; o < serial.Out.N; o++ {
+				if !ridListsEqual(par.ABW.List(o), serial.ABW.List(o)) {
+					t.Fatalf("%s: ABW[%d] differs: %v vs %v", tag, o, par.ABW.List(o), serial.ABW.List(o))
+				}
+				if !ridListsEqual(par.BBW.List(o), serial.BBW.List(o)) {
+					t.Fatalf("%s: BBW[%d] differs", tag, o)
+				}
+			}
+			if !reflect.DeepEqual(par.AFW, serial.AFW) || !reflect.DeepEqual(par.BFW, serial.BFW) {
+				t.Fatalf("%s: forward arrays differ", tag)
+			}
+		}
+	}
+}
+
+func ridListsEqual(a, b []Rid) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

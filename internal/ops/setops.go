@@ -165,23 +165,34 @@ const (
 	diffKind
 )
 
-func setOp(a *storage.Relation, aAttrs []string, b *storage.Relation, bAttrs []string,
-	mode CaptureMode, dirs Directions, kind setOpKind) (SetOpResult, error) {
+// setOpExec runs the execution phases of a set operation — hash-table build
+// over A, probe/append over B, qualifying-entry scan, output materialization —
+// with optional per-entry rid collection (collectRids is the Inject capture
+// path; Defer and the parallel backfill leave the lists empty and probe the
+// pinned table afterwards). It returns the result with Out set plus the
+// pinned table for capture passes and the emitted slot list in output-id
+// order.
+func setOpExec(a *storage.Relation, aAttrs []string, b *storage.Relation, bAttrs []string,
+	kind setOpKind) (SetOpResult, *setTable, []int32, error) {
+	return setOpExecMode(a, aAttrs, b, bAttrs, kind, false)
+}
+
+func setOpExecMode(a *storage.Relation, aAttrs []string, b *storage.Relation, bAttrs []string,
+	kind setOpKind, collectRids bool) (SetOpResult, *setTable, []int32, error) {
 
 	if len(aAttrs) != len(bAttrs) {
-		return SetOpResult{}, fmt.Errorf("ops: set operation attribute lists differ in length")
+		return SetOpResult{}, nil, nil, fmt.Errorf("ops: set operation attribute lists differ in length")
 	}
 	encA, err := newSetKeyEnc(a, aAttrs)
 	if err != nil {
-		return SetOpResult{}, err
+		return SetOpResult{}, nil, nil, err
 	}
 	encB, err := newSetKeyEnc(b, bAttrs)
 	if err != nil {
-		return SetOpResult{}, err
+		return SetOpResult{}, nil, nil, err
 	}
 
 	t := newSetTable()
-	inject := mode == Inject
 
 	// Build phase over A (∪ht / ∩ht / \ht).
 	for rid := int32(0); rid < int32(a.N); rid++ {
@@ -190,7 +201,7 @@ func setOp(a *storage.Relation, aAttrs []string, b *storage.Relation, bAttrs []s
 		if e.repA < 0 {
 			e.repA = rid
 		}
-		if inject {
+		if collectRids {
 			e.aRids = lineage.AppendRid(e.aRids, rid)
 		}
 	}
@@ -206,7 +217,7 @@ func setOp(a *storage.Relation, aAttrs []string, b *storage.Relation, bAttrs []s
 		if e.repB < 0 {
 			e.repB = rid
 		}
-		if inject && kind != diffKind {
+		if collectRids && kind != diffKind {
 			e.bRids = lineage.AppendRid(e.bRids, rid)
 		}
 	}
@@ -230,8 +241,17 @@ func setOp(a *storage.Relation, aAttrs []string, b *storage.Relation, bAttrs []s
 		e.oid = int32(len(emitted))
 		emitted = append(emitted, int32(slot))
 	}
+	return SetOpResult{Out: setOutput(kind.name(), a, b, aAttrs, bAttrs, t.entries, emitted)}, t, emitted, nil
+}
 
-	res := SetOpResult{Out: setOutput(kind.name(), a, b, aAttrs, bAttrs, t.entries, emitted)}
+func setOp(a *storage.Relation, aAttrs []string, b *storage.Relation, bAttrs []string,
+	mode CaptureMode, dirs Directions, kind setOpKind) (SetOpResult, error) {
+
+	inject := mode == Inject
+	res, t, emitted, err := setOpExecMode(a, aAttrs, b, bAttrs, kind, inject)
+	if err != nil {
+		return SetOpResult{}, err
+	}
 	captureB := kind != diffKind
 
 	if dirs.Backward() {
@@ -276,6 +296,14 @@ func setOp(a *storage.Relation, aAttrs []string, b *storage.Relation, bAttrs []s
 
 	// Defer (⋈′ over each input): probe the pinned hash table again and fill
 	// the lineage indexes after the operator produced its output.
+	encA, err := newSetKeyEnc(a, aAttrs)
+	if err != nil {
+		return SetOpResult{}, err
+	}
+	encB, err := newSetKeyEnc(b, bAttrs)
+	if err != nil {
+		return SetOpResult{}, err
+	}
 	for rid := int32(0); rid < int32(a.N); rid++ {
 		slot := t.lookup(encA.encode(rid), false)
 		if slot < 0 {

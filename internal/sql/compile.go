@@ -2,78 +2,118 @@ package sql
 
 import (
 	"fmt"
+	"strings"
 
 	"smoke/internal/core"
 	"smoke/internal/expr"
+	"smoke/internal/plan"
 	"smoke/internal/storage"
 )
 
-// Compile parses src and lowers it onto the engine facade, producing a query
-// ready to Run with any capture options. WHERE conjuncts are pushed down to
-// the single table they reference (selections pipeline into scans); join
-// predicates must use JOIN ... ON.
+// Compile parses src and lowers it onto the logical plan layer, producing a
+// query ready to Run with any capture options. The front end builds a naive
+// plan (filters above the join tree); the optimizer — run by core.Query.Run —
+// pushes predicates into scans, detects pk-fk joins, and fuses SPJA blocks
+// onto the fused executor.
 func Compile(db *core.DB, src string) (*core.Query, error) {
 	st, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return Lower(db, st)
+	return CompileStmt(db, st)
 }
 
-// Lower turns a parsed statement into a core.Query.
-func Lower(db *core.DB, st *Stmt) (*core.Query, error) {
-	tables := []string{st.From}
-	schemas := map[string]storage.Schema{}
-	rel, err := db.Table(st.From)
+// CompileStmt is Compile over an already-parsed statement.
+func CompileStmt(db *core.DB, st *Stmt) (*core.Query, error) {
+	if st.Explain {
+		return nil, fmt.Errorf("sql: EXPLAIN statements do not execute; use sql.Explain")
+	}
+	n, err := Lower(db, st)
 	if err != nil {
 		return nil, err
 	}
-	schemas[st.From] = rel.Schema
+	return db.QueryPlan(n), nil
+}
+
+// Explain parses src (with or without a leading EXPLAIN keyword), lowers it,
+// and renders the logical plan before and after each optimizer rule that
+// fired.
+func Explain(db *core.DB, src string) (string, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return ExplainStmt(db, st)
+}
+
+// ExplainStmt is Explain over an already-parsed statement.
+func ExplainStmt(db *core.DB, st *Stmt) (string, error) {
+	n, err := Lower(db, st)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("logical plan:\n")
+	b.WriteString(plan.Format(n))
+	_, traces := plan.Optimize(n, plan.Opts{Catalog: db.Catalog()})
+	for _, tr := range traces {
+		fmt.Fprintf(&b, "\nafter %s:\n%s", tr.Rule, tr.Plan)
+	}
+	if len(traces) == 0 {
+		b.WriteString("\n(no optimizer rule fired)\n")
+	}
+	return b.String(), nil
+}
+
+// source is one FROM/JOIN relation during lowering: its reference name (alias
+// or table name), its plan subtree, and its output schema.
+type source struct {
+	name   string
+	node   plan.Node
+	schema storage.Schema
+}
+
+// Lower turns a parsed statement into an (unoptimized) logical plan:
+// scans/subqueries joined left-deep, the WHERE predicate as a filter above
+// the join tree, a group-by, and HAVING/ORDER BY/LIMIT residue on top.
+func Lower(db *core.DB, st *Stmt) (plan.Node, error) {
+	first, err := lowerSource(db, st.From)
+	if err != nil {
+		return nil, err
+	}
+	srcs := []source{first}
+	n := first.node
+
 	for _, j := range st.Joins {
-		rel, err := db.Table(j.Table)
+		s, err := lowerSource(db, j.Source)
 		if err != nil {
 			return nil, err
 		}
-		schemas[j.Table] = rel.Schema
-		tables = append(tables, j.Table)
+		// Normalize the ON condition: one side must resolve within the
+		// already-joined prefix, the other within the joined source. Accept
+		// either order.
+		leftRef, rightRef := j.LeftRef, j.RightRef
+		if !refResolves(leftRef, srcs) || !refResolves(rightRef, []source{s}) {
+			leftRef, rightRef = rightRef, leftRef
+			if !refResolves(leftRef, srcs) {
+				return nil, fmt.Errorf("sql: join condition for %s does not reference the query prefix", s.name)
+			}
+			if !refResolves(rightRef, []source{s}) {
+				return nil, fmt.Errorf("sql: join condition for %s must reference %s on one side", s.name, s.name)
+			}
+		}
+		n = plan.Join{Left: n, Right: s.node, LeftKey: leftRef.Col, RightKey: rightRef.Col,
+			LeftQual: sourceOf(leftRef, srcs)}
+		srcs = append(srcs, s)
 	}
 
-	// Assign WHERE conjuncts to tables.
-	filters := map[string]expr.Expr{}
 	if st.Where != nil {
 		for _, conj := range conjuncts(st.Where) {
-			t, err := tableOf(conj, tables, schemas)
-			if err != nil {
-				return nil, err
-			}
-			if f, ok := filters[t]; ok {
-				filters[t] = expr.And{L: f, R: conj}
-			} else {
-				filters[t] = conj
+			if len(expr.Columns(conj)) == 0 {
+				return nil, fmt.Errorf("sql: constant predicate %s is not supported", conj)
 			}
 		}
-	}
-
-	q := db.Query().From(st.From, filters[st.From])
-	prefix := []string{st.From}
-	for _, j := range st.Joins {
-		leftRef, rightRef := j.LeftRef, j.RightRef
-		// Normalize: leftRef must resolve within the prefix, rightRef within
-		// the joined table. Accept either order in the ON clause.
-		lt, lerr := resolveRef(leftRef, prefix, schemas)
-		if lerr != nil || !contains(prefix, lt) {
-			leftRef, rightRef = rightRef, leftRef
-			lt, lerr = resolveRef(leftRef, prefix, schemas)
-			if lerr != nil {
-				return nil, fmt.Errorf("sql: join condition for %s does not reference the query prefix", j.Table)
-			}
-		}
-		rt, rerr := resolveRef(rightRef, []string{j.Table}, schemas)
-		if rerr != nil || rt != j.Table {
-			return nil, fmt.Errorf("sql: join condition for %s must reference %s on one side", j.Table, j.Table)
-		}
-		q = q.Join(j.Table, filters[j.Table], lt, leftRef.Col, rightRef.Col)
-		prefix = append(prefix, j.Table)
+		n = plan.Filter{Child: n, Pred: st.Where}
 	}
 
 	groupSet := map[string]bool{}
@@ -82,10 +122,7 @@ func Lower(db *core.DB, st *Stmt) (*core.Query, error) {
 		keys = append(keys, g.Col)
 		groupSet[g.Col] = true
 	}
-	if len(keys) > 0 {
-		q = q.GroupBy(keys...)
-	}
-
+	gb := plan.GroupBy{Child: n, Keys: keys}
 	aggIdx := 0
 	for _, it := range st.Items {
 		switch {
@@ -98,14 +135,113 @@ func Lower(db *core.DB, st *Stmt) (*core.Query, error) {
 			if name == "" {
 				name = fmt.Sprintf("%s_%d", it.Agg.Fn, aggIdx)
 			}
-			q = q.Agg(it.Agg.Fn, it.Agg.Arg, name)
+			gb.Aggs = append(gb.Aggs, plan.AggDef{Fn: it.Agg.Fn, Arg: it.Agg.Arg, Name: name})
 			aggIdx++
 		}
 	}
 	if aggIdx == 0 {
 		return nil, fmt.Errorf("sql: only aggregation queries are supported; add an aggregate to the select list")
 	}
-	return q, nil
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("sql: only grouped aggregation queries are supported; add GROUP BY")
+	}
+	n = gb
+
+	if st.Having != nil {
+		// HAVING references output columns (group keys and aggregate
+		// aliases); it stays a filter above the aggregation unless the
+		// pushdown rule proves it key-only.
+		n = plan.Filter{Child: n, Pred: st.Having}
+	}
+	if len(st.OrderBy) > 0 {
+		// ORDER BY references output columns (group keys and aggregate
+		// aliases); qualifiers only disambiguate in this grammar and the
+		// output schema has plain names, so validate the bare column.
+		outSchema, err := plan.OutSchema(n)
+		if err != nil {
+			return nil, err
+		}
+		ob := plan.OrderBy{Child: n}
+		for _, k := range st.OrderBy {
+			if k.Col.Table != "" {
+				return nil, fmt.Errorf("sql: ORDER BY references output columns; use the unqualified name, not %s", k.Col)
+			}
+			if outSchema.Col(k.Col.Col) < 0 {
+				return nil, fmt.Errorf("sql: ORDER BY column %s is not an output column", k.Col)
+			}
+			ob.Keys = append(ob.Keys, plan.SortKey{Col: k.Col.Col, Desc: k.Desc})
+		}
+		n = ob
+	}
+	if st.Limit >= 0 {
+		n = plan.Limit{Child: n, N: st.Limit}
+	}
+	return n, nil
+}
+
+// lowerSource lowers one FROM/JOIN item: a base-table scan, or a recursively
+// lowered aggregate subquery.
+func lowerSource(db *core.DB, f FromItem) (source, error) {
+	if f.Sub != nil {
+		sub, err := Lower(db, f.Sub)
+		if err != nil {
+			return source{}, fmt.Errorf("sql: subquery %s: %w", f.Alias, err)
+		}
+		schema, err := plan.OutSchema(sub)
+		if err != nil {
+			return source{}, fmt.Errorf("sql: subquery %s: %w", f.Alias, err)
+		}
+		return source{name: f.Alias, node: sub, schema: schema}, nil
+	}
+	rel, err := db.Table(f.Table)
+	if err != nil {
+		return source{}, err
+	}
+	return source{name: f.Name(), node: plan.Scan{Table: f.Table, Rel: rel}, schema: rel.Schema}, nil
+}
+
+// refResolves reports whether a (possibly qualified) column reference
+// resolves unambiguously within the given sources.
+func refResolves(c ColRef, srcs []source) bool {
+	if c.Table != "" {
+		for _, s := range srcs {
+			if s.name == c.Table {
+				return s.schema.Col(c.Col) >= 0
+			}
+		}
+		return false
+	}
+	found := 0
+	for _, s := range srcs {
+		if s.schema.Col(c.Col) >= 0 {
+			found++
+		}
+	}
+	return found == 1
+}
+
+// sourceOf returns the name of the source a reference resolves to ("" when
+// it cannot be pinned to one). The join lowering records it as the key's
+// qualifier so ambiguous key names stay resolvable downstream.
+func sourceOf(c ColRef, srcs []source) string {
+	if c.Table != "" {
+		for _, s := range srcs {
+			if s.name == c.Table && s.schema.Col(c.Col) >= 0 {
+				return s.name
+			}
+		}
+		return ""
+	}
+	found := ""
+	for _, s := range srcs {
+		if s.schema.Col(c.Col) >= 0 {
+			if found != "" {
+				return ""
+			}
+			found = s.name
+		}
+	}
+	return found
 }
 
 // conjuncts flattens a conjunction tree.
@@ -114,64 +250,4 @@ func conjuncts(e expr.Expr) []expr.Expr {
 		return append(conjuncts(a.L), conjuncts(a.R)...)
 	}
 	return []expr.Expr{e}
-}
-
-// tableOf returns the unique table whose schema covers every column of e.
-func tableOf(e expr.Expr, tables []string, schemas map[string]storage.Schema) (string, error) {
-	cols := expr.Columns(e)
-	if len(cols) == 0 {
-		return "", fmt.Errorf("sql: constant predicate %s is not supported", e)
-	}
-	found := ""
-	for _, t := range tables {
-		all := true
-		for _, c := range cols {
-			if schemas[t].Col(c) < 0 {
-				all = false
-				break
-			}
-		}
-		if all {
-			if found != "" {
-				return "", fmt.Errorf("sql: predicate %s is ambiguous between %s and %s", e, found, t)
-			}
-			found = t
-		}
-	}
-	if found == "" {
-		return "", fmt.Errorf("sql: predicate %s references columns from multiple tables; use JOIN ... ON for join conditions", e)
-	}
-	return found, nil
-}
-
-// resolveRef finds the table a column reference belongs to.
-func resolveRef(c ColRef, tables []string, schemas map[string]storage.Schema) (string, error) {
-	if c.Table != "" {
-		if schemas[c.Table].Col(c.Col) < 0 {
-			return "", fmt.Errorf("sql: %s has no column %s", c.Table, c.Col)
-		}
-		return c.Table, nil
-	}
-	found := ""
-	for _, t := range tables {
-		if schemas[t].Col(c.Col) >= 0 {
-			if found != "" {
-				return "", fmt.Errorf("sql: column %s is ambiguous", c.Col)
-			}
-			found = t
-		}
-	}
-	if found == "" {
-		return "", fmt.Errorf("sql: column %s not found", c.Col)
-	}
-	return found, nil
-}
-
-func contains(s []string, v string) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
 }

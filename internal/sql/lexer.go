@@ -1,8 +1,11 @@
-// Package sql is a front-end for the SQL subset the paper's queries use:
-// SELECT with aggregates, FROM with JOIN ... ON equi-joins, WHERE
-// conjunctions, and GROUP BY. Statements lower onto the engine facade
-// (internal/core), producing the same SPJA blocks as the builder API — the
-// architecture's "Parser + Optimizer" box (Figure 2).
+// Package sql is a front-end for a SQL subset covering the paper's queries
+// and multi-block shapes beyond them: SELECT with aggregates, FROM with
+// JOIN ... ON equi-joins and aggregate subqueries in FROM/JOIN position,
+// WHERE conjunctions, GROUP BY, HAVING, ORDER BY, LIMIT, and EXPLAIN.
+// Statements lower onto the logical plan layer (internal/plan) — the same IR
+// the core.Query builder produces — and the optimizer's fusion rule decides
+// which subtrees run on the fused SPJA executor. This is the architecture's
+// "Parser + Optimizer" box (Figure 2).
 package sql
 
 import (
@@ -34,7 +37,8 @@ var keywords = map[string]bool{
 	"AND": true, "OR": true, "NOT": true, "IN": true, "AS": true,
 	"JOIN": true, "ON": true, "COUNT": true, "SUM": true, "AVG": true,
 	"MIN": true, "MAX": true, "DISTINCT": true, "YEAR": true, "MONTH": true,
-	"SQRT": true,
+	"SQRT": true, "HAVING": true, "ORDER": true, "LIMIT": true,
+	"ASC": true, "DESC": true, "EXPLAIN": true,
 }
 
 type lexer struct {

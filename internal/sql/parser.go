@@ -11,11 +11,40 @@ import (
 
 // Stmt is a parsed SELECT statement.
 type Stmt struct {
+	// Explain is set when the statement was prefixed with EXPLAIN: the
+	// front end renders the logical plan and the optimizer trace instead of
+	// executing the query.
+	Explain bool
 	Items   []SelectItem
-	From    string
+	From    FromItem
 	Joins   []Join
 	Where   expr.Expr // nil if absent
 	GroupBy []ColRef
+	Having  expr.Expr  // nil if absent
+	OrderBy []OrderKey // nil if absent
+	Limit   int        // -1 if absent
+}
+
+// FromItem is a relation source: a base table or an aggregate subquery with
+// an alias.
+type FromItem struct {
+	Table string // base table name ("" for subqueries)
+	Sub   *Stmt  // aggregate subquery ((SELECT ...) AS alias)
+	Alias string // subquery alias, or optional table alias
+}
+
+// Name returns the source's reference name (alias, or the table name).
+func (f FromItem) Name() string {
+	if f.Alias != "" {
+		return f.Alias
+	}
+	return f.Table
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Col  ColRef
+	Desc bool
 }
 
 // SelectItem is one projection: either a group-by column or an aggregate.
@@ -47,9 +76,9 @@ type AggItem struct {
 	Alias    string
 }
 
-// Join is JOIN <table> ON <left.col> = <right.col>.
+// Join is JOIN <table | (SELECT ...) AS alias> ON <left.col> = <right.col>.
 type Join struct {
-	Table    string
+	Source   FromItem
 	LeftRef  ColRef
 	RightRef ColRef
 }
@@ -76,13 +105,14 @@ func (p *parser) enter() error {
 
 func (p *parser) leave() { p.depth-- }
 
-// Parse parses one SELECT statement.
+// Parse parses one statement: [EXPLAIN] SELECT ... .
 func Parse(src string) (*Stmt, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
+	explain := p.acceptKeyword("EXPLAIN")
 	st, err := p.selectStmt()
 	if err != nil {
 		return nil, err
@@ -90,6 +120,7 @@ func Parse(src string) (*Stmt, error) {
 	if !p.atEOF() {
 		return nil, fmt.Errorf("sql: unexpected %q after statement", p.peek().text)
 	}
+	st.Explain = explain
 	return st, nil
 }
 
@@ -135,10 +166,14 @@ func (p *parser) expectIdent() (string, error) {
 }
 
 func (p *parser) selectStmt() (*Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
-	st := &Stmt{}
+	st := &Stmt{Limit: -1}
 	for {
 		item, err := p.selectItem()
 		if err != nil {
@@ -152,7 +187,7 @@ func (p *parser) selectStmt() (*Stmt, error) {
 	if err := p.expectKeyword("FROM"); err != nil {
 		return nil, err
 	}
-	from, err := p.expectIdent()
+	from, err := p.fromItem()
 	if err != nil {
 		return nil, err
 	}
@@ -186,11 +221,76 @@ func (p *parser) selectStmt() (*Stmt, error) {
 			}
 		}
 	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			k := OrderKey{Col: c}
+			if p.acceptKeyword("DESC") {
+				k.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			st.OrderBy = append(st.OrderBy, k)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokInt {
+			return nil, fmt.Errorf("sql: LIMIT expects an integer, got %q", t.text)
+		}
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", t.text)
+		}
+		st.Limit = n
+	}
 	return st, nil
 }
 
-func (p *parser) join() (Join, error) {
+// fromItem parses a relation source: an identifier or an aggregate subquery
+// "( SELECT ... ) [AS] alias".
+func (p *parser) fromItem() (FromItem, error) {
+	if p.acceptSymbol("(") {
+		sub, err := p.selectStmt()
+		if err != nil {
+			return FromItem{}, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return FromItem{}, err
+		}
+		p.acceptKeyword("AS")
+		alias, err := p.expectIdent()
+		if err != nil {
+			return FromItem{}, fmt.Errorf("sql: subquery needs an alias: %w", err)
+		}
+		return FromItem{Sub: sub, Alias: alias}, nil
+	}
 	table, err := p.expectIdent()
+	if err != nil {
+		return FromItem{}, err
+	}
+	return FromItem{Table: table}, nil
+}
+
+func (p *parser) join() (Join, error) {
+	src, err := p.fromItem()
 	if err != nil {
 		return Join{}, err
 	}
@@ -208,7 +308,7 @@ func (p *parser) join() (Join, error) {
 	if err != nil {
 		return Join{}, err
 	}
-	return Join{Table: table, LeftRef: l, RightRef: r}, nil
+	return Join{Source: src, LeftRef: l, RightRef: r}, nil
 }
 
 func (p *parser) colRef() (ColRef, error) {
@@ -524,6 +624,10 @@ func (st *Stmt) String() string {
 			fmt.Fprintf(&b, "%s(...)", it.Agg.Fn)
 		}
 	}
-	fmt.Fprintf(&b, " FROM %s", st.From)
+	if st.From.Sub != nil {
+		fmt.Fprintf(&b, " FROM (%s) %s", st.From.Sub, st.From.Alias)
+	} else {
+		fmt.Fprintf(&b, " FROM %s", st.From.Name())
+	}
 	return b.String()
 }

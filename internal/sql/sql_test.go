@@ -28,7 +28,7 @@ func TestParseMicrobenchQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.From != "zipf" || len(st.Items) != 7 || len(st.GroupBy) != 1 {
+	if st.From.Name() != "zipf" || len(st.Items) != 7 || len(st.GroupBy) != 1 {
 		t.Fatalf("parsed shape wrong: %+v", st)
 	}
 	if st.Items[0].Col == nil || st.Items[1].Agg == nil {

@@ -24,17 +24,76 @@ type Catalog struct {
 	rels map[string]*Relation
 	pks  map[string]string // table -> pk column
 	fks  []ForeignKey
+	uniq map[uniqueKey]bool // memoized column-uniqueness verdicts
+}
+
+// uniqueKey identifies a uniqueness verdict. Keying on the relation pointer
+// means re-registering a table under the same name naturally invalidates it,
+// and keying on the row count invalidates verdicts after AppendRow-style
+// growth (in-place value mutation of a registered relation is outside the
+// engine's contract — it would also corrupt captured lineage).
+type uniqueKey struct {
+	rel *Relation
+	col string
+	n   int
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{rels: map[string]*Relation{}, pks: map[string]string{}}
+	return &Catalog{rels: map[string]*Relation{}, pks: map[string]string{}, uniq: map[uniqueKey]bool{}}
 }
 
-// Register adds (or replaces) a relation under its own name.
+// UniqueIntColumn reports whether the named integer column of rel holds
+// pairwise-distinct values, memoizing the linear verification scan per
+// (relation, column) — the pk-fk detection rule calls this on every query
+// optimization, and relations are immutable once registered. Non-integer or
+// missing columns report false.
+func (c *Catalog) UniqueIntColumn(rel *Relation, col string) bool {
+	k := uniqueKey{rel: rel, col: col, n: rel.N}
+	c.mu.RLock()
+	v, ok := c.uniq[k]
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = IntColumnUnique(rel, col)
+	c.mu.Lock()
+	c.uniq[k] = v
+	c.mu.Unlock()
+	return v
+}
+
+// IntColumnUnique reports whether the named integer column of rel holds
+// pairwise-distinct values (one uncached linear scan). The catalog's
+// UniqueIntColumn memoizes it; callers without a catalog use it directly.
+func IntColumnUnique(rel *Relation, col string) bool {
+	ci := rel.Schema.Col(col)
+	if ci < 0 || rel.Schema[ci].Type != TInt {
+		return false
+	}
+	seen := make(map[int64]struct{}, rel.N)
+	for _, v := range rel.Cols[ci].Ints {
+		if _, dup := seen[v]; dup {
+			return false
+		}
+		seen[v] = struct{}{}
+	}
+	return true
+}
+
+// Register adds (or replaces) a relation under its own name. Replacing a
+// relation drops its memoized uniqueness verdicts so the old relation's
+// column data is not pinned.
 func (c *Catalog) Register(r *Relation) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if old, ok := c.rels[r.Name]; ok && old != r {
+		for k := range c.uniq {
+			if k.rel == old {
+				delete(c.uniq, k)
+			}
+		}
+	}
 	c.rels[r.Name] = r
 }
 

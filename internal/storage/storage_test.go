@@ -207,3 +207,25 @@ func TestCatalogPKFK(t *testing.T) {
 		t.Errorf("PrimaryKey(gids) = %q", pk)
 	}
 }
+
+func TestUniqueIntColumnMemoized(t *testing.T) {
+	c := NewCatalog()
+	rel := NewEmpty("u", Schema{{Name: "a", Type: TInt}, {Name: "d", Type: TInt}, {Name: "s", Type: TString}})
+	for i := 0; i < 10; i++ {
+		rel.AppendRow(i, i%3, "x")
+	}
+	c.Register(rel)
+	if !c.UniqueIntColumn(rel, "a") {
+		t.Fatal("distinct column reported non-unique")
+	}
+	if c.UniqueIntColumn(rel, "d") {
+		t.Fatal("duplicated column reported unique")
+	}
+	if c.UniqueIntColumn(rel, "s") || c.UniqueIntColumn(rel, "nope") {
+		t.Fatal("non-int/missing columns must report false")
+	}
+	// Memoized verdicts survive (same pointer) and repeated calls agree.
+	if !c.UniqueIntColumn(rel, "a") || c.UniqueIntColumn(rel, "d") {
+		t.Fatal("memoized verdicts changed")
+	}
+}

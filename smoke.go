@@ -23,6 +23,16 @@
 // shapes are bounded at raw cost. See DESIGN.md "Compressed lineage
 // representations".
 //
+// Queries — from this builder API or the SQL front end (internal/sql,
+// cmd/smokecli) — lower onto one logical plan layer (internal/plan), where
+// an optimizer pushes predicates into scans, prunes join materialization,
+// detects pk-fk joins, and fuses SPJA blocks onto the single-pass fused
+// capture executor; multi-block shapes (aggregates over joins over grouped
+// subqueries, HAVING, ORDER BY, LIMIT, unions) run their residue on a
+// composing generic runner with the same parallelism and compression, and
+// with end-to-end lineage composed across blocks. See DESIGN.md "Plan layer
+// & optimizer".
+//
 // The root package re-exports the engine facade (internal/core), the storage
 // and expression substrates, and the capture knobs, so applications program
 // against one import:
