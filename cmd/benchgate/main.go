@@ -1,0 +1,35 @@
+// Command benchgate is the CI bench-regression gate: it compares the
+// BENCH_*.json reports emitted by a smokebench run against the checked-in
+// baselines and exits non-zero when a measured row regressed beyond the
+// latency budget (baseline_ms * tol + slack) or vanished. Lineage-equality
+// failures abort smokebench itself, so a green gate means both "no
+// wrong-lineage" and "no silent slowdown".
+//
+// Usage:
+//
+//	smokebench -exp compress,parscale,plan,consume -scale tiny -reps 1 -json bench/out
+//	benchgate -baseline bench/baselines -current bench/out -tol 2.0 -slack-ms 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smoke/internal/bench"
+)
+
+func main() {
+	baseline := flag.String("baseline", "bench/baselines", "directory of checked-in baseline BENCH_*.json files")
+	current := flag.String("current", "bench/out", "directory of freshly emitted BENCH_*.json files")
+	tol := flag.Float64("tol", 2.0, "multiplicative latency tolerance (fail when current > baseline*tol + slack)")
+	slack := flag.Float64("slack-ms", 10, "additive slack in milliseconds (absorbs timer noise on tiny rows)")
+	flag.Parse()
+
+	cfg := bench.GateConfig{Tolerance: *tol, SlackMS: *slack}
+	if err := bench.CompareGateDirs(*baseline, *current, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL\n%v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK (%s vs %s, tol %.1fx + %.0fms)\n", *current, *baseline, *tol, *slack)
+}

@@ -7,9 +7,10 @@
 //	smokebench -exp fig5,fig8          # run specific experiments
 //	smokebench -exp all                # run everything, paper order
 //	smokebench -exp fig13 -scale paper # paper-scale datasets (slow, RAM-hungry)
-//	smokebench -exp compress,parscale -scale tiny -reps 1
+//	smokebench -exp compress,parscale,plan,consume -scale tiny -reps 1 -json bench/out
 //	                                   # CI smoke-job: lineage-equality gates
-//	                                   # at sub-second scale
+//	                                   # at sub-second scale; benchgate then
+//	                                   # compares bench/out to bench/baselines
 //	smokebench -list                   # list experiment ids
 package main
 
@@ -27,6 +28,7 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids (see -list), or 'all'")
 	scale := flag.String("scale", "small", "dataset scale: tiny | small | paper")
 	reps := flag.Int("reps", 3, "timed repetitions per measurement (median reported)")
+	jsonFlag := flag.String("json", "", "directory for BENCH_*.json output (created if missing); default: cwd at small/paper scale, suppressed at tiny so CI noise never overwrites the committed trajectory files")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -37,11 +39,19 @@ func main() {
 		return
 	}
 
-	// Tiny scale exists for CI gate runs; its timings are noise, so it must
-	// not overwrite the committed BENCH_*.json artifacts in the cwd.
-	jsonDir := "."
-	if *scale == "tiny" {
-		jsonDir = ""
+	jsonDir := *jsonFlag
+	if jsonDir == "" {
+		// Tiny scale exists for CI gate runs; its timings are noise, so it
+		// must not overwrite the committed BENCH_*.json artifacts in the cwd
+		// unless an output directory is asked for explicitly (the CI
+		// bench-regression gate does).
+		jsonDir = "."
+		if *scale == "tiny" {
+			jsonDir = ""
+		}
+	} else if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "smokebench: %v\n", err)
+		os.Exit(1)
 	}
 	cfg := bench.Config{Scale: *scale, Reps: *reps, W: os.Stdout, JSONDir: jsonDir}
 	runners := bench.Experiments()

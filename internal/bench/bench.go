@@ -104,6 +104,7 @@ func Experiments() map[string]Runner {
 		"parscale": ParScale,
 		"compress": Compress,
 		"plan":     PlanBench,
+		"consume":  Consume,
 	}
 }
 
@@ -112,6 +113,6 @@ func Order() []string {
 	return []string{
 		"fig5", "fig5tc", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig21", "fig22", "fig23",
-		"parscale", "compress", "plan",
+		"parscale", "compress", "plan", "consume",
 	}
 }

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Bench-regression gating: CI runs the smoke experiments at tiny scale with
+// -json, then compares the emitted BENCH_*.json files against the
+// checked-in baselines (bench/baselines/*.json) with a latency tolerance.
+// Lineage-equality failures abort the experiments themselves (non-zero
+// exit), so the gate only has to catch latency regressions and vanished
+// measurement rows.
+//
+// Rows are matched by their identity fields (every non-numeric field plus
+// integer shape fields like workers), and a row regresses when
+//
+//	current_ms > baseline_ms * tolerance + slackMS
+//
+// The additive slack absorbs scheduler noise on sub-millisecond tiny-scale
+// rows, where a pure ratio would flake; a genuine regression clears both.
+
+// GateConfig tunes the comparison.
+type GateConfig struct {
+	// Tolerance is the multiplicative latency budget (e.g. 2.0 = fail when
+	// a row is more than 2x slower than its baseline).
+	Tolerance float64
+	// SlackMS is the additive grace in milliseconds on top of the ratio.
+	SlackMS float64
+}
+
+// benchReport is the shape every BENCH_*.json shares: a "rows" array of
+// flat objects with an "ms" measurement.
+type benchReport struct {
+	Rows []map[string]any `json:"rows"`
+}
+
+// measurementField reports whether a row field is a measurement (gated or
+// derived) rather than part of the row's identity. Latency fields ("ms" and
+// any "*_ms") are gated; ratios and byte counts are derived and ignored.
+func measurementField(k string) bool {
+	return k == "ms" || strings.HasSuffix(k, "_ms") ||
+		strings.HasPrefix(k, "speedup") || strings.HasPrefix(k, "bytes_per_rid") ||
+		k == "index_bytes" || k == "cardinality"
+}
+
+// latencyField reports whether a measurement is a gated latency.
+func latencyField(k string) bool {
+	return k == "ms" || strings.HasSuffix(k, "_ms")
+}
+
+// rowKey builds a row's identity: every non-measurement field, rendered in
+// sorted field order.
+func rowKey(row map[string]any) string {
+	keys := make([]string, 0, len(row))
+	for k := range row {
+		if measurementField(k) {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%v", k, row[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// CompareGateFile compares one current bench JSON against its baseline:
+// every baseline row with an "ms" field must exist in the current report
+// and stay within the latency budget.
+func CompareGateFile(baselinePath, currentPath string, cfg GateConfig) error {
+	base, err := readReport(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	cur, err := readReport(currentPath)
+	if err != nil {
+		return fmt.Errorf("current %s: %w", currentPath, err)
+	}
+	curMS := map[string]map[string]float64{}
+	for _, row := range cur.Rows {
+		m := map[string]float64{}
+		for k, v := range row {
+			if f, ok := v.(float64); ok && latencyField(k) {
+				m[k] = f
+			}
+		}
+		curMS[rowKey(row)] = m
+	}
+	var failures []string
+	for _, row := range base.Rows {
+		key := rowKey(row)
+		var fields []string
+		for k, v := range row {
+			if _, ok := v.(float64); ok && latencyField(k) {
+				fields = append(fields, k)
+			}
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		sort.Strings(fields)
+		got, ok := curMS[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("row %q vanished from %s", key, filepath.Base(currentPath)))
+			continue
+		}
+		for _, k := range fields {
+			baseMS := row[k].(float64)
+			cur, ok := got[k]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("row %q lost field %s", key, k))
+				continue
+			}
+			if budget := baseMS*cfg.Tolerance + cfg.SlackMS; cur > budget {
+				failures = append(failures,
+					fmt.Sprintf("row %q %s regressed: %.2fms > %.2fms (baseline %.2fms x %.1f + %.0fms slack)",
+						key, k, cur, budget, baseMS, cfg.Tolerance, cfg.SlackMS))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench gate: %s:\n  %s", filepath.Base(baselinePath), strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// CompareGateDirs gates every baseline file against the matching file in
+// currentDir. A baseline without a current counterpart fails (the experiment
+// silently stopped emitting).
+func CompareGateDirs(baselineDir, currentDir string, cfg GateConfig) error {
+	matches, err := filepath.Glob(filepath.Join(baselineDir, "*.json"))
+	if err != nil {
+		return err
+	}
+	if len(matches) == 0 {
+		return fmt.Errorf("bench gate: no baselines under %s", baselineDir)
+	}
+	var failures []string
+	for _, basePath := range matches {
+		curPath := filepath.Join(currentDir, filepath.Base(basePath))
+		if _, err := os.Stat(curPath); err != nil {
+			failures = append(failures, fmt.Sprintf("missing current report %s", filepath.Base(basePath)))
+			continue
+		}
+		if err := CompareGateFile(basePath, curPath, cfg); err != nil {
+			failures = append(failures, err.Error())
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%s", strings.Join(failures, "\n"))
+	}
+	return nil
+}
+
+func readReport(path string) (benchReport, error) {
+	var rep benchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const gateBaseline = `{
+  "tuples": 100000,
+  "rows": [
+    {"op": "select", "workers": 1, "ms": 10.0, "speedup_vs_serial": 1.0},
+    {"op": "select", "workers": 4, "ms": 4.0, "speedup_vs_serial": 2.5},
+    {"op": "groupby", "workers": 1, "ms": 20.0, "speedup_vs_serial": 1.0}
+  ]
+}`
+
+// TestGateCoversSuffixedLatencyFields: compress-style rows measure
+// backward_trace_ms/forward_trace_ms instead of ms; those gate too, and
+// derived fields (bytes_per_rid, index_bytes) stay out of the identity.
+func TestGateCoversSuffixedLatencyFields(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", `{
+  "rows": [
+    {"workload": "zipf", "repr": "raw", "bytes_per_rid": 4.0, "index_bytes": 1000, "backward_trace_ms": 1.0, "forward_trace_ms": 0.5}
+  ]
+}`)
+	cur := writeReport(t, dir, "cur.json", `{
+  "rows": [
+    {"workload": "zipf", "repr": "raw", "bytes_per_rid": 3.5, "index_bytes": 900, "backward_trace_ms": 30.0, "forward_trace_ms": 0.5}
+  ]
+}`)
+	err := CompareGateFile(base, cur, GateConfig{Tolerance: 2.0, SlackMS: 5})
+	if err == nil || !strings.Contains(err.Error(), "backward_trace_ms") {
+		t.Fatalf("suffixed latency regression must fail and name the field, got: %v", err)
+	}
+}
+
+// TestGatePassesWithinTolerance: small drift (and speedup changes, which are
+// not identity fields) stays green.
+func TestGatePassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", gateBaseline)
+	cur := writeReport(t, dir, "cur.json", `{
+  "rows": [
+    {"op": "select", "workers": 1, "ms": 14.0, "speedup_vs_serial": 0.9},
+    {"op": "select", "workers": 4, "ms": 7.0, "speedup_vs_serial": 2.0},
+    {"op": "groupby", "workers": 1, "ms": 25.0, "speedup_vs_serial": 1.0},
+    {"op": "groupby", "workers": 4, "ms": 9.0, "speedup_vs_serial": 2.0}
+  ]
+}`)
+	if err := CompareGateFile(base, cur, GateConfig{Tolerance: 2.0, SlackMS: 5}); err != nil {
+		t.Fatalf("within-tolerance run should pass: %v", err)
+	}
+}
+
+// TestGateFailsOnSeededRegression: a >2x latency regression on one row fails
+// with that row named — the CI acceptance demonstration.
+func TestGateFailsOnSeededRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", gateBaseline)
+	cur := writeReport(t, dir, "cur.json", `{
+  "rows": [
+    {"op": "select", "workers": 1, "ms": 60.0},
+    {"op": "select", "workers": 4, "ms": 4.0},
+    {"op": "groupby", "workers": 1, "ms": 20.0}
+  ]
+}`)
+	err := CompareGateFile(base, cur, GateConfig{Tolerance: 2.0, SlackMS: 5})
+	if err == nil {
+		t.Fatal("seeded 6x regression must fail the gate")
+	}
+	if !strings.Contains(err.Error(), "op=select") || !strings.Contains(err.Error(), "workers=1") {
+		t.Fatalf("failure should name the regressed row, got: %v", err)
+	}
+}
+
+// TestGateFailsOnVanishedRow: dropping a measured row (an experiment
+// silently losing coverage) fails.
+func TestGateFailsOnVanishedRow(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", gateBaseline)
+	cur := writeReport(t, dir, "cur.json", `{
+  "rows": [
+    {"op": "select", "workers": 1, "ms": 10.0}
+  ]
+}`)
+	err := CompareGateFile(base, cur, GateConfig{Tolerance: 2.0, SlackMS: 5})
+	if err == nil || !strings.Contains(err.Error(), "vanished") {
+		t.Fatalf("vanished rows must fail the gate, got: %v", err)
+	}
+}
+
+// TestGateDirs: a baseline file with no current counterpart fails; matching
+// directories pass.
+func TestGateDirs(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeReport(t, baseDir, "BENCH_x.json", gateBaseline)
+	if err := CompareGateDirs(baseDir, curDir, GateConfig{Tolerance: 2.0, SlackMS: 5}); err == nil {
+		t.Fatal("missing current report must fail")
+	}
+	writeReport(t, curDir, "BENCH_x.json", gateBaseline)
+	if err := CompareGateDirs(baseDir, curDir, GateConfig{Tolerance: 2.0, SlackMS: 5}); err != nil {
+		t.Fatalf("matching dirs should pass: %v", err)
+	}
+	if err := CompareGateDirs(filepath.Join(baseDir, "empty"), curDir, GateConfig{}); err == nil {
+		t.Fatal("empty baseline dir must fail")
+	}
+}

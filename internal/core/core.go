@@ -215,6 +215,12 @@ type Query struct {
 	// prebuilt carries an externally lowered plan (QueryPlan, the SQL front
 	// end); when set, the builder state above is unused.
 	prebuilt plan.Node
+	// traceNode carries a lineage trace root (Backward/Forward): the query's
+	// input rows are the trace's output, and GroupBy/Agg build a consuming
+	// aggregation on top of it. traceFilter is the consuming predicate over
+	// the traced rows (Where); the optimizer sinks it into the trace.
+	traceNode   plan.Node
+	traceFilter expr.Expr
 }
 
 // Query starts a new query.
@@ -225,8 +231,101 @@ func (db *DB) Query() *Query { return &Query{db: db} }
 // builder query.
 func (db *DB) QueryPlan(n plan.Node) *Query { return &Query{db: db, prebuilt: n} }
 
+// Backward starts the query from the backward lineage trace of res into
+// table: the query's input rows are the base rows of table that contributed
+// to the given output rows of res (duplicates preserved — transformational
+// semantics). The trace is bound to res's captured indexes, traced in place
+// (raw or compressed) with the morsel-parallel trace operator; GroupBy/Agg
+// on top build a lineage-consuming aggregation that runs through the plan
+// layer, and the result is itself a single-table base query for further
+// traces (§2.1). A keyless trace query simply returns the traced rows.
+func (q *Query) Backward(res *Result, table string, outRids []Rid) *Query {
+	return q.backward(res, table, outRids, nil)
+}
+
+// BackwardWhere is Backward seeded by a predicate over res's output rows
+// instead of an explicit rid set (e.g. "the rows behind every group whose
+// key is X"). The optimizer may rewrite key-only seed predicates into
+// scan-and-filter when that beats the index trace.
+func (q *Query) BackwardWhere(res *Result, table string, seedPred expr.Expr) *Query {
+	return q.backward(res, table, nil, seedPred)
+}
+
+func (q *Query) backward(res *Result, table string, outRids []Rid, seedPred expr.Expr) *Query {
+	rel, err := q.db.Table(table)
+	if err != nil {
+		q.fail(err)
+		return q
+	}
+	if len(q.tables) > 0 || q.traceNode != nil || q.prebuilt != nil {
+		q.fail(fmt.Errorf("core: a trace must start the query"))
+		return q
+	}
+	q.names = append(q.names, table)
+	q.tables = append(q.tables, exec.TableRef{Rel: rel})
+	q.traceNode = plan.Backward{
+		Source: res.plan, Table: table, Rel: rel,
+		SeedRids: outRids, SeedPred: seedPred, Bound: res.bound(),
+	}
+	return q
+}
+
+// Forward starts the query from the forward lineage trace of res: the
+// query's input rows are the output rows of res that depend on the given
+// base rows of table. Like Backward, the trace binds to res's captured
+// indexes and GroupBy/Agg build consuming aggregations on top.
+func (q *Query) Forward(res *Result, table string, inRids []Rid) *Query {
+	return q.forward(res, table, inRids, nil)
+}
+
+// ForwardWhere is Forward seeded by a predicate over table's base rows.
+func (q *Query) ForwardWhere(res *Result, table string, seedPred expr.Expr) *Query {
+	return q.forward(res, table, nil, seedPred)
+}
+
+func (q *Query) forward(res *Result, table string, inRids []Rid, seedPred expr.Expr) *Query {
+	rel, err := q.db.Table(table)
+	if err != nil {
+		q.fail(err)
+		return q
+	}
+	if len(q.tables) > 0 || q.traceNode != nil || q.prebuilt != nil {
+		q.fail(fmt.Errorf("core: a trace must start the query"))
+		return q
+	}
+	q.names = append(q.names, res.Out.Name)
+	q.tables = append(q.tables, exec.TableRef{Rel: res.Out})
+	q.traceNode = plan.Forward{
+		Source: res.plan, Table: table, Rel: rel,
+		SeedRids: inRids, SeedPred: seedPred, Bound: res.bound(),
+	}
+	return q
+}
+
+// Where adds a consuming predicate over the trace's output rows — for
+// Backward, base-relation columns; for Forward, source-output columns. The
+// optimizer sinks it into the trace's expansion filter, so failing rows are
+// dropped during rid-list expansion. Only trace queries take Where; plain
+// blocks attach per-table filters in From/Join.
+func (q *Query) Where(pred expr.Expr) *Query {
+	if q.traceNode == nil {
+		q.fail(fmt.Errorf("core: Where applies to trace queries; use the From/Join filter arguments"))
+		return q
+	}
+	if q.traceFilter == nil {
+		q.traceFilter = pred
+	} else {
+		q.traceFilter = expr.And{L: q.traceFilter, R: pred}
+	}
+	return q
+}
+
 // From sets the first (or only) table with an optional filter.
 func (q *Query) From(table string, filter expr.Expr) *Query {
+	if q.traceNode != nil {
+		q.fail(fmt.Errorf("core: From after a trace is not supported (traces take no further tables)"))
+		return q
+	}
 	rel, err := q.db.Table(table)
 	if err != nil {
 		q.fail(err)
@@ -381,6 +480,30 @@ func (q *Query) Plan() (plan.Node, error) {
 	if q.prebuilt != nil {
 		return q.prebuilt, nil
 	}
+	if q.traceNode != nil {
+		if len(q.joins) > 0 {
+			return nil, fmt.Errorf("core: joins after a trace are not supported")
+		}
+		root := q.traceNode
+		if q.traceFilter != nil {
+			root = plan.Filter{Child: root, Pred: q.traceFilter}
+		}
+		if len(q.keys) == 0 {
+			if len(q.aggs) > 0 {
+				return nil, fmt.Errorf("core: aggregates over a trace require GroupBy")
+			}
+			// A bare trace: the result is the traced rows themselves.
+			return root, nil
+		}
+		gb := plan.GroupBy{Child: root}
+		for _, k := range q.keys {
+			gb.Keys = append(gb.Keys, k.Col)
+		}
+		for _, a := range q.aggs {
+			gb.Aggs = append(gb.Aggs, plan.AggDef{Fn: a.Fn, Arg: a.Arg, Filter: a.Filter, Name: a.Name})
+		}
+		return gb, nil
+	}
 	if len(q.tables) == 0 {
 		return nil, fmt.Errorf("core: query has no tables")
 	}
@@ -415,8 +538,12 @@ type Result struct {
 
 	db      *DB
 	capture *lineage.Capture
-	bwPart  *lineage.PartitionedIndex
-	cube    *cube.Cube
+	// plan is the optimized plan that produced the result (nil for the
+	// runSingle capture-push-down path): bound traces carry it so the
+	// optimizer can reason about scan-and-filter equivalence.
+	plan   plan.Node
+	bwPart *lineage.PartitionedIndex
+	cube   *cube.Cube
 	// single-table metadata for consuming queries
 	baseRel   *storage.Relation
 	baseAgg   *ops.AggResult
@@ -437,6 +564,9 @@ func (q *Query) Run(opts CaptureOptions) (*Result, error) {
 		return nil, q.err
 	}
 	if opts.PushdownFilter != nil || opts.PartitionBy != nil || opts.Cube != nil || opts.CountsByKey != nil {
+		if q.traceNode != nil {
+			return nil, fmt.Errorf("core: capture push-down options are not supported on trace queries")
+		}
 		target := q
 		if q.prebuilt != nil {
 			// SQL-compiled queries qualify when their plan is a plain
@@ -458,7 +588,7 @@ func (q *Query) Run(opts CaptureOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	optimized, _ := plan.Optimize(p, plan.Opts{Catalog: q.db.cat})
+	optimized := plan.OptimizeNoTrace(p, plan.Opts{Catalog: q.db.cat})
 	eopts := exec.PlanOpts{
 		Mode: opts.Mode, Dirs: opts.Dirs, TableDirs: opts.TableDirs,
 		Params: opts.Params, Compress: opts.Compress,
@@ -470,7 +600,7 @@ func (q *Query) Run(opts CaptureOptions) (*Result, error) {
 	}
 	res := &Result{
 		Out: pres.Out, GroupCounts: pres.GroupCounts,
-		db: q.db, capture: pres.Capture, params: opts.Params,
+		db: q.db, capture: pres.Capture, plan: optimized, params: opts.Params,
 	}
 	// Single-base plans keep consuming-query support (ConsumeGroupBy
 	// re-aggregates base rows addressed by backward rids).
@@ -601,21 +731,19 @@ func (r *Result) BackwardDistinct(table string, outRids []Rid) ([]Rid, error) {
 		if err != nil {
 			return nil, err
 		}
-		seen := map[Rid]struct{}{}
-		var out []Rid
-		for _, rid := range all {
-			if _, ok := seen[rid]; !ok {
-				seen[rid] = struct{}{}
-				out = append(out, rid)
-			}
-		}
-		return out, nil
+		return lineage.Dedup(all), nil
 	}
 	return r.capture.BackwardDistinct(table, outRids)
 }
 
 // Capture exposes the raw lineage indexes (benchmark harness, applications).
 func (r *Result) Capture() *lineage.Capture { return r.capture }
+
+// bound packages the result as a trace binding: its output relation plus the
+// captured indexes, traced in place by the physical trace operator.
+func (r *Result) bound() *plan.BoundTrace {
+	return &plan.BoundTrace{Out: r.Out, Capture: r.capture}
+}
 
 // Cube returns the partial data cube materialized by group-by push-down, or
 // nil if none was requested.
@@ -625,16 +753,21 @@ func (r *Result) Cube() *cube.Cube { return r.cube }
 // rid subset (typically the result of Backward), itself instrumented with the
 // given options — consuming queries can act as base queries for further
 // lineage queries (§2.1), which is how Q1b becomes the base query of Q1c.
-// Only single-table results support this. Consuming queries always run the
-// serial kernels: backward rid sets preserve duplicates (transformational
-// semantics), and the morsel-parallel aggregation requires distinct rids.
+// Only single-table results support this. Consuming queries run
+// morsel-parallel like base queries: backward rid sets preserve duplicates
+// (transformational semantics), which the duplicate-tolerant aggregation
+// kernel (ops.AggOpts.DupRids) handles with output and lineage identical to
+// a serial run. Query.Backward/Forward are the plan-level form of the same
+// operation (with seed predicates, optimizer rewrites, and EXPLAIN).
 func (r *Result) ConsumeGroupBy(rids []Rid, spec ops.GroupBySpec, opts CaptureOptions) (*Result, error) {
 	if r.baseRel == nil {
 		return nil, fmt.Errorf("core: consuming queries are supported over single-table results")
 	}
+	workers, pl := opts.workers(r.db)
 	aggOpts := ops.AggOpts{
 		Mode: opts.Mode, Dirs: opts.dirs(), Params: opts.Params,
 		PushdownFilter: opts.PushdownFilter, PartitionBy: opts.PartitionBy,
+		Workers: workers, Pool: pl, DupRids: true,
 		Compress: opts.Compress,
 	}
 	var cb *cube.Builder

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"smoke/internal/expr"
+	"smoke/internal/ops"
+	"smoke/internal/storage"
+)
+
+func traceDB(t *testing.T, workers int) (*DB, *storage.Relation) {
+	t.Helper()
+	rel := storage.NewRelation("orders", storage.Schema{
+		{Name: "state", Type: storage.TInt},
+		{Name: "cat", Type: storage.TInt},
+		{Name: "amount", Type: storage.TFloat},
+	}, 60)
+	for i := 0; i < 60; i++ {
+		rel.Cols[0].Ints[i] = int64(i % 5)
+		rel.Cols[1].Ints[i] = int64(i % 4)
+		rel.Cols[2].Floats[i] = float64(i)
+	}
+	db := Open(WithWorkers(workers))
+	db.Register(rel)
+	return db, rel
+}
+
+// TestQueryBackwardMatchesConsumeGroupBy: the plan-level consuming query
+// (Query.Backward + GroupBy) must be element-identical to the pre-plan
+// Result.Backward + ConsumeGroupBy path.
+func TestQueryBackwardMatchesConsumeGroupBy(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		db, _ := traceDB(t, workers)
+		defer db.Close()
+		base, err := db.Query().From("orders", nil).GroupBy("state").
+			Agg(ops.Count, nil, "c").Run(CaptureOptions{Mode: ops.Inject})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds := []Rid{1, 3, 1} // duplicate seed: consuming semantics
+		spec := ops.GroupBySpec{Keys: []string{"cat"},
+			Aggs: []ops.AggSpec{{Fn: ops.Count, Name: "n"}, {Fn: ops.Sum, Arg: expr.C("amount"), Name: "s"}}}
+
+		rids, err := base.Backward("orders", seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := base.ConsumeGroupBy(rids, spec, CaptureOptions{Mode: ops.Inject, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		got, err := db.Query().Backward(base, "orders", seeds).GroupBy("cat").
+			Agg(ops.Count, nil, "n").Agg(ops.Sum, expr.C("amount"), "s").
+			Run(CaptureOptions{Mode: ops.Inject})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Out.N != want.Out.N {
+			t.Fatalf("workers=%d: %d groups, want %d", workers, got.Out.N, want.Out.N)
+		}
+		for c := range want.Out.Cols {
+			if !reflect.DeepEqual(got.Out.Cols[c], want.Out.Cols[c]) {
+				t.Fatalf("workers=%d: output column %d diverges", workers, c)
+			}
+		}
+		for o := 0; o < want.Out.N; o++ {
+			w, _ := want.Backward("orders", []Rid{Rid(o)})
+			g, err := got.Backward("orders", []Rid{Rid(o)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(w, g) {
+				t.Fatalf("workers=%d: group %d backward lineage diverges:\n got %v\nwant %v", workers, o, g, w)
+			}
+		}
+		// The consuming result is itself a single-base query: chain another
+		// trace off it (Q1b → Q1c).
+		chain, err := db.Query().Backward(got, "orders", []Rid{0}).Run(CaptureOptions{Mode: ops.Inject})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantChain, err := got.Backward("orders", []Rid{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chain.Out.N != len(wantChain) {
+			t.Fatalf("workers=%d: chained trace rows %d, want %d", workers, chain.Out.N, len(wantChain))
+		}
+	}
+}
+
+// TestQueryBackwardWhereSeedsByPredicate seeds the trace with a predicate
+// over the base result's output.
+func TestQueryBackwardWhereSeedsByPredicate(t *testing.T) {
+	db, rel := traceDB(t, 1)
+	defer db.Close()
+	base, err := db.Query().From("orders", nil).GroupBy("state").
+		Agg(ops.Count, nil, "c").Run(CaptureOptions{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query().BackwardWhere(base, "orders", expr.EqE(expr.C("state"), expr.I(2))).
+		Run(CaptureOptions{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < rel.N; i++ {
+		if rel.Cols[0].Ints[i] == 2 {
+			want++
+		}
+	}
+	if res.Out.N != want {
+		t.Fatalf("traced %d rows, want %d", res.Out.N, want)
+	}
+	for o := 0; o < res.Out.N; o++ {
+		if res.Out.Cols[0].Ints[o] != 2 {
+			t.Fatalf("row %d has state %d, want 2", o, res.Out.Cols[0].Ints[o])
+		}
+	}
+}
+
+// TestQueryWhereSinksIntoTrace: the consuming predicate drops traced rows
+// during expansion, serial and parallel alike.
+func TestQueryWhereSinksIntoTrace(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		db, rel := traceDB(t, workers)
+		defer db.Close()
+		base, err := db.Query().From("orders", nil).GroupBy("state").
+			Agg(ops.Count, nil, "c").Run(CaptureOptions{Mode: ops.Inject})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Query().Backward(base, "orders", []Rid{1}).
+			Where(expr.LtE(expr.C("amount"), expr.F(30))).
+			GroupBy("cat").Agg(ops.Count, nil, "n").
+			Run(CaptureOptions{Mode: ops.Inject})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := int64(0)
+		for o := 0; o < res.Out.N; o++ {
+			total += res.Out.Int(1, o)
+		}
+		want := int64(0)
+		for i := 0; i < rel.N; i++ {
+			if rel.Cols[0].Ints[i] == 1 && rel.Cols[2].Floats[i] <= 30 {
+				want++
+			}
+		}
+		if total != want {
+			t.Fatalf("workers=%d: filtered consuming count %d, want %d", workers, total, want)
+		}
+	}
+	// Where on a non-trace query errors.
+	db, _ := traceDB(t, 1)
+	defer db.Close()
+	if _, err := db.Query().From("orders", nil).Where(expr.LtE(expr.C("amount"), expr.F(1))).
+		GroupBy("state").Agg(ops.Count, nil, "c").Run(CaptureOptions{Mode: ops.Inject}); err == nil {
+		t.Error("Where on a non-trace query should fail")
+	}
+}
+
+// TestQueryForward traces forward from base rows into the result's groups.
+func TestQueryForward(t *testing.T) {
+	db, _ := traceDB(t, 1)
+	defer db.Close()
+	base, err := db.Query().From("orders", nil).GroupBy("state").
+		Agg(ops.Count, nil, "c").Run(CaptureOptions{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query().Forward(base, "orders", []Rid{0, 7}).
+		Run(CaptureOptions{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N != 2 {
+		t.Fatalf("want 2 dependent groups, got %d", res.Out.N)
+	}
+	if res.Out.Cols[0].Ints[0] != 0 || res.Out.Cols[0].Ints[1] != 2 {
+		t.Fatalf("dependent groups %v %v, want states 0 and 2",
+			res.Out.Cols[0].Ints[0], res.Out.Cols[0].Ints[1])
+	}
+}
+
+// TestTraceQueryErrors pins the builder misuse errors.
+func TestTraceQueryErrors(t *testing.T) {
+	db, _ := traceDB(t, 1)
+	defer db.Close()
+	base, err := db.Query().From("orders", nil).GroupBy("state").
+		Agg(ops.Count, nil, "c").Run(CaptureOptions{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query().From("orders", nil).Backward(base, "orders", []Rid{0}).
+		GroupBy("cat").Agg(ops.Count, nil, "n").Run(CaptureOptions{Mode: ops.Inject}); err == nil {
+		t.Error("trace after From should fail")
+	}
+	if _, err := db.Query().Backward(base, "orders", []Rid{0}).
+		From("orders", expr.LtE(expr.C("amount"), expr.F(1))).
+		GroupBy("cat").Agg(ops.Count, nil, "n").Run(CaptureOptions{Mode: ops.Inject}); err == nil {
+		t.Error("From after a trace should fail (the filter would be silently dropped)")
+	}
+	if _, err := db.Query().Backward(base, "nope", []Rid{0}).Run(CaptureOptions{}); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := db.Query().Backward(base, "orders", []Rid{0}).GroupBy("cat").
+		Agg(ops.Count, nil, "n").
+		Run(CaptureOptions{Mode: ops.Inject, PushdownFilter: expr.EqE(expr.C("cat"), expr.I(1))}); err == nil {
+		t.Error("capture push-down on a trace query should fail")
+	}
+	// Pruned capture: tracing a direction that was never captured errors.
+	pruned, err := db.Query().From("orders", nil).GroupBy("state").
+		Agg(ops.Count, nil, "c").
+		Run(CaptureOptions{Mode: ops.Inject, Dirs: ops.CaptureForward})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query().Backward(pruned, "orders", []Rid{0}).Run(CaptureOptions{Mode: ops.Inject}); err == nil {
+		t.Error("backward trace over a forward-only capture should fail")
+	}
+}

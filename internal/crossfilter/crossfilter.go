@@ -6,19 +6,27 @@
 //
 //   - Lazy:  no capture; each interaction re-runs the group-by queries over a
 //     shared selection scan of the base table.
-//   - BT:    Smoke backward indexes replace the selection scan with an
-//     indexed scan, but the group-by queries (hash tables) still re-run.
+//   - BT:    Smoke backward indexes replace the selection scan: each
+//     interaction is a backward trace-then-aggregate plan
+//     (core.Query.Backward → GroupBy) running through the plan layer's
+//     physical trace operator — the engine's first-class consuming-query
+//     path.
 //   - BT+FT: forward indexes map each input record straight to its bar in
 //     every view — a perfect hash — so interactions become counter
 //     increments with no hash tables at all (Listing 1).
 //   - Cube:  a partial data cube (pairwise dimension matrices) answers
 //     interactions near-instantaneously but pays a large offline
 //     construction cost — the cold-start trade-off of Figure 13.
+//
+// The base views are ordinary engine queries (core.DB → plan layer → fused
+// single-table aggregation with Inject capture), so the app exercises the
+// same capture and consumption machinery the paper's experiments measure.
 package crossfilter
 
 import (
 	"fmt"
 
+	"smoke/internal/core"
 	"smoke/internal/hashtab"
 	"smoke/internal/lineage"
 	"smoke/internal/ops"
@@ -34,7 +42,8 @@ type Technique uint8
 const (
 	// Lazy re-runs group-bys over a shared selection scan.
 	Lazy Technique = iota
-	// BT uses backward lineage indexes for the subset, re-running group-bys.
+	// BT uses backward lineage indexes for the subset: every interaction is
+	// a trace-then-aggregate plan over the captured indexes.
 	BT
 	// BTFT uses backward + forward indexes for incremental updates.
 	BTFT
@@ -56,18 +65,29 @@ func (t Technique) String() string {
 // App is an initialized crossfilter session: the base views have been
 // computed (with whatever capture the technique requires).
 type App struct {
+	db   *core.DB
 	rel  *storage.Relation
 	dims []string
 	cols [][]int64
 	tech Technique
 
-	views []ops.AggResult
+	views []*core.Result
+	fw    [][]Rid // BTFT: per-view forward arrays (input rid → bar slot)
 }
 
-// New computes the initial views. The capture performed here is the "base
-// query + lineage capture" cost of Figures 13/14.
+// New computes the initial views through the engine's plan layer. The
+// capture performed here is the "base query + lineage capture" cost of
+// Figures 13/14.
 func New(rel *storage.Relation, dims []string, tech Technique) (*App, error) {
-	a := &App{rel: rel, dims: dims, tech: tech}
+	return NewParallel(rel, dims, tech, 1)
+}
+
+// NewParallel is New with intra-query parallelism: base views (and BT's
+// trace-then-aggregate interactions) run their morsel-parallel kernels over
+// workers partitions.
+func NewParallel(rel *storage.Relation, dims []string, tech Technique, workers int) (*App, error) {
+	a := &App{rel: rel, dims: dims, tech: tech, db: core.Open(core.WithWorkers(workers))}
+	a.db.Register(rel)
 	for _, d := range dims {
 		c := rel.Schema.Col(d)
 		if c < 0 {
@@ -78,27 +98,37 @@ func New(rel *storage.Relation, dims []string, tech Technique) (*App, error) {
 		}
 		a.cols = append(a.cols, rel.Cols[c].Ints)
 	}
-	var aggOpts ops.AggOpts
+	var capture core.CaptureOptions
 	switch tech {
 	case Lazy:
-		aggOpts = ops.AggOpts{Mode: ops.None}
+		capture = core.CaptureOptions{Mode: ops.None}
 	case BT:
-		aggOpts = ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureBackward}
+		capture = core.CaptureOptions{Mode: ops.Inject, Dirs: ops.CaptureBackward}
 	case BTFT:
-		aggOpts = ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth}
+		capture = core.CaptureOptions{Mode: ops.Inject, Dirs: ops.CaptureBoth}
 	}
 	for _, d := range dims {
-		res, err := ops.HashAgg(rel, nil, ops.GroupBySpec{
-			Keys: []string{d},
-			Aggs: []ops.AggSpec{{Fn: ops.Count, Name: "count"}},
-		}, aggOpts)
+		res, err := a.db.Query().From(rel.Name, nil).
+			GroupBy(d).
+			Agg(ops.Count, nil, "count").
+			Run(capture)
 		if err != nil {
 			return nil, err
 		}
 		a.views = append(a.views, res)
+		if tech == BTFT {
+			ix, err := res.Capture().ForwardIndex(rel.Name)
+			if err != nil {
+				return nil, err
+			}
+			a.fw = append(a.fw, ix.DenseForward(rel.N))
+		}
 	}
 	return a, nil
 }
+
+// Close releases the app's engine resources.
+func (a *App) Close() { a.db.Close() }
 
 // View returns the initial output relation of one view (bars: key + count).
 func (a *App) View(v int) *storage.Relation { return a.views[v].Out }
@@ -172,31 +202,28 @@ func (a *App) lazyHighlight(v int, bar Rid) (Counts, error) {
 	return out, nil
 }
 
-// btHighlight: indexed scan over the bar's backward rid array; group-bys
-// still re-run (hash tables rebuilt per interaction).
+// btHighlight: every target view recomputes as a backward
+// trace-then-aggregate plan — the bar's rid list expands through the
+// captured index (morsel-parallel when the app is) and re-aggregates on the
+// duplicate-tolerant consuming fast path, with no composition and no base
+// scan.
 func (a *App) btHighlight(v int, bar Rid) (Counts, error) {
-	rids := a.views[v].BW.List(int(bar))
 	out := make(Counts, len(a.dims))
 	for w := range a.dims {
 		if w == v {
 			continue
 		}
-		ht := hashtab.New(64)
-		var counts []int64
-		var keys []int64
-		col := a.cols[w]
-		for _, rid := range rids {
-			k := col[rid]
-			slot, inserted := ht.GetOrPut(k, int32(len(counts)))
-			if inserted {
-				counts = append(counts, 0)
-				keys = append(keys, k)
-			}
-			counts[slot]++
+		res, err := a.db.Query().
+			Backward(a.views[v], a.rel.Name, []Rid{bar}).
+			GroupBy(a.dims[w]).
+			Agg(ops.Count, nil, "count").
+			Run(core.CaptureOptions{Mode: ops.None})
+		if err != nil {
+			return nil, err
 		}
-		m := make(map[int64]int64, len(counts))
-		for i, k := range keys {
-			m[k] = counts[i]
+		m := make(map[int64]int64, res.Out.N)
+		for o := 0; o < res.Out.N; o++ {
+			m[res.Out.Int(0, o)] = res.Out.Int(1, o)
 		}
 		out[w] = m
 	}
@@ -206,7 +233,10 @@ func (a *App) btHighlight(v int, bar Rid) (Counts, error) {
 // btftHighlight: the forward indexes are perfect hashes from input records to
 // bars, so the interaction is pure counter increments (Listing 1).
 func (a *App) btftHighlight(v int, bar Rid) (Counts, error) {
-	rids := a.views[v].BW.List(int(bar))
+	rids, err := a.views[v].Backward(a.rel.Name, []Rid{bar})
+	if err != nil {
+		return nil, err
+	}
 	out := make(Counts, len(a.dims))
 	slotCounts := make([][]int64, len(a.dims))
 	for w := range a.dims {
@@ -219,7 +249,7 @@ func (a *App) btftHighlight(v int, bar Rid) (Counts, error) {
 			if w == v {
 				continue
 			}
-			slotCounts[w][a.views[w].FW[rid]]++
+			slotCounts[w][a.fw[w][rid]]++
 		}
 	}
 	for w := range a.dims {

@@ -255,7 +255,12 @@ func Check(seed int64, queries int) error {
 				if err != nil {
 					return fmt.Errorf("difftest: seed %d query %d (%s) variant %s: consuming rids: %w", seed, qi, desc, v.Name, err)
 				}
-				gotCons, err := got.ConsumeGroupBy(rids, consSpec, core.CaptureOptions{Mode: ops.Inject, Compress: v.Opts.Compress})
+				// The consuming run inherits the variant's parallelism: rid
+				// sets with duplicates exercise the duplicate-tolerant
+				// parallel aggregation against the serial reference.
+				gotCons, err := got.ConsumeGroupBy(rids, consSpec, core.CaptureOptions{
+					Mode: ops.Inject, Compress: v.Opts.Compress, Parallelism: v.Opts.Parallelism,
+				})
 				if err != nil {
 					return fmt.Errorf("difftest: seed %d query %d (%s) variant %s: consuming run: %w", seed, qi, desc, v.Name, err)
 				}
@@ -280,7 +285,7 @@ func consumeRef(ref *core.Result) (*core.Result, ops.GroupBySpec, error) {
 	if err != nil {
 		return nil, spec, err
 	}
-	cons, err := ref.ConsumeGroupBy(rids, spec, core.CaptureOptions{Mode: ops.Inject})
+	cons, err := ref.ConsumeGroupBy(rids, spec, core.CaptureOptions{Mode: ops.Inject, Parallelism: 1})
 	if err != nil {
 		return nil, spec, err
 	}

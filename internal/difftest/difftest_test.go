@@ -41,6 +41,25 @@ func TestMultiBlockDifferentialEquivalence(t *testing.T) {
 	}
 }
 
+// TestTraceDifferentialEquivalence is the consuming-query gate: randomized
+// backward/forward trace-then-aggregate plans (bound and unbound, rid- and
+// predicate-seeded, duplicate seeds included) must be element-identical
+// across fused/generic × serial/par3 × Inject/Defer × raw/compressed, and
+// the plan path must match the pre-plan serial consuming path exactly.
+func TestTraceDifferentialEquivalence(t *testing.T) {
+	seeds := []int64{5, 91, 2028}
+	queries := 10
+	if testing.Short() {
+		seeds = seeds[:1]
+		queries = 5
+	}
+	for _, seed := range seeds {
+		if err := CheckTrace(seed, queries); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestPlanVariantsCoverTheMatrix pins the multi-block matrix: 2 lowerings ×
 // 2 parallelism levels × 2 modes × 2 representations, reference first.
 func TestPlanVariantsCoverTheMatrix(t *testing.T) {

@@ -1,0 +1,199 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smoke/internal/exec"
+	"smoke/internal/expr"
+	"smoke/internal/lineage"
+	"smoke/internal/ops"
+	"smoke/internal/plan"
+	"smoke/internal/pool"
+)
+
+// Trace differential checking: randomized backward/forward consuming queries
+// (trace-then-aggregate plans) must produce element-identical output and
+// lineage across every capture configuration — serial/par3 × Inject/Defer ×
+// raw/compressed, through both optimizer lowerings — and the plan path's
+// backward consuming queries must match the pre-plan serial path
+// (Capture.Backward expansion + serial rid-set aggregation) exactly,
+// duplicate rids included. This is the correctness gate for the physical
+// trace operator and the duplicate-tolerant parallel aggregation.
+
+// genTracePlan builds one randomized bound or unbound trace-then-aggregate
+// plan over the dataset's fact table, returning the plan and a shape
+// description. Bound traces reuse ref (an executed base aggregation);
+// unbound traces re-execute the source inside the plan.
+func genTracePlan(ds *Dataset, base plan.Node, bound *plan.BoundTrace, r *rand.Rand) (plan.Node, string) {
+	var (
+		node plan.Node
+		desc string
+	)
+	backward := r.Intn(3) > 0 // forward traces are rarer, like the workloads
+	if backward {
+		bt := plan.Backward{Source: base, Table: "fact", Rel: ds.Fact}
+		switch r.Intn(3) {
+		case 0:
+			// Explicit seeds with duplicates: the consuming (duplicate-rid)
+			// case the pre-plan path handled serially.
+			n := bound.Out.N
+			if n == 0 {
+				bt.SeedRids = []lineage.Rid{}
+			} else {
+				k := 1 + r.Intn(4)
+				seeds := make([]lineage.Rid, 0, k+1)
+				for i := 0; i < k; i++ {
+					seeds = append(seeds, lineage.Rid(r.Intn(n)))
+				}
+				seeds = append(seeds, seeds[0]) // guaranteed duplicate seed
+				bt.SeedRids = seeds
+			}
+			desc = "backward rid-seeded (dup)"
+		case 1:
+			bt.SeedPred = expr.GeE(expr.C("cnt"), expr.I(int64(1+r.Intn(3))))
+			desc = "backward pred-seeded"
+		default:
+			desc = "backward all-seeds"
+		}
+		if r.Intn(2) == 0 {
+			bt.Distinct = true
+			desc += "+distinct"
+		}
+		if r.Intn(2) == 0 {
+			bound := *bound
+			bt.Bound = &bound
+			desc += "+bound"
+		}
+		node = bt
+	} else {
+		ft := plan.Forward{Source: base, Table: "fact", Rel: ds.Fact}
+		if r.Intn(2) == 0 {
+			n := ds.Fact.N
+			k := 1 + r.Intn(6)
+			seeds := make([]lineage.Rid, 0, k+1)
+			for i := 0; i < k; i++ {
+				seeds = append(seeds, lineage.Rid(r.Intn(n)))
+			}
+			seeds = append(seeds, seeds[0])
+			ft.SeedRids = seeds
+			desc = "forward rid-seeded (dup)"
+		} else {
+			ft.SeedPred = genFactFilter(r)
+			if ft.SeedPred == nil {
+				ft.SeedPred = expr.LeE(expr.C("v"), expr.F(50))
+			}
+			desc = "forward pred-seeded"
+		}
+		if r.Intn(2) == 0 {
+			bound := *bound
+			ft.Bound = &bound
+			desc += "+bound"
+		}
+		node = ft
+	}
+
+	// Consuming aggregation on top (sometimes with a consuming filter the
+	// optimizer sinks into the trace), sometimes a bare trace.
+	if backward && r.Intn(4) > 0 {
+		var child plan.Node = node
+		if r.Intn(2) == 0 {
+			child = plan.Filter{Child: child, Pred: expr.LeE(expr.C("v"), expr.F(float64(r.Intn(100))))}
+			desc += "+filter"
+		}
+		gb := plan.GroupBy{Child: child, Keys: []string{[]string{"b", "s"}[r.Intn(2)]},
+			Aggs: []plan.AggDef{{Fn: ops.Count, Name: "n"}, {Fn: ops.Sum, Arg: expr.C("v"), Name: "sv"}}}
+		return gb, desc + "+groupby"
+	}
+	return node, desc
+}
+
+// CheckTrace runs one seeded trace differential session: a base aggregation
+// runs once with full capture, and randomized consuming plans over it are
+// compared across every capture configuration and against the pre-plan
+// serial consuming path.
+func CheckTrace(seed int64, queries int) error {
+	r := rand.New(rand.NewSource(seed))
+	ds := GenDataset(r)
+	defer ds.DB.Close()
+	pl := pool.New(3)
+	defer pl.Close()
+
+	base := plan.Node(plan.GroupBy{
+		Child: plan.Scan{Table: "fact", Rel: ds.Fact, Filter: genFactFilter(r)},
+		Keys:  []string{"k"},
+		Aggs:  []plan.AggDef{{Fn: ops.Count, Name: "cnt"}, {Fn: ops.Max, Arg: expr.C("v"), Name: "mx"}},
+	})
+	baseRes, err := exec.RunPlan(base, exec.PlanOpts{Mode: ops.Inject})
+	if err != nil {
+		return fmt.Errorf("difftest: trace seed %d: base run: %w", seed, err)
+	}
+	bound := &plan.BoundTrace{Out: baseRes.Out, Capture: baseRes.Capture}
+
+	for qi := 0; qi < queries; qi++ {
+		n, desc := genTracePlan(ds, base, bound, r)
+		what := fmt.Sprintf("trace seed %d plan %d (%s)", seed, qi, desc)
+		if err := checkPlanVariants(ds.DB, n, pl, what); err != nil {
+			return err
+		}
+		if err := checkAgainstPrePlanPath(ds, n, bound, what); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkAgainstPrePlanPath compares a GroupBy-over-Backward plan (no
+// consuming filter, no distinct — the exact shape Result.ConsumeGroupBy
+// serves) against the pre-plan path: serial index expansion
+// (Capture.Backward) followed by the serial rid-set aggregation.
+func checkAgainstPrePlanPath(ds *Dataset, n plan.Node, bound *plan.BoundTrace, what string) error {
+	gb, ok := n.(plan.GroupBy)
+	if !ok {
+		return nil
+	}
+	bt, ok := gb.Child.(plan.Backward)
+	if !ok || bt.Bound == nil || bt.Distinct || bt.SeedPred != nil || bt.Filter != nil {
+		return nil
+	}
+	seeds := bt.SeedRids
+	if seeds == nil {
+		seeds = make([]lineage.Rid, bound.Out.N)
+		for i := range seeds {
+			seeds[i] = lineage.Rid(i)
+		}
+	}
+	expanded, err := bound.Capture.Backward("fact", seeds)
+	if err != nil {
+		return fmt.Errorf("difftest: %s: pre-plan expansion: %w", what, err)
+	}
+	if expanded == nil {
+		expanded = []lineage.Rid{}
+	}
+	spec := ops.GroupBySpec{Keys: gb.Keys}
+	for i, a := range gb.Aggs {
+		spec.Aggs = append(spec.Aggs, ops.AggSpec{Fn: a.Fn, Arg: a.Arg, Name: a.OutName(i)})
+	}
+	direct, err := ops.HashAgg(ds.Fact, expanded, spec, ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+	if err != nil {
+		return fmt.Errorf("difftest: %s: pre-plan aggregation: %w", what, err)
+	}
+	got, err := exec.RunPlan(n, exec.PlanOpts{Mode: ops.Inject})
+	if err != nil {
+		return fmt.Errorf("difftest: %s: plan run: %w", what, err)
+	}
+	if err := diffRelation(direct.Out, got.Out); err != nil {
+		return fmt.Errorf("difftest: %s: plan path diverges from pre-plan path: %w", what, err)
+	}
+	for o := 0; o < direct.Out.N; o++ {
+		want := direct.BW.List(o)
+		gotL, err := got.Capture.Backward("fact", []lineage.Rid{lineage.Rid(o)})
+		if err != nil {
+			return err
+		}
+		if err := diffRids(want, gotL); err != nil {
+			return fmt.Errorf("difftest: %s: backward lineage of output %d diverges from pre-plan path: %w", what, o, err)
+		}
+	}
+	return nil
+}

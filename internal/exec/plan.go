@@ -209,6 +209,10 @@ func runNode(n plan.Node, opts PlanOpts) (nodeOut, error) {
 		return runLimit(node, opts)
 	case plan.SPJA:
 		return runSPJANode(node, opts)
+	case plan.Backward:
+		return runBackward(node, opts)
+	case plan.Forward:
+		return runForward(node, opts)
 	}
 	return nodeOut{}, fmt.Errorf("exec: unsupported plan node %T", n)
 }
@@ -306,42 +310,26 @@ func runGroupBy(node plan.GroupBy, opts PlanOpts) (nodeOut, error) {
 		return nodeOut{}, err
 	}
 	if sc, ok := node.Child.(plan.Scan); ok {
-		// Scan-filter pipelining (the single-table fast path): the filter
-		// materializes a rid subset once and the aggregation runs over it, so
-		// captured rids stay base-relation rids with no composition step.
-		dirs := opts.dirsFor(sc.Table)
-		var inRids []lineage.Rid
-		if sc.Filter != nil {
-			pred, err := expr.CompilePred(sc.Filter, sc.Rel, opts.Params)
-			if err != nil {
-				return nodeOut{}, err
-			}
-			// Select guarantees a non-nil OutRids under Mode None even for
-			// zero matches — load-bearing, because a nil rid subset means
-			// "all rows" to HashAgg.
-			sres := ops.Select(sc.Rel.N, pred, ops.SelectOpts{Mode: ops.None, Workers: opts.Workers, Pool: opts.Pool})
-			inRids = sres.OutRids
-		}
-		mode := opts.Mode
-		if dirs == 0 {
-			mode = ops.None
-		}
-		ares, err := ops.HashAgg(sc.Rel, inRids, spec, ops.AggOpts{
-			Mode: mode, Dirs: dirs, Params: opts.Params,
-			Workers: opts.Workers, Pool: opts.Pool, Compress: opts.Compress,
-		})
+		return runGroupByOverScan(sc, spec, opts)
+	}
+	if bt, ok := node.Child.(plan.Backward); ok {
+		// Trace-then-aggregate pipelining (the consuming-query fast path):
+		// the trace expands its rid multiset once — duplicates preserved —
+		// and the aggregation runs directly over it with the
+		// duplicate-tolerant morsel-parallel kernel (AggOpts.DupRids), so
+		// captured rids stay base-relation rids with no gather and no
+		// composition step. This is the morsel-parallel replacement for the
+		// serial consuming-query fallback of the pre-plan path.
+		rids, scan, err := backwardRids(bt, opts)
 		if err != nil {
 			return nodeOut{}, err
 		}
-		out := nodeOut{rel: ares.Out, counts: ares.GroupCounts,
-			bw: map[string]*lineage.Index{}, fw: map[string]*lineage.Index{}}
-		if ix := ares.BackwardIndex(); ix != nil {
-			out.bw[sc.Table] = ix
+		if scan != nil {
+			// The selectivity choice picked scan-and-filter: the trace IS a
+			// filtered scan, so the block is a plain scan aggregation.
+			return runGroupByOverScan(*scan, spec, opts)
 		}
-		if ix := ares.ForwardIndex(); ix != nil {
-			out.fw[sc.Table] = ix
-		}
-		return out, nil
+		return runGroupByOverRids(bt.Rel, bt.Table, rids, true, spec, opts)
 	}
 
 	child, err := runNode(node.Child, opts)
@@ -372,6 +360,54 @@ func runGroupBy(node plan.GroupBy, opts PlanOpts) (nodeOut, error) {
 	res.rel = ares.Out
 	res.counts = ares.GroupCounts
 	return res, nil
+}
+
+// runGroupByOverScan is the single-table fast path: the scan's filter
+// materializes a rid subset once and the aggregation runs over it, so
+// captured rids stay base-relation rids with no composition step.
+func runGroupByOverScan(sc plan.Scan, spec ops.GroupBySpec, opts PlanOpts) (nodeOut, error) {
+	var inRids []lineage.Rid
+	if sc.Filter != nil {
+		pred, err := expr.CompilePred(sc.Filter, sc.Rel, opts.Params)
+		if err != nil {
+			return nodeOut{}, err
+		}
+		// Select guarantees a non-nil OutRids under Mode None even for
+		// zero matches — load-bearing, because a nil rid subset means
+		// "all rows" to HashAgg.
+		sres := ops.Select(sc.Rel.N, pred, ops.SelectOpts{Mode: ops.None, Workers: opts.Workers, Pool: opts.Pool})
+		inRids = sres.OutRids
+	}
+	return runGroupByOverRids(sc.Rel, sc.Table, inRids, false, spec, opts)
+}
+
+// runGroupByOverRids is the shared tail of both fast paths: aggregate the
+// base relation over a rid subset (nil = all rows) and install the captured
+// indexes directly under the base table's name.
+func runGroupByOverRids(rel *storage.Relation, table string, inRids []lineage.Rid, dupRids bool,
+	spec ops.GroupBySpec, opts PlanOpts) (nodeOut, error) {
+	dirs := opts.dirsFor(table)
+	mode := opts.Mode
+	if dirs == 0 {
+		mode = ops.None
+	}
+	ares, err := ops.HashAgg(rel, inRids, spec, ops.AggOpts{
+		Mode: mode, Dirs: dirs, Params: opts.Params,
+		Workers: opts.Workers, Pool: opts.Pool, Compress: opts.Compress,
+		DupRids: dupRids,
+	})
+	if err != nil {
+		return nodeOut{}, err
+	}
+	out := nodeOut{rel: ares.Out, counts: ares.GroupCounts,
+		bw: map[string]*lineage.Index{}, fw: map[string]*lineage.Index{}}
+	if ix := ares.BackwardIndex(); ix != nil {
+		out.bw[table] = ix
+	}
+	if ix := ares.ForwardIndex(); ix != nil {
+		out.fw[table] = ix
+	}
+	return out, nil
 }
 
 func runJoin(node plan.Join, opts PlanOpts) (nodeOut, error) {

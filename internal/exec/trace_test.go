@@ -1,0 +1,241 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"smoke/internal/expr"
+	"smoke/internal/lineage"
+	"smoke/internal/ops"
+	"smoke/internal/plan"
+	"smoke/internal/pool"
+	"smoke/internal/storage"
+)
+
+// traceTestRel builds sales(region int, amount float): 12 rows, 3 regions.
+func traceTestRel() *storage.Relation {
+	rel := storage.NewRelation("sales", storage.Schema{
+		{Name: "region", Type: storage.TInt},
+		{Name: "amount", Type: storage.TFloat},
+	}, 12)
+	for i := 0; i < 12; i++ {
+		rel.Cols[0].Ints[i] = int64(i % 3)
+		rel.Cols[1].Floats[i] = float64(i * 10)
+	}
+	return rel
+}
+
+func baseGroupBy(rel *storage.Relation) plan.Node {
+	return plan.GroupBy{
+		Child: plan.Scan{Table: "sales", Rel: rel},
+		Keys:  []string{"region"},
+		Aggs:  []plan.AggDef{{Fn: ops.Count, Name: "c"}},
+	}
+}
+
+// TestBackwardTraceUnbound runs a trace-then-aggregate plan whose source
+// executes inline, and checks the traced rows against the brute-force subset.
+func TestBackwardTraceUnbound(t *testing.T) {
+	rel := traceTestRel()
+	// Trace the rows behind region==1's group, then sum their amounts.
+	n := plan.Node(plan.GroupBy{
+		Child: plan.Backward{
+			Source:   baseGroupBy(rel),
+			Table:    "sales",
+			Rel:      rel,
+			SeedPred: expr.EqE(expr.C("region"), expr.I(1)),
+		},
+		Keys: []string{"region"},
+		Aggs: []plan.AggDef{{Fn: ops.Sum, Arg: expr.C("amount"), Name: "s"}},
+	})
+	res, err := RunPlan(n, PlanOpts{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N != 1 {
+		t.Fatalf("want 1 group, got %d", res.Out.N)
+	}
+	want := 0.0
+	for i := 0; i < rel.N; i++ {
+		if rel.Cols[0].Ints[i] == 1 {
+			want += rel.Cols[1].Floats[i]
+		}
+	}
+	if got := res.Out.Cols[1].Floats[0]; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// End-to-end lineage: the group's backward rids are the region==1 rows.
+	rids, err := res.Capture.Backward("sales", []lineage.Rid{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rids {
+		if rel.Cols[0].Ints[r] != 1 {
+			t.Fatalf("backward rid %d is not a region==1 row", r)
+		}
+	}
+	if len(rids) != 4 {
+		t.Fatalf("want 4 contributing rows, got %d", len(rids))
+	}
+}
+
+// TestBoundTraceMatchesConsumeAndParallel checks that a bound trace (the
+// interactive consuming-query path) is element-identical to the direct
+// serial rid-set aggregation, across parallelism, compression, and duplicate
+// seeds.
+func TestBoundTraceMatchesConsumeAndParallel(t *testing.T) {
+	rel := traceTestRel()
+	pl := pool.New(3)
+	defer pl.Close()
+
+	for _, compress := range []bool{false, true} {
+		base, err := RunPlan(baseGroupBy(rel), PlanOpts{Mode: ops.Inject, Compress: compress})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Duplicate seeds: group 0 traced twice plus group 2 — consuming
+		// semantics preserve the duplicates.
+		seeds := []lineage.Rid{0, 2, 0}
+		bound := &plan.BoundTrace{Out: base.Out, Capture: base.Capture}
+		mk := func() plan.Node {
+			return plan.GroupBy{
+				Child: plan.Backward{Table: "sales", Rel: rel, SeedRids: seeds, Bound: bound},
+				Keys:  []string{"region"},
+				Aggs:  []plan.AggDef{{Fn: ops.Count, Name: "c"}, {Fn: ops.Sum, Arg: expr.C("amount"), Name: "s"}},
+			}
+		}
+		ref, err := RunPlan(mk(), PlanOpts{Mode: ops.Inject})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The direct pre-plan path: expand rids serially, aggregate serially.
+		bw, err := base.Capture.BackwardIndex("sales")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids := bw.Trace(seeds)
+		direct, err := ops.HashAgg(rel, rids, ops.GroupBySpec{
+			Keys: []string{"region"},
+			Aggs: []ops.AggSpec{{Fn: ops.Count, Name: "c"}, {Fn: ops.Sum, Arg: expr.C("amount"), Name: "s"}},
+		}, ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Out.N != direct.Out.N {
+			t.Fatalf("plan path %d groups, direct %d", ref.Out.N, direct.Out.N)
+		}
+		for o := 0; o < ref.Out.N; o++ {
+			planRids, _ := ref.Capture.Backward("sales", []lineage.Rid{lineage.Rid(o)})
+			if !reflect.DeepEqual(planRids, direct.BW.List(o)) {
+				t.Fatalf("compress=%v: group %d backward lineage diverges from direct path", compress, o)
+			}
+		}
+		// Morsel-parallel run must be element-identical to serial.
+		par, err := RunPlan(mk(), PlanOpts{Mode: ops.Inject, Workers: 3, Pool: pl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o := 0; o < ref.Out.N; o++ {
+			want, _ := ref.Capture.Backward("sales", []lineage.Rid{lineage.Rid(o)})
+			got, _ := par.Capture.Backward("sales", []lineage.Rid{lineage.Rid(o)})
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("compress=%v: parallel backward lineage of group %d diverges", compress, o)
+			}
+		}
+		wantFW, _ := ref.Capture.ForwardIndex("sales")
+		gotFW, _ := par.Capture.ForwardIndex("sales")
+		for i := 0; i < rel.N; i++ {
+			w := wantFW.TraceOne(lineage.Rid(i), nil)
+			g := gotFW.TraceOne(lineage.Rid(i), nil)
+			if !reflect.DeepEqual(w, g) {
+				t.Fatalf("compress=%v: parallel forward lineage of rid %d diverges (%v vs %v)", compress, i, g, w)
+			}
+		}
+	}
+}
+
+// TestForwardTrace checks the forward trace node: output rows dependent on
+// seed base rows, with end-to-end lineage composed through the source.
+func TestForwardTrace(t *testing.T) {
+	rel := traceTestRel()
+	base, err := RunPlan(baseGroupBy(rel), PlanOpts{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := &plan.BoundTrace{Out: base.Out, Capture: base.Capture}
+	// Rows 0 (region 0) and 4 (region 1) reach groups 0 and 1.
+	n := plan.Forward{Table: "sales", Rel: rel, SeedRids: []lineage.Rid{0, 4}, Bound: bound}
+	res, err := RunPlan(n, PlanOpts{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N != 2 {
+		t.Fatalf("want 2 traced output rows, got %d", res.Out.N)
+	}
+	if res.Out.Cols[0].Ints[0] != 0 || res.Out.Cols[0].Ints[1] != 1 {
+		t.Fatalf("traced groups = %v, %v; want regions 0, 1", res.Out.Cols[0].Ints[0], res.Out.Cols[0].Ints[1])
+	}
+	// Composed backward lineage: traced row 0 is group 0 — all region==0 rows.
+	rids, err := res.Capture.Backward("sales", []lineage.Rid{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 4 {
+		t.Fatalf("want 4 contributing rows for traced group, got %d", len(rids))
+	}
+}
+
+// TestScanEquivChoice pins the optimizer + physical selectivity choice: a
+// key-predicate trace over an unbound source rewrites to a scan, and a bound
+// trace seeded with most of the output runs its scan-and-filter equivalent.
+func TestScanEquivChoice(t *testing.T) {
+	rel := traceTestRel()
+	mkTrace := func(bound *plan.BoundTrace) plan.Node {
+		return plan.Backward{
+			Source: baseGroupBy(rel), Table: "sales", Rel: rel,
+			SeedPred: expr.LeE(expr.C("region"), expr.I(1)),
+			Bound:    bound,
+		}
+	}
+	// Unbound: the rewrite replaces the trace with a filtered scan.
+	opt, _ := plan.Optimize(mkTrace(nil), plan.Opts{})
+	if _, ok := opt.(plan.Scan); !ok {
+		t.Fatalf("unbound key-predicate trace should rewrite to a Scan, got %T:\n%s", opt, plan.Format(opt))
+	}
+	// Bound: the node keeps the index but carries the scan equivalent.
+	base, err := RunPlan(baseGroupBy(rel), PlanOpts{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := &plan.BoundTrace{Out: base.Out, Capture: base.Capture}
+	optB, _ := plan.Optimize(mkTrace(bt), plan.Opts{})
+	bnode, ok := optB.(plan.Backward)
+	if !ok || bnode.ScanEquiv == nil {
+		t.Fatalf("bound trace should keep the node with a scan-equiv annotation, got %T", optB)
+	}
+	// Seeds cover 2 of 3 groups (>= half): the physical layer picks the scan,
+	// whose output is the ascending base-row order.
+	res, err := RunPlan(optB, PlanOpts{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	prevRid := lineage.Rid(-1)
+	for o := 0; o < res.Out.N; o++ {
+		if res.Out.Cols[0].Ints[o] > 1 {
+			t.Fatalf("row %d has region %d, want <= 1", o, res.Out.Cols[0].Ints[o])
+		}
+		rids, _ := res.Capture.Backward("sales", []lineage.Rid{lineage.Rid(o)})
+		if len(rids) != 1 {
+			t.Fatalf("trace output row should map to one base row")
+		}
+		if rids[0] <= prevRid {
+			t.Fatalf("scan-and-filter output should be in ascending rid order")
+		}
+		prevRid = rids[0]
+		rows++
+	}
+	if rows != 8 {
+		t.Fatalf("want 8 traced rows, got %d", rows)
+	}
+}

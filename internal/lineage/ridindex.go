@@ -188,6 +188,44 @@ func (ix *Index) Trace(src []Rid) []Rid {
 	return dst
 }
 
+// Dedup keeps the first occurrence of each rid, in order — the set
+// semantics (which-provenance) applied to an already-expanded rid bag. The
+// input is not modified.
+func Dedup(rids []Rid) []Rid {
+	seen := make(map[Rid]struct{}, len(rids))
+	out := rids[:0:0]
+	for _, r := range rids {
+		if _, ok := seen[r]; ok {
+			continue
+		}
+		seen[r] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+// DenseForward materializes a forward index over n source records as a
+// dense rid array (-1 where a record maps to nothing): the perfect-hash
+// form that counter-increment consumers (crossfilter BT+FT, profiling UG)
+// read per record. One-to-one raw indexes return their array as-is; other
+// forms keep each record's first mapping.
+func (ix *Index) DenseForward(n int) []Rid {
+	if ix.Kind == OneToOne {
+		return ix.Arr
+	}
+	out := make([]Rid, n)
+	var buf []Rid
+	for i := 0; i < n; i++ {
+		buf = ix.TraceOne(Rid(i), buf[:0])
+		if len(buf) > 0 {
+			out[i] = buf[0]
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
 // TraceDistinct returns the set of records mapped from the source rids, in
 // first-seen order. Lineage consuming queries that re-aggregate use Trace;
 // highlight-style consumers use TraceDistinct.

@@ -99,12 +99,20 @@ type AggOpts struct {
 	// Workers > 1 runs the aggregation morsel-parallel: two-phase, with
 	// partition-local hash tables and rid lists merged in partition order
 	// (see agg_parallel.go). Workers <= 1 is the serial specialization.
-	// Parallel execution requires inRids entries to be distinct (rid sets
-	// from selections are); paths the merge does not cover (Observe, and
-	// non-int or composite PartitionBy) fall back to serial.
+	// Paths the merge does not cover (Observe, and non-int or composite
+	// PartitionBy) fall back to serial.
 	Workers int
 	// Pool schedules the partition kernels; nil runs them inline.
 	Pool *pool.Pool
+	// DupRids declares that inRids may contain duplicate entries — the shape
+	// of lineage-consuming queries, whose backward rid sets preserve
+	// duplicates (transformational semantics). The parallel path then tracks
+	// forward slots per input *position* instead of writing the shared
+	// rid-addressed forward array from the kernels (a duplicated rid spanning
+	// two partitions would otherwise be rebased by both), and fills the
+	// forward array once after the merge. Backward lists and aggregate states
+	// handle duplicates natively. Ignored when inRids is nil.
+	DupRids bool
 
 	// Compress encodes the finished lineage indexes into their adaptive
 	// compressed forms (internal/lineage encoded.go) after capture: the
@@ -665,7 +673,7 @@ func (st *aggState) captureBackward(slot int32, rid Rid) {
 	st.groupRids[slot] = lineage.AppendRid(st.groupRids[slot], rid)
 }
 
-func (st *aggState) processRow(rid Rid) {
+func (st *aggState) processRow(rid Rid) int32 {
 	slot := st.lookupSlot(rid)
 	st.counts[slot]++
 	for i := range st.accs {
@@ -682,6 +690,7 @@ func (st *aggState) processRow(rid Rid) {
 			st.fw[rid] = slot
 		}
 	}
+	return slot
 }
 
 // HashAgg executes a hash group-by aggregation over in (all rows when inRids

@@ -63,13 +63,23 @@ func parHashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOp
 
 	wantBW := opts.Mode != None && opts.Dirs.Backward()
 	wantFW := opts.Mode != None && opts.Dirs.Forward()
+	dup := opts.DupRids && inRids != nil
 	var fw []Rid
+	var posSlots []Rid
 	if wantFW {
 		// One shared forward array: partitions own disjoint rid sets, so
 		// each writes its rows' entries (with partition-local group slots,
 		// rebased to global slots after the merge) without conflicts.
 		fw = newForwardArray(in.N, inRids != nil)
-		if opts.Mode == Inject {
+		switch {
+		case dup:
+			// Duplicate rid sets (lineage-consuming queries) break the
+			// disjointness assumption: the same rid in two partitions would
+			// be rebased by both. Kernels instead record each input
+			// *position*'s partition-local slot (positions are disjoint by
+			// construction), and the forward array fills after the merge.
+			posSlots = make([]Rid, len(inRids))
+		case opts.Mode == Inject:
 			for _, st := range sts {
 				st.fw = fw
 			}
@@ -85,11 +95,16 @@ func parHashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOp
 
 	opts.Pool.RunSplit(ranges, func(part, lo, hi int) {
 		st := sts[part]
-		if inRids == nil {
+		switch {
+		case inRids == nil:
 			for rid := int32(lo); rid < int32(hi); rid++ {
 				st.processRow(rid)
 			}
-		} else {
+		case posSlots != nil && opts.Mode == Inject:
+			for i, rid := range inRids[lo:hi] {
+				posSlots[lo+i] = Rid(st.processRow(rid))
+			}
+		default:
 			for _, rid := range inRids[lo:hi] {
 				st.processRow(rid)
 			}
@@ -115,7 +130,7 @@ func parHashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOp
 				bw = lineage.NewRidIndexWithCounts(c32)
 			}
 		}
-		fill := func(rid Rid) {
+		fill := func(pos int, rid Rid) {
 			slot := st.probeSlot(rid)
 			if wantBW && (st.pdFilter == nil || st.pdFilter(rid)) {
 				if st.partKey != nil {
@@ -124,17 +139,19 @@ func parHashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOp
 					bw.AppendFast(int(slot), rid)
 				}
 			}
-			if fw != nil {
+			if posSlots != nil {
+				posSlots[pos] = Rid(slot)
+			} else if fw != nil {
 				fw[rid] = slot
 			}
 		}
 		if inRids == nil {
 			for rid := int32(lo); rid < int32(hi); rid++ {
-				fill(rid)
+				fill(-1, rid)
 			}
 		} else {
-			for _, rid := range inRids[lo:hi] {
-				fill(rid)
+			for i, rid := range inRids[lo:hi] {
+				fill(lo+i, rid)
 			}
 		}
 		deferBWs[part] = bw
@@ -185,15 +202,29 @@ func parHashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOp
 		}
 	}
 	if wantFW {
-		// Rebase partition-local slots to global slots, in parallel: each
-		// partition revisits exactly the rids it wrote.
-		opts.Pool.RunSplit(ranges, func(part, lo, hi int) {
-			if inRids == nil {
-				lineage.SlotRebase(fw, lo, hi, slotMaps[part])
-			} else {
-				lineage.SlotRebaseRids(fw, inRids[lo:hi], slotMaps[part])
+		if posSlots != nil {
+			// Duplicate-tolerant fill: one pass rebases each position's
+			// local slot through its partition's map and writes its rid's
+			// entry. Duplicates of a rid all land on the same merged group
+			// (same key), so every write stores the same value and the
+			// result is identical to the serial forward array.
+			for _, r := range ranges {
+				sm := slotMaps[r.Part]
+				for pos := r.Lo; pos < r.Hi; pos++ {
+					fw[inRids[pos]] = sm[posSlots[pos]]
+				}
 			}
-		})
+		} else {
+			// Rebase partition-local slots to global slots, in parallel:
+			// each partition revisits exactly the rids it wrote.
+			opts.Pool.RunSplit(ranges, func(part, lo, hi int) {
+				if inRids == nil {
+					lineage.SlotRebase(fw, lo, hi, slotMaps[part])
+				} else {
+					lineage.SlotRebaseRids(fw, inRids[lo:hi], slotMaps[part])
+				}
+			})
+		}
 		res.FW = fw
 		if opts.Compress {
 			if e := lineage.EncodeArr(fw); e != nil {

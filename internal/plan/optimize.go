@@ -34,6 +34,7 @@ func rules(o Opts) []struct {
 		apply func(Node, Opts) Node
 	}{
 		{"predicate-pushdown", func(n Node, _ Opts) Node { return pushdownNode(n) }},
+		{"trace-rewrite", func(n Node, _ Opts) Node { return rewriteTraces(n) }},
 		{"pkfk-detect", detectPKFK},
 		{"fuse-spja", func(n Node, _ Opts) Node { return fuseNode(n) }},
 		{"prune-projections", func(n Node, _ Opts) Node { return pruneNode(n, nil) }},
@@ -51,7 +52,9 @@ func rules(o Opts) []struct {
 }
 
 // Optimize runs the rule pipeline over n and returns the rewritten plan plus
-// a trace entry for every rule that changed it.
+// a trace entry for every rule that changed it. The change detection renders
+// the plan after every rule (Format string diffing), which EXPLAIN wants but
+// the execution path does not — hot callers use OptimizeNoTrace.
 func Optimize(n Node, o Opts) (Node, []Trace) {
 	var traces []Trace
 	before := Format(n)
@@ -63,6 +66,17 @@ func Optimize(n Node, o Opts) (Node, []Trace) {
 		}
 	}
 	return n, traces
+}
+
+// OptimizeNoTrace runs the same rule pipeline without recording the
+// per-rule EXPLAIN trace, skipping the per-rule plan renders. Interactive
+// consuming queries (one small plan per interaction) care about this fixed
+// overhead.
+func OptimizeNoTrace(n Node, o Opts) Node {
+	for _, r := range rules(o) {
+		n = r.apply(n, o)
+	}
+	return n
 }
 
 // --- predicate pushdown ------------------------------------------------------
@@ -106,6 +120,16 @@ func pushdownNode(n Node) Node {
 		return node
 	case Limit:
 		node.Child = pushdownNode(node.Child)
+		return node
+	case Backward:
+		if node.Source != nil {
+			node.Source = pushdownNode(node.Source)
+		}
+		return node
+	case Forward:
+		if node.Source != nil {
+			node.Source = pushdownNode(node.Source)
+		}
 		return node
 	}
 	return n
@@ -188,8 +212,42 @@ func pushInto(n Node, conj expr.Expr) (Node, bool) {
 		}
 		node.Child = Filter{Child: node.Child, Pred: conj}
 		return node, true
+	case Backward:
+		// The trace's output rows ARE base rows of Rel, so a consuming
+		// predicate over base columns commutes with the trace: it sinks into
+		// the node's expansion filter and rows failing it never materialize.
+		for _, c := range cols {
+			if node.Rel.Schema.Col(c) < 0 {
+				return n, false
+			}
+		}
+		node.Filter = andWith(node.Filter, conj)
+		return node, true
+	case Forward:
+		// Forward output rows are a subset of the source's output rows:
+		// filtering after the trace equals dropping failing rids during
+		// expansion.
+		srcSchema, err := OutSchema(node)
+		if err != nil {
+			return n, false
+		}
+		for _, c := range cols {
+			if srcSchema.Col(c) < 0 {
+				return n, false
+			}
+		}
+		node.Filter = andWith(node.Filter, conj)
+		return node, true
 	}
 	return n, false
+}
+
+// andWith conjoins e onto base (nil base yields e).
+func andWith(base, e expr.Expr) expr.Expr {
+	if base == nil {
+		return e
+	}
+	return expr.And{L: base, R: e}
 }
 
 // conjuncts flattens a conjunction tree.
@@ -198,6 +256,115 @@ func conjuncts(e expr.Expr) []expr.Expr {
 		return append(conjuncts(a.L), conjuncts(a.R)...)
 	}
 	return []expr.Expr{e}
+}
+
+// --- trace rewriting ---------------------------------------------------------
+
+// rewriteTraces rewrites trace-then-query subtrees (Lin et al.-style predicate
+// pushdown through lineage): when a Backward trace's seed predicate references
+// only the group-by keys of a single-scan aggregation source, the trace is
+// provably equivalent to scanning the base relation with (scan filter ∧ seed
+// predicate ∧ consuming filter) — each base row feeds exactly one group, so
+// tracing the selected groups selects exactly the rows whose key satisfies
+// the predicate.
+//
+// Unbound traces (no captured instance to reuse) rewrite to that Scan
+// outright: it skips executing the source aggregation entirely. Bound traces
+// keep the index — the capture already exists — but carry the equivalent
+// Scan as an annotation so the physical layer can choose scan-and-filter over
+// index-trace when the seeds select most of the output (a near-full trace
+// touches nearly every base row anyway, and a sequential predicate scan beats
+// scattered rid-list expansion).
+func rewriteTraces(n Node) Node {
+	switch node := n.(type) {
+	case Filter:
+		node.Child = rewriteTraces(node.Child)
+		return node
+	case Project:
+		node.Child = rewriteTraces(node.Child)
+		return node
+	case Join:
+		node.Left = rewriteTraces(node.Left)
+		node.Right = rewriteTraces(node.Right)
+		return node
+	case GroupBy:
+		node.Child = rewriteTraces(node.Child)
+		return node
+	case Union:
+		node.Left = rewriteTraces(node.Left)
+		node.Right = rewriteTraces(node.Right)
+		return node
+	case OrderBy:
+		node.Child = rewriteTraces(node.Child)
+		return node
+	case Limit:
+		node.Child = rewriteTraces(node.Child)
+		return node
+	case Backward:
+		if node.Source != nil {
+			node.Source = rewriteTraces(node.Source)
+		}
+		sc, ok := traceScanEquiv(node)
+		if !ok {
+			return node
+		}
+		if node.Bound == nil {
+			// No capture to reuse: the filtered scan IS the trace.
+			return sc
+		}
+		node.ScanEquiv = &sc
+		return node
+	case Forward:
+		if node.Source != nil {
+			node.Source = rewriteTraces(node.Source)
+		}
+		return node
+	}
+	return n
+}
+
+// traceScanEquiv derives the scan-and-filter equivalent of a Backward trace,
+// when one exists: the source must be a group-by (or the trace seeded with
+// nil/pred only — explicit rid seeds address output rows the rewrite cannot
+// name) over a single scan of the traced relation, and the seed predicate
+// must reference group keys only.
+func traceScanEquiv(node Backward) (Scan, bool) {
+	if node.SeedRids != nil {
+		return Scan{}, false
+	}
+	gb, ok := node.Source.(GroupBy)
+	if !ok {
+		return Scan{}, false
+	}
+	child := gb.Child
+	var pred expr.Expr
+	if f, isFilter := child.(Filter); isFilter {
+		pred = f.Pred
+		child = f.Child
+	}
+	sc, ok := child.(Scan)
+	if !ok || sc.Table != node.Table || sc.Rel != node.Rel {
+		return Scan{}, false
+	}
+	if node.SeedPred != nil {
+		// Key-only seed predicates translate verbatim: group keys are base
+		// columns of the scanned relation.
+		for _, c := range expr.Columns(node.SeedPred) {
+			if !containsStr(gb.Keys, c) || node.Rel.Schema.Col(c) < 0 {
+				return Scan{}, false
+			}
+		}
+	}
+	for _, e := range []expr.Expr{pred, node.SeedPred, node.Filter} {
+		if e != nil {
+			if sc.Filter == nil {
+				sc.Filter = e
+			} else {
+				sc.Filter = expr.And{L: sc.Filter, R: e}
+			}
+		}
+	}
+	return sc, true
 }
 
 // --- pk-fk join detection ----------------------------------------------------
@@ -234,6 +401,16 @@ func detectPKFK(n Node, o Opts) Node {
 		return node
 	case Limit:
 		node.Child = detectPKFK(node.Child, o)
+		return node
+	case Backward:
+		if node.Source != nil {
+			node.Source = detectPKFK(node.Source, o)
+		}
+		return node
+	case Forward:
+		if node.Source != nil {
+			node.Source = detectPKFK(node.Source, o)
+		}
 		return node
 	}
 	return n
@@ -306,6 +483,16 @@ func fuseNode(n Node) Node {
 		node.Child = fuseNode(node.Child)
 		if fused, ok := tryFuse(node); ok {
 			return fused
+		}
+		return node
+	case Backward:
+		if node.Source != nil {
+			node.Source = fuseNode(node.Source)
+		}
+		return node
+	case Forward:
+		if node.Source != nil {
+			node.Source = fuseNode(node.Source)
 		}
 		return node
 	}
@@ -539,6 +726,18 @@ func pruneNode(n Node, need []string) Node {
 		for i := range node.Inputs {
 			inNeed := spjaInputNeed(node, i)
 			node.Inputs[i] = pruneNode(node.Inputs[i], inNeed)
+		}
+		return node
+	case Backward:
+		// The trace reads the source's lineage, not its columns: restart the
+		// analysis below it (the source's own uses decide what it keeps).
+		if node.Source != nil {
+			node.Source = pruneNode(node.Source, nil)
+		}
+		return node
+	case Forward:
+		if node.Source != nil {
+			node.Source = pruneNode(node.Source, nil)
 		}
 		return node
 	}

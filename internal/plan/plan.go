@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"smoke/internal/expr"
+	"smoke/internal/lineage"
 	"smoke/internal/ops"
 	"smoke/internal/storage"
 )
@@ -121,6 +122,67 @@ type Limit struct {
 	N     int
 }
 
+// BoundTrace binds a trace node to an already-executed instance of its
+// Source: the source's output relation and its captured lineage indexes. A
+// bound trace never re-runs the source — the physical layer traces the
+// capture in place. This is the interactive consuming-query shape of the
+// paper (§2.1): a base query runs once with capture, then every interaction
+// is a trace-then-query plan over the bound capture.
+type BoundTrace struct {
+	Out     *storage.Relation
+	Capture *lineage.Capture
+}
+
+// Backward is a backward lineage-consuming trace (Lb, §2.2) as a plan node:
+// its output is the Table rows that contributed to the selected output rows
+// of Source (duplicates preserved — transformational semantics — unless
+// Distinct). Seeds are an explicit output-rid set or a predicate over the
+// source's output; nil seeds trace every output row.
+//
+// When Bound is nil, the physical layer executes Source (capturing the one
+// backward index the trace needs) and traces it; when Bound is set, the
+// already-captured indexes are traced directly. The node's own lineage to
+// Table is the traced rid list itself, so trace-then-query plans compose
+// end-to-end and consuming results can act as base queries for further
+// traces (Q1b → Q1c chains).
+type Backward struct {
+	Source Node              // the traced query (may be nil when Bound is set)
+	Table  string            // base relation to trace into
+	Rel    *storage.Relation // base relation (the node's output schema)
+	// SeedRids selects the seed output rows explicitly; SeedPred selects them
+	// by predicate over the source's output. Both nil traces all outputs.
+	SeedRids []lineage.Rid
+	SeedPred expr.Expr
+	// Filter is a consuming predicate over the traced base rows, installed by
+	// the optimizer's trace-pushdown rule (or directly by a front end): rows
+	// failing it are dropped during rid-list expansion, before any
+	// materialization.
+	Filter expr.Expr
+	// Distinct switches to set semantics (which-provenance).
+	Distinct bool
+	// ScanEquiv, set by the optimizer when the trace is provably equivalent
+	// to a filtered base scan (key-predicate seeds over a single-scan
+	// aggregation), lets the physical layer choose scan-and-filter over
+	// index-trace by seed selectivity.
+	ScanEquiv *Scan
+	Bound     *BoundTrace
+}
+
+// Forward is the forward trace (Lf): its output is the Source output rows
+// that depend on the selected Table rows. Seeds are an explicit base-rid set
+// or a predicate over the base relation; Filter (optional) drops traced
+// output rows during expansion.
+type Forward struct {
+	Source   Node
+	Table    string
+	Rel      *storage.Relation // base relation the seeds address
+	SeedRids []lineage.Rid
+	SeedPred expr.Expr
+	Filter   expr.Expr
+	Distinct bool
+	Bound    *BoundTrace
+}
+
 // SPJA is a fused select-project-join-aggregate block produced by the fusion
 // rule: the inputs (base scans or arbitrary subplans) join left-deep along
 // Joins, pipeline per-input Filters, and aggregate by Keys/Aggs, all in one
@@ -158,15 +220,17 @@ type SPJAAgg struct {
 	Name   string
 }
 
-func (Scan) isNode()    {}
-func (Filter) isNode()  {}
-func (Project) isNode() {}
-func (Join) isNode()    {}
-func (GroupBy) isNode() {}
-func (Union) isNode()   {}
-func (OrderBy) isNode() {}
-func (Limit) isNode()   {}
-func (SPJA) isNode()    {}
+func (Scan) isNode()     {}
+func (Filter) isNode()   {}
+func (Project) isNode()  {}
+func (Join) isNode()     {}
+func (GroupBy) isNode()  {}
+func (Union) isNode()    {}
+func (OrderBy) isNode()  {}
+func (Limit) isNode()    {}
+func (SPJA) isNode()     {}
+func (Backward) isNode() {}
+func (Forward) isNode()  {}
 
 // OutSchema infers the output schema of a node. Join inference fails on
 // column-name collisions between the sides (the physical join would prefix
@@ -258,6 +322,16 @@ func OutSchema(n Node) (storage.Schema, error) {
 		return OutSchema(node.Child)
 	case Limit:
 		return OutSchema(node.Child)
+	case Backward:
+		return node.Rel.Schema, nil
+	case Forward:
+		if node.Source != nil {
+			return OutSchema(node.Source)
+		}
+		if node.Bound != nil {
+			return node.Bound.Out.Schema, nil
+		}
+		return nil, fmt.Errorf("plan: forward trace has neither source nor bound result")
 	case SPJA:
 		out := make(storage.Schema, 0, len(node.Keys)+len(node.Aggs))
 		for _, k := range node.Keys {
@@ -323,6 +397,16 @@ func Bases(n Node, dst []*storage.Relation) []*storage.Relation {
 	case SPJA:
 		for _, in := range node.Inputs {
 			dst = Bases(in, dst)
+		}
+		return dst
+	case Backward:
+		// The trace's output rows ARE rows of the traced base relation:
+		// consuming queries over it are single-base in Rel, regardless of what
+		// else the source scanned.
+		return append(dst, node.Rel)
+	case Forward:
+		if node.Source != nil {
+			return Bases(node.Source, dst)
 		}
 		return dst
 	}
@@ -436,9 +520,50 @@ func format(b *strings.Builder, n Node, depth int) {
 			b.WriteString(":\n")
 			format(b, in, depth+2)
 		}
+	case Backward:
+		fmt.Fprintf(b, "Backward trace of %s%s", node.Table, traceAttrs(node.SeedRids, node.SeedPred, node.Filter, node.Distinct))
+		if node.ScanEquiv != nil {
+			b.WriteString(" scan-equiv")
+		}
+		if node.Bound != nil {
+			b.WriteString(" bound")
+		}
+		b.WriteByte('\n')
+		if node.Source != nil {
+			format(b, node.Source, depth+1)
+		}
+	case Forward:
+		fmt.Fprintf(b, "Forward trace of %s%s", node.Table, traceAttrs(node.SeedRids, node.SeedPred, node.Filter, node.Distinct))
+		if node.Bound != nil {
+			b.WriteString(" bound")
+		}
+		b.WriteByte('\n')
+		if node.Source != nil {
+			format(b, node.Source, depth+1)
+		}
 	default:
 		fmt.Fprintf(b, "?%T\n", n)
 	}
+}
+
+// traceAttrs renders the shared trace-node attributes for EXPLAIN output.
+func traceAttrs(rids []lineage.Rid, seedPred, filter expr.Expr, distinct bool) string {
+	var b strings.Builder
+	switch {
+	case rids != nil:
+		fmt.Fprintf(&b, " seeds=%d rids", len(rids))
+	case seedPred != nil:
+		fmt.Fprintf(&b, " seeds=(%s)", seedPred)
+	default:
+		b.WriteString(" seeds=all")
+	}
+	if filter != nil {
+		fmt.Fprintf(&b, " filter=%s", filter)
+	}
+	if distinct {
+		b.WriteString(" distinct")
+	}
+	return b.String()
 }
 
 func formatAggs(aggs []AggDef) string {

@@ -15,12 +15,18 @@
 //     attribute handled as a string and every lineage edge emitted through a
 //     dynamic dispatch (the virtual-call and data-model costs the paper
 //     identifies; JVM overhead is out of scope, see DESIGN.md).
+//
+// The Smoke variants run their base queries through the engine's plan layer
+// (core.DB → optimize → exec.RunPlan) and read the captured indexes through
+// the lineage-consuming query surface, so the profiling experiment exercises
+// the same end-to-end path as interactive applications.
 package profiling
 
 import (
 	"fmt"
 
 	"smoke/internal/baselines"
+	"smoke/internal/core"
 	"smoke/internal/expr"
 	"smoke/internal/lineage"
 	"smoke/internal/ops"
@@ -47,12 +53,20 @@ type Result struct {
 }
 
 // CheckCD implements Smoke-CD: the COUNT(DISTINCT) rewrite with Inject
-// capture; the lineage indexes of the violating groups form the graph.
+// capture, run as an engine query through the plan layer; the lineage
+// indexes of the violating groups — read through the consuming-query
+// surface — form the graph.
 func CheckCD(rel *storage.Relation, lhs, rhs string) (Result, error) {
-	res, err := ops.HashAgg(rel, nil, ops.GroupBySpec{
-		Keys: []string{lhs},
-		Aggs: []ops.AggSpec{{Fn: ops.CountDistinct, Arg: expr.C(rhs), Name: "cd"}},
-	}, ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+	db := core.Open()
+	db.Register(rel)
+	res, err := db.Query().From(rel.Name, nil).
+		GroupBy(lhs).
+		Agg(ops.CountDistinct, expr.C(rhs), "cd").
+		Run(core.CaptureOptions{Mode: ops.Inject})
+	if err != nil {
+		return Result{}, err
+	}
+	bw, err := res.Capture().BackwardIndex(rel.Name)
 	if err != nil {
 		return Result{}, err
 	}
@@ -62,7 +76,7 @@ func CheckCD(rel *storage.Relation, lhs, rhs string) (Result, error) {
 		if res.Out.Int(cd, o) > 1 {
 			out.Violations = append(out.Violations, Violation{
 				Value: renderKey(res.Out, 0, o),
-				Rids:  res.BW.List(o),
+				Rids:  bw.TraceOne(Rid(o), nil),
 			})
 		}
 	}
@@ -70,34 +84,44 @@ func CheckCD(rel *storage.Relation, lhs, rhs string) (Result, error) {
 }
 
 // CheckUG implements Smoke-UG: build lineage-indexed distinct-value queries
-// for A and B once, then decide each a by tracing backward to T and forward
-// into the B groups.
+// for A and B once (both through the plan layer), then decide each a by
+// tracing backward to T and forward into the B groups.
 func CheckUG(rel *storage.Relation, lhs, rhs string) (Result, error) {
-	aRes, err := ops.HashAgg(rel, nil, ops.GroupBySpec{
-		Keys: []string{lhs},
-		Aggs: []ops.AggSpec{{Fn: ops.Count, Name: "c"}},
-	}, ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureBackward})
+	db := core.Open()
+	db.Register(rel)
+	aRes, err := db.Query().From(rel.Name, nil).
+		GroupBy(lhs).Agg(ops.Count, nil, "c").
+		Run(core.CaptureOptions{Mode: ops.Inject, Dirs: ops.CaptureBackward})
 	if err != nil {
 		return Result{}, err
 	}
-	bRes, err := ops.HashAgg(rel, nil, ops.GroupBySpec{
-		Keys: []string{rhs},
-		Aggs: []ops.AggSpec{{Fn: ops.Count, Name: "c"}},
-	}, ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureForward})
+	bRes, err := db.Query().From(rel.Name, nil).
+		GroupBy(rhs).Agg(ops.Count, nil, "c").
+		Run(core.CaptureOptions{Mode: ops.Inject, Dirs: ops.CaptureForward})
 	if err != nil {
 		return Result{}, err
 	}
+	aBW, err := aRes.Capture().BackwardIndex(rel.Name)
+	if err != nil {
+		return Result{}, err
+	}
+	bFWIx, err := bRes.Capture().ForwardIndex(rel.Name)
+	if err != nil {
+		return Result{}, err
+	}
+	bFW := bFWIx.DenseForward(rel.N)
 	out := Result{FD: [2]string{lhs, rhs}}
 	seen := map[Rid]bool{}
+	var rids []Rid
 	for o := 0; o < aRes.Out.N; o++ {
-		rids := aRes.BW.List(o)
+		rids = aBW.TraceOne(Rid(o), rids[:0])
 		// Forward trace into B's groups; >1 distinct group = violation.
 		for k := range seen {
 			delete(seen, k)
 		}
 		distinct := 0
 		for _, rid := range rids {
-			g := bRes.FW[rid]
+			g := bFW[rid]
 			if !seen[g] {
 				seen[g] = true
 				distinct++
@@ -109,7 +133,7 @@ func CheckUG(rel *storage.Relation, lhs, rhs string) (Result, error) {
 		if distinct > 1 {
 			out.Violations = append(out.Violations, Violation{
 				Value: renderKey(aRes.Out, 0, o),
-				Rids:  rids,
+				Rids:  append([]Rid(nil), rids...),
 			})
 		}
 	}

@@ -179,9 +179,30 @@ func Lower(db *core.DB, st *Stmt) (plan.Node, error) {
 	return n, nil
 }
 
-// lowerSource lowers one FROM/JOIN item: a base-table scan, or a recursively
-// lowered aggregate subquery.
+// lowerSource lowers one FROM/JOIN item: a base-table scan, a recursively
+// lowered aggregate subquery, or a lineage trace.
 func lowerSource(db *core.DB, f FromItem) (source, error) {
+	if f.Trace != nil {
+		sub, err := Lower(db, f.Trace.Sub)
+		if err != nil {
+			return source{}, fmt.Errorf("sql: traced query: %w", err)
+		}
+		rel, err := db.Table(f.Trace.Table)
+		if err != nil {
+			return source{}, err
+		}
+		if f.Trace.Backward {
+			// The trace's output rows are base rows of the traced table.
+			n := plan.Backward{Source: sub, Table: f.Trace.Table, Rel: rel, SeedPred: f.Trace.Seed}
+			return source{name: f.Name(), node: n, schema: rel.Schema}, nil
+		}
+		schema, err := plan.OutSchema(sub)
+		if err != nil {
+			return source{}, fmt.Errorf("sql: traced query: %w", err)
+		}
+		n := plan.Forward{Source: sub, Table: f.Trace.Table, Rel: rel, SeedPred: f.Trace.Seed}
+		return source{name: f.Name(), node: n, schema: schema}, nil
+	}
 	if f.Sub != nil {
 		sub, err := Lower(db, f.Sub)
 		if err != nil {

@@ -58,6 +58,18 @@ func TestExplainGolden(t *testing.T) {
 			ORDER BY total DESC, label
 			LIMIT 2`},
 		{"single_table_having_key", `EXPLAIN SELECT k, COUNT(*) AS c FROM fact GROUP BY k HAVING k < 3 ORDER BY k`},
+		// A backward consuming query: the trace-rewrite rule replaces the
+		// key-predicate trace over the unbound aggregation with its
+		// scan-and-filter equivalent, and the consuming WHERE sinks through
+		// the trace into the scan.
+		{"lineage_backward", `EXPLAIN SELECT k, SUM(v) AS s
+			FROM LINEAGE BACKWARD(SELECT k, COUNT(*) AS c FROM fact GROUP BY k OF fact WHERE k < 2)
+			WHERE v < 10
+			GROUP BY k`},
+		// A forward trace stays an index trace (EXPLAIN shows the trace node).
+		{"lineage_forward", `EXPLAIN SELECT k, COUNT(*) AS n
+			FROM LINEAGE FORWARD(SELECT k, COUNT(*) AS c FROM fact GROUP BY k OF fact WHERE v < 4)
+			GROUP BY k`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

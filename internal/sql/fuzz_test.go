@@ -20,6 +20,10 @@ func FuzzParse(f *testing.F) {
 		"SELECT AVG(SQRT(v)) FROM t WHERE v >= :lo AND v <= :hi GROUP BY k",
 		"SELECT COUNT(*) FROM t WHERE a <> 1 AND b != 2 OR c = 3.5",
 		"select x from y where z in ('q')",
+		"SELECT b, COUNT(*) AS n FROM LINEAGE BACKWARD(SELECT k, COUNT(*) AS c FROM fact GROUP BY k OF fact WHERE k < 2) GROUP BY b",
+		"SELECT k, COUNT(*) AS n FROM LINEAGE FORWARD(SELECT k, COUNT(*) AS c FROM fact GROUP BY k OF fact WHERE v < 4) tr GROUP BY k",
+		"SELECT a FROM LINEAGE BACKWARD(SELECT a FROM LINEAGE BACKWARD(SELECT a, COUNT(*) AS c FROM t GROUP BY a OF t) OF t) GROUP BY a",
+		"SELECT a FROM LINEAGE BACKWARD(",
 		"SELECT",
 		"SELECT * FROM",
 		"SELECT ((((((((1))))))))",

@@ -41,6 +41,12 @@ var keywords = map[string]bool{
 	"ASC": true, "DESC": true, "EXPLAIN": true,
 }
 
+// LINEAGE, BACKWARD, FORWARD, and OF are contextual words, not reserved
+// keywords: they introduce and structure the lineage-trace FROM source but
+// lex as ordinary identifiers, so pre-existing schemas with columns or
+// tables named "forward", "of", etc. keep parsing (the parser matches them
+// case-insensitively only where the trace grammar expects them).
+
 type lexer struct {
 	src  string
 	pos  int

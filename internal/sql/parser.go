@@ -25,18 +25,38 @@ type Stmt struct {
 	Limit   int        // -1 if absent
 }
 
-// FromItem is a relation source: a base table or an aggregate subquery with
-// an alias.
+// FromItem is a relation source: a base table, an aggregate subquery with an
+// alias, or a lineage trace (LINEAGE BACKWARD/FORWARD).
 type FromItem struct {
-	Table string // base table name ("" for subqueries)
-	Sub   *Stmt  // aggregate subquery ((SELECT ...) AS alias)
-	Alias string // subquery alias, or optional table alias
+	Table string     // base table name ("" for subqueries and traces)
+	Sub   *Stmt      // aggregate subquery ((SELECT ...) AS alias)
+	Alias string     // subquery alias, or optional table alias
+	Trace *TraceItem // LINEAGE BACKWARD/FORWARD source
+}
+
+// TraceItem is a lineage-consuming source:
+//
+//	LINEAGE BACKWARD (SELECT ... OF table [WHERE seedpred])
+//	LINEAGE FORWARD  (SELECT ... OF table [WHERE seedpred])
+//
+// Backward produces the rows of table that contributed to the traced query's
+// output (the seed predicate selects the traced output rows); Forward
+// produces the traced query's output rows that depend on table's rows (the
+// seed predicate selects the base rows). No seed predicate traces everything.
+type TraceItem struct {
+	Backward bool
+	Sub      *Stmt     // the traced query
+	Table    string    // the base relation traced into (backward) / from (forward)
+	Seed     expr.Expr // nil = all seeds
 }
 
 // Name returns the source's reference name (alias, or the table name).
 func (f FromItem) Name() string {
 	if f.Alias != "" {
 		return f.Alias
+	}
+	if f.Trace != nil {
+		return f.Trace.Table
 	}
 	return f.Table
 }
@@ -165,6 +185,33 @@ func (p *parser) expectIdent() (string, error) {
 	return p.next().text, nil
 }
 
+// peekWord reports whether the token at offset off is an identifier
+// matching the contextual word w (case-insensitive). LINEAGE / BACKWARD /
+// FORWARD / OF are contextual, not reserved: they only act as keywords
+// where the trace grammar expects them.
+func (p *parser) peekWord(off int, w string) bool {
+	if p.i+off >= len(p.toks) {
+		return false
+	}
+	t := p.toks[p.i+off]
+	return t.kind == tokIdent && strings.EqualFold(t.text, w)
+}
+
+func (p *parser) acceptWord(w string) bool {
+	if p.peekWord(0, w) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectWord(w string) error {
+	if !p.acceptWord(w) {
+		return fmt.Errorf("sql: expected %s, got %q", w, p.peek().text)
+	}
+	return nil
+}
+
 func (p *parser) selectStmt() (*Stmt, error) {
 	if err := p.enter(); err != nil {
 		return nil, err
@@ -264,9 +311,16 @@ func (p *parser) selectStmt() (*Stmt, error) {
 	return st, nil
 }
 
-// fromItem parses a relation source: an identifier or an aggregate subquery
-// "( SELECT ... ) [AS] alias".
+// fromItem parses a relation source: an identifier, an aggregate subquery
+// "( SELECT ... ) [AS] alias", or a lineage trace
+// "LINEAGE BACKWARD|FORWARD ( SELECT ... OF table [WHERE pred] ) [[AS] alias]".
 func (p *parser) fromItem() (FromItem, error) {
+	// "LINEAGE BACKWARD(" / "LINEAGE FORWARD(" introduces a trace source;
+	// a lone identifier "lineage" stays a table name.
+	if p.peekWord(0, "LINEAGE") && (p.peekWord(1, "BACKWARD") || p.peekWord(1, "FORWARD")) {
+		p.i++
+		return p.traceItem()
+	}
 	if p.acceptSymbol("(") {
 		sub, err := p.selectStmt()
 		if err != nil {
@@ -287,6 +341,57 @@ func (p *parser) fromItem() (FromItem, error) {
 		return FromItem{}, err
 	}
 	return FromItem{Table: table}, nil
+}
+
+// traceItem parses the body of a LINEAGE source (the LINEAGE keyword is
+// already consumed). The traced subquery ends at the OF keyword, which no
+// SELECT clause can begin with; the optional WHERE after the table is the
+// seed predicate.
+func (p *parser) traceItem() (FromItem, error) {
+	backward := true
+	switch {
+	case p.acceptWord("BACKWARD"):
+	case p.acceptWord("FORWARD"):
+		backward = false
+	default:
+		return FromItem{}, fmt.Errorf("sql: LINEAGE expects BACKWARD or FORWARD, got %q", p.peek().text)
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return FromItem{}, err
+	}
+	sub, err := p.selectStmt()
+	if err != nil {
+		return FromItem{}, err
+	}
+	if err := p.expectWord("OF"); err != nil {
+		return FromItem{}, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return FromItem{}, err
+	}
+	tr := &TraceItem{Backward: backward, Sub: sub, Table: table}
+	if p.acceptKeyword("WHERE") {
+		seed, err := p.orExpr()
+		if err != nil {
+			return FromItem{}, err
+		}
+		tr.Seed = seed
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return FromItem{}, err
+	}
+	item := FromItem{Trace: tr}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return FromItem{}, err
+		}
+		item.Alias = alias
+	} else if p.peek().kind == tokIdent {
+		item.Alias = p.next().text
+	}
+	return item, nil
 }
 
 func (p *parser) join() (Join, error) {

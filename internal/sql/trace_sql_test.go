@@ -1,0 +1,95 @@
+package sql_test
+
+import (
+	"testing"
+
+	"smoke/internal/core"
+	"smoke/internal/ops"
+	"smoke/internal/sql"
+)
+
+// TestLineageBackwardSQL executes a LINEAGE BACKWARD consuming query
+// end-to-end: the traced rows re-aggregate, and the result carries lineage
+// back to the base relation.
+func TestLineageBackwardSQL(t *testing.T) {
+	db := explainDB(t)
+	q, err := sql.Compile(db, `SELECT k, COUNT(*) AS n
+		FROM LINEAGE BACKWARD(SELECT k, COUNT(*) AS c FROM fact GROUP BY k OF fact WHERE k = 3)
+		GROUP BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run(core.CaptureOptions{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N != 1 {
+		t.Fatalf("want 1 group, got %d", res.Out.N)
+	}
+	kc, nc := res.Out.Schema.MustCol("k"), res.Out.Schema.MustCol("n")
+	if res.Out.Int(kc, 0) != 3 || res.Out.Int(nc, 0) != 4 {
+		t.Fatalf("got k=%d n=%d, want k=3 n=4", res.Out.Int(kc, 0), res.Out.Int(nc, 0))
+	}
+	rids, err := res.Backward("fact", []core.Rid{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 4 {
+		t.Fatalf("backward lineage has %d rids, want 4", len(rids))
+	}
+	fact, _ := db.Table("fact")
+	for _, r := range rids {
+		if fact.Cols[0].Ints[r] != 3 {
+			t.Fatalf("rid %d is not a k=3 row", r)
+		}
+	}
+}
+
+// TestLineageForwardSQL executes a LINEAGE FORWARD query: groups dependent on
+// the seed base rows.
+func TestLineageForwardSQL(t *testing.T) {
+	db := explainDB(t)
+	// v < 2 selects fact rows 0 (k=0) and 1 (k=1): two dependent groups.
+	q, err := sql.Compile(db, `SELECT k, COUNT(*) AS n
+		FROM LINEAGE FORWARD(SELECT k, COUNT(*) AS c FROM fact GROUP BY k OF fact WHERE v < 2)
+		GROUP BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run(core.CaptureOptions{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N != 2 {
+		t.Fatalf("want 2 dependent groups, got %d", res.Out.N)
+	}
+}
+
+// TestTraceWordsStayIdentifiers pins that LINEAGE/BACKWARD/FORWARD/OF are
+// contextual, not reserved: schemas using them as column or table names
+// keep parsing.
+func TestTraceWordsStayIdentifiers(t *testing.T) {
+	for _, src := range []string{
+		`SELECT forward, COUNT(*) AS c FROM roster GROUP BY forward`,
+		`SELECT of, SUM(backward) AS s FROM lineage WHERE of < 3 GROUP BY of`,
+		`SELECT k, COUNT(*) AS c FROM lineage GROUP BY k`,
+	} {
+		if _, err := sql.Parse(src); err != nil {
+			t.Errorf("contextual word should parse as identifier in %q: %v", src, err)
+		}
+	}
+}
+
+// TestLineageParseErrors pins the trace grammar's error paths.
+func TestLineageParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`SELECT k, COUNT(*) AS n FROM LINEAGE SIDEWAYS(SELECT k, COUNT(*) AS c FROM fact GROUP BY k OF fact) GROUP BY k`,
+		`SELECT k, COUNT(*) AS n FROM LINEAGE BACKWARD(SELECT k, COUNT(*) AS c FROM fact GROUP BY k) GROUP BY k`,
+		`SELECT k, COUNT(*) AS n FROM LINEAGE BACKWARD(SELECT k, COUNT(*) AS c FROM fact GROUP BY k OF) GROUP BY k`,
+		`SELECT k FROM LINEAGE BACKWARD(SELECT k, COUNT(*) AS c FROM fact GROUP BY k OF fact`,
+	} {
+		if _, err := sql.Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}

@@ -33,6 +33,16 @@
 // with end-to-end lineage composed across blocks. See DESIGN.md "Plan layer
 // & optimizer".
 //
+// Lineage consumption is a plan citizen too: Query.Backward/Forward (and
+// the SQL LINEAGE BACKWARD/FORWARD clause) start a query from a trace of a
+// prior result's captured indexes, re-aggregating the traced rows through
+// the same optimizer (consuming predicates push through the trace;
+// key-predicate seeds may rewrite to scan-and-filter by selectivity) and
+// the same morsel-parallel kernels — duplicate rid sets included, via the
+// duplicate-tolerant aggregation. Result.ConsumeGroupBy is the direct
+// rid-set form of the same operation and shares those kernels. See
+// DESIGN.md "Lineage-consuming queries".
+//
 // The root package re-exports the engine facade (internal/core), the storage
 // and expression substrates, and the capture knobs, so applications program
 // against one import:
