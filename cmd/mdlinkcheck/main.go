@@ -1,0 +1,97 @@
+// Command mdlinkcheck verifies that relative links in markdown files point
+// at files that exist in the repository. CI runs it over README.md,
+// DESIGN.md, and docs/ so the docs tree cannot silently rot as files move
+// (external http(s) links and pure #anchors are not fetched or resolved —
+// this is a filesystem check, not a crawler).
+//
+// Usage:
+//
+//	mdlinkcheck README.md DESIGN.md docs
+//
+// Directories are walked recursively for *.md files. Exits non-zero listing
+// every broken link.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links/images: [text](target) — target up to
+// the first closing paren (the docs do not use nested-paren targets).
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdlinkcheck <file-or-dir>...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdlinkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		if info.IsDir() {
+			err := filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() && strings.HasSuffix(path, ".md") {
+					files = append(files, path)
+				}
+				return nil
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mdlinkcheck: %v\n", err)
+				os.Exit(2)
+			}
+			continue
+		}
+		files = append(files, arg)
+	}
+
+	var broken []string
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdlinkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if skipTarget(target) {
+				continue
+			}
+			checked++
+			// Strip an anchor; resolve relative to the linking file.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+				if target == "" {
+					continue
+				}
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				broken = append(broken, fmt.Sprintf("%s: link %q -> missing %s", file, m[1], resolved))
+			}
+		}
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "mdlinkcheck: %d broken link(s):\n  %s\n", len(broken), strings.Join(broken, "\n  "))
+		os.Exit(1)
+	}
+	fmt.Printf("mdlinkcheck: OK (%d files, %d relative links)\n", len(files), checked)
+}
+
+// skipTarget reports whether a link target is outside this check's scope:
+// absolute URLs, mail links, and in-page anchors.
+func skipTarget(t string) bool {
+	return strings.Contains(t, "://") || strings.HasPrefix(t, "mailto:") || strings.HasPrefix(t, "#")
+}

@@ -1,0 +1,74 @@
+// Command smoked serves the smoke engine over HTTP (internal/server): table
+// ingest (CSV/JSON), SQL with lineage-consuming LINEAGE sources and EXPLAIN,
+// and session-scoped retained results that clients trace backward/forward
+// across requests — the paper's interactive loop as a network service.
+//
+// Usage:
+//
+//	smoked                         # serve on :8080 with GOMAXPROCS workers
+//	smoked -addr :9090 -workers 8  # explicit listen address and parallelism
+//	smoked -session-ttl 5m -max-retained-mb 256
+//
+// Quickstart against a running server:
+//
+//	curl -s -X POST localhost:8080/v1/tables/orders -H 'Content-Type: text/csv' \
+//	     --data-binary $'region,amount\nemea,10\napac,20\nemea,30\n'
+//	curl -s -X POST localhost:8080/v1/query -d '{"sql":"SELECT region, SUM(amount) AS total FROM orders GROUP BY region"}'
+//	curl -s -X POST localhost:8080/v1/sessions          # → {"id":"s00000001",...}
+//	curl -s -X POST localhost:8080/v1/sessions/s00000001/results/byregion \
+//	     -d '{"sql":"SELECT region, SUM(amount) AS total FROM orders GROUP BY region"}'
+//	curl -s -X POST localhost:8080/v1/sessions/s00000001/results/byregion/trace \
+//	     -d '{"direction":"backward","table":"orders","rids":[0]}'
+//
+// See docs/http-api.md for the full endpoint reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"smoke/internal/core"
+	"smoke/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "morsel-parallel workers shared (fairly) across requests")
+	inflight := flag.Int("max-inflight", 0, "max concurrently executing requests (0 = 2x GOMAXPROCS)")
+	queued := flag.Int("max-queued", 0, "max requests waiting for an execution slot (0 = 4x max-inflight)")
+	ttl := flag.Duration("session-ttl", 15*time.Minute, "idle session lifetime before eviction")
+	maxSessions := flag.Int("max-sessions", 64, "max live sessions (LRU beyond)")
+	maxResults := flag.Int("max-results-per-session", 32, "max retained results per session (LRU beyond)")
+	maxRetainedMB := flag.Int64("max-retained-mb", 512, "retained result budget across all sessions, MiB (LRU beyond)")
+	cacheEntries := flag.Int("cache-entries", 256, "plan-fingerprint result cache entries (-1 disables)")
+	flag.Parse()
+
+	db := core.Open(core.WithWorkers(*workers))
+	defer db.Close()
+
+	srv := server.New(server.Config{
+		DB:                   db,
+		MaxInFlight:          *inflight,
+		MaxQueued:            *queued,
+		SessionTTL:           *ttl,
+		MaxSessions:          *maxSessions,
+		MaxResultsPerSession: *maxResults,
+		MaxRetainedBytes:     *maxRetainedMB << 20,
+		CacheEntries:         *cacheEntries,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "smoked: serving on %s (workers=%d, session-ttl=%s)\n", *addr, *workers, *ttl)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("smoked: %v", err)
+	}
+}

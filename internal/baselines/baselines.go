@@ -281,7 +281,7 @@ func BackwardFromAnnotated(ann *AnnotatedGroupBy, o Rid) []Rid {
 	// The scan goes through the engine's compiled-predicate path, exactly
 	// like Lazy's rewrite scan, so the comparison isolates what the paper
 	// measures (scan cardinality and width) rather than loop mechanics.
-	// Note (EXPERIMENTS.md): in this engine's columnar layout the annotated
+	// Note (docs/benchmarks.md): in this engine's columnar layout the annotated
 	// relation's extra width costs less than in the paper's row store.
 	pred, err := expr.CompilePred(expr.EqE(expr.C("oid"), expr.I(int64(o))), ann.Annotated, nil)
 	if err != nil {

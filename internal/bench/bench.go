@@ -3,8 +3,8 @@
 // and prints the same series the paper plots; cmd/smokebench exposes them as
 // a CLI, and the repository root's bench_test.go exposes them as testing.B
 // benchmarks. Absolute numbers differ from the paper (different hardware and
-// language runtime — see DESIGN.md); the orderings and rough ratios are what
-// EXPERIMENTS.md tracks.
+// language runtime); the orderings and rough ratios are the reproduction
+// target — see docs/benchmarks.md for the per-experiment index and gates.
 package bench
 
 import (
@@ -105,6 +105,7 @@ func Experiments() map[string]Runner {
 		"compress": Compress,
 		"plan":     PlanBench,
 		"consume":  Consume,
+		"serve":    Serve,
 	}
 }
 
@@ -113,6 +114,6 @@ func Order() []string {
 	return []string{
 		"fig5", "fig5tc", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig21", "fig22", "fig23",
-		"parscale", "compress", "plan", "consume",
+		"parscale", "compress", "plan", "consume", "serve",
 	}
 }

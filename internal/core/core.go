@@ -15,7 +15,6 @@
 package core
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 
@@ -26,6 +25,7 @@ import (
 	"smoke/internal/ops"
 	"smoke/internal/plan"
 	"smoke/internal/pool"
+	"smoke/internal/serr"
 	"smoke/internal/storage"
 )
 
@@ -252,13 +252,17 @@ func (q *Query) BackwardWhere(res *Result, table string, seedPred expr.Expr) *Qu
 }
 
 func (q *Query) backward(res *Result, table string, outRids []Rid, seedPred expr.Expr) *Query {
-	rel, err := q.db.Table(table)
-	if err != nil {
-		q.fail(err)
+	// Resolve the relation instance res was captured against — not the
+	// current catalog entry. If the table was re-registered since res ran,
+	// the catalog relation is different data: tracing capture-time rids into
+	// it would silently return wrong rows (or index out of range).
+	rel := res.BaseRelation(table)
+	if rel == nil {
+		q.fail(serr.New(serr.NotFound, "core: result has no captured base relation %q", table))
 		return q
 	}
 	if len(q.tables) > 0 || q.traceNode != nil || q.prebuilt != nil {
-		q.fail(fmt.Errorf("core: a trace must start the query"))
+		q.fail(serr.New(serr.Invalid, "core: a trace must start the query"))
 		return q
 	}
 	q.names = append(q.names, table)
@@ -284,13 +288,15 @@ func (q *Query) ForwardWhere(res *Result, table string, seedPred expr.Expr) *Que
 }
 
 func (q *Query) forward(res *Result, table string, inRids []Rid, seedPred expr.Expr) *Query {
-	rel, err := q.db.Table(table)
-	if err != nil {
-		q.fail(err)
+	// Same capture-time resolution as backward: forward seeds address rows
+	// of the relation res actually scanned.
+	rel := res.BaseRelation(table)
+	if rel == nil {
+		q.fail(serr.New(serr.NotFound, "core: result has no captured base relation %q", table))
 		return q
 	}
 	if len(q.tables) > 0 || q.traceNode != nil || q.prebuilt != nil {
-		q.fail(fmt.Errorf("core: a trace must start the query"))
+		q.fail(serr.New(serr.Invalid, "core: a trace must start the query"))
 		return q
 	}
 	q.names = append(q.names, res.Out.Name)
@@ -309,7 +315,7 @@ func (q *Query) forward(res *Result, table string, inRids []Rid, seedPred expr.E
 // blocks attach per-table filters in From/Join.
 func (q *Query) Where(pred expr.Expr) *Query {
 	if q.traceNode == nil {
-		q.fail(fmt.Errorf("core: Where applies to trace queries; use the From/Join filter arguments"))
+		q.fail(serr.New(serr.Invalid, "core: Where applies to trace queries; use the From/Join filter arguments"))
 		return q
 	}
 	if q.traceFilter == nil {
@@ -323,7 +329,7 @@ func (q *Query) Where(pred expr.Expr) *Query {
 // From sets the first (or only) table with an optional filter.
 func (q *Query) From(table string, filter expr.Expr) *Query {
 	if q.traceNode != nil {
-		q.fail(fmt.Errorf("core: From after a trace is not supported (traces take no further tables)"))
+		q.fail(serr.New(serr.Invalid, "core: From after a trace is not supported (traces take no further tables)"))
 		return q
 	}
 	rel, err := q.db.Table(table)
@@ -350,7 +356,7 @@ func (q *Query) Join(table string, filter expr.Expr, prefixTable, leftCol, right
 		}
 	}
 	if lt < 0 {
-		q.fail(fmt.Errorf("core: join references %q which is not in the query prefix", prefixTable))
+		q.fail(serr.New(serr.Invalid, "core: join references %q which is not in the query prefix", prefixTable))
 		return q
 	}
 	q.names = append(q.names, table)
@@ -405,13 +411,13 @@ func (q *Query) resolve(col string) (int, error) {
 	for i, tr := range q.tables {
 		if tr.Rel.Schema.Col(col) >= 0 {
 			if found >= 0 {
-				return 0, fmt.Errorf("core: column %q is ambiguous between %s and %s", col, q.names[found], q.names[i])
+				return 0, serr.New(serr.Invalid, "core: column %q is ambiguous between %s and %s", col, q.names[found], q.names[i])
 			}
 			found = i
 		}
 	}
 	if found < 0 {
-		return 0, fmt.Errorf("core: column %q not found in query tables %v", col, q.names)
+		return 0, serr.New(serr.Invalid, "core: column %q not found in query tables %v", col, q.names)
 	}
 	return found, nil
 }
@@ -482,7 +488,7 @@ func (q *Query) Plan() (plan.Node, error) {
 	}
 	if q.traceNode != nil {
 		if len(q.joins) > 0 {
-			return nil, fmt.Errorf("core: joins after a trace are not supported")
+			return nil, serr.New(serr.Unsupported, "core: joins after a trace are not supported")
 		}
 		root := q.traceNode
 		if q.traceFilter != nil {
@@ -490,7 +496,7 @@ func (q *Query) Plan() (plan.Node, error) {
 		}
 		if len(q.keys) == 0 {
 			if len(q.aggs) > 0 {
-				return nil, fmt.Errorf("core: aggregates over a trace require GroupBy")
+				return nil, serr.New(serr.Invalid, "core: aggregates over a trace require GroupBy")
 			}
 			// A bare trace: the result is the traced rows themselves.
 			return root, nil
@@ -505,10 +511,10 @@ func (q *Query) Plan() (plan.Node, error) {
 		return gb, nil
 	}
 	if len(q.tables) == 0 {
-		return nil, fmt.Errorf("core: query has no tables")
+		return nil, serr.New(serr.Invalid, "core: query has no tables")
 	}
 	if len(q.keys) == 0 {
-		return nil, fmt.Errorf("core: only aggregation queries are supported; add GroupBy")
+		return nil, serr.New(serr.Unsupported, "core: only aggregation queries are supported; add GroupBy")
 	}
 	var n plan.Node = plan.Scan{Table: q.names[0], Rel: q.tables[0].Rel, Filter: q.tables[0].Filter}
 	for i, je := range q.joins {
@@ -528,6 +534,19 @@ func (q *Query) Plan() (plan.Node, error) {
 		gb.Aggs = append(gb.Aggs, plan.AggDef{Fn: a.Fn, Arg: a.Arg, Filter: a.Filter, Name: a.Name})
 	}
 	return gb, nil
+}
+
+// Fingerprint returns the stable fingerprint of the query's optimized plan
+// (plan.Fingerprint): two queries with equal fingerprints execute
+// identically against the current catalog state, which is what the server's
+// result cache keys on. Queries that cannot be planned (builder errors,
+// push-down option paths) return an error; callers then simply skip caching.
+func (q *Query) Fingerprint() (string, error) {
+	p, err := q.Plan()
+	if err != nil {
+		return "", err
+	}
+	return plan.Fingerprint(plan.OptimizeNoTrace(p, plan.Opts{Catalog: q.db.cat})), nil
 }
 
 // Result is an executed base query: its output relation plus captured
@@ -565,7 +584,7 @@ func (q *Query) Run(opts CaptureOptions) (*Result, error) {
 	}
 	if opts.PushdownFilter != nil || opts.PartitionBy != nil || opts.Cube != nil || opts.CountsByKey != nil {
 		if q.traceNode != nil {
-			return nil, fmt.Errorf("core: capture push-down options are not supported on trace queries")
+			return nil, serr.New(serr.Unsupported, "core: capture push-down options are not supported on trace queries")
 		}
 		target := q
 		if q.prebuilt != nil {
@@ -573,14 +592,14 @@ func (q *Query) Run(opts CaptureOptions) (*Result, error) {
 			// single-table aggregation block.
 			sq, ok := q.asSingleBlock()
 			if !ok {
-				return nil, fmt.Errorf("core: push-down options currently require a single-table query block")
+				return nil, serr.New(serr.Unsupported, "core: push-down options currently require a single-table query block")
 			}
 			target = sq
 		} else if len(q.tables) != 1 {
-			return nil, fmt.Errorf("core: push-down options currently require a single-table query block")
+			return nil, serr.New(serr.Unsupported, "core: push-down options currently require a single-table query block")
 		}
 		if len(target.keys) == 0 {
-			return nil, fmt.Errorf("core: only aggregation queries are supported; add GroupBy")
+			return nil, serr.New(serr.Unsupported, "core: only aggregation queries are supported; add GroupBy")
 		}
 		return target.runSingle(opts)
 	}
@@ -636,7 +655,7 @@ func (q *Query) runSingle(opts CaptureOptions) (*Result, error) {
 	}
 	for _, a := range q.aggs {
 		if a.Filter != nil {
-			return nil, fmt.Errorf("core: filtered aggregates require a join block")
+			return nil, serr.New(serr.Unsupported, "core: filtered aggregates require a join block")
 		}
 		spec.Aggs = append(spec.Aggs, ops.AggSpec{Fn: a.Fn, Arg: a.Arg, Name: a.Name})
 	}
@@ -705,7 +724,7 @@ func (r *Result) Backward(table string, outRids []Rid) ([]Rid, error) {
 // (in PartitionBy order) is read (§4.2).
 func (r *Result) BackwardPartition(outRid Rid, vals []any) ([]Rid, error) {
 	if r.bwPart == nil {
-		return nil, fmt.Errorf("core: query was not captured with PartitionBy")
+		return nil, serr.New(serr.Invalid, "core: query was not captured with PartitionBy")
 	}
 	key, ok := ops.PartitionKey(r.baseAgg, r.baseRel, r.partAttrs, vals)
 	if !ok {
@@ -739,6 +758,41 @@ func (r *Result) BackwardDistinct(table string, outRids []Rid) ([]Rid, error) {
 // Capture exposes the raw lineage indexes (benchmark harness, applications).
 func (r *Result) Capture() *lineage.Capture { return r.capture }
 
+// BaseRelation returns the relation instance this result was executed
+// against for the named table, or nil when the result never scanned it.
+// Bound traces resolve through it rather than the catalog, so a table
+// re-registered after the result ran cannot be confused with the snapshot
+// the captured rids address.
+func (r *Result) BaseRelation(table string) *storage.Relation {
+	if r.baseRel != nil && r.baseRel.Name == table {
+		return r.baseRel
+	}
+	if r.plan != nil {
+		for _, rel := range plan.Bases(r.plan, nil) {
+			if rel.Name == table {
+				return rel
+			}
+		}
+	}
+	return nil
+}
+
+// MemBytes approximates the memory a retained result keeps alive: its output
+// relation plus every captured lineage index (raw or encoded). Session
+// registries (internal/server) budget their LRU eviction on it. Base
+// relations are shared with the catalog and not charged to the result.
+func (r *Result) MemBytes() int64 {
+	var total int64
+	if r.Out != nil {
+		total += r.Out.MemBytes()
+	}
+	if r.capture != nil {
+		total += r.capture.MemBytes()
+	}
+	total += int64(len(r.GroupCounts)) * 8
+	return total
+}
+
 // bound packages the result as a trace binding: its output relation plus the
 // captured indexes, traced in place by the physical trace operator.
 func (r *Result) bound() *plan.BoundTrace {
@@ -761,7 +815,7 @@ func (r *Result) Cube() *cube.Cube { return r.cube }
 // operation (with seed predicates, optimizer rewrites, and EXPLAIN).
 func (r *Result) ConsumeGroupBy(rids []Rid, spec ops.GroupBySpec, opts CaptureOptions) (*Result, error) {
 	if r.baseRel == nil {
-		return nil, fmt.Errorf("core: consuming queries are supported over single-table results")
+		return nil, serr.New(serr.Unsupported, "core: consuming queries are supported over single-table results")
 	}
 	workers, pl := opts.workers(r.db)
 	aggOpts := ops.AggOpts{

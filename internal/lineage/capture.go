@@ -1,6 +1,6 @@
 package lineage
 
-import "fmt"
+import "smoke/internal/serr"
 
 // Capture holds the end-to-end lineage indexes produced while executing one
 // base query: for each base relation referenced by the query, a backward
@@ -27,7 +27,7 @@ func (c *Capture) SetForward(rel string, ix *Index) { c.forward[rel] = ix }
 func (c *Capture) BackwardIndex(rel string) (*Index, error) {
 	ix, ok := c.backward[rel]
 	if !ok {
-		return nil, fmt.Errorf("lineage: no backward index for relation %q (pruned or not captured)", rel)
+		return nil, serr.New(serr.Invalid, "lineage: no backward index for relation %q (pruned or not captured)", rel)
 	}
 	return ix, nil
 }
@@ -37,7 +37,7 @@ func (c *Capture) BackwardIndex(rel string) (*Index, error) {
 func (c *Capture) ForwardIndex(rel string) (*Index, error) {
 	ix, ok := c.forward[rel]
 	if !ok {
-		return nil, fmt.Errorf("lineage: no forward index for relation %q (pruned or not captured)", rel)
+		return nil, serr.New(serr.Invalid, "lineage: no forward index for relation %q (pruned or not captured)", rel)
 	}
 	return ix, nil
 }
@@ -98,6 +98,21 @@ func (c *Capture) EncodeAll() {
 	for rel, ix := range c.forward {
 		c.forward[rel] = EncodeIndex(ix)
 	}
+}
+
+// MemBytes returns the payload memory footprint of every captured index
+// (Index.SizeBytes summed over both directions). Together with the output
+// relation's MemBytes it is what a retained result costs to keep alive —
+// the quantity the server's LRU eviction budgets.
+func (c *Capture) MemBytes() int64 {
+	var total int64
+	for _, ix := range c.backward {
+		total += int64(ix.SizeBytes())
+	}
+	for _, ix := range c.forward {
+		total += int64(ix.SizeBytes())
+	}
+	return total
 }
 
 // Relations returns the names of relations with at least one captured index.

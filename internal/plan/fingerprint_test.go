@@ -1,0 +1,88 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"smoke/internal/expr"
+	"smoke/internal/lineage"
+	"smoke/internal/ops"
+	"smoke/internal/storage"
+)
+
+func fpRel(name string, n int) *storage.Relation {
+	return storage.NewRelation(name, storage.Schema{
+		{Name: "k", Type: storage.TInt},
+		{Name: "v", Type: storage.TFloat},
+	}, n)
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	rel := fpRel("t", 10)
+	mk := func() Node {
+		return GroupBy{
+			Child: Scan{Table: "t", Rel: rel, Filter: expr.LtE(expr.C("k"), expr.I(5))},
+			Keys:  []string{"k"},
+			Aggs:  []AggDef{{Fn: ops.Sum, Arg: expr.C("v"), Name: "s"}},
+		}
+	}
+	a, b := Fingerprint(mk()), Fingerprint(mk())
+	if a != b {
+		t.Fatalf("identical plans fingerprint differently:\n%s\n%s", a, b)
+	}
+	if a == "" || !strings.Contains(a, "scan(t") {
+		t.Fatalf("fingerprint looks wrong: %q", a)
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	rel := fpRel("t", 10)
+	base := GroupBy{
+		Child: Scan{Table: "t", Rel: rel},
+		Keys:  []string{"k"},
+		Aggs:  []AggDef{{Fn: ops.Count, Name: "n"}},
+	}
+	variants := []Node{
+		// Different filter.
+		GroupBy{Child: Scan{Table: "t", Rel: rel, Filter: expr.LtE(expr.C("k"), expr.I(5))},
+			Keys: []string{"k"}, Aggs: []AggDef{{Fn: ops.Count, Name: "n"}}},
+		// Different aggregate.
+		GroupBy{Child: Scan{Table: "t", Rel: rel},
+			Keys: []string{"k"}, Aggs: []AggDef{{Fn: ops.Sum, Arg: expr.C("v"), Name: "n"}}},
+		// Same name, different relation instance (re-registered table).
+		GroupBy{Child: Scan{Table: "t", Rel: fpRel("t", 10)},
+			Keys: []string{"k"}, Aggs: []AggDef{{Fn: ops.Count, Name: "n"}}},
+	}
+	seen := Fingerprint(base)
+	for i, v := range variants {
+		if got := Fingerprint(v); got == seen {
+			t.Errorf("variant %d fingerprints identically to base: %s", i, got)
+		}
+	}
+}
+
+func TestFingerprintTraceSeeds(t *testing.T) {
+	rel := fpRel("t", 100)
+	src := GroupBy{Child: Scan{Table: "t", Rel: rel}, Keys: []string{"k"},
+		Aggs: []AggDef{{Fn: ops.Count, Name: "n"}}}
+	mk := func(rids []lineage.Rid) Node {
+		return Backward{Source: src, Table: "t", Rel: rel, SeedRids: rids}
+	}
+	a := Fingerprint(mk([]lineage.Rid{1, 2, 3}))
+	b := Fingerprint(mk([]lineage.Rid{1, 2, 3}))
+	c := Fingerprint(mk([]lineage.Rid{1, 2, 4}))
+	if a != b {
+		t.Fatal("equal seed sets must fingerprint equal")
+	}
+	if a == c {
+		t.Fatal("different seed sets must fingerprint differently")
+	}
+	// Bound traces of different captures must differ.
+	b1 := &BoundTrace{Capture: lineage.NewCapture()}
+	b2 := &BoundTrace{Capture: lineage.NewCapture()}
+	fa := Fingerprint(Backward{Table: "t", Rel: rel, SeedRids: []lineage.Rid{0}, Bound: b1})
+	fb := Fingerprint(Backward{Table: "t", Rel: rel, SeedRids: []lineage.Rid{0}, Bound: b2})
+	if fa == fb {
+		t.Fatal("traces bound to different captures must fingerprint differently")
+	}
+}

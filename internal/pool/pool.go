@@ -1,16 +1,24 @@
 // Package pool provides the shared worker pool behind the engine's
 // morsel-driven parallelism. A Pool owns a fixed set of long-lived worker
 // goroutines; executors submit range tasks (morsels — contiguous row ranges)
-// and block until their own tasks drain. Tasks from concurrent queries
-// interleave freely on the same workers, so a DB's pool bounds the
-// execution parallelism added on top of the querying goroutines themselves:
-// each RunSplit caller also runs one partition inline (the no-deadlock
+// and block until their own tasks drain. A DB's pool bounds the execution
+// parallelism added on top of the querying goroutines themselves: each
+// RunSplit caller also runs one partition inline (the no-deadlock
 // guarantee), so the hard bound with q concurrent queries is workers + q.
+//
+// Scheduling is fair-share: each in-flight RunSplit is a run with its own
+// task queue, and workers dispatch round-robin across the active runs — one
+// task per run per cycle — instead of draining a global FIFO. A query that
+// arrives while a large query is executing starts making progress on the
+// next dispatch rather than waiting behind the entire earlier queue, which
+// is what keeps per-request latency bounded when many server requests share
+// one pool.
 //
 // Determinism contract: RunRanges always splits [0, n) into contiguous
 // ranges in order and reports the partition id to the kernel, so callers can
 // merge partition-local results in partition order and produce output (and
-// lineage) identical to a serial run.
+// lineage) identical to a serial run. Fair-share dispatch reorders only
+// which partition executes when, never what any partition computes.
 package pool
 
 import (
@@ -23,10 +31,20 @@ import (
 type Pool struct {
 	workers int
 
-	mu     sync.Mutex
-	tasks  chan func()
-	closed bool
-	active int // in-flight RunSplit calls holding the task channel
+	mu      sync.Mutex
+	cond    *sync.Cond
+	runs    []*runQ // active runs with undispatched tasks (round-robin ring)
+	rr      int     // ring cursor: index of the run that dispatches next
+	pending int     // undispatched tasks across all runs
+	started bool
+	closed  bool
+}
+
+// runQ is one RunSplit's queue of undispatched tasks. Invariant: a runQ is
+// in the ring iff next < len(tasks).
+type runQ struct {
+	tasks []func()
+	next  int
 }
 
 // New returns a pool that will run at most n tasks concurrently (in addition
@@ -36,7 +54,9 @@ func New(n int) *Pool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: n}
+	p := &Pool{workers: n}
+	p.cond = sync.NewCond(&p.mu)
+	return p
 }
 
 // Workers returns the pool's parallelism bound (1 for a nil pool).
@@ -47,61 +67,87 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
-// start lazily spawns the worker goroutines on first parallel use, so a
-// workers=1 DB never pays for idle goroutines. It returns the task channel
-// and takes an active reference on it (released by finish), or nil once the
-// pool is closed (callers then run everything inline).
-func (p *Pool) start() chan func() {
+// submit registers one run's tasks and lazily spawns the worker goroutines
+// on first parallel use (a workers=1 DB never pays for idle goroutines). It
+// reports false once the pool is closed; callers then run everything inline.
+func (p *Pool) submit(tasks []func()) bool {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
-		return nil
+		p.mu.Unlock()
+		return false
 	}
-	if p.tasks == nil {
-		tasks := make(chan func(), 4*p.workers)
-		p.tasks = tasks
+	if !p.started {
+		p.started = true
 		for i := 0; i < p.workers; i++ {
-			go func() {
-				for f := range tasks {
-					f()
-				}
-			}()
+			go p.worker()
 		}
 	}
-	p.active++
-	return p.tasks
+	p.runs = append(p.runs, &runQ{tasks: tasks})
+	p.pending += len(tasks)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	return true
 }
 
-// finish releases start's active reference; the last in-flight run after a
-// Close performs the deferred channel close.
-func (p *Pool) finish() {
+// worker dispatches tasks until the pool is closed and drained. Tasks
+// submitted before Close still run — the submitting RunSplit is blocked on
+// them — so workers only exit once nothing is pending.
+func (p *Pool) worker() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.active--
-	if p.closed && p.active == 0 && p.tasks != nil {
-		close(p.tasks)
-		p.tasks = nil
+	for {
+		for !p.closed && p.pending == 0 {
+			p.cond.Wait()
+		}
+		if p.pending == 0 { // closed and drained
+			p.mu.Unlock()
+			return
+		}
+		f := p.takeLocked()
+		p.mu.Unlock()
+		f()
+		p.mu.Lock()
 	}
+}
+
+// takeLocked pops the next task in round-robin order across active runs:
+// each dispatch takes one task from the cursor's run, then advances the
+// cursor, so r concurrent runs each receive ~1/r of the worker cycles
+// regardless of queue lengths. Requires p.mu held and p.pending > 0.
+func (p *Pool) takeLocked() func() {
+	if p.rr >= len(p.runs) {
+		p.rr = 0
+	}
+	q := p.runs[p.rr]
+	f := q.tasks[q.next]
+	q.tasks[q.next] = nil // release the closure once dispatched
+	q.next++
+	p.pending--
+	if q.next == len(q.tasks) {
+		// The run is fully dispatched: drop it from the ring. The cursor now
+		// points at the run that was next anyway.
+		p.runs = append(p.runs[:p.rr], p.runs[p.rr+1:]...)
+	} else {
+		p.rr++
+	}
+	return f
 }
 
 // Close releases the worker goroutines. It is idempotent, nil-safe, and
-// safe to call while RunSplit/RunRanges calls are in flight: the task
-// channel is only closed once no run holds it (the last one closes it on
-// the way out), and runs started after Close execute inline on the caller.
+// safe to call while RunSplit/RunRanges calls are in flight: already
+// submitted tasks drain first (their submitters are blocked on them), and
+// runs started after Close execute inline on the caller.
 func (p *Pool) Close() {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return
 	}
 	p.closed = true
-	if p.active == 0 && p.tasks != nil {
-		close(p.tasks)
-		p.tasks = nil
-	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
 }
 
 // Range is one contiguous morsel of [0, n).
@@ -150,27 +196,25 @@ func (p *Pool) RunRanges(n, parts int, kernel func(part, lo, hi int)) []Range {
 // range), so RunSplit never deadlocks even if all pool workers are busy with
 // other queries. Kernels must not call back into the pool.
 func (p *Pool) RunSplit(ranges []Range, kernel func(part, lo, hi int)) {
-	if p == nil || len(ranges) == 1 {
+	if p == nil || len(ranges) <= 1 {
 		for _, r := range ranges {
 			kernel(r.Part, r.Lo, r.Hi)
 		}
 		return
 	}
-	tasks := p.start()
-	if tasks == nil { // closed pool: inline fallback
-		for _, r := range ranges {
-			kernel(r.Part, r.Lo, r.Hi)
-		}
-		return
-	}
-	defer p.finish()
 	var wg sync.WaitGroup
-	for _, r := range ranges[:len(ranges)-1] {
+	wg.Add(len(ranges) - 1)
+	tasks := make([]func(), len(ranges)-1)
+	for i, r := range ranges[:len(ranges)-1] {
 		r := r
-		wg.Add(1)
-		tasks <- func() {
+		tasks[i] = func() {
 			defer wg.Done()
 			kernel(r.Part, r.Lo, r.Hi)
+		}
+	}
+	if !p.submit(tasks) { // closed pool: inline fallback
+		for _, f := range tasks {
+			f()
 		}
 	}
 	last := ranges[len(ranges)-1]

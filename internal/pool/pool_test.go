@@ -100,6 +100,66 @@ func TestCloseDuringRunRanges(t *testing.T) {
 	}
 }
 
+// Fair-share dispatch: with several active runs, the scheduler hands out one
+// task per run per cycle (round-robin), so a late-arriving query is not
+// queued behind an earlier query's entire backlog. This drives takeLocked
+// directly — the scheduling decision is deterministic even though worker
+// execution is not.
+func TestFairShareDispatchOrder(t *testing.T) {
+	p := New(1)
+	var order []string
+	mk := func(label string, n int) []func() {
+		tasks := make([]func(), n)
+		for i := 0; i < n; i++ {
+			i := i
+			tasks[i] = func() { order = append(order, label) }
+			_ = i
+		}
+		return tasks
+	}
+	// Enqueue directly (bypassing submit so no workers race the test).
+	a, b := mk("a", 3), mk("b", 2)
+	p.runs = append(p.runs, &runQ{tasks: a}, &runQ{tasks: b})
+	p.pending = len(a) + len(b)
+	for p.pending > 0 {
+		p.takeLocked()()
+	}
+	want := []string{"a", "b", "a", "b", "a"}
+	if len(order) != len(want) {
+		t.Fatalf("dispatched %d tasks, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v (round-robin across runs)", order, want)
+		}
+	}
+	if len(p.runs) != 0 {
+		t.Fatalf("%d exhausted runs left in ring", len(p.runs))
+	}
+}
+
+// A late-arriving run must complete even while an earlier run with a much
+// larger backlog is in flight (end-to-end fairness smoke under -race).
+func TestLateRunProgressesUnderLoad(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var big, small atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p.RunRanges(4000, 8, func(part, lo, hi int) { big.Add(int32(hi - lo)) })
+	}()
+	go func() {
+		defer wg.Done()
+		p.RunRanges(40, 8, func(part, lo, hi int) { small.Add(int32(hi - lo)) })
+	}()
+	wg.Wait()
+	if big.Load() != 4000 || small.Load() != 40 {
+		t.Fatalf("big=%d small=%d, want 4000/40", big.Load(), small.Load())
+	}
+}
+
 // Concurrent RunRanges calls from many goroutines must all complete (the
 // caller always runs one partition itself, so a busy pool cannot deadlock).
 func TestConcurrentRunRanges(t *testing.T) {

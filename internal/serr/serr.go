@@ -1,0 +1,110 @@
+// Package serr defines the engine's structured error type. Every user-facing
+// error path in the engine (core query building, SQL parsing/lowering,
+// catalog lookups) returns an *E carrying a machine-readable Kind — and, for
+// SQL errors, the byte offset in the statement where the problem was
+// detected — so callers that sit on a protocol boundary (internal/server)
+// can map failures to deterministic status codes instead of pattern-matching
+// message strings. Plain errors (I/O, bugs) stay plain and classify as
+// Internal.
+package serr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind classifies an error for protocol mapping. The zero value is Internal
+// so an unclassified error never masquerades as a client mistake.
+type Kind int
+
+const (
+	// Internal is an engine-side failure (HTTP 5xx).
+	Internal Kind = iota
+	// Invalid is a malformed request: bad SQL, a query-shape error, an
+	// unknown column, bad arguments (HTTP 400).
+	Invalid
+	// NotFound names a table, session, or result that does not exist
+	// (HTTP 404).
+	NotFound
+	// Unsupported is a recognized but unsupported operation (HTTP 422).
+	Unsupported
+	// Gone names a resource that existed but was evicted or expired —
+	// distinct from NotFound so interactive clients know to re-run their
+	// base query (HTTP 410).
+	Gone
+	// Busy means the admission gate rejected the request; retry later
+	// (HTTP 429).
+	Busy
+)
+
+// String names the kind (diagnostics and JSON error bodies).
+func (k Kind) String() string {
+	switch k {
+	case Invalid:
+		return "invalid"
+	case NotFound:
+		return "not_found"
+	case Unsupported:
+		return "unsupported"
+	case Gone:
+		return "gone"
+	case Busy:
+		return "busy"
+	}
+	return "internal"
+}
+
+// E is a structured error. Pos, when >= 0, is a byte offset into the source
+// text the error refers to (SQL statements); -1 means no position.
+type E struct {
+	Kind Kind
+	Pos  int
+	Msg  string
+	err  error // wrapped cause, if any
+}
+
+// Error renders the message; the position (when present) is appended so the
+// string form stays self-contained for log lines and plain-error callers.
+func (e *E) Error() string {
+	if e.Pos >= 0 {
+		return fmt.Sprintf("%s (at offset %d)", e.Msg, e.Pos)
+	}
+	return e.Msg
+}
+
+// Unwrap exposes the wrapped cause to errors.Is/As chains.
+func (e *E) Unwrap() error { return e.err }
+
+// New returns a structured error with no position. %w operands wrap as with
+// fmt.Errorf, so errors.Is/As see through an *E.
+func New(kind Kind, format string, args ...any) *E {
+	err := fmt.Errorf(format, args...)
+	return &E{Kind: kind, Pos: -1, Msg: err.Error(), err: errors.Unwrap(err)}
+}
+
+// At returns a structured error anchored at a byte offset in the source text.
+func At(kind Kind, pos int, format string, args ...any) *E {
+	e := New(kind, format, args...)
+	e.Pos = pos
+	return e
+}
+
+// KindOf classifies any error: the Kind of the outermost *E in its chain, or
+// Internal for plain errors and nil.
+func KindOf(err error) Kind {
+	var e *E
+	if errors.As(err, &e) {
+		return e.Kind
+	}
+	return Internal
+}
+
+// PosOf returns the byte offset carried by the outermost *E in err's chain,
+// or -1 when there is none.
+func PosOf(err error) int {
+	var e *E
+	if errors.As(err, &e) {
+		return e.Pos
+	}
+	return -1
+}

@@ -1,0 +1,57 @@
+package serr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestKindOf(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Kind
+	}{
+		{nil, Internal},
+		{errors.New("plain"), Internal},
+		{New(NotFound, "missing %q", "t"), NotFound},
+		{fmt.Errorf("wrapping: %w", New(Invalid, "bad")), Invalid},
+		{At(Invalid, 7, "bad token"), Invalid},
+	}
+	for _, c := range cases {
+		if got := KindOf(c.err); got != c.want {
+			t.Errorf("KindOf(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestPosition(t *testing.T) {
+	e := At(Invalid, 12, "unexpected %q", ")")
+	if e.Pos != 12 || PosOf(e) != 12 {
+		t.Fatalf("Pos = %d / PosOf = %d, want 12", e.Pos, PosOf(e))
+	}
+	if got, want := e.Error(), `unexpected ")" (at offset 12)`; got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+	if PosOf(New(Invalid, "no pos")) != -1 || PosOf(errors.New("plain")) != -1 {
+		t.Fatal("errors without positions must report -1")
+	}
+}
+
+func TestUnwrap(t *testing.T) {
+	cause := errors.New("root cause")
+	e := New(Internal, "context: %w", cause)
+	if !errors.Is(e, cause) {
+		t.Fatal("wrapped cause lost")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Internal: "internal", Invalid: "invalid", NotFound: "not_found",
+		Unsupported: "unsupported", Gone: "gone", Busy: "busy",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

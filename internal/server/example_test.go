@@ -1,0 +1,52 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"smoke/internal/core"
+	"smoke/internal/server"
+	"smoke/internal/serverclient"
+)
+
+// Example shows the full client round-trip: start a server over a shared DB,
+// ingest a table, run a base query retained in a session, then issue a bound
+// backward trace against the retained capture — the interactive loop over
+// the wire.
+func Example() {
+	db := core.Open(core.WithWorkers(2))
+	defer db.Close()
+	ts := httptest.NewServer(server.New(server.Config{DB: db}))
+	defer ts.Close()
+
+	ctx := context.Background()
+	c := serverclient.New(ts.URL, ts.Client())
+
+	// Ingest a table from rows.
+	_ = c.CreateTable(ctx, "orders", []serverclient.Field{
+		{Name: "region", Type: "string"},
+		{Name: "amount", Type: "float"},
+	}, [][]any{
+		{"emea", 10.0}, {"apac", 20.0}, {"emea", 30.0},
+	}, "")
+
+	// Run the base query once, retained with live capture.
+	sess, _ := c.NewSession(ctx)
+	base, _ := sess.Run(ctx, "byregion", serverclient.QueryRequest{
+		SQL: "SELECT region, SUM(amount) AS total FROM orders GROUP BY region",
+	})
+	fmt.Println("groups:", base.N)
+
+	// Every interaction is a bound trace against the retained capture: here,
+	// the base rows behind output group 0, re-aggregated.
+	drill, _ := sess.Trace(ctx, "byregion", serverclient.TraceRequest{
+		Direction: "backward", Table: "orders", Rids: []int64{0},
+		GroupBy: []string{"region"},
+		Aggs:    []serverclient.Agg{{Fn: "count", Name: "n"}},
+	})
+	fmt.Println("bar 0 is", drill.Rows[0][0], "built from", drill.Rows[0][1], "rows")
+	// Output:
+	// groups: 2
+	// bar 0 is emea built from 2 rows
+}

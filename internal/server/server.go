@@ -1,0 +1,698 @@
+// Package server is smoked's HTTP layer: a JSON API over the engine facade
+// (internal/core) that serves concurrent clients from one shared DB. It
+// exposes table ingest (CSV/JSON), SQL execution (including LINEAGE
+// BACKWARD/FORWARD sources and EXPLAIN), and a session-scoped result
+// registry — a client runs a base query once with capture, the server
+// retains the Result under a name, and every subsequent interaction is a
+// bound backward/forward trace against the retained capture. That is the
+// paper's interactive loop (§2.1: capture once, trace per interaction) over
+// the wire.
+//
+// Concurrency: request handlers run on Go's per-connection goroutines; query
+// execution shares the DB's morsel worker pool, which schedules fairly
+// across in-flight requests (internal/pool). A bounded admission gate caps
+// concurrent executions and queue depth — beyond it clients get 429
+// immediately. Retained captures are memory, so the session registry bounds
+// them with LRU eviction and a TTL; evicted results answer 410 Gone so
+// clients know to re-run their base query. A plan-fingerprint result cache
+// short-circuits repeated identical queries (crossfilter re-brushing).
+//
+// Error mapping is deterministic: every engine error is a structured
+// serr.E, and its Kind maps to the status code (Invalid→400, NotFound→404,
+// Gone→410, Unsupported→422, Busy→429, anything else→500).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"smoke/internal/core"
+	"smoke/internal/expr"
+	"smoke/internal/lineage"
+	"smoke/internal/ops"
+	"smoke/internal/serr"
+	"smoke/internal/sql"
+	"smoke/internal/storage"
+)
+
+// Config sizes a Server. Zero fields take the documented defaults.
+type Config struct {
+	// DB is the shared database (required). Open it with WithWorkers(n) to
+	// run request queries morsel-parallel on a fair-shared pool.
+	DB *core.DB
+	// MaxInFlight caps concurrently executing requests (default
+	// 2×GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueued caps requests waiting for an execution slot (default
+	// 4×MaxInFlight); beyond it requests fail fast with 429.
+	MaxQueued int
+	// SessionTTL evicts sessions idle longer than this (default 15m).
+	SessionTTL time.Duration
+	// MaxSessions bounds live sessions; LRU-evicted past it (default 64).
+	MaxSessions int
+	// MaxResultsPerSession bounds named results per session (default 32).
+	MaxResultsPerSession int
+	// MaxRetainedBytes bounds the summed MemBytes of retained results across
+	// all sessions (default 512 MiB); the globally least-recently-used
+	// result is evicted past it.
+	MaxRetainedBytes int64
+	// CacheEntries bounds the plan-fingerprint result cache (default 256;
+	// 0 keeps the default, negative disables caching).
+	CacheEntries int
+	// CacheBytes bounds the summed Result.MemBytes pinned by the cache
+	// (default 256 MiB) — the cache holds whole Results, so an entry count
+	// alone would let distinct large queries pin unbounded memory.
+	CacheBytes int64
+	// Clock overrides time.Now (TTL tests).
+	Clock func() time.Time
+}
+
+// Server handles the smoked HTTP API. Create with New; it implements
+// http.Handler.
+type Server struct {
+	db       *core.DB
+	gate     *gate
+	sessions *registry
+	cache    *resultCache
+	mux      *http.ServeMux
+}
+
+// New returns a Server over cfg.DB.
+func New(cfg Config) *Server {
+	if cfg.DB == nil {
+		panic("server: Config.DB is required")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueued <= 0 {
+		cfg.MaxQueued = 4 * cfg.MaxInFlight
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = 15 * time.Minute
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.MaxResultsPerSession <= 0 {
+		cfg.MaxResultsPerSession = 32
+	}
+	if cfg.MaxRetainedBytes == 0 {
+		cfg.MaxRetainedBytes = 512 << 20
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 256 << 20
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	s := &Server{
+		db:   cfg.DB,
+		gate: newGate(cfg.MaxInFlight, cfg.MaxQueued),
+		sessions: newRegistry(cfg.Clock, cfg.SessionTTL, cfg.MaxSessions,
+			cfg.MaxResultsPerSession, cfg.MaxRetainedBytes),
+		mux: http.NewServeMux(),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newResultCache(cfg.CacheEntries, cfg.CacheBytes)
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/tables", s.handleListTables)
+	s.mux.HandleFunc("GET /v1/tables/{name}", s.handleGetTable)
+	s.mux.HandleFunc("POST /v1/tables/{name}", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleNewSession)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDropSession)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/results/{name}", s.handleRunResult)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/results/{name}", s.handleGetResult)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/results/{name}/trace", s.handleTrace)
+}
+
+// ServeHTTP dispatches with panic containment: a handler panic answers 500
+// instead of killing the connection goroutine silently.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			writeError(w, serr.New(serr.Internal, "server: internal panic: %v", rec))
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error struct {
+		Kind    string `json:"kind"`
+		Message string `json:"message"`
+		Pos     *int   `json:"pos,omitempty"` // byte offset into the SQL text
+	} `json:"error"`
+}
+
+// statusOf maps a structured error kind to its HTTP status.
+func statusOf(err error) int {
+	switch serr.KindOf(err) {
+	case serr.Invalid:
+		return http.StatusBadRequest
+	case serr.NotFound:
+		return http.StatusNotFound
+	case serr.Gone:
+		return http.StatusGone
+	case serr.Unsupported:
+		return http.StatusUnprocessableEntity
+	case serr.Busy:
+		return http.StatusTooManyRequests
+	}
+	return http.StatusInternalServerError
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var body errorJSON
+	body.Error.Kind = serr.KindOf(err).String()
+	body.Error.Message = err.Error()
+	if pos := serr.PosOf(err); pos >= 0 {
+		body.Error.Pos = &pos
+	}
+	writeJSON(w, statusOf(err), body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// Body size caps. MaxBytesReader (not a bare LimitReader) enforces them: an
+// over-limit body is a client error, never a silent truncation that could
+// register a partial table with 200.
+const (
+	maxJSONBody   = 64 << 20
+	maxIngestBody = 256 << 20
+)
+
+// decodeJSON decodes a request body with UseNumber (int64-exact numbers) and
+// unknown-field tolerance.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBody))
+	dec.UseNumber()
+	if err := dec.Decode(v); err != nil {
+		return serr.New(serr.Invalid, "server: bad request body: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	sessions, results, bytes := s.sessions.stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":             true,
+		"tables":         len(s.db.Catalog().Names()),
+		"sessions":       sessions,
+		"results":        results,
+		"retained_bytes": bytes,
+		"workers":        s.db.Workers(),
+	})
+}
+
+func (s *Server) handleListTables(w http.ResponseWriter, r *http.Request) {
+	type tbl struct {
+		Name   string      `json:"name"`
+		Rows   int         `json:"rows"`
+		Schema []fieldJSON `json:"schema"`
+	}
+	var out []tbl
+	for _, name := range s.db.Catalog().Names() {
+		rel, err := s.db.Table(name)
+		if err != nil {
+			continue // raced a re-registration; skip
+		}
+		t := tbl{Name: name, Rows: rel.N}
+		for _, f := range rel.Schema {
+			t.Schema = append(t.Schema, fieldJSON{Name: f.Name, Type: typeName(f.Type)})
+		}
+		out = append(out, t)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tables": out})
+}
+
+func (s *Server) handleGetTable(w http.ResponseWriter, r *http.Request) {
+	rel, err := s.db.Table(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var schema []fieldJSON
+	for _, f := range rel.Schema {
+		schema = append(schema, fieldJSON{Name: f.Name, Type: typeName(f.Type)})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": rel.Name, "rows": rel.N, "schema": schema})
+}
+
+// handleIngest registers (or replaces) a table from a CSV or JSON body.
+// CSV: header record + ?types=int,float,... (or sniffed); JSON: explicit
+// schema + rows. ?pk=col (or the JSON "pk" field) declares the primary key.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		writeError(w, serr.New(serr.Invalid, "server: table name is empty"))
+		return
+	}
+	ct := r.Header.Get("Content-Type")
+	pk := r.URL.Query().Get("pk")
+	var (
+		rel *storage.Relation
+		err error
+	)
+	if strings.HasPrefix(ct, "text/csv") {
+		rel, err = relationFromCSV(name, http.MaxBytesReader(w, r.Body, maxIngestBody), r.URL.Query().Get("types"))
+	} else {
+		var body tableJSON
+		if err := decodeJSON(w, r, &body); err != nil {
+			writeError(w, err)
+			return
+		}
+		if body.PK != "" {
+			pk = body.PK
+		}
+		rel, err = relationFromJSON(name, body)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if pk != "" {
+		// A declared pk short-circuits the optimizer's uniqueness check and
+		// sends joins down the one-match pk-fk specialization, so a client
+		// claim is verified against the data before it is believed — a
+		// duplicate-keyed "pk" would silently drop join matches.
+		ci := rel.Schema.Col(pk)
+		switch {
+		case ci < 0:
+			writeError(w, serr.New(serr.Invalid, "server: pk column %q is not in the schema", pk))
+			return
+		case rel.Schema[ci].Type != storage.TInt:
+			writeError(w, serr.New(serr.Invalid, "server: pk column %q must be an int column", pk))
+			return
+		case !storage.IntColumnUnique(rel, pk):
+			writeError(w, serr.New(serr.Invalid, "server: pk column %q holds duplicate values", pk))
+			return
+		}
+	}
+	s.db.Register(rel)
+	if pk != "" {
+		s.db.Catalog().SetPrimaryKey(name, pk)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "rows": rel.N})
+}
+
+// queryRequest is the body of POST /v1/query and POST
+// /v1/sessions/{id}/results/{name}.
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// Capture is "none", "inject", or "defer". /v1/query defaults to none;
+	// retained results default to inject (a capture is the point of
+	// retaining).
+	Capture  string         `json:"capture,omitempty"`
+	Compress bool           `json:"compress,omitempty"`
+	Params   map[string]any `json:"params,omitempty"`
+}
+
+func captureMode(s string, def ops.CaptureMode) (ops.CaptureMode, error) {
+	switch strings.ToLower(s) {
+	case "":
+		return def, nil
+	case "none":
+		return ops.None, nil
+	case "inject":
+		return ops.Inject, nil
+	case "defer":
+		return ops.Defer, nil
+	}
+	return 0, serr.New(serr.Invalid, "server: unknown capture mode %q (want none, inject, or defer)", s)
+}
+
+// runSQL parses, compiles, and executes one statement with the
+// plan-fingerprint cache in front. EXPLAIN statements render the optimizer
+// trace instead of executing.
+func (s *Server) runSQL(req queryRequest, defMode ops.CaptureMode) (*core.Result, resultJSON, error) {
+	if strings.TrimSpace(req.SQL) == "" {
+		return nil, resultJSON{}, serr.New(serr.Invalid, "server: request has no sql")
+	}
+	st, err := sql.Parse(req.SQL)
+	if err != nil {
+		return nil, resultJSON{}, err
+	}
+	if st.Explain {
+		text, err := sql.ExplainStmt(s.db, st)
+		if err != nil {
+			return nil, resultJSON{}, err
+		}
+		return nil, resultJSON{Explain: text}, nil
+	}
+	mode, err := captureMode(req.Capture, defMode)
+	if err != nil {
+		return nil, resultJSON{}, err
+	}
+	params, err := paramsFromJSON(req.Params)
+	if err != nil {
+		return nil, resultJSON{}, err
+	}
+	q, err := sql.CompileStmt(s.db, st)
+	if err != nil {
+		return nil, resultJSON{}, err
+	}
+	opts := core.CaptureOptions{Mode: mode, Compress: req.Compress, Params: params}
+	return s.runCached(q, opts)
+}
+
+// runCached executes q through the fingerprint cache.
+func (s *Server) runCached(q *core.Query, opts core.CaptureOptions) (*core.Result, resultJSON, error) {
+	var key string
+	if s.cache != nil {
+		if fp, err := q.Fingerprint(); err == nil {
+			key = cacheKey(fp, opts)
+			if res, ok := s.cache.get(key); ok {
+				out := renderRelation(res.Out)
+				out.Cached = true
+				return res, out, nil
+			}
+		}
+	}
+	res, err := q.Run(opts)
+	if err != nil {
+		return nil, resultJSON{}, err
+	}
+	s.cache.put(key, res)
+	return res, renderRelation(res.Out), nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.gate.enter(r.Context()); err != nil {
+		writeError(w, err)
+		return
+	}
+	defer s.gate.exit()
+	_, out, err := s.runSQL(req, ops.None)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessions.create()
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":          sess.id,
+		"ttl_seconds": int(s.sessions.ttl / time.Second),
+	})
+}
+
+func (s *Server) handleDropSession(w http.ResponseWriter, r *http.Request) {
+	if err := s.sessions.drop(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleRunResult executes a statement and retains the Result under
+// /v1/sessions/{id}/results/{name} for later bound traces.
+func (s *Server) handleRunResult(w http.ResponseWriter, r *http.Request) {
+	id, name := r.PathValue("id"), r.PathValue("name")
+	var req queryRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	// Retention exists to serve later bound traces, which need a capture:
+	// an explicit capture:"none" here would only fail later — at trace time,
+	// as a confusing lineage error — so reject it up front.
+	if mode, err := captureMode(req.Capture, ops.Inject); err != nil {
+		writeError(w, err)
+		return
+	} else if mode == ops.None {
+		writeError(w, serr.New(serr.Invalid,
+			"server: retained results need a capture; use \"inject\" or \"defer\" (or omit capture)"))
+		return
+	}
+	// Probe the session before paying for execution; put re-checks after
+	// the run, covering a mid-query expiry.
+	if err := s.sessions.touch(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.gate.enter(r.Context()); err != nil {
+		writeError(w, err)
+		return
+	}
+	defer s.gate.exit()
+	res, out, err := s.runSQL(req, ops.Inject)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if res == nil {
+		writeError(w, serr.New(serr.Invalid, "server: EXPLAIN statements cannot be retained"))
+		return
+	}
+	if err := s.sessions.put(id, name, res); err != nil {
+		writeError(w, err)
+		return
+	}
+	out.Retained = name
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.sessions.get(r.PathValue("id"), r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, renderRelation(res.Out))
+}
+
+// traceRequest is the body of POST
+// /v1/sessions/{id}/results/{name}/trace: a bound backward/forward trace of
+// the retained result, optionally filtered and re-aggregated (the consuming
+// query), optionally retained under a new name for further chained traces.
+type traceRequest struct {
+	// Direction is "backward" or "forward".
+	Direction string `json:"direction"`
+	// Table is the base relation to trace into (backward) or from (forward).
+	Table string `json:"table"`
+	// Rids seeds the trace with explicit rids (output rids for backward,
+	// base rids for forward). Mutually exclusive with SeedWhere.
+	Rids []int64 `json:"rids,omitempty"`
+	// SeedWhere seeds the trace by predicate (SQL expression syntax) over
+	// the result's output rows (backward) or the base rows (forward).
+	SeedWhere string `json:"seed_where,omitempty"`
+	// Where filters the traced rows during rid-list expansion.
+	Where string `json:"where,omitempty"`
+	// GroupBy + Aggs build a consuming aggregation over the traced rows;
+	// empty GroupBy returns the traced rows themselves.
+	GroupBy []string  `json:"group_by,omitempty"`
+	Aggs    []aggJSON `json:"aggs,omitempty"`
+
+	Capture  string         `json:"capture,omitempty"`
+	Compress bool           `json:"compress,omitempty"`
+	Params   map[string]any `json:"params,omitempty"`
+	// Retain stores the trace result under this name in the same session
+	// (consuming results are base queries for further traces, §2.1).
+	Retain string `json:"retain,omitempty"`
+}
+
+type aggJSON struct {
+	Fn   string `json:"fn"`            // count, sum, avg, min, max, count_distinct
+	Arg  string `json:"arg,omitempty"` // SQL expression; empty for count
+	Name string `json:"name,omitempty"`
+}
+
+func parseAggFn(s string) (ops.AggFn, error) {
+	switch strings.ToLower(s) {
+	case "count":
+		return ops.Count, nil
+	case "sum":
+		return ops.Sum, nil
+	case "avg":
+		return ops.Avg, nil
+	case "min":
+		return ops.Min, nil
+	case "max":
+		return ops.Max, nil
+	case "count_distinct":
+		return ops.CountDistinct, nil
+	}
+	return 0, serr.New(serr.Invalid, "server: unknown aggregate %q", s)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, name := r.PathValue("id"), r.PathValue("name")
+	var req traceRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.sessions.get(id, name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.gate.enter(r.Context()); err != nil {
+		writeError(w, err)
+		return
+	}
+	defer s.gate.exit()
+
+	out, err := s.runTrace(id, res, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// runTrace builds and executes the bound trace query described by req.
+func (s *Server) runTrace(sessionID string, res *core.Result, req traceRequest) (resultJSON, error) {
+	if req.Table == "" {
+		return resultJSON{}, serr.New(serr.Invalid, "server: trace needs a table")
+	}
+	backward := false
+	switch strings.ToLower(req.Direction) {
+	case "backward":
+		backward = true
+	case "forward":
+	default:
+		return resultJSON{}, serr.New(serr.Invalid, "server: direction must be backward or forward, got %q", req.Direction)
+	}
+	if req.Rids != nil && req.SeedWhere != "" {
+		return resultJSON{}, serr.New(serr.Invalid, "server: rids and seed_where are mutually exclusive")
+	}
+
+	// Validate explicit seeds against the addressed space so a bad seed is a
+	// 400, not an index-out-of-range panic deep in a kernel.
+	var rids []lineage.Rid
+	if req.Rids != nil {
+		limit := res.Out.N // backward seeds address the result's output rows
+		space := "result output rows"
+		if !backward {
+			// Forward seeds address the capture-time base relation — not the
+			// current catalog entry, which may have been re-ingested since.
+			rel := res.BaseRelation(req.Table)
+			if rel == nil {
+				return resultJSON{}, serr.New(serr.NotFound,
+					"server: result has no captured base relation %q", req.Table)
+			}
+			limit, space = rel.N, "base rows of "+req.Table
+		}
+		rids = make([]lineage.Rid, len(req.Rids))
+		for i, v := range req.Rids {
+			if v < 0 || v >= int64(limit) {
+				return resultJSON{}, serr.New(serr.Invalid,
+					"server: seed rid %d out of range [0,%d) for %s", v, limit, space)
+			}
+			rids[i] = lineage.Rid(v)
+		}
+	}
+
+	q := s.db.Query()
+	switch {
+	case backward && rids != nil:
+		q = q.Backward(res, req.Table, rids)
+	case backward:
+		pred, err := parseOptionalExpr(req.SeedWhere)
+		if err != nil {
+			return resultJSON{}, err
+		}
+		q = q.BackwardWhere(res, req.Table, pred)
+	case rids != nil:
+		q = q.Forward(res, req.Table, rids)
+	default:
+		pred, err := parseOptionalExpr(req.SeedWhere)
+		if err != nil {
+			return resultJSON{}, err
+		}
+		q = q.ForwardWhere(res, req.Table, pred)
+	}
+	if req.Where != "" {
+		pred, err := sql.ParseExpr(req.Where)
+		if err != nil {
+			return resultJSON{}, err
+		}
+		q = q.Where(pred)
+	}
+	if len(req.GroupBy) > 0 {
+		q = q.GroupBy(req.GroupBy...)
+	}
+	for i, a := range req.Aggs {
+		fn, err := parseAggFn(a.Fn)
+		if err != nil {
+			return resultJSON{}, err
+		}
+		var arg expr.Expr
+		if a.Arg != "" {
+			arg, err = sql.ParseScalarExpr(a.Arg)
+			if err != nil {
+				return resultJSON{}, err
+			}
+		}
+		aname := a.Name
+		if aname == "" {
+			aname = fmt.Sprintf("%s_%d", fn, i)
+		}
+		q = q.Agg(fn, arg, aname)
+	}
+
+	defMode := ops.None
+	if req.Retain != "" {
+		defMode = ops.Inject // retained consuming results need a capture
+	}
+	mode, err := captureMode(req.Capture, defMode)
+	if err != nil {
+		return resultJSON{}, err
+	}
+	if req.Retain != "" && mode == ops.None {
+		return resultJSON{}, serr.New(serr.Invalid,
+			"server: retaining a trace result needs a capture; use \"inject\" or \"defer\" (or omit capture)")
+	}
+	params, err := paramsFromJSON(req.Params)
+	if err != nil {
+		return resultJSON{}, err
+	}
+	traced, out, err := s.runCached(q, core.CaptureOptions{Mode: mode, Compress: req.Compress, Params: params})
+	if err != nil {
+		return resultJSON{}, err
+	}
+	if req.Retain != "" {
+		if err := s.sessions.put(sessionID, req.Retain, traced); err != nil {
+			return resultJSON{}, err
+		}
+		out.Retained = req.Retain
+	}
+	return out, nil
+}
+
+// parseOptionalExpr parses a predicate string; empty means nil (trace all).
+func parseOptionalExpr(src string) (expr.Expr, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, nil
+	}
+	return sql.ParseExpr(src)
+}

@@ -1,0 +1,338 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"smoke/internal/core"
+	"smoke/internal/serr"
+)
+
+// registry is the session-scoped result store: each session retains named
+// executed results (base queries with live captures) so clients can issue
+// bound backward/forward traces against them across requests — the paper's
+// interactive loop, capture once then trace per interaction, over the wire.
+//
+// Captures are memory, so retention is bounded three ways and everything is
+// reclaimable:
+//
+//   - TTL: a session idle longer than ttl is evicted wholesale (every
+//     registry operation sweeps lazily; no background goroutine to leak).
+//   - Session LRU: at most maxSessions sessions; creating one more evicts
+//     the least-recently-used.
+//   - Byte budget: retained results are charged their Result.MemBytes
+//     (output relation + captured indexes); past maxBytes — or past
+//     maxPerSession names in one session — the least-recently-used retained
+//     result anywhere is evicted.
+//
+// Evicted names and session ids leave tombstones so a later reference
+// answers 410 Gone ("re-run your base query") rather than 404 Not Found
+// ("you never created this"), which is the contract interactive clients
+// rebind on.
+type registry struct {
+	mu            sync.Mutex
+	clock         func() time.Time
+	ttl           time.Duration
+	maxSessions   int
+	maxPerSession int
+	maxBytes      int64
+
+	sessions map[string]*session
+	retained int64 // bytes across all sessions, deduplicated by Result
+	nextID   uint64
+
+	// refs deduplicates byte charges: the fingerprint cache hands the same
+	// *core.Result to every session that runs an identical query, and one
+	// allocation retained N times must be charged (and freed) once, or the
+	// budget would evict live results under imaginary pressure.
+	refs map[*core.Result]*refEntry
+
+	goneSessions map[string]struct{}
+}
+
+type refEntry struct {
+	n     int
+	bytes int64
+}
+
+type session struct {
+	id      string
+	last    time.Time
+	results map[string]*retainedResult
+	gone    map[string]struct{} // evicted result names → 410
+}
+
+type retainedResult struct {
+	res  *core.Result
+	last time.Time
+}
+
+// tombstoneCap bounds each tombstone set: past it the oldest information is
+// discarded wholesale and an evicted name may answer 404 instead of 410 —
+// a graceful degradation that keeps eviction bookkeeping O(1) in memory.
+const tombstoneCap = 4096
+
+func newRegistry(clock func() time.Time, ttl time.Duration, maxSessions, maxPerSession int, maxBytes int64) *registry {
+	return &registry{
+		clock: clock, ttl: ttl,
+		maxSessions: maxSessions, maxPerSession: maxPerSession, maxBytes: maxBytes,
+		sessions:     map[string]*session{},
+		refs:         map[*core.Result]*refEntry{},
+		goneSessions: map[string]struct{}{},
+	}
+}
+
+// retainRefLocked charges res's bytes on its first retention and counts the
+// reference.
+func (r *registry) retainRefLocked(res *core.Result) {
+	e := r.refs[res]
+	if e == nil {
+		e = &refEntry{bytes: res.MemBytes()}
+		r.refs[res] = e
+		r.retained += e.bytes
+	}
+	e.n++
+}
+
+// releaseRefLocked drops one reference and frees the charge with the last.
+func (r *registry) releaseRefLocked(res *core.Result) {
+	e := r.refs[res]
+	if e == nil {
+		return
+	}
+	e.n--
+	if e.n <= 0 {
+		delete(r.refs, res)
+		r.retained -= e.bytes
+	}
+}
+
+// create opens a new session, evicting the LRU session if the cap is hit.
+func (r *registry) create() *session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock()
+	r.sweepLocked(now)
+	for len(r.sessions) >= r.maxSessions {
+		r.evictLRUSessionLocked()
+	}
+	r.nextID++
+	s := &session{
+		id:      fmt.Sprintf("s%08x", r.nextID),
+		last:    now,
+		results: map[string]*retainedResult{},
+		gone:    map[string]struct{}{},
+	}
+	r.sessions[s.id] = s
+	return s
+}
+
+// drop deletes a session explicitly (DELETE /v1/sessions/{id}).
+func (r *registry) drop(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked(r.clock())
+	s, ok := r.sessions[id]
+	if !ok {
+		return r.sessionMissingLocked(id)
+	}
+	r.removeSessionLocked(s)
+	return nil
+}
+
+// put retains res under name in session id, evicting as needed to stay
+// within the byte budget and per-session cap.
+func (r *registry) put(id, name string, res *core.Result) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock()
+	r.sweepLocked(now)
+	s, ok := r.sessions[id]
+	if !ok {
+		return r.sessionMissingLocked(id)
+	}
+	s.last = now
+	if old, ok := s.results[name]; ok {
+		r.releaseRefLocked(old.res)
+		delete(s.results, name)
+	}
+	rr := &retainedResult{res: res, last: now}
+	s.results[name] = rr
+	delete(s.gone, name) // a re-created name is live again
+	r.retainRefLocked(res)
+	for len(s.results) > r.maxPerSession {
+		if !r.evictLRUResultInLocked(s, rr) {
+			break
+		}
+	}
+	for r.maxBytes > 0 && r.retained > r.maxBytes {
+		if !r.evictLRUResultLocked(rr) {
+			break // only the just-inserted result remains; keep it
+		}
+	}
+	return nil
+}
+
+// evictLRUResultInLocked removes the least-recently-used retained result
+// within one session (the per-session name cap), never the just-inserted
+// keep.
+func (r *registry) evictLRUResultInLocked(s *session, keep *retainedResult) bool {
+	var (
+		lruName string
+		lruRes  *retainedResult
+	)
+	for name, rr := range s.results {
+		if rr == keep {
+			continue
+		}
+		if lruRes == nil || rr.last.Before(lruRes.last) {
+			lruName, lruRes = name, rr
+		}
+	}
+	if lruRes == nil {
+		return false
+	}
+	r.releaseRefLocked(lruRes.res)
+	delete(s.results, lruName)
+	r.tombstone(s.gone, lruName)
+	return true
+}
+
+// touch verifies a session is alive (refreshing its TTL clock) without
+// reading a result — handlers probe it before paying for query execution,
+// so a dead session is rejected without burning gate and pool capacity.
+func (r *registry) touch(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock()
+	r.sweepLocked(now)
+	s, ok := r.sessions[id]
+	if !ok {
+		return r.sessionMissingLocked(id)
+	}
+	s.last = now
+	return nil
+}
+
+// get returns the named retained result, refreshing both LRU clocks.
+func (r *registry) get(id, name string) (*core.Result, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock()
+	r.sweepLocked(now)
+	s, ok := r.sessions[id]
+	if !ok {
+		return nil, r.sessionMissingLocked(id)
+	}
+	s.last = now
+	rr, ok := s.results[name]
+	if !ok {
+		if _, gone := s.gone[name]; gone {
+			return nil, serr.New(serr.Gone,
+				"server: result %q was evicted from session %s; re-run the base query", name, id)
+		}
+		return nil, serr.New(serr.NotFound, "server: session %s has no result %q", id, name)
+	}
+	rr.last = now
+	return rr.res, nil
+}
+
+// stats reports live sessions, retained results, and retained bytes.
+func (r *registry) stats() (sessions, results int, bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked(r.clock())
+	for _, s := range r.sessions {
+		results += len(s.results)
+	}
+	return len(r.sessions), results, r.retained
+}
+
+// sessionMissingLocked distinguishes an expired/evicted session (410) from
+// one that never existed (404).
+func (r *registry) sessionMissingLocked(id string) error {
+	if _, gone := r.goneSessions[id]; gone {
+		return serr.New(serr.Gone, "server: session %s expired or was evicted; open a new session", id)
+	}
+	return serr.New(serr.NotFound, "server: unknown session %s", id)
+}
+
+// sweepLocked evicts every session idle past the TTL.
+func (r *registry) sweepLocked(now time.Time) {
+	if r.ttl <= 0 {
+		return
+	}
+	for _, s := range r.sessions {
+		if now.Sub(s.last) > r.ttl {
+			r.removeSessionLocked(s)
+		}
+	}
+}
+
+// evictLRUSessionLocked removes the least-recently-used session.
+func (r *registry) evictLRUSessionLocked() {
+	var lru *session
+	for _, s := range r.sessions {
+		if lru == nil || s.last.Before(lru.last) {
+			lru = s
+		}
+	}
+	if lru != nil {
+		r.removeSessionLocked(lru)
+	}
+}
+
+// evictLRUResultLocked removes the least-recently-used retained result
+// whose release actually frees memory (sole reference — evicting one of
+// several references to a cache-shared Result would cost a client its name
+// without freeing a byte), never the just-inserted keep. It reports whether
+// anything was evicted; false also means the byte budget cannot shrink
+// further by eviction.
+func (r *registry) evictLRUResultLocked(keep *retainedResult) bool {
+	var (
+		lruSess *session
+		lruName string
+		lruRes  *retainedResult
+	)
+	for _, s := range r.sessions {
+		for name, rr := range s.results {
+			if rr == keep {
+				continue
+			}
+			if e := r.refs[rr.res]; e != nil && e.n > 1 {
+				continue // shared with other retentions: freeing this frees nothing
+			}
+			if lruRes == nil || rr.last.Before(lruRes.last) {
+				lruSess, lruName, lruRes = s, name, rr
+			}
+		}
+	}
+	if lruRes == nil {
+		return false
+	}
+	r.releaseRefLocked(lruRes.res)
+	delete(lruSess.results, lruName)
+	r.tombstone(lruSess.gone, lruName)
+	return true
+}
+
+// removeSessionLocked drops a session and tombstones its id.
+func (r *registry) removeSessionLocked(s *session) {
+	for _, rr := range s.results {
+		r.releaseRefLocked(rr.res)
+	}
+	delete(r.sessions, s.id)
+	r.tombstone(r.goneSessions, s.id)
+}
+
+// tombstone records an evicted key, resetting the set wholesale at the cap
+// (trading 410-vs-404 precision for bounded memory).
+func (r *registry) tombstone(set map[string]struct{}, key string) {
+	if len(set) >= tombstoneCap {
+		for k := range set {
+			delete(set, k)
+		}
+	}
+	set[key] = struct{}{}
+}

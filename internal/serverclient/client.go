@@ -1,0 +1,287 @@
+// Package serverclient is the Go client for the smoked HTTP API
+// (internal/server): table ingest, SQL queries, and session-scoped retained
+// results with bound backward/forward traces. The server's own tests, the
+// serve bench experiment's load generator, and external Go tools all speak
+// through it, so the wire shapes live in exactly two places (server encode,
+// client decode) and drift breaks tests immediately.
+package serverclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to one smoked server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the server at base (e.g. "http://127.0.0.1:8080").
+// httpClient may be nil for http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// Error is a non-2xx server reply, decoded from the uniform error body.
+type Error struct {
+	Status  int    // HTTP status code
+	Kind    string // serr kind string ("invalid", "gone", ...)
+	Message string
+	Pos     int // byte offset into the SQL text, -1 if absent
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("server: %d %s: %s", e.Status, e.Kind, e.Message)
+}
+
+// Field mirrors one schema field.
+type Field struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // "int" | "float" | "string"
+}
+
+// Result is a decoded query/trace/result response. Row values are normalized
+// by column type: int64, float64, or string.
+type Result struct {
+	Columns  []string `json:"columns"`
+	Types    []string `json:"types"`
+	Rows     [][]any  `json:"rows"`
+	N        int      `json:"row_count"`
+	Cached   bool     `json:"cached"`
+	Explain  string   `json:"explain"`
+	Retained string   `json:"retained"`
+}
+
+// QueryRequest is the body of Query and Session.Run.
+type QueryRequest struct {
+	SQL      string         `json:"sql"`
+	Capture  string         `json:"capture,omitempty"` // none | inject | defer
+	Compress bool           `json:"compress,omitempty"`
+	Params   map[string]any `json:"params,omitempty"`
+}
+
+// TraceRequest is the body of Session.Trace: a bound trace of a retained
+// result, optionally filtered/re-aggregated/re-retained.
+type TraceRequest struct {
+	Direction string         `json:"direction"` // backward | forward
+	Table     string         `json:"table"`
+	Rids      []int64        `json:"rids,omitempty"`
+	SeedWhere string         `json:"seed_where,omitempty"`
+	Where     string         `json:"where,omitempty"`
+	GroupBy   []string       `json:"group_by,omitempty"`
+	Aggs      []Agg          `json:"aggs,omitempty"`
+	Capture   string         `json:"capture,omitempty"`
+	Compress  bool           `json:"compress,omitempty"`
+	Params    map[string]any `json:"params,omitempty"`
+	Retain    string         `json:"retain,omitempty"`
+}
+
+// Agg is one consuming aggregate.
+type Agg struct {
+	Fn   string `json:"fn"`
+	Arg  string `json:"arg,omitempty"`
+	Name string `json:"name,omitempty"`
+}
+
+// Health pings the server and returns its status map.
+func (c *Client) Health(ctx context.Context) (map[string]any, error) {
+	var out map[string]any
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// CreateTable registers (or replaces) a table from schema + rows. pk may be
+// "" for no primary key.
+func (c *Client) CreateTable(ctx context.Context, name string, schema []Field, rows [][]any, pk string) error {
+	body := map[string]any{"schema": schema, "rows": rows}
+	if pk != "" {
+		body["pk"] = pk
+	}
+	return c.do(ctx, http.MethodPost, "/v1/tables/"+name, body, nil)
+}
+
+// CreateTableCSV registers a table from CSV bytes (header record first).
+// types is "int,float,..." per column, or "" to sniff.
+func (c *Client) CreateTableCSV(ctx context.Context, name string, csvBody []byte, types, pk string) error {
+	path := "/v1/tables/" + name
+	sep := "?"
+	if types != "" {
+		path += sep + "types=" + types
+		sep = "&"
+	}
+	if pk != "" {
+		path += sep + "pk=" + pk
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(csvBody))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	return c.roundTrip(req, nil)
+}
+
+// Query runs one stateless SQL statement (including EXPLAIN and unbound
+// LINEAGE sources).
+func (c *Client) Query(ctx context.Context, req QueryRequest) (*Result, error) {
+	var out Result
+	if err := c.do(ctx, http.MethodPost, "/v1/query", req, &out); err != nil {
+		return nil, err
+	}
+	out.normalize()
+	return &out, nil
+}
+
+// Session is a server-side session handle.
+type Session struct {
+	ID  string
+	ttl int
+	c   *Client
+}
+
+// Session returns a handle for an existing session id (e.g. one persisted by
+// a previous process). No server round-trip is made; a dead id surfaces as
+// 410/404 on first use.
+func (c *Client) Session(id string) *Session { return &Session{ID: id, c: c} }
+
+// NewSession opens a session.
+func (c *Client) NewSession(ctx context.Context) (*Session, error) {
+	var out struct {
+		ID  string `json:"id"`
+		TTL int    `json:"ttl_seconds"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return &Session{ID: out.ID, ttl: out.TTL, c: c}, nil
+}
+
+// TTLSeconds is the server's idle-session TTL at creation time.
+func (s *Session) TTLSeconds() int { return s.ttl }
+
+// Close deletes the session and every retained result in it.
+func (s *Session) Close(ctx context.Context) error {
+	return s.c.do(ctx, http.MethodDelete, "/v1/sessions/"+s.ID, nil, nil)
+}
+
+// Run executes a statement and retains its Result (with live capture) under
+// name; later Trace calls bind to it.
+func (s *Session) Run(ctx context.Context, name string, req QueryRequest) (*Result, error) {
+	var out Result
+	if err := s.c.do(ctx, http.MethodPost, s.path(name), req, &out); err != nil {
+		return nil, err
+	}
+	out.normalize()
+	return &out, nil
+}
+
+// Result fetches a retained result's rows.
+func (s *Session) Result(ctx context.Context, name string) (*Result, error) {
+	var out Result
+	if err := s.c.do(ctx, http.MethodGet, s.path(name), nil, &out); err != nil {
+		return nil, err
+	}
+	out.normalize()
+	return &out, nil
+}
+
+// Trace runs a bound backward/forward trace against the retained result.
+func (s *Session) Trace(ctx context.Context, name string, req TraceRequest) (*Result, error) {
+	var out Result
+	if err := s.c.do(ctx, http.MethodPost, s.path(name)+"/trace", req, &out); err != nil {
+		return nil, err
+	}
+	out.normalize()
+	return &out, nil
+}
+
+func (s *Session) path(name string) string {
+	return "/v1/sessions/" + s.ID + "/results/" + name
+}
+
+// do sends a JSON request and decodes a JSON reply (out may be nil).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.roundTrip(req, out)
+}
+
+func (c *Client) roundTrip(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		e := &Error{Status: resp.StatusCode, Kind: "internal", Message: string(data), Pos: -1}
+		var body struct {
+			Error struct {
+				Kind    string `json:"kind"`
+				Message string `json:"message"`
+				Pos     *int   `json:"pos"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(data, &body) == nil && body.Error.Kind != "" {
+			e.Kind, e.Message = body.Error.Kind, body.Error.Message
+			if body.Error.Pos != nil {
+				e.Pos = *body.Error.Pos
+			}
+		}
+		return e
+	}
+	if out == nil {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	return dec.Decode(out)
+}
+
+// normalize converts row values to their column's Go type: json.Number →
+// int64/float64 per the Types list, so callers compare values without
+// float64 precision loss on large ints.
+func (r *Result) normalize() {
+	for _, row := range r.Rows {
+		for c := range row {
+			n, ok := row[c].(json.Number)
+			if !ok || c >= len(r.Types) {
+				continue
+			}
+			switch r.Types[c] {
+			case "int":
+				if v, err := n.Int64(); err == nil {
+					row[c] = v
+				}
+			case "float":
+				if v, err := n.Float64(); err == nil {
+					row[c] = v
+				}
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"smoke/internal/core"
 	"smoke/internal/expr"
 	"smoke/internal/plan"
+	"smoke/internal/serr"
 	"smoke/internal/storage"
 )
 
@@ -26,7 +27,7 @@ func Compile(db *core.DB, src string) (*core.Query, error) {
 // CompileStmt is Compile over an already-parsed statement.
 func CompileStmt(db *core.DB, st *Stmt) (*core.Query, error) {
 	if st.Explain {
-		return nil, fmt.Errorf("sql: EXPLAIN statements do not execute; use sql.Explain")
+		return nil, serr.New(serr.Invalid, "sql: EXPLAIN statements do not execute; use sql.Explain")
 	}
 	n, err := Lower(db, st)
 	if err != nil {
@@ -96,10 +97,10 @@ func Lower(db *core.DB, st *Stmt) (plan.Node, error) {
 		if !refResolves(leftRef, srcs) || !refResolves(rightRef, []source{s}) {
 			leftRef, rightRef = rightRef, leftRef
 			if !refResolves(leftRef, srcs) {
-				return nil, fmt.Errorf("sql: join condition for %s does not reference the query prefix", s.name)
+				return nil, serr.New(serr.Invalid, "sql: join condition for %s does not reference the query prefix", s.name)
 			}
 			if !refResolves(rightRef, []source{s}) {
-				return nil, fmt.Errorf("sql: join condition for %s must reference %s on one side", s.name, s.name)
+				return nil, serr.New(serr.Invalid, "sql: join condition for %s must reference %s on one side", s.name, s.name)
 			}
 		}
 		n = plan.Join{Left: n, Right: s.node, LeftKey: leftRef.Col, RightKey: rightRef.Col,
@@ -110,7 +111,7 @@ func Lower(db *core.DB, st *Stmt) (plan.Node, error) {
 	if st.Where != nil {
 		for _, conj := range conjuncts(st.Where) {
 			if len(expr.Columns(conj)) == 0 {
-				return nil, fmt.Errorf("sql: constant predicate %s is not supported", conj)
+				return nil, serr.New(serr.Unsupported, "sql: constant predicate %s is not supported", conj)
 			}
 		}
 		n = plan.Filter{Child: n, Pred: st.Where}
@@ -128,7 +129,7 @@ func Lower(db *core.DB, st *Stmt) (plan.Node, error) {
 		switch {
 		case it.Col != nil:
 			if !groupSet[it.Col.Col] {
-				return nil, fmt.Errorf("sql: select column %s must appear in GROUP BY", it.Col)
+				return nil, serr.New(serr.Invalid, "sql: select column %s must appear in GROUP BY", it.Col)
 			}
 		case it.Agg != nil:
 			name := it.Agg.Alias
@@ -140,10 +141,10 @@ func Lower(db *core.DB, st *Stmt) (plan.Node, error) {
 		}
 	}
 	if aggIdx == 0 {
-		return nil, fmt.Errorf("sql: only aggregation queries are supported; add an aggregate to the select list")
+		return nil, serr.New(serr.Unsupported, "sql: only aggregation queries are supported; add an aggregate to the select list")
 	}
 	if len(keys) == 0 {
-		return nil, fmt.Errorf("sql: only grouped aggregation queries are supported; add GROUP BY")
+		return nil, serr.New(serr.Unsupported, "sql: only grouped aggregation queries are supported; add GROUP BY")
 	}
 	n = gb
 
@@ -164,10 +165,10 @@ func Lower(db *core.DB, st *Stmt) (plan.Node, error) {
 		ob := plan.OrderBy{Child: n}
 		for _, k := range st.OrderBy {
 			if k.Col.Table != "" {
-				return nil, fmt.Errorf("sql: ORDER BY references output columns; use the unqualified name, not %s", k.Col)
+				return nil, serr.New(serr.Invalid, "sql: ORDER BY references output columns; use the unqualified name, not %s", k.Col)
 			}
 			if outSchema.Col(k.Col.Col) < 0 {
-				return nil, fmt.Errorf("sql: ORDER BY column %s is not an output column", k.Col)
+				return nil, serr.New(serr.Invalid, "sql: ORDER BY column %s is not an output column", k.Col)
 			}
 			ob.Keys = append(ob.Keys, plan.SortKey{Col: k.Col.Col, Desc: k.Desc})
 		}
@@ -185,7 +186,7 @@ func lowerSource(db *core.DB, f FromItem) (source, error) {
 	if f.Trace != nil {
 		sub, err := Lower(db, f.Trace.Sub)
 		if err != nil {
-			return source{}, fmt.Errorf("sql: traced query: %w", err)
+			return source{}, serr.New(serr.Invalid, "sql: traced query: %w", err)
 		}
 		rel, err := db.Table(f.Trace.Table)
 		if err != nil {
@@ -198,7 +199,7 @@ func lowerSource(db *core.DB, f FromItem) (source, error) {
 		}
 		schema, err := plan.OutSchema(sub)
 		if err != nil {
-			return source{}, fmt.Errorf("sql: traced query: %w", err)
+			return source{}, serr.New(serr.Invalid, "sql: traced query: %w", err)
 		}
 		n := plan.Forward{Source: sub, Table: f.Trace.Table, Rel: rel, SeedPred: f.Trace.Seed}
 		return source{name: f.Name(), node: n, schema: schema}, nil
@@ -206,11 +207,11 @@ func lowerSource(db *core.DB, f FromItem) (source, error) {
 	if f.Sub != nil {
 		sub, err := Lower(db, f.Sub)
 		if err != nil {
-			return source{}, fmt.Errorf("sql: subquery %s: %w", f.Alias, err)
+			return source{}, serr.New(serr.Invalid, "sql: subquery %s: %w", f.Alias, err)
 		}
 		schema, err := plan.OutSchema(sub)
 		if err != nil {
-			return source{}, fmt.Errorf("sql: subquery %s: %w", f.Alias, err)
+			return source{}, serr.New(serr.Invalid, "sql: subquery %s: %w", f.Alias, err)
 		}
 		return source{name: f.Alias, node: sub, schema: schema}, nil
 	}

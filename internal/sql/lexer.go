@@ -9,9 +9,10 @@
 package sql
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
+
+	"smoke/internal/serr"
 )
 
 type tokKind uint8
@@ -143,7 +144,7 @@ func (l *lexer) str() error {
 		b.WriteByte(c)
 		l.pos++
 	}
-	return fmt.Errorf("sql: unterminated string literal at %d", start)
+	return serr.At(serr.Invalid, start, "sql: unterminated string literal")
 }
 
 func (l *lexer) symbol() error {
@@ -164,6 +165,6 @@ func (l *lexer) symbol() error {
 		l.pos++
 		return nil
 	default:
-		return fmt.Errorf("sql: unexpected character %q at %d", c, start)
+		return serr.At(serr.Invalid, start, "sql: unexpected character %q", c)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"smoke/internal/expr"
 	"smoke/internal/ops"
+	"smoke/internal/serr"
 )
 
 // Stmt is a parsed SELECT statement.
@@ -118,12 +119,50 @@ const maxDepth = 200
 func (p *parser) enter() error {
 	p.depth++
 	if p.depth > maxDepth {
-		return fmt.Errorf("sql: expression nesting deeper than %d", maxDepth)
+		return p.errf("expression nesting deeper than %d", maxDepth)
 	}
 	return nil
 }
 
 func (p *parser) leave() { p.depth-- }
+
+// errf builds a structured Invalid error (serr.E) anchored at the current
+// token's byte offset in the statement source, so protocol layers can report
+// where a statement went wrong without parsing message strings.
+func (p *parser) errf(format string, args ...any) error {
+	return serr.At(serr.Invalid, p.peek().pos, "sql: "+format, args...)
+}
+
+// ParseExpr parses a standalone predicate in the SQL expression grammar
+// (comparisons, AND/OR/NOT, IN lists, arithmetic operands, YEAR/MONTH/SQRT,
+// :name parameters). The server's trace endpoints use it for seed and
+// consuming predicates sent as strings.
+func ParseExpr(src string) (expr.Expr, error) {
+	return parseStandalone(src, func(p *parser) (expr.Expr, error) { return p.orExpr() })
+}
+
+// ParseScalarExpr parses a standalone scalar expression (a column,
+// arithmetic, YEAR/MONTH/SQRT, literals, :name parameters) — the aggregate
+// argument grammar, where a bare column is valid and comparisons are not.
+func ParseScalarExpr(src string) (expr.Expr, error) {
+	return parseStandalone(src, func(p *parser) (expr.Expr, error) { return p.addExpr() })
+}
+
+func parseStandalone(src string, parse func(*parser) (expr.Expr, error)) (expr.Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := parse(p)
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("unexpected %q after expression", p.peek().text)
+	}
+	return e, nil
+}
 
 // Parse parses one statement: [EXPLAIN] SELECT ... .
 func Parse(src string) (*Stmt, error) {
@@ -138,7 +177,7 @@ func Parse(src string) (*Stmt, error) {
 		return nil, err
 	}
 	if !p.atEOF() {
-		return nil, fmt.Errorf("sql: unexpected %q after statement", p.peek().text)
+		return nil, p.errf("unexpected %q after statement", p.peek().text)
 	}
 	st.Explain = explain
 	return st, nil
@@ -166,21 +205,21 @@ func (p *parser) acceptSymbol(s string) bool {
 
 func (p *parser) expectKeyword(kw string) error {
 	if !p.acceptKeyword(kw) {
-		return fmt.Errorf("sql: expected %s, got %q", kw, p.peek().text)
+		return p.errf("expected %s, got %q", kw, p.peek().text)
 	}
 	return nil
 }
 
 func (p *parser) expectSymbol(s string) error {
 	if !p.acceptSymbol(s) {
-		return fmt.Errorf("sql: expected %q, got %q", s, p.peek().text)
+		return p.errf("expected %q, got %q", s, p.peek().text)
 	}
 	return nil
 }
 
 func (p *parser) expectIdent() (string, error) {
 	if p.peek().kind != tokIdent {
-		return "", fmt.Errorf("sql: expected identifier, got %q", p.peek().text)
+		return "", p.errf("expected identifier, got %q", p.peek().text)
 	}
 	return p.next().text, nil
 }
@@ -207,7 +246,7 @@ func (p *parser) acceptWord(w string) bool {
 
 func (p *parser) expectWord(w string) error {
 	if !p.acceptWord(w) {
-		return fmt.Errorf("sql: expected %s, got %q", w, p.peek().text)
+		return p.errf("expected %s, got %q", w, p.peek().text)
 	}
 	return nil
 }
@@ -299,12 +338,12 @@ func (p *parser) selectStmt() (*Stmt, error) {
 	if p.acceptKeyword("LIMIT") {
 		t := p.peek()
 		if t.kind != tokInt {
-			return nil, fmt.Errorf("sql: LIMIT expects an integer, got %q", t.text)
+			return nil, p.errf("LIMIT expects an integer, got %q", t.text)
 		}
 		p.next()
 		n, err := strconv.Atoi(t.text)
 		if err != nil || n < 0 {
-			return nil, fmt.Errorf("sql: bad LIMIT %q", t.text)
+			return nil, p.errf("bad LIMIT %q", t.text)
 		}
 		st.Limit = n
 	}
@@ -332,7 +371,7 @@ func (p *parser) fromItem() (FromItem, error) {
 		p.acceptKeyword("AS")
 		alias, err := p.expectIdent()
 		if err != nil {
-			return FromItem{}, fmt.Errorf("sql: subquery needs an alias: %w", err)
+			return FromItem{}, p.errf("subquery needs an alias: %w", err)
 		}
 		return FromItem{Sub: sub, Alias: alias}, nil
 	}
@@ -354,7 +393,7 @@ func (p *parser) traceItem() (FromItem, error) {
 	case p.acceptWord("FORWARD"):
 		backward = false
 	default:
-		return FromItem{}, fmt.Errorf("sql: LINEAGE expects BACKWARD or FORWARD, got %q", p.peek().text)
+		return FromItem{}, p.errf("LINEAGE expects BACKWARD or FORWARD, got %q", p.peek().text)
 	}
 	if err := p.expectSymbol("("); err != nil {
 		return FromItem{}, err
@@ -570,7 +609,7 @@ func (p *parser) cmpExpr() (expr.Expr, error) {
 		var set []string
 		for {
 			if p.peek().kind != tokString {
-				return nil, fmt.Errorf("sql: IN list supports string literals, got %q", p.peek().text)
+				return nil, p.errf("IN list supports string literals, got %q", p.peek().text)
 			}
 			set = append(set, p.next().text)
 			if !p.acceptSymbol(",") {
@@ -582,7 +621,7 @@ func (p *parser) cmpExpr() (expr.Expr, error) {
 		}
 		return expr.InStr{E: l, Set: set}, nil
 	}
-	return nil, fmt.Errorf("sql: expected comparison near %q", p.peek().text)
+	return nil, p.errf("expected comparison near %q", p.peek().text)
 }
 
 func (p *parser) addExpr() (expr.Expr, error) {
@@ -646,14 +685,14 @@ func (p *parser) unary() (expr.Expr, error) {
 		p.next()
 		v, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("sql: bad integer %q", t.text)
+			return nil, p.errf("bad integer %q", t.text)
 		}
 		return expr.IntLit{V: v}, nil
 	case tokFloat:
 		p.next()
 		v, err := strconv.ParseFloat(t.text, 64)
 		if err != nil {
-			return nil, fmt.Errorf("sql: bad float %q", t.text)
+			return nil, p.errf("bad float %q", t.text)
 		}
 		return expr.FloatLit{V: v}, nil
 	case tokString:
@@ -712,7 +751,7 @@ func (p *parser) unary() (expr.Expr, error) {
 		_ = c.Table
 		return expr.Col{Name: c.Col}, nil
 	}
-	return nil, fmt.Errorf("sql: unexpected token %q", t.text)
+	return nil, p.errf("unexpected token %q", t.text)
 }
 
 // String renders the statement (debugging).

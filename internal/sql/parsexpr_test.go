@@ -1,0 +1,67 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"smoke/internal/serr"
+)
+
+func TestParseExprPredicates(t *testing.T) {
+	for _, src := range []string{
+		"amount < 25",
+		"region = 'emea' AND amount >= 10",
+		"k IN ('a', 'b') OR NOT (v > 1.5)",
+		"YEAR(d) = 1995",
+		"amount < :cutoff",
+	} {
+		if _, err := ParseExpr(src); err != nil {
+			t.Errorf("ParseExpr(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseScalarExpr(t *testing.T) {
+	for _, src := range []string{"amount", "amount * 2 - 1", "SQRT(v)", ":p"} {
+		if _, err := ParseScalarExpr(src); err != nil {
+			t.Errorf("ParseScalarExpr(%q): %v", src, err)
+		}
+	}
+	// A bare column is not a predicate.
+	if _, err := ParseExpr("amount"); err == nil {
+		t.Error("ParseExpr accepted a bare column as a predicate")
+	}
+	// Trailing garbage is rejected.
+	if _, err := ParseScalarExpr("amount amount"); err == nil {
+		t.Error("ParseScalarExpr accepted trailing tokens")
+	}
+}
+
+// Parse errors are structured (serr.Invalid) and carry the byte offset of
+// the offending token, which the server surfaces as the "pos" field.
+func TestParseErrorsCarryPositions(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantPos int // byte offset of the token the error should point at
+	}{
+		{"SELECT FROM t", 7},                        // missing select list → error at FROM
+		{"SELECT COUNT(*) AS n FRM t", 21},          // misspelled FROM
+		{"SELECT COUNT(*) AS n FROM t GROUP 9", 34}, // expected BY
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded", c.src)
+			continue
+		}
+		if kind := serr.KindOf(err); kind != serr.Invalid {
+			t.Errorf("Parse(%q) kind = %v, want Invalid", c.src, kind)
+		}
+		if pos := serr.PosOf(err); pos != c.wantPos {
+			t.Errorf("Parse(%q) pos = %d (%v), want %d", c.src, pos, err, c.wantPos)
+		}
+		if !strings.Contains(err.Error(), "offset") {
+			t.Errorf("Parse(%q) error does not render its offset: %v", c.src, err)
+		}
+	}
+}

@@ -1,9 +1,10 @@
 package storage
 
 import (
-	"fmt"
 	"sort"
 	"sync"
+
+	"smoke/internal/serr"
 )
 
 // ForeignKey records that child.Column references parent.Column, where the
@@ -82,8 +83,12 @@ func IntColumnUnique(rel *Relation, col string) bool {
 }
 
 // Register adds (or replaces) a relation under its own name. Replacing a
-// relation drops its memoized uniqueness verdicts so the old relation's
-// column data is not pinned.
+// relation drops its memoized uniqueness verdicts (so the old relation's
+// column data is not pinned) and its primary/foreign-key declarations —
+// key metadata described the old data, and a stale pk would silently send
+// joins over the new data down the one-match pk-fk specialization even
+// when the new column holds duplicates. Callers re-declare keys after
+// re-registering.
 func (c *Catalog) Register(r *Relation) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -93,17 +98,26 @@ func (c *Catalog) Register(r *Relation) {
 				delete(c.uniq, k)
 			}
 		}
+		delete(c.pks, r.Name)
+		kept := c.fks[:0]
+		for _, fk := range c.fks {
+			if fk.ChildTable != r.Name && fk.ParentTable != r.Name {
+				kept = append(kept, fk)
+			}
+		}
+		c.fks = kept
 	}
 	c.rels[r.Name] = r
 }
 
-// Relation returns the named relation, or an error naming known tables.
+// Relation returns the named relation, or a structured not-found error
+// naming known tables (servers map it to 404).
 func (c *Catalog) Relation(name string) (*Relation, error) {
 	c.mu.RLock()
 	r, ok := c.rels[name]
 	c.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("storage: unknown relation %q (have %v)", name, c.Names())
+		return nil, serr.New(serr.NotFound, "storage: unknown relation %q (have %v)", name, c.Names())
 	}
 	return r, nil
 }

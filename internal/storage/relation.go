@@ -141,6 +141,24 @@ func (r *Relation) Gather(name string, rids []int32) *Relation {
 	return out
 }
 
+// MemBytes approximates the relation's resident column memory: fixed-width
+// columns at their slice footprint, strings at header plus byte length. The
+// server's session registry uses it (with Capture.MemBytes) to decide what
+// LRU eviction reclaims.
+func (r *Relation) MemBytes() int64 {
+	var total int64
+	for _, c := range r.Cols {
+		total += int64(len(c.Ints))*8 + int64(len(c.Floats))*8
+		if c.Strs != nil {
+			total += int64(len(c.Strs)) * 16 // string headers
+			for _, s := range c.Strs {
+				total += int64(len(s))
+			}
+		}
+	}
+	return total
+}
+
 // Project returns a new relation with only the given columns, sharing the
 // underlying column slices (zero-copy). Bag-semantics projection needs no
 // lineage: output rid i is input rid i in both directions.

@@ -229,3 +229,44 @@ func TestUniqueIntColumnMemoized(t *testing.T) {
 		t.Fatal("memoized verdicts changed")
 	}
 }
+
+// Replacing a relation must drop its key metadata: the old declarations
+// described the old data, and a stale primary key would send joins over the
+// new data down the one-match pk-fk specialization even when the new column
+// holds duplicates.
+func TestRegisterReplacementClearsKeys(t *testing.T) {
+	c := NewCatalog()
+	mk := func() *Relation {
+		r := NewEmpty("t", Schema{{Name: "id", Type: TInt}})
+		r.AppendRow(1)
+		r.AppendRow(2)
+		return r
+	}
+	child := NewEmpty("u", Schema{{Name: "tid", Type: TInt}})
+	c.Register(mk())
+	c.Register(child)
+	c.SetPrimaryKey("t", "id")
+	c.AddForeignKey(ForeignKey{ChildTable: "u", ChildColumn: "tid", ParentTable: "t", ParentColumn: "id"})
+	if pk := c.PrimaryKey("t"); pk != "id" {
+		t.Fatalf("pk = %q", pk)
+	}
+	if ok, _ := c.IsPKFK("t", "id", "u", "tid"); !ok {
+		t.Fatal("fk not registered")
+	}
+
+	// Re-registering the same relation pointer keeps the declarations.
+	r := c.MustRelation("t")
+	c.Register(r)
+	if c.PrimaryKey("t") != "id" {
+		t.Fatal("same-pointer re-register dropped the pk")
+	}
+
+	// Replacing with new data drops pk and the fks touching the table.
+	c.Register(mk())
+	if pk := c.PrimaryKey("t"); pk != "" {
+		t.Fatalf("stale pk survived replacement: %q", pk)
+	}
+	if ok, _ := c.IsPKFK("t", "id", "u", "tid"); ok {
+		t.Fatal("stale fk survived replacement")
+	}
+}

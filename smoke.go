@@ -43,9 +43,14 @@
 // rid-set form of the same operation and shares those kernels. See
 // DESIGN.md "Lineage-consuming queries".
 //
+// The engine also runs as a network service: cmd/smoked serves ingest, SQL,
+// and session-scoped bound traces over HTTP (internal/server), so clients
+// capture once and trace per interaction across requests — see
+// docs/http-api.md.
+//
 // The root package re-exports the engine facade (internal/core), the storage
-// and expression substrates, and the capture knobs, so applications program
-// against one import:
+// and expression substrates, and the capture knobs, so in-process
+// applications program against one import:
 //
 //	db := smoke.Open(smoke.WithWorkers(4))
 //	defer db.Close() // releases the worker pool
@@ -57,8 +62,8 @@
 //	    Run(smoke.CaptureOptions{Mode: smoke.Inject})
 //	rids, err := res.Backward("lineitem", []smoke.Rid{0})
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// See DESIGN.md for the documentation index (docs/architecture.md has the
+// full system map) and docs/benchmarks.md for the measured record.
 package smoke
 
 import (
