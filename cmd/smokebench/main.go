@@ -11,6 +11,9 @@
 //	                                   # CI smoke-job: lineage-equality gates
 //	                                   # at sub-second scale; benchgate then
 //	                                   # compares bench/out to bench/baselines
+//	smokebench -exp plan -profile prof # also write prof/profile_cpu.pprof and
+//	                                   # prof/profile_heap.pprof for
+//	                                   # `go tool pprof` drill-down
 //	smokebench -list                   # list experiment ids
 package main
 
@@ -18,6 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,6 +35,7 @@ func main() {
 	scale := flag.String("scale", "small", "dataset scale: tiny | small | paper")
 	reps := flag.Int("reps", 3, "timed repetitions per measurement (median reported)")
 	jsonFlag := flag.String("json", "", "directory for BENCH_*.json output (created if missing); default: cwd at small/paper scale, suppressed at tiny so CI noise never overwrites the committed trajectory files")
+	profileDir := flag.String("profile", "", "directory for pprof artifacts (created if missing): CPU profile over the whole experiment run (profile_cpu.pprof) plus an end-of-run heap profile (profile_heap.pprof)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -56,6 +63,24 @@ func main() {
 	cfg := bench.Config{Scale: *scale, Reps: *reps, W: os.Stdout, JSONDir: jsonDir}
 	runners := bench.Experiments()
 
+	var cpuProf *os.File
+	if *profileDir != "" {
+		if err := os.MkdirAll(*profileDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "smokebench: %v\n", err)
+			os.Exit(1)
+		}
+		var err error
+		cpuProf, err = os.Create(filepath.Join(*profileDir, "profile_cpu.pprof"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smokebench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(cpuProf); err != nil {
+			fmt.Fprintf(os.Stderr, "smokebench: start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	var ids []string
 	if *exp == "all" {
 		ids = bench.Order()
@@ -75,5 +100,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stdout, "[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if cpuProf != nil {
+		pprof.StopCPUProfile()
+		cpuProf.Close()
+		heapProf, err := os.Create(filepath.Join(*profileDir, "profile_heap.pprof"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smokebench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle live-heap accounting before the snapshot
+		if err := pprof.WriteHeapProfile(heapProf); err != nil {
+			fmt.Fprintf(os.Stderr, "smokebench: heap profile: %v\n", err)
+			os.Exit(1)
+		}
+		heapProf.Close()
+		fmt.Fprintf(os.Stdout, "wrote %s and %s\n",
+			filepath.Join(*profileDir, "profile_cpu.pprof"),
+			filepath.Join(*profileDir, "profile_heap.pprof"))
 	}
 }

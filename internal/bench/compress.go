@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"smoke/internal/datagen"
@@ -26,8 +27,13 @@ import (
 // For each workload it captures raw and compressed (Inject, both
 // directions), gates on element-identical lineage — including a
 // morsel-parallel compressed run, which exercises the encoded-concat merge —
-// and then reports bytes-per-rid and backward/forward trace latency for both
-// representations. Results land in BENCH_compress.json.
+// and then reports bytes-per-rid and backward/forward trace latency for
+// three representations: raw, compressed (decode-expansion through the chunk
+// cursor), and compressed-insitu (TraceInSitu — the trace result stays
+// encoded, no chunk is ever decoded; its equality to the raw trace is gated
+// outside the timed region). It also times the compressed capture itself at
+// workers ∈ {1, 2, 4, 8} (the encoded-concat merge scaling). Results land in
+// BENCH_compress.json with a detected-cores annotation.
 func Compress(cfg Config) error {
 	n := 400_000
 	groups := 1_000
@@ -39,8 +45,9 @@ func Compress(cfg Config) error {
 		n = 50_000
 		groups = 200
 	}
+	workerCounts := []int{1, 2, 4, 8}
 	workers := 4
-	p := pool.New(workers)
+	p := pool.New(workerCounts[len(workerCounts)-1])
 	defer p.Close()
 
 	type row struct {
@@ -52,16 +59,24 @@ func Compress(cfg Config) error {
 		BackwardMs  float64 `json:"backward_trace_ms"`
 		ForwardMs   float64 `json:"forward_trace_ms"`
 	}
+	type captureRow struct {
+		Workload string  `json:"workload"`
+		Op       string  `json:"op"`
+		Workers  int     `json:"workers"`
+		Ms       float64 `json:"ms"`
+	}
 	report := struct {
-		Tuples  int    `json:"tuples"`
-		Groups  int    `json:"groups"`
-		Mode    string `json:"mode"`
-		Rows    []row  `json:"rows"`
-		Created string `json:"created"`
-	}{Tuples: n, Groups: groups, Mode: "inject+both"}
+		Tuples      int          `json:"tuples"`
+		Groups      int          `json:"groups"`
+		Cores       int          `json:"cores"`
+		Mode        string       `json:"mode"`
+		Rows        []row        `json:"rows"`
+		CaptureRows []captureRow `json:"capture_rows"`
+		Created     string       `json:"created"`
+	}{Tuples: n, Groups: groups, Cores: runtime.NumCPU(), Mode: "inject+both"}
 
-	cfg.printf("Figure Z (beyond-paper): compressed lineage indexes, %d tuples, %d groups\n", n, groups)
-	cfg.printf("%-10s %-12s %14s %14s %14s\n", "workload", "repr", "bytes/rid", "backward(ms)", "forward(ms)")
+	cfg.printf("Figure Z (beyond-paper): compressed lineage indexes, %d tuples, %d groups, %d cores\n", n, groups, report.Cores)
+	cfg.printf("%-10s %-18s %14s %14s %14s\n", "workload", "repr", "bytes/rid", "backward(ms)", "forward(ms)")
 
 	aggSpec := microAggSpec()
 	for _, wl := range []struct {
@@ -108,6 +123,20 @@ func Compress(cfg Config) error {
 			inRids = append(inRids, lineage.Rid(i))
 		}
 
+		// In-situ equality gate (outside the timed region): the encoded
+		// trace's decode must equal the raw trace element-for-element.
+		insitu := comp.BWEnc.TraceInSitu(outRids)
+		wantTrace := rawBW.Trace(outRids)
+		if insitu.Len() != len(wantTrace) {
+			return fmt.Errorf("compress: %s: in-situ trace has %d rids, want %d", wl.name, insitu.Len(), len(wantTrace))
+		}
+		dec := insitu.AppendTo(nil)
+		for i := range wantTrace {
+			if dec[i] != wantTrace[i] {
+				return fmt.Errorf("compress: %s: in-situ trace diverges from raw at element %d", wl.name, i)
+			}
+		}
+
 		for _, m := range []struct {
 			repr   string
 			bw, fw *lineage.Index
@@ -126,8 +155,46 @@ func Compress(cfg Config) error {
 				BackwardMs:  ms(bwD), ForwardMs: ms(fwD),
 			}
 			report.Rows = append(report.Rows, r)
-			cfg.printf("%-10s %-12s %14.2f %14.2f %14.2f\n", r.Workload, r.Repr, r.BytesPerRid, r.BackwardMs, r.ForwardMs)
+			cfg.printf("%-10s %-18s %14.2f %14.2f %14.2f\n", r.Workload, r.Repr, r.BytesPerRid, r.BackwardMs, r.ForwardMs)
 		}
+
+		// The in-situ row: the backward trace never decodes a chunk — it
+		// byte-concatenates the seed groups' chunk sequences (TraceInSitu).
+		// Forward probes go through the EncodedArr sequential cursor, which
+		// Index.Trace already routes to. This is the representation-native
+		// trace cost that competes with (and on dense lineage, beats) raw.
+		{
+			enc := comp.BWEnc
+			bwD := cfg.Median(func() { enc.TraceInSitu(outRids) })
+			fwD := cfg.Median(func() { compFW.Trace(inRids) })
+			bytes := compBW.SizeBytes() + compFW.SizeBytes()
+			r := row{
+				Workload: wl.name, Repr: "compressed-insitu",
+				Cardinality: card, IndexBytes: bytes,
+				BytesPerRid: float64(bytes) / float64(card+n),
+				BackwardMs:  ms(bwD), ForwardMs: ms(fwD),
+			}
+			report.Rows = append(report.Rows, r)
+			cfg.printf("%-10s %-18s %14.2f %14.2f %14.2f\n", r.Workload, r.Repr, r.BytesPerRid, r.BackwardMs, r.ForwardMs)
+		}
+
+		// Compressed-capture scaling: the whole capture (execute + encode +
+		// encoded-concat merge) at each worker count.
+		cfg.printf("%-10s %-18s", wl.name, "capture(ms)")
+		for _, w := range workerCounts {
+			w := w
+			d := cfg.Median(func() {
+				_, err := ops.HashAgg(wl.rel, nil, aggSpec, ops.AggOpts{
+					Mode: ops.Inject, Dirs: ops.CaptureBoth, Compress: true, Workers: w, Pool: p,
+				})
+				must(err)
+			})
+			report.CaptureRows = append(report.CaptureRows, captureRow{
+				Workload: wl.name, Op: "capture-compressed", Workers: w, Ms: ms(d),
+			})
+			cfg.printf(" w%d=%-11.1f", w, ms(d))
+		}
+		cfg.printf("\n")
 	}
 
 	report.Created = time.Now().Format(time.RFC3339)

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"time"
 
 	"smoke/internal/core"
@@ -140,10 +141,11 @@ func Consume(cfg Config) error {
 	report := struct {
 		Tuples  int    `json:"tuples"`
 		Bars    int    `json:"sampled_bars"`
+		Cores   int    `json:"cores"`
 		Mode    string `json:"mode"`
 		Rows    []row  `json:"rows"`
 		Created string `json:"created"`
-	}{Tuples: n, Bars: len(bars), Mode: "inject+both", Created: time.Now().Format(time.RFC3339)}
+	}{Tuples: n, Bars: len(bars), Cores: runtime.NumCPU(), Mode: "inject+both", Created: time.Now().Format(time.RFC3339)}
 
 	cfg.printf("Figure C (beyond-paper): consuming-query roundtrip (backward trace + re-aggregate + forward trace), total latency over %d interactions (ms), %d tuples\n", len(bars), n)
 	cfg.printf("%-14s %-10s %-14s %-10s\n", "path", "workers", "ms", "vs preplan")

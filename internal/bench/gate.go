@@ -33,10 +33,26 @@ type GateConfig struct {
 	SlackMS float64
 }
 
-// benchReport is the shape every BENCH_*.json shares: a "rows" array of
-// flat objects with an "ms" measurement.
+// benchReport is the shape every BENCH_*.json shares: a "rows" array of flat
+// objects with an "ms" measurement, an optional "capture_rows" array of the
+// same shape (worker-scaling measurements of the capture itself), and a
+// "cores" annotation recording how many CPUs the emitting machine detected —
+// the scaling gate trusts it to decide whether a multi-worker comparison is
+// meaningful on that machine.
 type benchReport struct {
-	Rows []map[string]any `json:"rows"`
+	Cores       int              `json:"cores"`
+	Rows        []map[string]any `json:"rows"`
+	CaptureRows []map[string]any `json:"capture_rows"`
+}
+
+// allRows flattens the regular and capture-scaling rows; both are gated.
+func (r benchReport) allRows() []map[string]any {
+	if len(r.CaptureRows) == 0 {
+		return r.Rows
+	}
+	all := make([]map[string]any, 0, len(r.Rows)+len(r.CaptureRows))
+	all = append(all, r.Rows...)
+	return append(all, r.CaptureRows...)
 }
 
 // measurementField reports whether a row field is a measurement (gated or
@@ -84,7 +100,7 @@ func CompareGateFile(baselinePath, currentPath string, cfg GateConfig) error {
 		return fmt.Errorf("current %s: %w", currentPath, err)
 	}
 	curMS := map[string]map[string]float64{}
-	for _, row := range cur.Rows {
+	for _, row := range cur.allRows() {
 		m := map[string]float64{}
 		for k, v := range row {
 			if f, ok := v.(float64); ok && latencyField(k) {
@@ -94,7 +110,7 @@ func CompareGateFile(baselinePath, currentPath string, cfg GateConfig) error {
 		curMS[rowKey(row)] = m
 	}
 	var failures []string
-	for _, row := range base.Rows {
+	for _, row := range base.allRows() {
 		key := rowKey(row)
 		var fields []string
 		for k, v := range row {
@@ -150,6 +166,148 @@ func CompareGateDirs(baselineDir, currentDir string, cfg GateConfig) error {
 			continue
 		}
 		if err := CompareGateFile(basePath, curPath, cfg); err != nil {
+			failures = append(failures, err.Error())
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%s", strings.Join(failures, "\n"))
+	}
+	return nil
+}
+
+// ScalingConfig tunes the worker-scaling gate. It inspects only the CURRENT
+// reports (no baseline needed): for every measurement that exists at both
+// workers=1 and workers=AtWorkers with otherwise-identical identity, the
+// parallel run must be at least MinSpeedup times faster than the serial one.
+// This is the regression net for the morsel dispatch path — a merge that
+// stops scaling, a pool that serializes, a kernel that re-grows scratch per
+// morsel all show up as a collapsed ratio long before they show up as
+// absolute latency.
+type ScalingConfig struct {
+	// AtWorkers is the parallel worker count compared against workers=1.
+	AtWorkers int
+	// MinSpeedup is the required ms(workers=1) / ms(workers=AtWorkers)
+	// ratio. <= 0 disables the gate.
+	MinSpeedup float64
+	// MinMS is the noise floor: a pair whose serial latency is below this is
+	// skipped — sub-millisecond tiny-scale rows are dominated by dispatch
+	// constants and scheduler jitter, and a ratio on them would flake.
+	MinMS float64
+	// Logf, when set, receives skip annotations (machine too small, pairs
+	// under the noise floor). Defaults to discarding them.
+	Logf func(format string, args ...any)
+}
+
+func (cfg ScalingConfig) logf(format string, args ...any) {
+	if cfg.Logf != nil {
+		cfg.Logf(format, args...)
+	}
+}
+
+// scalingKey is a row's identity with the workers field removed, suffixed
+// with the latency field name, so the same measurement at different worker
+// counts collides into one comparison group.
+func scalingKey(row map[string]any, field string) string {
+	keys := make([]string, 0, len(row))
+	for k := range row {
+		if measurementField(k) || k == "workers" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys)+1)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, row[k]))
+	}
+	return strings.Join(parts, " ") + " [" + field + "]"
+}
+
+// ScalingGateFile enforces the worker-scaling ratio on one current report.
+// When the report's detected-cores annotation is below AtWorkers the gate
+// skips with a logged annotation instead of failing: on a 1- or 2-core CI
+// runner a workers=4 run CANNOT be faster, and gating on it would make the
+// check machine-dependent in exactly the wrong direction.
+func ScalingGateFile(path string, cfg ScalingConfig) error {
+	if cfg.MinSpeedup <= 0 || cfg.AtWorkers <= 1 {
+		return nil
+	}
+	rep, err := readReport(path)
+	if err != nil {
+		return fmt.Errorf("scaling gate: %s: %w", path, err)
+	}
+	if rep.Cores > 0 && rep.Cores < cfg.AtWorkers {
+		cfg.logf("scaling gate: %s: skipped (detected %d cores < %d workers)",
+			filepath.Base(path), rep.Cores, cfg.AtWorkers)
+		return nil
+	}
+	serial := map[string]float64{}
+	parallel := map[string]float64{}
+	for _, row := range rep.allRows() {
+		w, ok := row["workers"].(float64)
+		if !ok {
+			continue
+		}
+		for k, v := range row {
+			f, isNum := v.(float64)
+			if !isNum || !latencyField(k) {
+				continue
+			}
+			switch int(w) {
+			case 1:
+				serial[scalingKey(row, k)] = f
+			case cfg.AtWorkers:
+				parallel[scalingKey(row, k)] = f
+			}
+		}
+	}
+	var failures []string
+	keys := make([]string, 0, len(serial))
+	for k := range serial {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		s := serial[key]
+		p, ok := parallel[key]
+		if !ok {
+			// Serial-only measurements (e.g. a reference path that has no
+			// parallel variant) are not scaling pairs. Vanished rows are the
+			// regression gate's job, not this one's.
+			cfg.logf("scaling gate: %s: %q skipped (no workers=%d counterpart)",
+				filepath.Base(path), key, cfg.AtWorkers)
+			continue
+		}
+		if s < cfg.MinMS {
+			cfg.logf("scaling gate: %s: %q skipped (serial %.2fms under %.2fms noise floor)",
+				filepath.Base(path), key, s, cfg.MinMS)
+			continue
+		}
+		if p <= 0 {
+			continue
+		}
+		if ratio := s / p; ratio < cfg.MinSpeedup {
+			failures = append(failures,
+				fmt.Sprintf("%q scaling collapsed: workers=%d is %.2fx vs workers=1 (%.2fms vs %.2fms), need >= %.2fx",
+					key, cfg.AtWorkers, ratio, p, s, cfg.MinSpeedup))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("scaling gate: %s:\n  %s", filepath.Base(path), strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// ScalingGateDir applies the scaling gate to every report in currentDir.
+// Reports without multi-worker rows pass trivially.
+func ScalingGateDir(currentDir string, cfg ScalingConfig) error {
+	matches, err := filepath.Glob(filepath.Join(currentDir, "*.json"))
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for _, path := range matches {
+		if err := ScalingGateFile(path, cfg); err != nil {
 			failures = append(failures, err.Error())
 		}
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -98,6 +99,130 @@ func TestGateFailsOnVanishedRow(t *testing.T) {
 	err := CompareGateFile(base, cur, GateConfig{Tolerance: 2.0, SlackMS: 5})
 	if err == nil || !strings.Contains(err.Error(), "vanished") {
 		t.Fatalf("vanished rows must fail the gate, got: %v", err)
+	}
+}
+
+// TestGateCoversCaptureRows: capture_rows are gated like rows — a vanished
+// or regressed scaling measurement fails even though it lives in the second
+// array.
+func TestGateCoversCaptureRows(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", `{
+  "rows": [],
+  "capture_rows": [
+    {"workload": "zipf", "op": "capture-compressed", "workers": 4, "ms": 5.0}
+  ]
+}`)
+	cur := writeReport(t, dir, "cur.json", `{
+  "rows": [],
+  "capture_rows": [
+    {"workload": "zipf", "op": "capture-compressed", "workers": 4, "ms": 60.0}
+  ]
+}`)
+	err := CompareGateFile(base, cur, GateConfig{Tolerance: 2.0, SlackMS: 5})
+	if err == nil || !strings.Contains(err.Error(), "capture-compressed") {
+		t.Fatalf("capture_rows regression must fail and name the row, got: %v", err)
+	}
+}
+
+const scalingHealthy = `{
+  "cores": 8,
+  "rows": [
+    {"query": "star", "path": "fused", "workers": 1, "ms": 100.0},
+    {"query": "star", "path": "fused", "workers": 4, "ms": 30.0}
+  ],
+  "capture_rows": [
+    {"workload": "zipf", "op": "capture-compressed", "workers": 1, "ms": 80.0},
+    {"workload": "zipf", "op": "capture-compressed", "workers": 4, "ms": 25.0}
+  ]
+}`
+
+// TestScalingGatePassesOnHealthyRatio: 100ms -> 30ms at workers=4 clears a
+// 1.2x floor, in both rows and capture_rows.
+func TestScalingGatePassesOnHealthyRatio(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "BENCH_plan.json", scalingHealthy)
+	cfg := ScalingConfig{AtWorkers: 4, MinSpeedup: 1.2, MinMS: 1}
+	if err := ScalingGateFile(path, cfg); err != nil {
+		t.Fatalf("healthy scaling should pass: %v", err)
+	}
+}
+
+// TestScalingGateFailsOnCollapse: a parallel run slower than serial on an
+// 8-core report fails with the pair named.
+func TestScalingGateFailsOnCollapse(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "BENCH_plan.json", `{
+  "cores": 8,
+  "rows": [
+    {"query": "star", "path": "fused", "workers": 1, "ms": 100.0},
+    {"query": "star", "path": "fused", "workers": 4, "ms": 95.0}
+  ]
+}`)
+	err := ScalingGateFile(path, ScalingConfig{AtWorkers: 4, MinSpeedup: 1.2, MinMS: 1})
+	if err == nil || !strings.Contains(err.Error(), "scaling collapsed") || !strings.Contains(err.Error(), "query=star") {
+		t.Fatalf("collapsed scaling must fail and name the pair, got: %v", err)
+	}
+}
+
+// TestScalingGateSkipsOnSmallMachine: the same collapsed report passes when
+// the emitting machine detected fewer cores than the compared worker count,
+// and the skip is announced through Logf.
+func TestScalingGateSkipsOnSmallMachine(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "BENCH_plan.json", `{
+  "cores": 1,
+  "rows": [
+    {"query": "star", "path": "fused", "workers": 1, "ms": 100.0},
+    {"query": "star", "path": "fused", "workers": 4, "ms": 95.0}
+  ]
+}`)
+	var logged []string
+	cfg := ScalingConfig{AtWorkers: 4, MinSpeedup: 1.2, MinMS: 1,
+		Logf: func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }}
+	if err := ScalingGateFile(path, cfg); err != nil {
+		t.Fatalf("1-core report must skip, not fail: %v", err)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "skipped") {
+		t.Fatalf("skip must be annotated via Logf, got: %v", logged)
+	}
+}
+
+// TestScalingGateSkipsNoiseFloorAndUnpaired: sub-floor pairs and serial-only
+// rows are logged skips, never failures.
+func TestScalingGateSkipsNoiseFloorAndUnpaired(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "BENCH_consume.json", `{
+  "cores": 8,
+  "rows": [
+    {"path": "preplan", "workers": 1, "ms": 50.0},
+    {"path": "tinyrow", "workers": 1, "ms": 0.4},
+    {"path": "tinyrow", "workers": 4, "ms": 0.9}
+  ]
+}`)
+	var logged []string
+	cfg := ScalingConfig{AtWorkers: 4, MinSpeedup: 1.2, MinMS: 5,
+		Logf: func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }}
+	if err := ScalingGateFile(path, cfg); err != nil {
+		t.Fatalf("unpaired and sub-floor rows must skip: %v", err)
+	}
+	if len(logged) != 2 {
+		t.Fatalf("expected 2 skip annotations, got: %v", logged)
+	}
+}
+
+// TestScalingGateDisabled: MinSpeedup <= 0 turns the gate off entirely.
+func TestScalingGateDisabled(t *testing.T) {
+	dir := t.TempDir()
+	writeReport(t, dir, "BENCH_plan.json", `{
+  "cores": 8,
+  "rows": [
+    {"query": "star", "path": "fused", "workers": 1, "ms": 100.0},
+    {"query": "star", "path": "fused", "workers": 4, "ms": 500.0}
+  ]
+}`)
+	if err := ScalingGateDir(dir, ScalingConfig{AtWorkers: 4, MinSpeedup: 0}); err != nil {
+		t.Fatalf("disabled gate must pass: %v", err)
 	}
 }
 

@@ -40,20 +40,22 @@ func ParScale(cfg Config) error {
 	defer p.Close()
 
 	rel := datagen.Zipf("zipf", 1.0, n, groups, 42)
-	pred, err := expr.CompilePred(expr.LtE(expr.C("v"), expr.F(50)), rel, nil)
+	filter := expr.LtE(expr.C("v"), expr.F(50))
+	pred, err := expr.CompilePred(filter, rel, nil)
 	if err != nil {
 		return err
 	}
+	kern := expr.CompileBitKernel(filter, rel, nil)
 	aggSpec := microAggSpec()
 
 	// Correctness gate: parallel lineage must equal serial lineage.
-	serialSel := ops.Select(rel.N, pred, ops.SelectOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
+	serialSel := ops.Select(rel.N, pred, ops.SelectOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth, Kernel: kern})
 	serialAgg, err := ops.HashAgg(rel, nil, aggSpec, ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth})
 	if err != nil {
 		return err
 	}
 	for _, w := range workerCounts[1:] {
-		sres := ops.Select(rel.N, pred, ops.SelectOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth, Workers: w, Pool: p})
+		sres := ops.Select(rel.N, pred, ops.SelectOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth, Workers: w, Pool: p, Kernel: kern})
 		if !reflect.DeepEqual(sres.BW, serialSel.BW) || !reflect.DeepEqual(sres.FW, serialSel.FW) {
 			return fmt.Errorf("parscale: select lineage at workers=%d differs from serial", w)
 		}
@@ -110,7 +112,7 @@ func ParScale(cfg Config) error {
 		cfg.printf("\n")
 	}
 	run("select", func(w int) {
-		ops.Select(rel.N, pred, ops.SelectOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth, Workers: w, Pool: p})
+		ops.Select(rel.N, pred, ops.SelectOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth, Workers: w, Pool: p, Kernel: kern})
 	})
 	run("groupby", func(w int) {
 		_, err := ops.HashAgg(rel, nil, aggSpec, ops.AggOpts{Mode: ops.Inject, Dirs: ops.CaptureBoth, Workers: w, Pool: p})

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"smoke/internal/difftest"
@@ -32,7 +33,8 @@ func PlanBench(cfg Config) error {
 	case cfg.tiny():
 		dimN, factN = 200, 100_000
 	}
-	workers := 4
+	workerCounts := []int{1, 2, 4, 8}
+	workers := workerCounts[len(workerCounts)-1]
 	pl := pool.New(workers)
 	defer pl.Close()
 
@@ -91,13 +93,18 @@ func PlanBench(cfg Config) error {
 	report := struct {
 		DimN    int    `json:"dim_rows"`
 		FactN   int    `json:"fact_rows"`
+		Cores   int    `json:"cores"`
 		Mode    string `json:"mode"`
 		Rows    []row  `json:"rows"`
 		Created string `json:"created"`
-	}{DimN: dimN, FactN: factN, Mode: "inject+both", Created: time.Now().Format(time.RFC3339)}
+	}{DimN: dimN, FactN: factN, Cores: runtime.NumCPU(), Mode: "inject+both", Created: time.Now().Format(time.RFC3339)}
 
-	cfg.printf("Figure Q (beyond-paper): plan layer, fused vs generic lowering, execute+capture latency (ms), dim=%d fact=%d\n", dimN, factN)
-	cfg.printf("%-14s %-10s %-10s %-16s %-16s\n", "query", "path", "", "workers=1", fmt.Sprintf("workers=%d", workers))
+	cfg.printf("Figure Q (beyond-paper): plan layer, fused vs generic lowering, execute+capture latency (ms), dim=%d fact=%d, %d cores\n", dimN, factN, report.Cores)
+	cfg.printf("%-14s %-10s %-10s", "query", "path", "")
+	for _, w := range workerCounts {
+		cfg.printf(" %-16s", fmt.Sprintf("workers=%d", w))
+	}
+	cfg.printf("\n")
 
 	for _, q := range []struct {
 		name string
@@ -135,7 +142,7 @@ func PlanBench(cfg Config) error {
 			n    plan.Node
 		}{{"generic", generic}, {"fused", fused}} {
 			cfg.printf("%-14s %-10s %-10s", q.name, path.name, "")
-			for _, w := range []int{1, workers} {
+			for _, w := range workerCounts {
 				w := w
 				n := path.n
 				d := cfg.Median(func() {

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -209,10 +210,11 @@ func Serve(cfg Config) error {
 	report := struct {
 		Tuples   int    `json:"tuples"`
 		Sessions int    `json:"sessions"`
+		Cores    int    `json:"cores"`
 		Mode     string `json:"mode"`
 		Rows     []row  `json:"rows"`
 		Created  string `json:"created"`
-	}{Tuples: n, Sessions: sessions, Mode: "inject", Created: time.Now().Format(time.RFC3339)}
+	}{Tuples: n, Sessions: sessions, Cores: runtime.NumCPU(), Mode: "inject", Created: time.Now().Format(time.RFC3339)}
 
 	mkRow := func(op string, ls []float64, hit float64) row {
 		return row{

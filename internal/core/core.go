@@ -645,7 +645,10 @@ func (q *Query) runSingle(opts CaptureOptions) (*Result, error) {
 		// Select guarantees a non-nil OutRids under Mode None even for zero
 		// matches — load-bearing here, because a nil rid subset means "all
 		// rows" to HashAgg.
-		sres := ops.Select(rel.N, pred, ops.SelectOpts{Mode: ops.None, Workers: workers, Pool: pl})
+		sres := ops.Select(rel.N, pred, ops.SelectOpts{
+			Mode: ops.None, Workers: workers, Pool: pl,
+			Kernel: expr.CompileBitKernel(q.tables[0].Filter, rel, opts.Params),
+		})
 		inRids = sres.OutRids
 	}
 

@@ -241,6 +241,7 @@ func runScan(node plan.Scan, opts PlanOpts) (nodeOut, error) {
 	}
 	sres := ops.Select(node.Rel.N, pred, ops.SelectOpts{
 		Mode: selMode, Dirs: dirs, Workers: opts.Workers, Pool: opts.Pool,
+		Kernel: expr.CompileBitKernel(node.Filter, node.Rel, opts.Params),
 	})
 	// The filtered intermediate keeps the base name: downstream joins prefix
 	// colliding columns with it, and qualified join keys ("table.col")
@@ -271,6 +272,7 @@ func runFilter(node plan.Filter, opts PlanOpts) (nodeOut, error) {
 	}
 	sres := ops.Select(child.rel.N, pred, ops.SelectOpts{
 		Mode: selMode, Dirs: dirs, Workers: opts.Workers, Pool: opts.Pool,
+		Kernel: expr.CompileBitKernel(node.Pred, child.rel, opts.Params),
 	})
 	rel := child.rel.Gather(child.rel.Name+"_f", sres.OutRids)
 	var localBW, localFW *lineage.Index
@@ -375,7 +377,10 @@ func runGroupByOverScan(sc plan.Scan, spec ops.GroupBySpec, opts PlanOpts) (node
 		// Select guarantees a non-nil OutRids under Mode None even for
 		// zero matches — load-bearing, because a nil rid subset means
 		// "all rows" to HashAgg.
-		sres := ops.Select(sc.Rel.N, pred, ops.SelectOpts{Mode: ops.None, Workers: opts.Workers, Pool: opts.Pool})
+		sres := ops.Select(sc.Rel.N, pred, ops.SelectOpts{
+			Mode: ops.None, Workers: opts.Workers, Pool: opts.Pool,
+			Kernel: expr.CompileBitKernel(sc.Filter, sc.Rel, opts.Params),
+		})
 		inRids = sres.OutRids
 	}
 	return runGroupByOverRids(sc.Rel, sc.Table, inRids, false, spec, opts)

@@ -115,7 +115,10 @@ func traceSeeds(seedRel *storage.Relation, rids []lineage.Rid, pred expr.Expr, o
 	if err != nil {
 		return nil, fmt.Errorf("exec: trace seed predicate: %w", err)
 	}
-	sres := ops.Select(seedRel.N, p, ops.SelectOpts{Mode: ops.None, Workers: opts.Workers, Pool: opts.Pool})
+	sres := ops.Select(seedRel.N, p, ops.SelectOpts{
+		Mode: ops.None, Workers: opts.Workers, Pool: opts.Pool,
+		Kernel: expr.CompileBitKernel(pred, seedRel, opts.Params),
+	})
 	return sres.OutRids, nil
 }
 

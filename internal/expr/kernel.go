@@ -1,0 +1,324 @@
+package expr
+
+import (
+	"smoke/internal/scratch"
+	"smoke/internal/storage"
+)
+
+// getWords / putWords recycle combine-scratch bitmaps through the shared
+// size-classed pool (allocation-free nested AND/OR in steady state).
+func getWords(n int) []uint64 { return scratch.Words(n) }
+func putWords(b []uint64)     { scratch.PutWords(b) }
+
+// Predicate bit-kernels: the vectorized form of CompilePred. A BitKernel
+// evaluates a predicate over a contiguous rid range and writes the outcomes
+// as a bitmap — bit (i - lo) of dst holds the predicate value of row i. The
+// selection operator's two-pass kernel (ops.Select) runs a BitKernel over
+// each morsel, popcounts the bitmap to allocate the output rid array exactly
+// once, and then materializes set bits; the per-row closure call, the
+// per-match branch, and the append-with-growth of the old scan loop all
+// disappear from the hot path.
+//
+// Kernels compose over the bitmap: AND/OR of two predicates is a word-wise
+// combine, NOT is a word-wise flip. Leaf kernels are branch-light — the
+// comparison result converts to a bit with a flag-set instruction, not a
+// branch, so selectivity does not cost branch mispredictions — and iterate
+// 64 rows per output word over the raw column slice (bounds-check-eliminated
+// by the range loop).
+//
+// CompileBitKernel returns nil for predicate shapes without a kernel
+// (string comparisons, IN lists, arithmetic over expressions); callers fall
+// back to PredKernel, which wraps the compiled row closure in the same
+// two-pass bitmap contract.
+
+// KernMode selects how a kernel's words combine into dst.
+type KernMode uint8
+
+const (
+	// KernSet overwrites dst words (including zeroing bits past hi-lo in the
+	// last word, so pooled scratch needs no clearing).
+	KernSet KernMode = iota
+	// KernAnd intersects into dst (dst &= words).
+	KernAnd
+	// KernOr unions into dst (dst |= words).
+	KernOr
+)
+
+// BitKernel writes the predicate bitmap of rows [lo, hi) into dst under the
+// given combine mode. dst must hold at least (hi-lo+63)/64 words.
+type BitKernel func(lo, hi int32, dst []uint64, mode KernMode)
+
+// b2u converts a comparison outcome to a bit without a branch (the compiler
+// lowers this to a flag-set instruction).
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// applyWord folds one finished 64-row word into dst[w] under mode.
+func applyWord(dst []uint64, w int, word uint64, mode KernMode) {
+	switch mode {
+	case KernSet:
+		dst[w] = word
+	case KernAnd:
+		dst[w] &= word
+	default:
+		dst[w] |= word
+	}
+}
+
+// PredKernel wraps a compiled row predicate in the bitmap contract: the
+// generic fallback when no vectorized kernel applies. The closure still runs
+// once per row, but the surrounding selection keeps its two-pass shape
+// (exact allocation, no growth).
+func PredKernel(p Pred) BitKernel {
+	return func(lo, hi int32, dst []uint64, mode KernMode) {
+		w := 0
+		for base := lo; base < hi; base += 64 {
+			end := base + 64
+			if end > hi {
+				end = hi
+			}
+			var word uint64
+			for i := base; i < end; i++ {
+				word |= b2u(p(i)) << uint(i-base)
+			}
+			applyWord(dst, w, word, mode)
+			w++
+		}
+	}
+}
+
+// CompileBitKernel compiles a boolean expression to a vectorized bit-kernel,
+// or returns nil when the expression has no kernel form. A nil result is not
+// an error: the caller compiles the expression with CompilePred and wraps it
+// in PredKernel instead.
+func CompileBitKernel(e Expr, rel *storage.Relation, params Params) BitKernel {
+	switch n := e.(type) {
+	case Cmp:
+		return compileCmpKernel(n, rel, params)
+	case And:
+		l := CompileBitKernel(n.L, rel, params)
+		if l == nil {
+			return nil
+		}
+		r := CompileBitKernel(n.R, rel, params)
+		if r == nil {
+			return nil
+		}
+		return combineKernel(l, r, KernAnd)
+	case Or:
+		l := CompileBitKernel(n.L, rel, params)
+		if l == nil {
+			return nil
+		}
+		r := CompileBitKernel(n.R, rel, params)
+		if r == nil {
+			return nil
+		}
+		return combineKernel(l, r, KernOr)
+	case Not:
+		inner := CompileBitKernel(n.E, rel, params)
+		if inner == nil {
+			return nil
+		}
+		// Word-flip rather than comparison negation: !(a < b) is not (a >= b)
+		// under IEEE NaN, but flipping the computed bits is exact.
+		return notKernel(inner)
+	}
+	return nil
+}
+
+// combineKernel merges two kernels under op (KernAnd or KernOr). In KernSet
+// position the combine runs in place (l sets, r folds in); nested under
+// another combine it evaluates into pooled scratch first.
+func combineKernel(l, r BitKernel, op KernMode) BitKernel {
+	return func(lo, hi int32, dst []uint64, mode KernMode) {
+		if mode == KernSet {
+			l(lo, hi, dst, KernSet)
+			r(lo, hi, dst, op)
+			return
+		}
+		words := int(hi-lo+63) / 64
+		tmp := getWords(words)
+		l(lo, hi, tmp, KernSet)
+		r(lo, hi, tmp, op)
+		if mode == KernAnd {
+			for i := 0; i < words; i++ {
+				dst[i] &= tmp[i]
+			}
+		} else {
+			for i := 0; i < words; i++ {
+				dst[i] |= tmp[i]
+			}
+		}
+		putWords(tmp)
+	}
+}
+
+// notKernel flips an inner kernel's bits, masking the tail of the last word
+// so bits past hi-lo stay zero.
+func notKernel(inner BitKernel) BitKernel {
+	return func(lo, hi int32, dst []uint64, mode KernMode) {
+		n := int(hi - lo)
+		words := (n + 63) / 64
+		if mode == KernSet {
+			inner(lo, hi, dst, KernSet)
+			for i := 0; i < words; i++ {
+				dst[i] = ^dst[i]
+			}
+			maskTail(dst, n)
+			return
+		}
+		tmp := getWords(words)
+		inner(lo, hi, tmp, KernSet)
+		for i := 0; i < words; i++ {
+			tmp[i] = ^tmp[i]
+		}
+		maskTail(tmp, n)
+		if mode == KernAnd {
+			for i := 0; i < words; i++ {
+				dst[i] &= tmp[i]
+			}
+		} else {
+			for i := 0; i < words; i++ {
+				dst[i] |= tmp[i]
+			}
+		}
+		putWords(tmp)
+	}
+}
+
+// maskTail zeroes bits n.. of the last word covering n bits.
+func maskTail(words []uint64, n int) {
+	if r := n % 64; r != 0 && n > 0 {
+		words[(n-1)/64] &= (1 << uint(r)) - 1
+	}
+}
+
+// compileCmpKernel recognizes the column-vs-constant comparison over int and
+// float columns (the shape compileColConstCmp fuses for the row path) and
+// emits its vectorized kernel.
+func compileCmpKernel(n Cmp, rel *storage.Relation, params Params) BitKernel {
+	col, ok := n.L.(Col)
+	if !ok {
+		return nil
+	}
+	cv, ok := constOf(n.R, params)
+	if !ok {
+		return nil
+	}
+	c := rel.Schema.Col(col.Name)
+	if c < 0 {
+		return nil
+	}
+	switch rel.Schema[c].Type {
+	case storage.TInt:
+		k, ok := cv.(int64)
+		if !ok {
+			return nil
+		}
+		return intColKernel(rel.Cols[c].Ints, k, n.Op)
+	case storage.TFloat:
+		var k float64
+		switch v := cv.(type) {
+		case float64:
+			k = v
+		case int64:
+			k = float64(v)
+		default:
+			return nil
+		}
+		return floatColKernel(rel.Cols[c].Floats, k, n.Op)
+	}
+	return nil
+}
+
+// intColKernel is the branch-light comparison loop over an int column: 64
+// rows per word, each comparison a flag-set folded into the word.
+func intColKernel(data []int64, k int64, op CmpOp) BitKernel {
+	return func(lo, hi int32, dst []uint64, mode KernMode) {
+		w := 0
+		for base := lo; base < hi; base += 64 {
+			end := base + 64
+			if end > hi {
+				end = hi
+			}
+			seg := data[base:end]
+			var word uint64
+			switch op {
+			case Eq:
+				for j, v := range seg {
+					word |= b2u(v == k) << uint(j)
+				}
+			case Ne:
+				for j, v := range seg {
+					word |= b2u(v != k) << uint(j)
+				}
+			case Lt:
+				for j, v := range seg {
+					word |= b2u(v < k) << uint(j)
+				}
+			case Le:
+				for j, v := range seg {
+					word |= b2u(v <= k) << uint(j)
+				}
+			case Gt:
+				for j, v := range seg {
+					word |= b2u(v > k) << uint(j)
+				}
+			default:
+				for j, v := range seg {
+					word |= b2u(v >= k) << uint(j)
+				}
+			}
+			applyWord(dst, w, word, mode)
+			w++
+		}
+	}
+}
+
+// floatColKernel is intColKernel over a float column.
+func floatColKernel(data []float64, k float64, op CmpOp) BitKernel {
+	return func(lo, hi int32, dst []uint64, mode KernMode) {
+		w := 0
+		for base := lo; base < hi; base += 64 {
+			end := base + 64
+			if end > hi {
+				end = hi
+			}
+			seg := data[base:end]
+			var word uint64
+			switch op {
+			case Eq:
+				for j, v := range seg {
+					word |= b2u(v == k) << uint(j)
+				}
+			case Ne:
+				for j, v := range seg {
+					word |= b2u(v != k) << uint(j)
+				}
+			case Lt:
+				for j, v := range seg {
+					word |= b2u(v < k) << uint(j)
+				}
+			case Le:
+				for j, v := range seg {
+					word |= b2u(v <= k) << uint(j)
+				}
+			case Gt:
+				for j, v := range seg {
+					word |= b2u(v > k) << uint(j)
+				}
+			default:
+				for j, v := range seg {
+					word |= b2u(v >= k) << uint(j)
+				}
+			}
+			applyWord(dst, w, word, mode)
+			w++
+		}
+	}
+}

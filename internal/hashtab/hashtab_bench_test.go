@@ -33,3 +33,47 @@ func BenchmarkGetOrPutStdlibMap(b *testing.B) {
 		}
 	}
 }
+
+// Batched vs per-row probing on the same key stream: GetOrPutBatch amortizes
+// the call and hash loop over whole morsel batches.
+
+func BenchmarkGetOrPutBatch(b *testing.B) {
+	b.ReportAllocs()
+	const batch = 512
+	keys := make([]int64, batch)
+	slots := make([]int32, batch)
+	for i := 0; i < b.N; i++ {
+		m := New(64)
+		next := int32(0)
+		for base := 0; base < 100000; base += batch {
+			for j := range keys {
+				keys[j] = int64((base + j) % 1000)
+			}
+			m.GetOrPutBatch(keys, slots, func(j int, key int64) int32 {
+				v := next
+				next++
+				return v
+			})
+		}
+	}
+}
+
+func BenchmarkGetBatchAllHits(b *testing.B) {
+	b.ReportAllocs()
+	const batch = 512
+	m := New(1000)
+	for k := int64(0); k < 1000; k++ {
+		m.Put(k, int32(k))
+	}
+	keys := make([]int64, batch)
+	slots := make([]int32, batch)
+	for j := range keys {
+		keys[j] = int64(j % 1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for reps := 0; reps < 100000/batch; reps++ {
+			m.GetBatch(keys, slots)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package hashtab
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestGetBatchConcurrentProbes pins the read-only contract of GetBatch: many
+// goroutines may probe one frozen table at once (the parallel join probe
+// does exactly this). A regression that reintroduces shared mutable scratch
+// on the Map shows up here as wrong slots or as a -race report.
+func TestGetBatchConcurrentProbes(t *testing.T) {
+	const n = 10_000
+	m := New(n)
+	for i := 0; i < n; i++ {
+		m.Put(int64(i*3), int32(i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			keys := make([]int64, 512)
+			slots := make([]int32, 512)
+			for round := 0; round < 50; round++ {
+				for j := range keys {
+					keys[j] = int64(((g*131 + round*17 + j) % n) * 3)
+				}
+				m.GetBatch(keys, slots)
+				for j := range keys {
+					if want := int32(keys[j] / 3); slots[j] != want {
+						t.Errorf("goroutine %d: key %d resolved to %d, want %d", g, keys[j], slots[j], want)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

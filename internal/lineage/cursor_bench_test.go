@@ -1,0 +1,147 @@
+package lineage
+
+import "testing"
+
+// Microbenchmarks for the chunk-cursor trace kernels: decode-expansion vs
+// in-situ byte concatenation, the specialized intersection paths, and the
+// sequential EncodedArr cursor vs per-probe binary search.
+
+// benchEncIndex builds a group-by-shaped backward index: groups groups, each
+// holding the dense strided rid list a clustered aggregation captures.
+func benchEncIndex(groups, perGroup int) *EncodedIndex {
+	b := NewEncodedBuilder(groups)
+	list := make([]Rid, perGroup)
+	for g := 0; g < groups; g++ {
+		for j := range list {
+			list[j] = Rid(g*perGroup + j)
+		}
+		b.Add(list)
+	}
+	return b.Build()
+}
+
+func benchSeeds(groups int) []Rid {
+	src := make([]Rid, groups)
+	for i := range src {
+		src[i] = Rid(i)
+	}
+	return src
+}
+
+func BenchmarkEncodedTraceDecode(b *testing.B) {
+	b.ReportAllocs()
+	e := benchEncIndex(1000, 1000)
+	ix := NewEncodedMany(e)
+	src := benchSeeds(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Trace(src)
+	}
+}
+
+func BenchmarkEncodedTraceInSitu(b *testing.B) {
+	b.ReportAllocs()
+	e := benchEncIndex(1000, 1000)
+	src := benchSeeds(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.TraceInSitu(src)
+	}
+}
+
+// Raw baseline for the same trace: the cost the encoded paths compete with.
+func BenchmarkRawTrace(b *testing.B) {
+	b.ReportAllocs()
+	const groups, perGroup = 1000, 1000
+	ix := NewRidIndex(groups)
+	for g := 0; g < groups; g++ {
+		list := make([]Rid, perGroup)
+		for j := range list {
+			list[j] = Rid(g*perGroup + j)
+		}
+		ix.SetList(g, list)
+	}
+	raw := NewOneToMany(ix)
+	src := benchSeeds(groups)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = raw.Trace(src)
+	}
+}
+
+func BenchmarkChunkCursorIntersectRange(b *testing.B) {
+	b.ReportAllocs()
+	mk := func(lo, n Rid) []byte {
+		l := make([]Rid, n)
+		for i := range l {
+			l[i] = lo + Rid(i)
+		}
+		return appendEncodedList(nil, l)
+	}
+	da := mk(0, 1_000_000)
+	db := mk(500_000, 1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = IntersectEncoded(da, db)
+	}
+}
+
+func BenchmarkChunkCursorIntersectBitmap(b *testing.B) {
+	b.ReportAllocs()
+	mk := func(lo, stride, n Rid) []byte {
+		l := make([]Rid, n)
+		for i := range l {
+			l[i] = lo + Rid(i)*stride
+		}
+		return appendEncodedList(nil, l)
+	}
+	da := mk(0, 2, 500_000)
+	db := mk(1, 3, 333_333)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = IntersectEncoded(da, db)
+	}
+}
+
+func benchSelArr(n int) *EncodedArr {
+	arr := make([]Rid, n)
+	out := Rid(0)
+	for i := range arr {
+		if (i/1000)%2 == 0 {
+			arr[i] = out
+			out++
+		} else {
+			arr[i] = -1
+		}
+	}
+	return EncodeArr(arr)
+}
+
+func BenchmarkEncodedArrGetBinarySearch(b *testing.B) {
+	b.ReportAllocs()
+	const n = 1_000_000
+	e := benchSelArr(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink Rid
+		for j := 0; j < n; j += 10 {
+			sink += e.Get(Rid(j))
+		}
+		_ = sink
+	}
+}
+
+func BenchmarkEncodedArrCursorSequential(b *testing.B) {
+	b.ReportAllocs()
+	const n = 1_000_000
+	e := benchSelArr(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := e.Cursor()
+		var sink Rid
+		for j := 0; j < n; j += 10 {
+			sink += c.Get(Rid(j))
+		}
+		_ = sink
+	}
+}

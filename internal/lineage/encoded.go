@@ -75,73 +75,19 @@ func (e *EncodedIndex) SizeBytes() int { return len(e.data) + 4*len(e.offs) }
 // list's to form the encoded concatenation of the two lists.
 func (e *EncodedIndex) ListBytes(i int) []byte { return e.data[e.offs[i]:e.offs[i+1]] }
 
-// AppendList decodes entry i onto dst and returns it (the TraceOne shape —
-// the hot trace path, so it is a direct loop with no per-call closure).
+// AppendList decodes entry i onto dst and returns it (the TraceOne shape).
+// Decoding is chunk-granular: each chunk's header count pre-grows dst once
+// and the chunk kernels fill it with indexed writes (Chunk.ExpandInto), so
+// the hot trace path has no per-element append or growth check.
 func (e *EncodedIndex) AppendList(i int, dst []Rid) []Rid {
-	b := e.ListBytes(i)
-	for len(b) > 0 {
-		tag := b[0]
-		n64, k := binary.Uvarint(b[1:])
-		b = b[1+k:]
-		n := int(n64)
-		switch tag {
-		case chunkRaw:
-			for j := 0; j < n; j++ {
-				dst = append(dst, Rid(binary.LittleEndian.Uint32(b[4*j:])))
-			}
-			b = b[4*n:]
-		case chunkRange:
-			s, k := binary.Uvarint(b)
-			b = b[k:]
-			for j := 0; j < n; j++ {
-				dst = append(dst, Rid(s)+Rid(j))
-			}
-		case chunkDelta:
-			var prev int64
-			for j := 0; j < n; j++ {
-				u, k := binary.Uvarint(b)
-				b = b[k:]
-				if j == 0 {
-					prev = unzigzag(u)
-				} else {
-					prev += unzigzag(u)
-				}
-				dst = append(dst, Rid(prev))
-			}
-		case chunkRLE:
-			s, k := binary.Uvarint(b)
-			b = b[k:]
-			cur := int64(s)
-			for rem := n; rem > 0; {
-				l64, k := binary.Uvarint(b)
-				b = b[k:]
-				for j := int64(0); j < int64(l64); j++ {
-					dst = append(dst, Rid(cur+j))
-				}
-				cur += int64(l64)
-				rem -= int(l64)
-				if rem > 0 {
-					g, k := binary.Uvarint(b)
-					b = b[k:]
-					cur += int64(g)
-				}
-			}
-		case chunkBitmap:
-			base, k := binary.Uvarint(b)
-			b = b[k:]
-			nb, k := binary.Uvarint(b)
-			b = b[k:]
-			for bi := 0; bi < int(nb); bi++ {
-				w := b[bi]
-				for w != 0 {
-					dst = append(dst, Rid(base)+Rid(bi*8+bits.TrailingZeros8(w)))
-					w &= w - 1
-				}
-			}
-			b = b[nb:]
+	c := EncCursor{rest: e.ListBytes(i)}
+	for {
+		ch, ok := c.Next()
+		if !ok {
+			return dst
 		}
+		dst = ch.ExpandInto(dst)
 	}
-	return dst
 }
 
 // ListLen returns entry i's element count by summing chunk headers (payloads

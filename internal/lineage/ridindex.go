@@ -178,9 +178,51 @@ func (ix *Index) TraceOne(i Rid, dst []Rid) []Rid {
 	}
 }
 
+// seqTracer returns a TraceOne-shaped probe function specialized for
+// mostly-ascending probe sequences: EncodedOne indexes probe through a
+// shared ArrCursor (run-pointer advance instead of per-probe binary search);
+// every other kind is TraceOne itself.
+func (ix *Index) seqTracer() func(i Rid, dst []Rid) []Rid {
+	if ix.Kind != EncodedOne {
+		return ix.TraceOne
+	}
+	c := ix.EncArr.Cursor()
+	return func(i Rid, dst []Rid) []Rid {
+		if r := c.Get(i); r >= 0 {
+			dst = append(dst, r)
+		}
+		return dst
+	}
+}
+
 // Trace returns the union (with duplicates preserved, per the paper's
 // transformational semantics) of the records mapped from each source rid.
+// Encoded indexes trace through their cursor forms: EncodedMany sums the
+// chunk headers first so the result is one exact allocation, and EncodedOne
+// probes through an ArrCursor (amortized O(1) per probe for the common
+// ascending seed order instead of a binary search per rid).
 func (ix *Index) Trace(src []Rid) []Rid {
+	switch ix.Kind {
+	case EncodedMany:
+		total := 0
+		for _, i := range src {
+			total += ix.Enc.ListLen(int(i))
+		}
+		dst := make([]Rid, 0, total)
+		for _, i := range src {
+			dst = ix.Enc.AppendList(int(i), dst)
+		}
+		return dst
+	case EncodedOne:
+		dst := make([]Rid, 0, len(src))
+		c := ix.EncArr.Cursor()
+		for _, i := range src {
+			if r := c.Get(i); r >= 0 {
+				dst = append(dst, r)
+			}
+		}
+		return dst
+	}
 	var dst []Rid
 	for _, i := range src {
 		dst = ix.TraceOne(i, dst)
@@ -214,6 +256,15 @@ func (ix *Index) DenseForward(n int) []Rid {
 		return ix.Arr
 	}
 	out := make([]Rid, n)
+	if ix.Kind == EncodedOne {
+		// The scan probes rids 0..n-1 in order: the cursor walks the run
+		// directory once instead of binary-searching per entry.
+		c := ix.EncArr.Cursor()
+		for i := range out {
+			out[i] = c.Get(Rid(i))
+		}
+		return out
+	}
 	var buf []Rid
 	for i := 0; i < n; i++ {
 		buf = ix.TraceOne(Rid(i), buf[:0])
@@ -267,12 +318,13 @@ func Compose(outer, inner *Index) *Index {
 	n := outer.Len()
 	if outer.Encoded() || inner.Encoded() {
 		b := NewEncodedBuilder(n)
+		outerOne, innerOne := outer.seqTracer(), inner.seqTracer()
 		var mids, row []Rid
 		for i := 0; i < n; i++ {
-			mids = outer.TraceOne(Rid(i), mids[:0])
+			mids = outerOne(Rid(i), mids[:0])
 			row = row[:0]
 			for _, mid := range mids {
-				row = inner.TraceOne(mid, row)
+				row = innerOne(mid, row)
 			}
 			b.Add(row)
 		}
@@ -309,6 +361,15 @@ func Invert(ix *Index, targets int) *Index {
 				counts[r]++
 			}
 		}
+	case EncodedOne:
+		// Both inversion passes scan entries 0..n-1 in order; the cursor
+		// turns each pass into one walk of the run directory.
+		c := ix.EncArr.Cursor()
+		for i := 0; i < ix.EncArr.Len(); i++ {
+			if r := c.Get(Rid(i)); r >= 0 {
+				counts[r]++
+			}
+		}
 	default:
 		n := ix.Len()
 		var buf []Rid
@@ -330,6 +391,13 @@ func Invert(ix *Index, targets int) *Index {
 	case OneToMany:
 		for i := 0; i < ix.Many.Len(); i++ {
 			for _, r := range ix.Many.List(i) {
+				out.AppendFast(int(r), Rid(i))
+			}
+		}
+	case EncodedOne:
+		c := ix.EncArr.Cursor()
+		for i := 0; i < ix.EncArr.Len(); i++ {
+			if r := c.Get(Rid(i)); r >= 0 {
 				out.AppendFast(int(r), Rid(i))
 			}
 		}

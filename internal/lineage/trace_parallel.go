@@ -19,11 +19,10 @@ func ParTrace(ix *Index, src []Rid, workers int, pl *pool.Pool) []Rid {
 	ranges := pool.Split(len(src), workers)
 	locals := make([][]Rid, len(ranges))
 	pl.RunSplit(ranges, func(part, lo, hi int) {
-		var dst []Rid
-		for _, s := range src[lo:hi] {
-			dst = ix.TraceOne(s, dst)
-		}
-		locals[part] = dst
+		// Each partition routes through the serial Trace so it inherits the
+		// cursor specializations (exact-sized EncodedMany expansion,
+		// ArrCursor sequential probes).
+		locals[part] = ix.Trace(src[lo:hi])
 	})
 	total := 0
 	for _, l := range locals {
@@ -34,6 +33,32 @@ func ParTrace(ix *Index, src []Rid, workers int, pl *pool.Pool) []Rid {
 		out = append(out, l...)
 	}
 	return out
+}
+
+// ParTraceInSitu is the morsel-parallel form of EncodedIndex.TraceInSitu:
+// each partition concatenates its seeds' chunk bytes into a local buffer and
+// the merge concatenates the buffers in partition order — byte-identical to
+// the serial in-situ trace, and the trace never decodes a chunk.
+func ParTraceInSitu(e *EncodedIndex, src []Rid, workers int, pl *pool.Pool) EncodedList {
+	if workers <= 1 || len(src) < 2 {
+		return e.TraceInSitu(src)
+	}
+	ranges := pool.Split(len(src), workers)
+	locals := make([]EncodedList, len(ranges))
+	pl.RunSplit(ranges, func(part, lo, hi int) {
+		locals[part] = e.TraceInSitu(src[lo:hi])
+	})
+	total := 0
+	n := 0
+	for _, l := range locals {
+		total += len(l.Data)
+		n += l.N
+	}
+	data := make([]byte, 0, total)
+	for _, l := range locals {
+		data = append(data, l.Data...)
+	}
+	return EncodedList{Data: data, N: n}
 }
 
 // ParTraceFiltered is ParTrace with a per-rid keep predicate applied during
@@ -57,9 +82,10 @@ func ParTraceFiltered(ix *Index, src []Rid, keep func(Rid) bool, workers int, pl
 	ranges := pool.Split(len(src), workers)
 	locals := make([][]Rid, len(ranges))
 	pl.RunSplit(ranges, func(part, lo, hi int) {
+		one := ix.seqTracer() // partition-local cursor state
 		var buf, dst []Rid
 		for _, s := range src[lo:hi] {
-			buf = ix.TraceOne(s, buf[:0])
+			buf = one(s, buf[:0])
 			for _, r := range buf {
 				if keep(r) {
 					dst = append(dst, r)

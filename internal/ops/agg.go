@@ -9,6 +9,7 @@ import (
 	"smoke/internal/hashtab"
 	"smoke/internal/lineage"
 	"smoke/internal/pool"
+	"smoke/internal/scratch"
 	"smoke/internal/storage"
 )
 
@@ -246,6 +247,44 @@ func (a *aggAcc) update(slot int32, rid Rid) {
 			a.addDistinctI(slot, a.argI(rid))
 		} else {
 			a.addDistinctS(slot, a.argS(rid))
+		}
+	}
+}
+
+// updateBatch is update over a resolved batch with the function switch
+// hoisted out of the row loop (rows still fold in input order).
+func (a *aggAcc) updateBatch(slots []int32, rids []Rid) {
+	switch a.fn {
+	case Count:
+		// counts are tracked once for all aggregates
+	case Sum, Avg:
+		sums := a.sums
+		for j, s := range slots {
+			sums[s] += a.num(rids[j])
+		}
+	case Min:
+		mins := a.mins
+		for j, s := range slots {
+			if v := a.num(rids[j]); v < mins[s] {
+				mins[s] = v
+			}
+		}
+	case Max:
+		maxs := a.maxs
+		for j, s := range slots {
+			if v := a.num(rids[j]); v > maxs[s] {
+				maxs[s] = v
+			}
+		}
+	case CountDistinct:
+		if a.argI != nil {
+			for j, s := range slots {
+				a.addDistinctI(s, a.argI(rids[j]))
+			}
+		} else {
+			for j, s := range slots {
+				a.addDistinctS(s, a.argS(rids[j]))
+			}
 		}
 	}
 }
@@ -693,6 +732,159 @@ func (st *aggState) processRow(rid Rid) int32 {
 	return slot
 }
 
+// aggBatchSize is how many rows the single-int-key path hands the hash table
+// per probe call: large enough to amortize the per-batch setup, small enough
+// that the key/slot scratch stays cache-resident.
+const aggBatchSize = 512
+
+// processRows drives the aggregation kernel over a rid stream — inRids[lo:hi]
+// when inRids is non-nil, else the dense range [lo, hi). The single-int-key
+// shape runs batched: keys gather into pooled scratch, the hash table
+// resolves a whole batch of slots per call (hashing amortized, probes
+// bounds-check-free), and the per-aggregate switch hoists out of the row
+// loop. Every per-(slot, rid) effect happens in row order, so group discovery
+// order, backward list order, and forward entries are identical to the
+// row-at-a-time kernel. posSlots, when non-nil, records each input
+// position's slot (the duplicate-rid parallel path). Other key kinds — and
+// the order-sensitive Observe hook — run the row-at-a-time kernel.
+func (st *aggState) processRows(inRids []Rid, lo, hi int, posSlots []Rid) {
+	if st.kind != keyInt || st.observe != nil {
+		switch {
+		case inRids == nil:
+			for rid := int32(lo); rid < int32(hi); rid++ {
+				st.processRow(rid)
+			}
+		case posSlots != nil:
+			for i, rid := range inRids[lo:hi] {
+				posSlots[lo+i] = st.processRow(rid)
+			}
+		default:
+			for _, rid := range inRids[lo:hi] {
+				st.processRow(rid)
+			}
+		}
+		return
+	}
+	keys := scratch.Ints(aggBatchSize)
+	slots := scratch.Rids(aggBatchSize)
+	ridBuf := scratch.Rids(aggBatchSize)
+	col := st.intCol
+	for base := lo; base < hi; base += aggBatchSize {
+		end := base + aggBatchSize
+		if end > hi {
+			end = hi
+		}
+		m := end - base
+		rb := ridBuf[:m]
+		if inRids == nil {
+			for j := range rb {
+				rb[j] = Rid(base + j)
+			}
+		} else {
+			copy(rb, inRids[base:end])
+		}
+		kb, sb := keys[:m], slots[:m]
+		for j, r := range rb {
+			kb[j] = col[r]
+		}
+		st.ht.GetOrPutBatch(kb, sb, func(j int, key int64) int32 {
+			slot := st.nGroups
+			st.newGroup(rb[j], key)
+			return slot
+		})
+		st.accumulateBatch(sb, rb)
+		if posSlots != nil {
+			copy(posSlots[base:end], sb)
+		}
+	}
+	scratch.PutInts(keys)
+	scratch.PutRids(slots)
+	scratch.PutRids(ridBuf)
+}
+
+// accumulateBatch applies one resolved batch to the per-group state. The
+// loops are per-effect rather than per-row, but each effect still sees rows
+// in input order, which is all any of them depends on.
+func (st *aggState) accumulateBatch(slots []int32, rids []Rid) {
+	counts := st.counts
+	for _, s := range slots {
+		counts[s]++
+	}
+	for i := range st.accs {
+		st.accs[i].updateBatch(slots, rids)
+	}
+	if st.mode == Inject {
+		if st.dirs.Backward() {
+			if st.partKey == nil && st.pdFilter == nil {
+				gr := st.groupRids
+				for j, s := range slots {
+					gr[s] = lineage.AppendRid(gr[s], rids[j])
+				}
+			} else {
+				for j, s := range slots {
+					st.captureBackward(s, rids[j])
+				}
+			}
+		}
+		if st.fw != nil {
+			fw := st.fw
+			for j, s := range slots {
+				fw[rids[j]] = s
+			}
+		}
+	}
+}
+
+// deferFillBatched is the batched Zγ second pass for the plain single-int-key
+// shape (no partitioning, no push-down filter): slots resolve through the
+// batched read-only probe, then the exactly-sized indexes fill in row order.
+func (st *aggState) deferFillBatched(inRids []Rid, lo, hi int, bw *lineage.RidIndex, fw []Rid, posSlots []Rid) {
+	keys := scratch.Ints(aggBatchSize)
+	slots := scratch.Rids(aggBatchSize)
+	ridBuf := scratch.Rids(aggBatchSize)
+	col := st.intCol
+	for base := lo; base < hi; base += aggBatchSize {
+		end := base + aggBatchSize
+		if end > hi {
+			end = hi
+		}
+		m := end - base
+		rb := ridBuf[:m]
+		if inRids == nil {
+			for j := range rb {
+				rb[j] = Rid(base + j)
+			}
+		} else {
+			copy(rb, inRids[base:end])
+		}
+		kb, sb := keys[:m], slots[:m]
+		for j, r := range rb {
+			kb[j] = col[r]
+		}
+		st.ht.GetBatch(kb, sb)
+		if bw != nil {
+			for j, s := range sb {
+				bw.AppendFast(int(s), rb[j])
+			}
+		}
+		if posSlots != nil {
+			copy(posSlots[base:end], sb)
+		} else if fw != nil {
+			for j, s := range sb {
+				fw[rb[j]] = s
+			}
+		}
+	}
+	scratch.PutInts(keys)
+	scratch.PutRids(slots)
+	scratch.PutRids(ridBuf)
+}
+
+// deferFillable reports whether deferFillBatched covers the state's options.
+func (st *aggState) deferFillable() bool {
+	return st.kind == keyInt && st.partKey == nil && st.pdFilter == nil
+}
+
 // HashAgg executes a hash group-by aggregation over in (all rows when inRids
 // is nil, otherwise only the listed rids — the shape lineage-consuming
 // queries take when they aggregate over a backward-lineage rid set).
@@ -725,14 +917,9 @@ func HashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOpts)
 	}
 
 	if inRids == nil {
-		n := int32(in.N)
-		for rid := int32(0); rid < n; rid++ {
-			st.processRow(rid)
-		}
+		st.processRows(nil, 0, in.N, nil)
 	} else {
-		for _, rid := range inRids {
-			st.processRow(rid)
-		}
+		st.processRows(inRids, 0, len(inRids), nil)
 	}
 
 	res := AggResult{Out: st.materialize(spec), GroupCounts: st.counts}
@@ -789,7 +976,13 @@ func HashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOpts)
 				fw[rid] = slot
 			}
 		}
-		if inRids == nil {
+		if st.deferFillable() {
+			if inRids == nil {
+				st.deferFillBatched(nil, 0, in.N, bw, fw, nil)
+			} else {
+				st.deferFillBatched(inRids, 0, len(inRids), bw, fw, nil)
+			}
+		} else if inRids == nil {
 			n := int32(in.N)
 			for rid := int32(0); rid < n; rid++ {
 				fill(rid)

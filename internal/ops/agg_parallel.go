@@ -95,20 +95,11 @@ func parHashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOp
 
 	opts.Pool.RunSplit(ranges, func(part, lo, hi int) {
 		st := sts[part]
-		switch {
-		case inRids == nil:
-			for rid := int32(lo); rid < int32(hi); rid++ {
-				st.processRow(rid)
-			}
-		case posSlots != nil && opts.Mode == Inject:
-			for i, rid := range inRids[lo:hi] {
-				posSlots[lo+i] = Rid(st.processRow(rid))
-			}
-		default:
-			for _, rid := range inRids[lo:hi] {
-				st.processRow(rid)
-			}
+		var injectPos []Rid
+		if posSlots != nil && opts.Mode == Inject {
+			injectPos = posSlots
 		}
+		st.processRows(inRids, lo, hi, injectPos)
 		if opts.Mode != Defer {
 			if encodeLocal && opts.Mode == Inject {
 				encBWs[part] = lineage.EncodeLists(st.groupRids)
@@ -145,7 +136,13 @@ func parHashAgg(in *storage.Relation, inRids []Rid, spec GroupBySpec, opts AggOp
 				fw[rid] = slot
 			}
 		}
-		if inRids == nil {
+		if st.deferFillable() {
+			var fwLocal []Rid
+			if posSlots == nil {
+				fwLocal = fw
+			}
+			st.deferFillBatched(inRids, lo, hi, bw, fwLocal, posSlots)
+		} else if inRids == nil {
 			for rid := int32(lo); rid < int32(hi); rid++ {
 				fill(-1, rid)
 			}

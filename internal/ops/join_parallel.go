@@ -4,6 +4,7 @@ import (
 	"smoke/internal/hashtab"
 	"smoke/internal/lineage"
 	"smoke/internal/pool"
+	"smoke/internal/scratch"
 	"smoke/internal/storage"
 )
 
@@ -42,43 +43,65 @@ func pkfkProbeRange(lo, hi int, probeCol []int64, ht *hashtab.Map, probeRids []R
 		l.outBuild = make([]Rid, 0, hi-lo)
 		l.outProbe = make([]Rid, 0, hi-lo)
 	}
+	// Probes run batched: keys gather into pooled scratch and the hash table
+	// resolves a whole batch per call (hashing amortized, probe loop
+	// bounds-check-free); matches then materialize in probe order, so output
+	// and lineage are identical to a row-at-a-time loop. Build rids are
+	// non-negative, so GetBatch's -1 sentinel is unambiguous for misses.
+	keys := scratch.Ints(aggBatchSize)
+	slots := scratch.Rids(aggBatchSize)
+	ridBuf := scratch.Rids(aggBatchSize)
 	o := Rid(0)
-	probeOne := func(prid Rid) {
-		brid, ok := ht.Get(probeCol[prid])
-		if !ok {
-			return
+	for base := lo; base < hi; base += aggBatchSize {
+		end := base + aggBatchSize
+		if end > hi {
+			end = hi
 		}
-		if wantBW {
-			l.buildBW = append(l.buildBW, brid)
-			l.probeBW = append(l.probeBW, prid)
-		} else if wantPairs {
-			l.outBuild = append(l.outBuild, brid)
-			l.outProbe = append(l.outProbe, prid)
-		}
-		if probeFW != nil {
-			probeFW[prid] = o
-		}
-		if l.buildFW != nil {
-			if fastFW {
-				l.buildFW.AppendFast(int(brid), o)
-			} else {
-				l.buildFW.Append(int(brid), o)
+		m := end - base
+		rb := ridBuf[:m]
+		if probeRids == nil {
+			for j := range rb {
+				rb[j] = Rid(base + j)
 			}
-		} else if collectFW {
-			l.fwPairB = append(l.fwPairB, brid)
-			l.fwPairO = append(l.fwPairO, o)
+		} else {
+			copy(rb, probeRids[base:end])
 		}
-		o++
+		kb, sb := keys[:m], slots[:m]
+		for j, r := range rb {
+			kb[j] = probeCol[r]
+		}
+		ht.GetBatch(kb, sb)
+		for j, brid := range sb {
+			if brid < 0 {
+				continue
+			}
+			prid := rb[j]
+			if wantBW {
+				l.buildBW = append(l.buildBW, brid)
+				l.probeBW = append(l.probeBW, prid)
+			} else if wantPairs {
+				l.outBuild = append(l.outBuild, brid)
+				l.outProbe = append(l.outProbe, prid)
+			}
+			if probeFW != nil {
+				probeFW[prid] = o
+			}
+			if l.buildFW != nil {
+				if fastFW {
+					l.buildFW.AppendFast(int(brid), o)
+				} else {
+					l.buildFW.Append(int(brid), o)
+				}
+			} else if collectFW {
+				l.fwPairB = append(l.fwPairB, brid)
+				l.fwPairO = append(l.fwPairO, o)
+			}
+			o++
+		}
 	}
-	if probeRids == nil {
-		for prid := int32(lo); prid < int32(hi); prid++ {
-			probeOne(prid)
-		}
-	} else {
-		for _, prid := range probeRids[lo:hi] {
-			probeOne(prid)
-		}
-	}
+	scratch.PutInts(keys)
+	scratch.PutRids(slots)
+	scratch.PutRids(ridBuf)
 	l.outN = o
 }
 

@@ -1,0 +1,54 @@
+package ops
+
+import (
+	"testing"
+
+	"smoke/internal/datagen"
+	"smoke/internal/expr"
+)
+
+// Selection microbenchmarks: the two-pass bitmap kernel with a compiled
+// column kernel vs the same two-pass harness driven by a row-at-a-time
+// compiled predicate (the fallback when no kernel form exists).
+
+func benchSelInputs(b *testing.B) (n int, pred expr.Pred, kern expr.BitKernel) {
+	b.Helper()
+	rel := datagen.Zipf("zipf", 0.5, 1<<20, 100, 1)
+	filter := expr.LtE(expr.C("v"), expr.F(50))
+	pred, err := expr.CompilePred(filter, rel, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kern = expr.CompileBitKernel(filter, rel, nil)
+	if kern == nil {
+		b.Fatal("filter should compile to a bit kernel")
+	}
+	return rel.N, pred, kern
+}
+
+func BenchmarkSelectBitmapKernel(b *testing.B) {
+	b.ReportAllocs()
+	n, pred, kern := benchSelInputs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Select(n, pred, SelectOpts{Kernel: kern})
+	}
+}
+
+func BenchmarkSelectPredFallback(b *testing.B) {
+	b.ReportAllocs()
+	n, pred, _ := benchSelInputs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Select(n, pred, SelectOpts{})
+	}
+}
+
+func BenchmarkSelectBitmapKernelInject(b *testing.B) {
+	b.ReportAllocs()
+	n, pred, kern := benchSelInputs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Select(n, pred, SelectOpts{Kernel: kern, Mode: Inject, Dirs: CaptureBoth})
+	}
+}

@@ -1,9 +1,12 @@
 package ops
 
 import (
+	"math/bits"
+
 	"smoke/internal/expr"
 	"smoke/internal/lineage"
 	"smoke/internal/pool"
+	"smoke/internal/scratch"
 	"smoke/internal/storage"
 )
 
@@ -11,10 +14,17 @@ import (
 type SelectOpts struct {
 	Mode CaptureMode
 	Dirs Directions
-	// EstimatedSelectivity, when > 0, preallocates the backward rid array to
-	// ceil(n * estimate) entries (the Smoke-I+EC variant of Appendix G.1).
-	// Overestimating is cheap; underestimating falls back to resizing.
+	// EstimatedSelectivity is retained for API compatibility with the
+	// Smoke-I+EC variant of Appendix G.1. The two-pass bitmap kernel sizes
+	// the output rid array exactly from the bitmap popcount, so the estimate
+	// no longer affects execution: every mode now has the exact-preallocation
+	// behavior the estimate used to approximate.
 	EstimatedSelectivity float64
+	// Kernel, when non-nil, is the vectorized predicate bit-kernel compiled
+	// by expr.CompileBitKernel (column-vs-constant comparisons and their
+	// AND/OR/NOT combinations). When nil, Select wraps the row predicate in
+	// expr.PredKernel — the two-pass shape is kept either way.
+	Kernel expr.BitKernel
 	// Workers > 1 runs the selection morsel-parallel: the input range splits
 	// into contiguous partitions, each executed by the range kernel with
 	// partition-local capture, merged in partition order (identical output
@@ -32,7 +42,8 @@ type SelectOpts struct {
 // OutRids always holds the selected rids in input order — the engine needs
 // them to materialize the output regardless of capture. Under Inject, BW
 // aliases OutRids (the rid list is reused as the backward index, principle
-// P4) but is built with the lineage growth policy.
+// P4); the two-pass kernel allocates it exactly once at the popcounted
+// match cardinality, so capture adds no growth cost over plain execution.
 //
 // Invariant: under Mode None, OutRids is non-nil even when nothing matched
 // (callers pass it as a rid subset to interfaces where nil means "all
@@ -43,88 +54,88 @@ type SelectResult struct {
 	FW      []Rid
 }
 
-// selectRange is the selection range kernel: it scans rids [lo, hi), returns
-// the local output/backward arrays (absolute input rids), and writes forward
-// entries into the shared, rid-addressed fw array (nil when forward capture
-// is off). Forward values are partition-local output positions; the driver
-// rebases them by the partition's global output offset. Partitions own
-// disjoint [lo, hi) ranges, so the fw writes never conflict.
-func selectRange(lo, hi int, pred expr.Pred, opts SelectOpts, fw []Rid) SelectResult {
+// selectRange is the selection range kernel, in two passes over [lo, hi):
+//
+//  1. The predicate bit-kernel fills a pooled bitmap — one bit per row, no
+//     branches on the match outcome, no per-row closure when a vectorized
+//     kernel applies.
+//  2. The bitmap popcount sizes the output rid array in a single exact
+//     allocation; set bits materialize rids (and forward positions) with a
+//     trailing-zeros scan.
+//
+// Forward entries are partition-local output positions written into the
+// shared rid-addressed fw array (nil when forward capture is off); the
+// driver rebases them by the partition's global output offset. Partitions
+// own disjoint [lo, hi) ranges, so the fw writes never conflict.
+func selectRange(lo, hi int, kern expr.BitKernel, opts SelectOpts, fw []Rid) SelectResult {
 	var res SelectResult
-	switch {
-	case opts.Mode == None:
-		// Plain execution: collect output rids with Go's native growth.
-		out := make([]Rid, 0, 16)
-		for i := int32(lo); i < int32(hi); i++ {
-			if pred(i) {
-				out = append(out, i)
-			}
+	n := hi - lo
+	wantBW := opts.Mode != None && opts.Dirs.Backward()
+	if n <= 0 {
+		res.OutRids = []Rid{}
+		if wantBW {
+			res.BW = res.OutRids
 		}
-		res.OutRids = out
-	default:
-		// Inject (§3.2.2): ctri is the loop variable, ctro is len(bw).
-		var bw []Rid
-		if opts.Dirs.Backward() {
-			if opts.EstimatedSelectivity > 0 {
-				est := int(float64(hi-lo)*opts.EstimatedSelectivity) + 1
-				bw = make([]Rid, 0, est)
-			}
-		}
-		switch {
-		case opts.Dirs.Backward() && opts.Dirs.Forward():
-			for i := int32(lo); i < int32(hi); i++ {
-				if pred(i) {
-					fw[i] = Rid(len(bw))
-					bw = lineage.AppendRid(bw, i)
-				} else {
-					fw[i] = -1
-				}
-			}
-		case opts.Dirs.Backward():
-			for i := int32(lo); i < int32(hi); i++ {
-				if pred(i) {
-					bw = lineage.AppendRid(bw, i)
-				}
-			}
-		case opts.Dirs.Forward():
-			// Forward-only capture still needs the output rids to
-			// materialize the result, but they can use native growth.
-			out := make([]Rid, 0, 16)
-			for i := int32(lo); i < int32(hi); i++ {
-				if pred(i) {
-					fw[i] = Rid(len(out))
-					out = append(out, i)
-				} else {
-					fw[i] = -1
-				}
-			}
-			res.OutRids = out
-			res.FW = fw
-			return res
-		default:
-			// Capture requested but both directions pruned: plain execution.
-			out := make([]Rid, 0, 16)
-			for i := int32(lo); i < int32(hi); i++ {
-				if pred(i) {
-					out = append(out, i)
-				}
-			}
-			res.OutRids = out
-			return res
-		}
-		res.OutRids = bw
-		res.BW = bw
 		res.FW = fw
+		return res
 	}
+
+	// Pass 1: predicate bitmap.
+	words := (n + 63) / 64
+	bm := scratch.Words(words)
+	kern(int32(lo), int32(hi), bm, expr.KernSet)
+
+	// Pass 2: popcount-sized single-allocation materialization.
+	count := 0
+	for _, w := range bm {
+		count += bits.OnesCount64(w)
+	}
+	out := make([]Rid, count)
+	if fw != nil {
+		for i := lo; i < hi; i++ {
+			fw[i] = -1
+		}
+	}
+	idx := 0
+	for wi, w := range bm {
+		base := lo + wi*64
+		for w != 0 {
+			r := Rid(base + bits.TrailingZeros64(w))
+			out[idx] = r
+			if fw != nil {
+				fw[r] = Rid(idx)
+			}
+			idx++
+			w &= w - 1
+		}
+	}
+	scratch.PutWords(bm)
+
+	res.OutRids = out
+	if wantBW {
+		res.BW = out // BW aliases OutRids (P4)
+	}
+	res.FW = fw
 	return res
 }
 
+// kernelFor resolves the predicate kernel: the vectorized one when the
+// caller compiled it, the generic closure wrapper otherwise.
+func kernelFor(pred expr.Pred, opts SelectOpts) expr.BitKernel {
+	if opts.Kernel != nil {
+		return opts.Kernel
+	}
+	return expr.PredKernel(pred)
+}
+
 // Select runs a selection over rids [0, n) of a relation. The predicate is a
-// compiled closure; the loop is the paper's "if condition in a for loop".
-// Defer is not implemented for selection because it is strictly inferior to
-// Inject (§3.2.2). With opts.Workers > 1 the scan runs morsel-parallel and
-// the merged result is identical to the serial one.
+// compiled closure; with opts.Kernel set it vectorizes over the column data
+// instead (see expr.CompileBitKernel). Defer is not implemented for
+// selection because it is strictly inferior to Inject (§3.2.2). With
+// opts.Workers > 1 the scan runs morsel-parallel and the merged result is
+// identical to the serial one.
 func Select(n int, pred expr.Pred, opts SelectOpts) SelectResult {
+	kern := kernelFor(pred, opts)
 	wantFW := opts.Mode != None && opts.Dirs.Forward()
 	if opts.Workers <= 1 || n < 2 {
 		var fw []Rid
@@ -132,7 +143,7 @@ func Select(n int, pred expr.Pred, opts SelectOpts) SelectResult {
 			// The forward rid array is pre-allocated at input cardinality.
 			fw = make([]Rid, n)
 		}
-		return selectRange(0, n, pred, opts, fw)
+		return selectRange(0, n, kern, opts, fw)
 	}
 
 	var fw []Rid
@@ -142,7 +153,7 @@ func Select(n int, pred expr.Pred, opts SelectOpts) SelectResult {
 	ranges := pool.Split(n, opts.Workers)
 	locals := make([]SelectResult, len(ranges))
 	opts.Pool.RunSplit(ranges, func(part, lo, hi int) {
-		locals[part] = selectRange(lo, hi, pred, opts, fw)
+		locals[part] = selectRange(lo, hi, kern, opts, fw)
 	})
 
 	// Merge in partition order: output/backward arrays concatenate (input

@@ -40,11 +40,16 @@ type Pool struct {
 	closed  bool
 }
 
-// runQ is one RunSplit's queue of undispatched tasks. Invariant: a runQ is
-// in the ring iff next < len(tasks).
+// runQ is one RunSplit's queue of undispatched morsels. Dispatch is
+// closure-free: a run carries one kernel and a slice of value ranges, so
+// submitting an r-way split allocates one runQ instead of r-1 wrapper
+// closures (per-morsel allocations were fixed overhead every parallel
+// operator paid). Invariant: a runQ is in the ring iff next < len(ranges).
 type runQ struct {
-	tasks []func()
-	next  int
+	kernel func(part, lo, hi int)
+	ranges []Range
+	next   int
+	wg     *sync.WaitGroup
 }
 
 // New returns a pool that will run at most n tasks concurrently (in addition
@@ -67,10 +72,10 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
-// submit registers one run's tasks and lazily spawns the worker goroutines
-// on first parallel use (a workers=1 DB never pays for idle goroutines). It
-// reports false once the pool is closed; callers then run everything inline.
-func (p *Pool) submit(tasks []func()) bool {
+// submit registers one run and lazily spawns the worker goroutines on first
+// parallel use (a workers=1 DB never pays for idle goroutines). It reports
+// false once the pool is closed; callers then run everything inline.
+func (p *Pool) submit(q *runQ) bool {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -82,8 +87,8 @@ func (p *Pool) submit(tasks []func()) bool {
 			go p.worker()
 		}
 	}
-	p.runs = append(p.runs, &runQ{tasks: tasks})
-	p.pending += len(tasks)
+	p.runs = append(p.runs, q)
+	p.pending += len(q.ranges)
 	p.mu.Unlock()
 	p.cond.Broadcast()
 	return true
@@ -102,34 +107,34 @@ func (p *Pool) worker() {
 			p.mu.Unlock()
 			return
 		}
-		f := p.takeLocked()
+		q, r := p.takeLocked()
 		p.mu.Unlock()
-		f()
+		q.kernel(r.Part, r.Lo, r.Hi)
+		q.wg.Done()
 		p.mu.Lock()
 	}
 }
 
-// takeLocked pops the next task in round-robin order across active runs:
-// each dispatch takes one task from the cursor's run, then advances the
+// takeLocked pops the next morsel in round-robin order across active runs:
+// each dispatch takes one range from the cursor's run, then advances the
 // cursor, so r concurrent runs each receive ~1/r of the worker cycles
 // regardless of queue lengths. Requires p.mu held and p.pending > 0.
-func (p *Pool) takeLocked() func() {
+func (p *Pool) takeLocked() (*runQ, Range) {
 	if p.rr >= len(p.runs) {
 		p.rr = 0
 	}
 	q := p.runs[p.rr]
-	f := q.tasks[q.next]
-	q.tasks[q.next] = nil // release the closure once dispatched
+	r := q.ranges[q.next]
 	q.next++
 	p.pending--
-	if q.next == len(q.tasks) {
+	if q.next == len(q.ranges) {
 		// The run is fully dispatched: drop it from the ring. The cursor now
 		// points at the run that was next anyway.
 		p.runs = append(p.runs[:p.rr], p.runs[p.rr+1:]...)
 	} else {
 		p.rr++
 	}
-	return f
+	return q, r
 }
 
 // Close releases the worker goroutines. It is idempotent, nil-safe, and
@@ -196,7 +201,10 @@ func (p *Pool) RunRanges(n, parts int, kernel func(part, lo, hi int)) []Range {
 // range), so RunSplit never deadlocks even if all pool workers are busy with
 // other queries. Kernels must not call back into the pool.
 func (p *Pool) RunSplit(ranges []Range, kernel func(part, lo, hi int)) {
-	if p == nil || len(ranges) <= 1 {
+	// Inline fast path: a nil pool, a single range, or a workers<=1 pool has
+	// no parallelism to exploit — skip goroutine dispatch entirely so the
+	// serial configuration pays zero submit/wakeup/WaitGroup overhead.
+	if p == nil || len(ranges) <= 1 || p.workers <= 1 {
 		for _, r := range ranges {
 			kernel(r.Part, r.Lo, r.Hi)
 		}
@@ -204,17 +212,11 @@ func (p *Pool) RunSplit(ranges []Range, kernel func(part, lo, hi int)) {
 	}
 	var wg sync.WaitGroup
 	wg.Add(len(ranges) - 1)
-	tasks := make([]func(), len(ranges)-1)
-	for i, r := range ranges[:len(ranges)-1] {
-		r := r
-		tasks[i] = func() {
-			defer wg.Done()
+	q := &runQ{kernel: kernel, ranges: ranges[:len(ranges)-1], wg: &wg}
+	if !p.submit(q) { // closed pool: inline fallback
+		for _, r := range q.ranges {
 			kernel(r.Part, r.Lo, r.Hi)
-		}
-	}
-	if !p.submit(tasks) { // closed pool: inline fallback
-		for _, f := range tasks {
-			f()
+			wg.Done()
 		}
 	}
 	last := ranges[len(ranges)-1]

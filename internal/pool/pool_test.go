@@ -108,21 +108,23 @@ func TestCloseDuringRunRanges(t *testing.T) {
 func TestFairShareDispatchOrder(t *testing.T) {
 	p := New(1)
 	var order []string
-	mk := func(label string, n int) []func() {
-		tasks := make([]func(), n)
-		for i := 0; i < n; i++ {
-			i := i
-			tasks[i] = func() { order = append(order, label) }
-			_ = i
+	mk := func(label string, n int) *runQ {
+		var wg sync.WaitGroup
+		wg.Add(n)
+		return &runQ{
+			kernel: func(part, lo, hi int) { order = append(order, label) },
+			ranges: Split(n, n),
+			wg:     &wg,
 		}
-		return tasks
 	}
 	// Enqueue directly (bypassing submit so no workers race the test).
 	a, b := mk("a", 3), mk("b", 2)
-	p.runs = append(p.runs, &runQ{tasks: a}, &runQ{tasks: b})
-	p.pending = len(a) + len(b)
+	p.runs = append(p.runs, a, b)
+	p.pending = len(a.ranges) + len(b.ranges)
 	for p.pending > 0 {
-		p.takeLocked()()
+		q, r := p.takeLocked()
+		q.kernel(r.Part, r.Lo, r.Hi)
+		q.wg.Done()
 	}
 	want := []string{"a", "b", "a", "b", "a"}
 	if len(order) != len(want) {

@@ -1,0 +1,131 @@
+// Package scratch provides pooled, size-classed transient buffers for the
+// engine's morsel kernels. The hot paths — selection bitmaps, group-by batch
+// probes, encoded-trace expansion — need short-lived per-partition scratch
+// whose lifetime ends inside one kernel call; allocating it per morsel is
+// what made workers=4 lose to workers=1 on allocation-bound workloads.
+// Buffers are recycled through sync.Pool in power-of-two size classes, so a
+// steady-state bench loop reaches zero allocations per morsel.
+//
+// Contract: a Put'd buffer must not be referenced afterwards, and buffers
+// that escape into results (lineage arrays, output relations) are never
+// pooled — only scratch whose contents are fully consumed before the kernel
+// returns.
+package scratch
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// size classes: 1<<6 .. 1<<24 elements; requests outside the classed range
+// allocate directly and are dropped on Put.
+const (
+	minClassBits = 6
+	maxClassBits = 24
+)
+
+func classFor(n int) int {
+	if n <= 0 {
+		n = 1
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if c < minClassBits {
+		c = minClassBits
+	}
+	return c
+}
+
+type pools struct {
+	byClass [maxClassBits + 1]sync.Pool
+}
+
+func (p *pools) get(n int) (buf any, class int, ok bool) {
+	class = classFor(n)
+	if class > maxClassBits {
+		return nil, class, false
+	}
+	return p.byClass[class].Get(), class, true
+}
+
+var (
+	wordPools pools // []uint64
+	ridPools  pools // []int32
+	intPools  pools // []int64
+)
+
+// Words returns a []uint64 with length exactly n. Contents are undefined;
+// callers must fully overwrite (bitmap kernels write every word under
+// KernSet).
+func Words(n int) []uint64 {
+	if v, class, ok := wordPools.get(n); ok {
+		if v != nil {
+			return v.([]uint64)[:n]
+		}
+		return make([]uint64, n, 1<<class)
+	}
+	return make([]uint64, n)
+}
+
+// putClass returns the pool class for a buffer capacity, or -1 when the
+// buffer must be dropped: only exact power-of-two capacities inside the
+// classed range are readmitted (anything else would poison its size class).
+// The range checks run before the shift so a zero capacity cannot produce a
+// negative shift.
+func putClass(capacity int) int {
+	c := bits.Len(uint(capacity)) - 1
+	if c < minClassBits || c > maxClassBits || capacity != 1<<c {
+		return -1
+	}
+	return c
+}
+
+// PutWords recycles a buffer obtained from Words.
+func PutWords(b []uint64) {
+	c := putClass(cap(b))
+	if c < 0 {
+		return
+	}
+	wordPools.byClass[c].Put(b[:cap(b)]) //nolint:staticcheck // slice is heap-allocated
+}
+
+// Rids returns an []int32 scratch buffer with length exactly n (rid and
+// group-slot batches). Contents are undefined.
+func Rids(n int) []int32 {
+	if v, class, ok := ridPools.get(n); ok {
+		if v != nil {
+			return v.([]int32)[:n]
+		}
+		return make([]int32, n, 1<<class)
+	}
+	return make([]int32, n)
+}
+
+// PutRids recycles a buffer obtained from Rids.
+func PutRids(b []int32) {
+	c := putClass(cap(b))
+	if c < 0 {
+		return
+	}
+	ridPools.byClass[c].Put(b[:cap(b)]) //nolint:staticcheck
+}
+
+// Ints returns an []int64 scratch buffer with length exactly n (group-by key
+// batches). Contents are undefined.
+func Ints(n int) []int64 {
+	if v, class, ok := intPools.get(n); ok {
+		if v != nil {
+			return v.([]int64)[:n]
+		}
+		return make([]int64, n, 1<<class)
+	}
+	return make([]int64, n)
+}
+
+// PutInts recycles a buffer obtained from Ints.
+func PutInts(b []int64) {
+	c := putClass(cap(b))
+	if c < 0 {
+		return
+	}
+	intPools.byClass[c].Put(b[:cap(b)]) //nolint:staticcheck
+}
