@@ -8,6 +8,13 @@
 //	smoked                         # serve on :8080 with GOMAXPROCS workers
 //	smoked -addr :9090 -workers 8  # explicit listen address and parallelism
 //	smoked -session-ttl 5m -max-retained-mb 256
+//	smoked -data-dir /var/lib/smoked   # out-of-core: spill + survive restarts
+//
+// With -data-dir, retained results demote to mmap-backed segments on memory
+// pressure instead of vanishing, ingested tables persist, and a restart with
+// the same directory recovers both — sessions keep answering bound traces.
+// SIGINT/SIGTERM drain in-flight requests (bounded by -drain-timeout), flush
+// retained state to the data dir, and exit.
 //
 // Quickstart against a running server:
 //
@@ -24,15 +31,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"smoke/internal/core"
+	"smoke/internal/diskstore"
 	"smoke/internal/server"
 )
 
@@ -46,11 +57,28 @@ func main() {
 	maxResults := flag.Int("max-results-per-session", 32, "max retained results per session (LRU beyond)")
 	maxRetainedMB := flag.Int64("max-retained-mb", 512, "retained result budget across all sessions, MiB (LRU beyond)")
 	cacheEntries := flag.Int("cache-entries", 256, "plan-fingerprint result cache entries (-1 disables)")
+	dataDir := flag.String("data-dir", "", "directory for the disk tier: demoted results, persisted tables, restart recovery (empty = memory-only)")
+	maxDiskMB := flag.Int64("max-disk-mb", 4096, "demoted result budget in the data dir, MiB (LRU-deleted beyond; -1 unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on SIGINT/SIGTERM before flushing and exiting")
 	flag.Parse()
 
 	db := core.Open(core.WithWorkers(*workers))
 	defer db.Close()
 
+	var store *diskstore.Store
+	if *dataDir != "" {
+		var err error
+		store, err = diskstore.Open(*dataDir)
+		if err != nil {
+			log.Fatalf("smoked: open data dir: %v", err)
+		}
+		defer store.Close()
+	}
+
+	maxDiskBytes := *maxDiskMB << 20
+	if *maxDiskMB < 0 {
+		maxDiskBytes = -1
+	}
 	srv := server.New(server.Config{
 		DB:                   db,
 		MaxInFlight:          *inflight,
@@ -60,6 +88,8 @@ func main() {
 		MaxResultsPerSession: *maxResults,
 		MaxRetainedBytes:     *maxRetainedMB << 20,
 		CacheEntries:         *cacheEntries,
+		Store:                store,
+		MaxDiskBytes:         maxDiskBytes,
 	})
 
 	hs := &http.Server{
@@ -67,8 +97,38 @@ func main() {
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Fprintf(os.Stderr, "smoked: serving on %s (workers=%d, session-ttl=%s)\n", *addr, *workers, *ttl)
-	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatalf("smoked: %v", err)
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "smoked: serving on %s (workers=%d, session-ttl=%s, data-dir=%s)\n",
+			*addr, *workers, *ttl, store.Dir())
+	} else {
+		fmt.Fprintf(os.Stderr, "smoked: serving on %s (workers=%d, session-ttl=%s)\n", *addr, *workers, *ttl)
+	}
+
+	// Serve until a shutdown signal, then drain: stop accepting, let
+	// in-flight requests finish (bounded), flush retained state, exit. A
+	// second signal aborts the drain immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			log.Fatalf("smoked: %v", err)
+		}
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal kills hard
+		fmt.Fprintf(os.Stderr, "smoked: draining (up to %s)...\n", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := hs.Shutdown(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "smoked: drain incomplete: %v\n", err)
+		}
+		cancel()
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatalf("smoked: flush retained state: %v", err)
+	}
+	if store != nil {
+		fmt.Fprintln(os.Stderr, "smoked: state flushed; bye")
 	}
 }

@@ -568,6 +568,10 @@ type Result struct {
 	baseAgg   *ops.AggResult
 	partAttrs []string
 	params    expr.Params
+	// bases is set on disk-recovered results (RestoreResult): the base
+	// snapshots the capture addresses, resolved by BaseRelation in place of
+	// the plan the original result carried.
+	bases map[string]*storage.Relation
 }
 
 // Run executes the query with the given capture options: the builder state
@@ -769,6 +773,9 @@ func (r *Result) Capture() *lineage.Capture { return r.capture }
 func (r *Result) BaseRelation(table string) *storage.Relation {
 	if r.baseRel != nil && r.baseRel.Name == table {
 		return r.baseRel
+	}
+	if rel, ok := r.bases[table]; ok {
+		return rel
 	}
 	if r.plan != nil {
 		for _, rel := range plan.Bases(r.plan, nil) {

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"smoke/internal/lineage"
+	"smoke/internal/plan"
+	"smoke/internal/storage"
+)
+
+// RestoreResult reassembles a Result from its persisted parts (the disk
+// tier's exchange shape): the output relation, group counts, the captured
+// lineage indexes, and the base-relation snapshots the capture's rids
+// address. The restored result serves bound traces exactly like the original
+// — Backward/Forward, distinct variants, and ConsumeGroupBy when the capture
+// spans a single base — but carries no plan (it already executed; only the
+// lineage survives demotion), so optimizer reasoning over scan equivalence
+// is unavailable until the client re-runs the base query.
+func RestoreResult(db *DB, out *storage.Relation, groupCounts []int64,
+	capture *lineage.Capture, bases map[string]*storage.Relation) *Result {
+	if capture == nil {
+		capture = lineage.NewCapture()
+	}
+	res := &Result{
+		Out: out, GroupCounts: groupCounts,
+		db: db, capture: capture, bases: bases,
+	}
+	if len(bases) == 1 {
+		for _, rel := range bases {
+			res.baseRel = rel
+		}
+	}
+	return res
+}
+
+// Bases returns the base-relation snapshots a result's capture addresses,
+// keyed by table name — what the disk tier persists alongside the indexes so
+// forward seeds still resolve after a restart. Results carry explicit
+// restored bases after RestoreResult; live results walk their plan.
+func (r *Result) Bases() map[string]*storage.Relation {
+	if r.bases != nil {
+		return r.bases
+	}
+	out := map[string]*storage.Relation{}
+	if r.baseRel != nil {
+		out[r.baseRel.Name] = r.baseRel
+	}
+	if r.plan != nil {
+		for _, rel := range plan.Bases(r.plan, nil) {
+			out[rel.Name] = rel
+		}
+	}
+	return out
+}

@@ -137,3 +137,22 @@ func TestGenDatasetDeterministic(t *testing.T) {
 }
 
 func newSeeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// TestRestartDifferentialEquivalence is the out-of-core gate: captured
+// results persisted to a data dir, reopened in a fresh process-equivalent,
+// must answer backward/forward traces element-identically to pre-restart —
+// raw and compressed captures both (the disk tier stores the encoded chunk
+// representation either way).
+func TestRestartDifferentialEquivalence(t *testing.T) {
+	seeds := []int64{5, 99}
+	queries := 4
+	if testing.Short() {
+		seeds = seeds[:1]
+		queries = 2
+	}
+	for _, seed := range seeds {
+		if err := CheckRestart(t.TempDir(), seed, queries); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smoke/internal/core"
+	"smoke/internal/diskstore"
+	"smoke/internal/lineage"
+	"smoke/internal/ops"
+	"smoke/internal/storage"
+)
+
+// CheckRestart is the crash/restart differential: randomized captured
+// queries are retained into a disk store, the store is closed and reopened
+// into a fresh DB (a process-equivalent restart — nothing survives but the
+// data dir), and every backward and forward trace over the recovered
+// results must be element-identical to the pre-restart answer. Raw and
+// compressed captures both go through: the disk tier persists the encoded
+// chunk representation either way, so this is where "encode-on-demote is
+// lossless" meets adversarial query shapes.
+func CheckRestart(dir string, seed int64, queries int) error {
+	r := rand.New(rand.NewSource(seed))
+	ds := GenDataset(r)
+	defer ds.DB.Close()
+
+	store, err := diskstore.Open(dir)
+	if err != nil {
+		return fmt.Errorf("difftest: restart: open store: %w", err)
+	}
+	if err := store.PutTable(ds.Dim, "g"); err != nil {
+		return fmt.Errorf("difftest: restart: persist dim: %w", err)
+	}
+	if err := store.PutTable(ds.Fact, ""); err != nil {
+		return fmt.Errorf("difftest: restart: persist fact: %w", err)
+	}
+
+	// Pre-restart: run, trace, retain. want[name] records every trace answer
+	// keyed by direction/table for the post-restart comparison.
+	type tracePoint struct {
+		what  string
+		seeds []lineage.Rid
+		rids  []lineage.Rid
+	}
+	want := map[string][]tracePoint{}
+	variants := []Variant{
+		{Name: "raw", Opts: core.CaptureOptions{Mode: ops.Inject, Parallelism: 1}},
+		{Name: "compressed", Opts: core.CaptureOptions{Mode: ops.Inject, Parallelism: 1, Compress: true}},
+	}
+	for qi := 0; qi < queries; qi++ {
+		build, desc, _ := GenQuery(ds, r)
+		for _, v := range variants {
+			name := fmt.Sprintf("q%d-%s", qi, v.Name)
+			res, err := build().Run(v.Opts)
+			if err != nil {
+				return fmt.Errorf("difftest: restart: seed %d %s (%s): run: %w", seed, name, desc, err)
+			}
+			var points []tracePoint
+			for _, table := range res.Capture().Relations() {
+				for _, p := range seedPoints(res, table) {
+					rids, err := traceOf(res, p.dir, table, p.seeds)
+					if err != nil {
+						return fmt.Errorf("difftest: restart: seed %d %s (%s): %s %s: %w", seed, name, desc, p.dir, table, err)
+					}
+					points = append(points, tracePoint{
+						what: p.dir + "/" + table, seeds: p.seeds, rids: rids,
+					})
+				}
+			}
+			if _, err := store.PutResult("sRestart", name, &diskstore.Result{
+				Out: res.Out, GroupCounts: res.GroupCounts,
+				Capture: res.Capture(), Bases: basesOf(res),
+			}); err != nil {
+				return fmt.Errorf("difftest: restart: seed %d %s (%s): persist: %w", seed, name, desc, err)
+			}
+			want[name] = points
+		}
+	}
+	if err := store.Close(); err != nil {
+		return fmt.Errorf("difftest: restart: close store: %w", err)
+	}
+
+	// "Restart": a fresh store over the same dir, a fresh DB, nothing shared.
+	store2, err := diskstore.Open(dir)
+	if err != nil {
+		return fmt.Errorf("difftest: restart: reopen store: %w", err)
+	}
+	defer store2.Close()
+	db2 := core.Open()
+	defer db2.Close()
+	if got := store2.Tables(); got["dim"] != "g" {
+		return fmt.Errorf("difftest: restart: recovered tables %v, want dim with pk g", got)
+	}
+	sessions := store2.Sessions()
+	if len(sessions["sRestart"]) != len(want) {
+		return fmt.Errorf("difftest: restart: recovered %d results, want %d", len(sessions["sRestart"]), len(want))
+	}
+	for name, points := range want {
+		ld, err := store2.LoadResult("sRestart", name)
+		if err != nil {
+			return fmt.Errorf("difftest: restart: load %s: %w", name, err)
+		}
+		res := core.RestoreResult(db2, ld.Out, ld.GroupCounts, ld.Capture, ld.Bases)
+		for _, p := range points {
+			dir, table := splitWhat(p.what)
+			got, err := traceOf(res, dir, table, p.seeds)
+			if err != nil {
+				return fmt.Errorf("difftest: restart: %s %s after restart: %w", name, p.what, err)
+			}
+			if err := diffRids(p.rids, got); err != nil {
+				return fmt.Errorf("difftest: restart: %s %s: pre/post restart traces differ: %w", name, p.what, err)
+			}
+		}
+	}
+	return nil
+}
+
+func splitWhat(what string) (dir, table string) {
+	for i := range what {
+		if what[i] == '/' {
+			return what[:i], what[i+1:]
+		}
+	}
+	return what, ""
+}
+
+type seedPoint struct {
+	dir   string
+	seeds []lineage.Rid
+}
+
+// seedPoints picks deterministic trace seeds: backward over output rids,
+// forward over base rids — first, middle, last, so boundary chunks of the
+// encoded directory are exercised.
+func seedPoints(res *core.Result, table string) []seedPoint {
+	var pts []seedPoint
+	if n := res.Out.N; n > 0 {
+		pts = append(pts, seedPoint{dir: "backward", seeds: cornerRids(n)})
+	}
+	if rel := res.BaseRelation(table); rel != nil && rel.N > 0 {
+		pts = append(pts, seedPoint{dir: "forward", seeds: cornerRids(rel.N)})
+	}
+	return pts
+}
+
+func cornerRids(n int) []lineage.Rid {
+	rids := []lineage.Rid{0}
+	if n > 2 {
+		rids = append(rids, lineage.Rid(n/2))
+	}
+	if n > 1 {
+		rids = append(rids, lineage.Rid(n-1))
+	}
+	return rids
+}
+
+func traceOf(res *core.Result, dir, table string, seeds []lineage.Rid) ([]lineage.Rid, error) {
+	if dir == "backward" {
+		return res.Backward(table, seeds)
+	}
+	return res.Forward(table, seeds)
+}
+
+// basesOf snapshots the base relations a result's capture addresses.
+func basesOf(res *core.Result) map[string]*storage.Relation {
+	out := map[string]*storage.Relation{}
+	for _, table := range res.Capture().Relations() {
+		if rel := res.BaseRelation(table); rel != nil {
+			out[table] = rel
+		}
+	}
+	return out
+}

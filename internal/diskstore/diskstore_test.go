@@ -1,0 +1,331 @@
+package diskstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"smoke/internal/lineage"
+	"smoke/internal/storage"
+)
+
+func testRelation(name string, n int) *storage.Relation {
+	rel := storage.NewRelation(name, storage.Schema{
+		{Name: "id", Type: storage.TInt},
+		{Name: "v", Type: storage.TFloat},
+		{Name: "s", Type: storage.TString},
+	}, n)
+	for i := 0; i < n; i++ {
+		rel.Cols[0].Ints[i] = int64(i * 3)
+		rel.Cols[1].Floats[i] = float64(i) + 0.25
+		if i%5 != 0 { // leave some empty strings in
+			rel.Cols[2].Strs[i] = string(rune('a'+i%26)) + "-row"
+		}
+	}
+	return rel
+}
+
+func sameRelation(t *testing.T, got, want *storage.Relation) {
+	t.Helper()
+	if got.N != want.N || len(got.Schema) != len(want.Schema) {
+		t.Fatalf("relation shape: got %dx%d, want %dx%d", got.N, len(got.Schema), want.N, len(want.Schema))
+	}
+	for i := 0; i < want.N; i++ {
+		if !reflect.DeepEqual(got.Row(i), want.Row(i)) {
+			t.Fatalf("row %d: got %v, want %v", i, got.Row(i), want.Row(i))
+		}
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := testRelation("orders", 137)
+	if err := s.PutTable(rel, "id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh open = process restart.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if pks := s2.Tables(); pks["orders"] != "id" {
+		t.Fatalf("recovered tables = %v, want orders with pk id", pks)
+	}
+	got, err := s2.LoadTable("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRelation(t, got, rel)
+	if err := s2.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildResult assembles a result with every index representation that can
+// reach disk: a raw 1-to-N backward index (encoded on write), a raw 1-to-1
+// forward array, plus pre-encoded forms.
+func buildResult(base *storage.Relation) *Result {
+	out := testRelation("out", 16)
+	bw := lineage.NewRidIndex(out.N)
+	for g := 0; g < out.N; g++ {
+		for r := g; r < base.N; r += out.N {
+			bw.Append(g, lineage.Rid(r))
+		}
+	}
+	fw := make([]lineage.Rid, base.N)
+	for r := range fw {
+		fw[r] = lineage.Rid(r % out.N)
+	}
+	cp := lineage.NewCapture()
+	cp.SetBackward(base.Name, lineage.NewOneToMany(bw))
+	cp.SetForward(base.Name, lineage.NewOneToOne(fw))
+	gc := make([]int64, out.N)
+	for g := range gc {
+		gc[g] = int64(len(bw.List(g)))
+	}
+	return &Result{Out: out, GroupCounts: gc, Capture: cp,
+		Bases: map[string]*storage.Relation{base.Name: base}}
+}
+
+func sameTrace(t *testing.T, what string, got, want []lineage.Rid) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rids, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: element %d = %d, want %d", what, i, got[i], want[i])
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testRelation("orders", 211)
+	if err := s.PutTable(base, "id"); err != nil {
+		t.Fatal(err)
+	}
+	res := buildResult(base)
+	if _, err := s.PutResult("s1", "q0", res); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.LoadResult("s1", "q0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRelation(t, got.Out, res.Out)
+	if !reflect.DeepEqual(got.GroupCounts, res.GroupCounts) {
+		t.Fatalf("group counts differ: %v vs %v", got.GroupCounts, res.GroupCounts)
+	}
+	sameRelation(t, got.Bases["orders"], base)
+
+	seeds := []lineage.Rid{0, 3, 15}
+	wantBW, err := res.Capture.Backward("orders", seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBW, err := got.Capture.Backward("orders", seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrace(t, "backward", gotBW, wantBW)
+
+	fwSeeds := []lineage.Rid{0, 7, 210}
+	wantFW, err := res.Capture.Forward("orders", fwSeeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFW, err := got.Capture.Forward("orders", fwSeeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrace(t, "forward", gotFW, wantFW)
+
+	// The recovered backward index must be the encoded representation (the
+	// chunk store), and its in-situ trace must match the raw path.
+	ix, err := got.Capture.BackwardIndex("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Kind != lineage.EncodedMany {
+		t.Fatalf("recovered backward index kind = %v, want EncodedMany", ix.Kind)
+	}
+	insitu := ix.Enc.TraceInSitu(seeds)
+	sameTrace(t, "in-situ backward", insitu.AppendTo(nil), wantBW)
+
+	// The recovered base must be the same object as the recovered table
+	// (shared segment, not an embedded copy).
+	tbl, err := s2.LoadTable("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bases["orders"] != tbl {
+		t.Fatal("result base and table did not dedupe to one loaded relation")
+	}
+}
+
+func TestOrphanSweepAndDelete(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testRelation("t", 32)
+	if _, err := s.PutResult("s1", "q0", buildResult(base)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutResult("s1", "q1", buildResult(base)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: a stray temp file and an unreferenced
+	// segment (renamed but never published).
+	for _, junk := range []string{"z999.seg.tmp", "z998.seg"} {
+		if err := os.WriteFile(filepath.Join(dir, junk), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, junk := range []string{"z999.seg.tmp", "z998.seg"} {
+		if _, err := os.Stat(filepath.Join(dir, junk)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived Open", junk)
+		}
+	}
+	if err := s2.DeleteResult("s1", "q0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.LoadResult("s1", "q0"); err == nil {
+		t.Fatal("deleted result still loads")
+	}
+	if _, err := s2.LoadResult("s1", "q1"); err != nil {
+		t.Fatalf("sibling result lost: %v", err)
+	}
+	if err := s2.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := testRelation("t", 64)
+	if err := s.PutTable(rel, ""); err != nil {
+		t.Fatal(err)
+	}
+	var file string
+	for _, e := range mustReadDir(t, dir) {
+		if filepath.Ext(e) == ".seg" {
+			file = e
+		}
+	}
+	s.Close()
+
+	// Truncate the trailer: open must refuse the torn segment.
+	path := filepath.Join(dir, file)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.LoadTable("t"); err == nil {
+		t.Fatal("torn segment loaded without error")
+	}
+	s2.Close()
+
+	// Restore, then flip a payload byte: full verification must catch it.
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data[pageSize] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.VerifyAll(); err == nil {
+		t.Fatal("flipped payload byte passed full verification")
+	}
+	s3.Close()
+}
+
+func TestSessionWatermarkPersists(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetNextSessionID(42)
+	base := testRelation("t", 8)
+	if _, err := s.PutResult("s2a", "q", buildResult(base)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.NextSessionID(); got != 42 {
+		t.Fatalf("next session id = %d, want 42", got)
+	}
+	if sessions := s2.Sessions(); sessions["s2a"]["q"] <= 0 {
+		t.Fatalf("sessions = %v, want s2a/q with positive bytes", sessions)
+	}
+}
+
+func mustReadDir(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}

@@ -1,0 +1,22 @@
+//go:build !unix
+
+package diskstore
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without syscall.Mmap reads the whole segment into
+// memory. Correctness is identical (the loaders only see a []byte); only the
+// lazy-paging economics are lost.
+func mmapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(f, b); err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return nil }, nil
+}
+
+// fsyncDir is a no-op where directory handles cannot be synced.
+func fsyncDir(dir string) error { return nil }

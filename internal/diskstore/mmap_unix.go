@@ -1,0 +1,34 @@
+//go:build unix
+
+package diskstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. The returned bytes alias the page cache:
+// loading a segment costs no read I/O up front, and a trace over a demoted
+// capture faults in only the pages its seed lists touch. The unmap func must
+// not run while any slice derived from the mapping is still reachable — the
+// Store unmaps only at Close.
+func mmapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}
+
+// fsyncDir flushes directory metadata so a rename survives power loss.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,564 @@
+package diskstore
+
+// Segment file format. A segment persists either one relation or one retained
+// result (output relation + group counts + encoded lineage indexes + base
+// relations), laid out mmap-friendly:
+//
+//	[0, 8)      magic "SMKSEG1\n"
+//	[4096, ...) sections, each starting on a 4096-byte page boundary
+//	...         JSON directory (segMeta)
+//	trailer     uint32 LE directory length | magic (the file's last 12 bytes)
+//
+// The JSON directory names every section with its absolute offset, length,
+// and CRC32. Putting the directory at the tail (like an SSTable footer) means
+// every section offset is known before the directory is marshaled, and a
+// torn write is detectable from the trailer alone. Page alignment does
+// double duty: every section is naturally aligned for the unsafe casts to
+// []int64 / []uint32 / []int32 views over the mapping, and an encoded
+// index's offs directory sits on its own pages so a trace faults in only the
+// directory plus the chunk pages its seeds touch.
+//
+// Integer sections are native-endian (the store is a cache local to one
+// machine, not an interchange format); the magic would have to be versioned
+// before a cross-architecture reader could exist.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"unsafe"
+
+	"smoke/internal/lineage"
+	"smoke/internal/serr"
+	"smoke/internal/storage"
+)
+
+const (
+	segMagic = "SMKSEG1\n"
+	pageSize = 4096
+)
+
+type sectionMeta struct {
+	Name string `json:"name"`
+	Off  int64  `json:"off"`
+	Len  int64  `json:"len"`
+	CRC  uint32 `json:"crc"`
+}
+
+type fieldMeta struct {
+	Name string `json:"name"`
+	Type uint8  `json:"type"`
+}
+
+type relMeta struct {
+	Name   string      `json:"name"`
+	N      int         `json:"n"`
+	Fields []fieldMeta `json:"fields"`
+}
+
+// indexMeta describes one persisted lineage index. Kind is the physical
+// representation: "arr" (raw 1-to-1 rid array), "encarr" (EncodedArr run
+// directory), or "encmany" (EncodedIndex chunk store). Raw 1-to-N indexes
+// are encoded before they are written — the chunked encoding IS the
+// persistence format — so "rawmany" does not exist on disk.
+type indexMeta struct {
+	Sec  string `json:"sec"` // section-name prefix inside the segment
+	Rel  string `json:"rel"`
+	Dir  string `json:"dir"`  // "bw" | "fw"
+	Kind string `json:"kind"` // "arr" | "encarr" | "encmany"
+	N    int    `json:"n"`
+	Card int    `json:"card,omitempty"`
+}
+
+// baseMeta names one base relation a result's capture refers to and the
+// shared relation segment holding its data (a published table's segment, or
+// a standalone spill written on first demotion).
+type baseMeta struct {
+	Table string `json:"table"`
+	File  string `json:"file"`
+}
+
+type resultMeta struct {
+	Out         relMeta     `json:"out"`
+	GroupCounts bool        `json:"group_counts,omitempty"`
+	Indexes     []indexMeta `json:"indexes"`
+	Bases       []baseMeta  `json:"bases,omitempty"`
+}
+
+type segMeta struct {
+	Kind     string        `json:"kind"` // "relation" | "result"
+	Relation *relMeta      `json:"relation,omitempty"`
+	Result   *resultMeta   `json:"result,omitempty"`
+	Sections []sectionMeta `json:"sections"`
+}
+
+// segWriter accumulates named sections, then writes the segment via the
+// crash-safe temp + fsync + rename protocol.
+type segWriter struct {
+	meta     segMeta
+	payloads [][]byte
+}
+
+func (w *segWriter) add(name string, payload []byte) {
+	w.meta.Sections = append(w.meta.Sections, sectionMeta{
+		Name: name,
+		Len:  int64(len(payload)),
+		CRC:  crc32.ChecksumIEEE(payload),
+	})
+	w.payloads = append(w.payloads, payload)
+}
+
+// writeTo writes the finished segment to path atomically: the bytes land in
+// path+".tmp", are fsynced, and only then renamed over path; the directory
+// entry is fsynced last. A crash at any point leaves either no file or a
+// *.tmp orphan (swept at Open), never a half-visible segment.
+func (w *segWriter) writeTo(path string) (int64, error) {
+	off := int64(pageSize)
+	for i := range w.meta.Sections {
+		w.meta.Sections[i].Off = off
+		off += w.meta.Sections[i].Len
+		off = (off + pageSize - 1) / pageSize * pageSize
+	}
+	metaJSON, err := json.Marshal(&w.meta)
+	if err != nil {
+		return 0, err
+	}
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+	bw := bufio.NewWriterSize(f, 1<<20)
+	pos := int64(0)
+	pad := func(to int64) error {
+		var zeros [pageSize]byte
+		for pos < to {
+			n := to - pos
+			if n > pageSize {
+				n = pageSize
+			}
+			if _, err := bw.Write(zeros[:n]); err != nil {
+				return err
+			}
+			pos += n
+		}
+		return nil
+	}
+	write := func(b []byte) error {
+		_, err := bw.Write(b)
+		pos += int64(len(b))
+		return err
+	}
+	err = write([]byte(segMagic))
+	for i, p := range w.payloads {
+		if err != nil {
+			break
+		}
+		if err = pad(w.meta.Sections[i].Off); err == nil {
+			err = write(p)
+		}
+	}
+	if err == nil {
+		err = pad(off)
+	}
+	if err == nil {
+		err = write(metaJSON)
+	}
+	if err == nil {
+		var trailer [12]byte
+		binary.LittleEndian.PutUint32(trailer[:4], uint32(len(metaJSON)))
+		copy(trailer[4:], segMagic)
+		err = write(trailer[:])
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, fmt.Errorf("diskstore: write %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	if err := fsyncDir(filepath.Dir(path)); err != nil {
+		return 0, err
+	}
+	return pos, nil
+}
+
+// segment is an open, mapped segment file.
+type segment struct {
+	path  string
+	data  []byte
+	meta  segMeta
+	unmap func() error
+}
+
+// openSegment maps path and parses + validates its directory. Directory-like
+// sections (offset arrays, run directories, group counts — everything a
+// loader will index blindly into) are CRC-verified immediately; bulk payload
+// sections are verified only under full=true (tests, explicit verification)
+// so opening a large segment does not page the whole file in.
+func openSegment(path string, full bool) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(len(segMagic))+12 {
+		return nil, corruptf(path, "file too small (%d bytes)", size)
+	}
+	data, unmap, err := mmapFile(f, size)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: map %s: %w", filepath.Base(path), err)
+	}
+	s := &segment{path: path, data: data, unmap: unmap}
+	if err := s.parse(full); err != nil {
+		s.close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *segment) parse(full bool) error {
+	size := int64(len(s.data))
+	if string(s.data[:len(segMagic)]) != segMagic {
+		return corruptf(s.path, "bad magic")
+	}
+	if string(s.data[size-8:]) != segMagic {
+		return corruptf(s.path, "bad trailer magic (torn write?)")
+	}
+	metaLen := int64(binary.LittleEndian.Uint32(s.data[size-12 : size-8]))
+	metaOff := size - 12 - metaLen
+	if metaLen <= 0 || metaOff < int64(len(segMagic)) {
+		return corruptf(s.path, "directory length %d out of bounds", metaLen)
+	}
+	if err := json.Unmarshal(s.data[metaOff:size-12], &s.meta); err != nil {
+		return corruptf(s.path, "directory does not parse: %v", err)
+	}
+	for _, sec := range s.meta.Sections {
+		if sec.Off < pageSize || sec.Len < 0 || sec.Off+sec.Len > metaOff {
+			return corruptf(s.path, "section %q [%d,+%d) out of bounds", sec.Name, sec.Off, sec.Len)
+		}
+		if sec.Off%8 != 0 {
+			return corruptf(s.path, "section %q misaligned at offset %d", sec.Name, sec.Off)
+		}
+		if full || directorySection(sec.Name) {
+			if got := crc32.ChecksumIEEE(s.data[sec.Off : sec.Off+sec.Len]); got != sec.CRC {
+				return corruptf(s.path, "section %q checksum mismatch", sec.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// directorySection reports whether a section is indexed blindly by a loader
+// (and therefore must be verified at open time). Payload sections — column
+// data, chunk bytes — are walked through bounds-checked cursors and can
+// defer verification.
+func directorySection(name string) bool {
+	return strings.HasSuffix(name, ".offs") || strings.HasSuffix(name, ".starts") ||
+		strings.HasSuffix(name, ".seq") || strings.HasSuffix(name, ".vals") ||
+		strings.HasSuffix(name, ".gc")
+}
+
+func (s *segment) close() {
+	if s.unmap != nil {
+		_ = s.unmap()
+		s.unmap = nil
+	}
+}
+
+func (s *segment) section(name string) ([]byte, error) {
+	for _, sec := range s.meta.Sections {
+		if sec.Name == name {
+			return s.data[sec.Off : sec.Off+sec.Len], nil
+		}
+	}
+	return nil, corruptf(s.path, "missing section %q", name)
+}
+
+func corruptf(path, format string, args ...any) error {
+	return serr.New(serr.Internal, "diskstore: %s: "+format,
+		append([]any{filepath.Base(path)}, args...)...)
+}
+
+// ---- typed views over mapped bytes ----
+//
+// Sections are page-aligned (checked at open), so the element-pointer casts
+// below are always aligned. The views alias the mapping: zero copies, and the
+// slices stay valid until Store.Close unmaps.
+
+func asInt64s(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func asFloat64s(b []byte) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func asInt32s(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func asUint32s(b []byte) []uint32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func asBools(b []byte) []bool {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*bool)(unsafe.Pointer(&b[0])), len(b))
+}
+
+func int64Bytes(v []int64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v))
+}
+
+func float64Bytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v))
+}
+
+func int32Bytes(v []int32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v))
+}
+
+func uint32Bytes(v []uint32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v))
+}
+
+func boolBytes(v []bool) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v))
+}
+
+// ---- relation sections ----
+
+func relMetaOf(rel *storage.Relation) relMeta {
+	m := relMeta{Name: rel.Name, N: rel.N, Fields: make([]fieldMeta, len(rel.Schema))}
+	for i, f := range rel.Schema {
+		m.Fields[i] = fieldMeta{Name: f.Name, Type: uint8(f.Type)}
+	}
+	return m
+}
+
+// addRelationSections emits one section per fixed-width column and an
+// offs+bytes pair per string column, all under prefix.
+func addRelationSections(w *segWriter, prefix string, rel *storage.Relation) {
+	for i, f := range rel.Schema {
+		name := fmt.Sprintf("%scol%d", prefix, i)
+		switch f.Type {
+		case storage.TInt:
+			w.add(name, int64Bytes(rel.Cols[i].Ints))
+		case storage.TFloat:
+			w.add(name, float64Bytes(rel.Cols[i].Floats))
+		case storage.TString:
+			offs := make([]uint32, len(rel.Cols[i].Strs)+1)
+			total := 0
+			for j, s := range rel.Cols[i].Strs {
+				total += len(s)
+				offs[j+1] = uint32(total)
+			}
+			bytes := make([]byte, 0, total)
+			for _, s := range rel.Cols[i].Strs {
+				bytes = append(bytes, s...)
+			}
+			w.add(name+".offs", uint32Bytes(offs))
+			w.add(name+".bytes", bytes)
+		}
+	}
+}
+
+// loadRelation reconstructs a relation whose fixed-width columns alias the
+// mapping directly. String columns allocate the []string headers (16 bytes a
+// row) but the character data itself stays mapped (unsafe.String views).
+func loadRelation(seg *segment, prefix string, m relMeta) (*storage.Relation, error) {
+	rel := &storage.Relation{
+		Name:   m.Name,
+		N:      m.N,
+		Schema: make(storage.Schema, len(m.Fields)),
+		Cols:   make([]storage.Column, len(m.Fields)),
+	}
+	for i, f := range m.Fields {
+		rel.Schema[i] = storage.Field{Name: f.Name, Type: storage.Type(f.Type)}
+		name := fmt.Sprintf("%scol%d", prefix, i)
+		switch storage.Type(f.Type) {
+		case storage.TInt:
+			b, err := seg.section(name)
+			if err != nil {
+				return nil, err
+			}
+			if len(b) != 8*m.N {
+				return nil, corruptf(seg.path, "column %q has %d bytes, want %d", name, len(b), 8*m.N)
+			}
+			rel.Cols[i].Ints = asInt64s(b)
+		case storage.TFloat:
+			b, err := seg.section(name)
+			if err != nil {
+				return nil, err
+			}
+			if len(b) != 8*m.N {
+				return nil, corruptf(seg.path, "column %q has %d bytes, want %d", name, len(b), 8*m.N)
+			}
+			rel.Cols[i].Floats = asFloat64s(b)
+		case storage.TString:
+			ob, err := seg.section(name + ".offs")
+			if err != nil {
+				return nil, err
+			}
+			sb, err := seg.section(name + ".bytes")
+			if err != nil {
+				return nil, err
+			}
+			offs := asUint32s(ob)
+			if len(offs) != m.N+1 || (m.N > 0 && offs[0] != 0) {
+				return nil, corruptf(seg.path, "column %q offset directory malformed", name)
+			}
+			strs := make([]string, m.N)
+			for j := 0; j < m.N; j++ {
+				lo, hi := offs[j], offs[j+1]
+				if hi < lo || int(hi) > len(sb) {
+					return nil, corruptf(seg.path, "column %q offsets out of bounds at row %d", name, j)
+				}
+				if lo != hi {
+					strs[j] = unsafe.String(&sb[lo], int(hi-lo))
+				}
+			}
+			rel.Cols[i].Strs = strs
+		default:
+			return nil, corruptf(seg.path, "column %q has unknown type %d", name, f.Type)
+		}
+	}
+	return rel, nil
+}
+
+// ---- lineage index sections ----
+
+// addIndexSections persists ix under prefix and returns its directory entry.
+// Raw 1-to-N indexes are converted to the chunked encoding first: the
+// encoded form is the on-disk representation (and what a promoted result
+// traces in situ). Raw 1-to-1 arrays stay raw — EncodeArr already decided
+// the run directory would not pay for itself.
+func addIndexSections(w *segWriter, prefix, rel, dir string, ix *lineage.Index) indexMeta {
+	if ix.Kind == lineage.OneToMany {
+		ix = lineage.EncodeIndex(ix)
+	}
+	m := indexMeta{Sec: prefix, Rel: rel, Dir: dir, N: ix.Len()}
+	switch ix.Kind {
+	case lineage.OneToOne:
+		m.Kind = "arr"
+		w.add(prefix+".arr", int32Bytes(ix.Arr))
+	case lineage.EncodedOne:
+		m.Kind = "encarr"
+		n, starts, vals, seq := ix.EncArr.Parts()
+		m.N = n
+		w.add(prefix+".starts", int32Bytes(starts))
+		w.add(prefix+".vals", int32Bytes(vals))
+		w.add(prefix+".seq", boolBytes(seq))
+	case lineage.EncodedMany:
+		m.Kind = "encmany"
+		offs, data, card := ix.Enc.Parts()
+		m.Card = card
+		w.add(prefix+".offs", uint32Bytes(offs))
+		w.add(prefix+".data", data)
+	}
+	return m
+}
+
+// loadIndex reconstructs a lineage index over the mapping; the encoded forms
+// wrap the mapped bytes via FromParts, so traces iterate disk pages directly.
+func loadIndex(seg *segment, prefix string, m indexMeta) (*lineage.Index, error) {
+	switch m.Kind {
+	case "arr":
+		b, err := seg.section(prefix + ".arr")
+		if err != nil {
+			return nil, err
+		}
+		arr := asInt32s(b)
+		if len(arr) != m.N {
+			return nil, corruptf(seg.path, "index %q has %d entries, want %d", prefix, len(arr), m.N)
+		}
+		return lineage.NewOneToOne(arr), nil
+	case "encarr":
+		sb, err := seg.section(prefix + ".starts")
+		if err != nil {
+			return nil, err
+		}
+		vb, err := seg.section(prefix + ".vals")
+		if err != nil {
+			return nil, err
+		}
+		qb, err := seg.section(prefix + ".seq")
+		if err != nil {
+			return nil, err
+		}
+		e, err := lineage.EncodedArrFromParts(m.N, asInt32s(sb), asInt32s(vb), asBools(qb))
+		if err != nil {
+			return nil, fmt.Errorf("%s: index %q: %w", filepath.Base(seg.path), prefix, err)
+		}
+		return lineage.NewEncodedOne(e), nil
+	case "encmany":
+		ob, err := seg.section(prefix + ".offs")
+		if err != nil {
+			return nil, err
+		}
+		db, err := seg.section(prefix + ".data")
+		if err != nil {
+			return nil, err
+		}
+		offs := asUint32s(ob)
+		if len(offs) != m.N+1 {
+			return nil, corruptf(seg.path, "index %q directory has %d offsets, want %d", prefix, len(offs), m.N+1)
+		}
+		e, err := lineage.EncodedIndexFromParts(offs, db, m.Card)
+		if err != nil {
+			return nil, fmt.Errorf("%s: index %q: %w", filepath.Base(seg.path), prefix, err)
+		}
+		return lineage.NewEncodedMany(e), nil
+	}
+	return nil, corruptf(seg.path, "index %q has unknown kind %q", prefix, m.Kind)
+}

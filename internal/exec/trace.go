@@ -7,6 +7,7 @@ import (
 	"smoke/internal/lineage"
 	"smoke/internal/ops"
 	"smoke/internal/plan"
+	"smoke/internal/serr"
 	"smoke/internal/storage"
 )
 
@@ -94,11 +95,21 @@ func traceIndex(source plan.Node, bound *plan.BoundTrace, table string, need ops
 // output for backward traces, the base relation for forward ones). The
 // result is never nil — an empty seed set must stay an explicit empty rid
 // subset downstream (nil means "all rows" to the aggregation kernels).
-func traceSeeds(seedRel *storage.Relation, rids []lineage.Rid, pred expr.Expr, opts PlanOpts) ([]lineage.Rid, error) {
+//
+// Explicit seeds are validated against both the seed relation and the index
+// that will expand them (ixLen): a rid past either bound would index the
+// rid array or the encoded offset directory unchecked and panic the handler.
+// The rejection is a structured Invalid — a client mistake (HTTP 400), not
+// an engine failure (500).
+func traceSeeds(seedRel *storage.Relation, ixLen int, rids []lineage.Rid, pred expr.Expr, opts PlanOpts) ([]lineage.Rid, error) {
 	if rids != nil {
+		lim := seedRel.N
+		if ixLen < lim {
+			lim = ixLen
+		}
 		for _, r := range rids {
-			if int(r) < 0 || int(r) >= seedRel.N {
-				return nil, fmt.Errorf("exec: trace seed rid %d out of range [0, %d)", r, seedRel.N)
+			if int(r) < 0 || int(r) >= lim {
+				return nil, serr.New(serr.Invalid, "exec: trace seed rid %d out of range [0, %d)", r, lim)
 			}
 		}
 		return rids, nil
@@ -131,7 +142,7 @@ func backwardRids(node plan.Backward, opts PlanOpts) ([]lineage.Rid, *plan.Scan,
 	if err != nil {
 		return nil, nil, err
 	}
-	seeds, err := traceSeeds(srcOut, node.SeedRids, node.SeedPred, opts)
+	seeds, err := traceSeeds(srcOut, ix.Len(), node.SeedRids, node.SeedPred, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -228,7 +239,7 @@ func runForward(node plan.Forward, opts PlanOpts) (nodeOut, error) {
 			return nodeOut{}, fmt.Errorf("exec: trace: no forward lineage captured for %q", node.Table)
 		}
 	}
-	seeds, err := traceSeeds(node.Rel, node.SeedRids, node.SeedPred, opts)
+	seeds, err := traceSeeds(node.Rel, ix.Len(), node.SeedRids, node.SeedPred, opts)
 	if err != nil {
 		return nodeOut{}, err
 	}

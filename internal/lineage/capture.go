@@ -56,6 +56,9 @@ func (c *Capture) Backward(rel string, out []Rid) ([]Rid, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ix.CheckSeeds(out); err != nil {
+		return nil, err
+	}
 	return ix.Trace(out), nil
 }
 
@@ -64,6 +67,9 @@ func (c *Capture) Backward(rel string, out []Rid) ([]Rid, error) {
 func (c *Capture) Forward(rel string, in []Rid) ([]Rid, error) {
 	ix, err := c.ForwardIndex(rel)
 	if err != nil {
+		return nil, err
+	}
+	if err := ix.CheckSeeds(in); err != nil {
 		return nil, err
 	}
 	return ix.Trace(in), nil
@@ -75,6 +81,9 @@ func (c *Capture) BackwardDistinct(rel string, out []Rid) ([]Rid, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ix.CheckSeeds(out); err != nil {
+		return nil, err
+	}
 	return ix.TraceDistinct(out), nil
 }
 
@@ -82,6 +91,9 @@ func (c *Capture) BackwardDistinct(rel string, out []Rid) ([]Rid, error) {
 func (c *Capture) ForwardDistinct(rel string, in []Rid) ([]Rid, error) {
 	ix, err := c.ForwardIndex(rel)
 	if err != nil {
+		return nil, err
+	}
+	if err := ix.CheckSeeds(in); err != nil {
 		return nil, err
 	}
 	return ix.TraceDistinct(in), nil

@@ -1,0 +1,92 @@
+package lineage
+
+import "smoke/internal/serr"
+
+// Persistence seam for the encoded representations. The disk tier
+// (internal/diskstore) stores an encoded index exactly as it sits in memory —
+// the offset directory and the chunk payload — so a segment loads by wrapping
+// mmap-backed slices with FromParts and every cursor (EncCursor, ArrCursor,
+// TraceInSitu) iterates the mapped bytes directly. Nothing decodes on load;
+// the first trace faults in only the pages its seed lists touch.
+
+// Parts exposes the encoded index's physical representation: the n+1-entry
+// offset directory, the chunk payload, and the total cardinality. The slices
+// are the index's own storage — callers must treat them as read-only.
+func (e *EncodedIndex) Parts() (offs []uint32, data []byte, card int) {
+	return e.offs, e.data, e.card
+}
+
+// EncodedIndexFromParts reassembles an EncodedIndex around externally owned
+// storage (typically slices aliasing mmap-backed bytes). Only the offset
+// directory is validated — offsets must start at zero, be non-decreasing, and
+// end exactly at len(data) — because a broken directory would index data out
+// of bounds, while broken chunk bytes are caught by the segment checksums.
+func EncodedIndexFromParts(offs []uint32, data []byte, card int) (*EncodedIndex, error) {
+	if len(offs) == 0 {
+		return nil, serr.New(serr.Internal, "lineage: encoded index has an empty offset directory")
+	}
+	if offs[0] != 0 {
+		return nil, serr.New(serr.Internal, "lineage: encoded index directory starts at %d, want 0", offs[0])
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] {
+			return nil, serr.New(serr.Internal, "lineage: encoded index directory decreases at entry %d", i)
+		}
+	}
+	if got := int(offs[len(offs)-1]); got != len(data) {
+		return nil, serr.New(serr.Internal, "lineage: encoded index directory ends at %d, payload is %d bytes", got, len(data))
+	}
+	if card < 0 {
+		return nil, serr.New(serr.Internal, "lineage: encoded index cardinality %d is negative", card)
+	}
+	return &EncodedIndex{offs: offs, data: data, card: card}, nil
+}
+
+// Parts exposes the run directory of the encoded array: entry count, run
+// starts, run values, and the sequential/constant flag per run. The slices
+// are the array's own storage — callers must treat them as read-only.
+func (e *EncodedArr) Parts() (n int, starts []int32, vals []Rid, seq []bool) {
+	return e.n, e.starts, e.vals, e.seq
+}
+
+// EncodedArrFromParts reassembles an EncodedArr around externally owned
+// storage. The run directory is validated: the three slices must be the same
+// non-zero length, starts must begin at 0 and strictly increase, and every
+// start must fall inside [0, n) — Get binary-searches this directory, so a
+// malformed one would misresolve or crash every probe.
+func EncodedArrFromParts(n int, starts []int32, vals []Rid, seq []bool) (*EncodedArr, error) {
+	if n <= 0 {
+		return nil, serr.New(serr.Internal, "lineage: encoded array has %d entries", n)
+	}
+	if len(starts) == 0 || len(starts) != len(vals) || len(starts) != len(seq) {
+		return nil, serr.New(serr.Internal, "lineage: encoded array run directory is ragged (%d starts, %d vals, %d flags)",
+			len(starts), len(vals), len(seq))
+	}
+	if starts[0] != 0 {
+		return nil, serr.New(serr.Internal, "lineage: encoded array first run starts at %d, want 0", starts[0])
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] <= starts[i-1] {
+			return nil, serr.New(serr.Internal, "lineage: encoded array run starts not strictly increasing at run %d", i)
+		}
+	}
+	if int(starts[len(starts)-1]) >= n {
+		return nil, serr.New(serr.Internal, "lineage: encoded array run start %d past entry count %d", starts[len(starts)-1], n)
+	}
+	return &EncodedArr{n: n, starts: starts, vals: vals, seq: seq}, nil
+}
+
+// CheckSeeds validates trace seeds against the index's entry count. Out-of-
+// range or negative seeds would index the offset directory (or rid array)
+// unchecked and panic deep inside a cursor, so every trace boundary — the
+// Capture query methods and the exec trace operator — rejects them up front
+// as a structured Invalid error (HTTP 400), not a handler panic (500).
+func (ix *Index) CheckSeeds(src []Rid) error {
+	n := Rid(ix.Len())
+	for _, r := range src {
+		if r < 0 || r >= n {
+			return serr.New(serr.Invalid, "lineage: trace seed rid %d out of range [0, %d)", r, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"smoke/internal/core"
+	"smoke/internal/diskstore"
+	"smoke/internal/serverclient"
+)
+
+// newDiskServer builds a server over a disk store in dir, with explicit
+// handles: the caller controls shutdown order (drain → flush → store close)
+// to simulate restarts.
+func newDiskServer(t *testing.T, dir string, tweak func(*Config)) (*serverclient.Client, *Server, *diskstore.Store, func()) {
+	t.Helper()
+	store, err := diskstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := core.Open(core.WithWorkers(2))
+	t.Cleanup(db.Close)
+	cfg := Config{DB: db, Store: store}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	srv := New(cfg)
+	ts := httptest.NewServer(srv)
+	stop := func() {
+		ts.Close()
+		if err := srv.Close(); err != nil {
+			t.Fatalf("server flush: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			t.Fatalf("store close: %v", err)
+		}
+	}
+	return serverclient.New(ts.URL, ts.Client()), srv, store, stop
+}
+
+func sameRows(t *testing.T, what string, got, want *serverclient.Result) {
+	t.Helper()
+	if got.N != want.N || !reflect.DeepEqual(got.Columns, want.Columns) {
+		t.Fatalf("%s: shape %dx%v, want %dx%v", what, got.N, got.Columns, want.N, want.Columns)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatalf("%s: rows differ:\n got %v\nwant %v", what, got.Rows, want.Rows)
+	}
+}
+
+// Demotion under the per-session cap must keep the result traceable: the
+// evicted name promotes back from its segment and the bound trace is
+// element-identical to the in-memory one — not 410.
+func TestDemotionPromotesInsteadOf410(t *testing.T) {
+	c, _, _, stop := newDiskServer(t, t.TempDir(), func(cfg *Config) {
+		cfg.MaxResultsPerSession = 1
+	})
+	defer stop()
+	ctx := context.Background()
+	mustCreateOrders(t, c)
+	sess, err := c.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(ctx, "first", serverclient.QueryRequest{
+		SQL: "SELECT region, COUNT(*) AS n FROM orders GROUP BY region"}); err != nil {
+		t.Fatal(err)
+	}
+	traceReq := serverclient.TraceRequest{Direction: "backward", Table: "orders", Rids: []int64{0}}
+	want, err := sess.Trace(ctx, "first", traceReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retaining "second" demotes "first" (cap 1) to the disk tier.
+	if _, err := sess.Run(ctx, "second", serverclient.QueryRequest{
+		SQL: "SELECT region, SUM(amount) AS s FROM orders GROUP BY region"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Trace(ctx, "first", traceReq)
+	if err != nil {
+		t.Fatalf("trace of demoted result: %v", err)
+	}
+	sameRows(t, "promoted backward trace", got, want)
+}
+
+// The TTL parks idle sessions in the dormant (disk) tier instead of killing
+// them: a later reference revives the session and its traces still answer.
+func TestTTLDemotesToDormantNotGone(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	c, _, _, stop := newDiskServer(t, t.TempDir(), func(cfg *Config) {
+		cfg.SessionTTL = time.Minute
+		cfg.Clock = clk.now
+	})
+	defer stop()
+	ctx := context.Background()
+	mustCreateOrders(t, c)
+	sess, err := c.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explicit seeds below the scan-equivalence threshold: live and promoted
+	// results take the same rid-expansion path, so rows compare exactly.
+	traceReq := serverclient.TraceRequest{Direction: "backward", Table: "orders", Rids: []int64{1}}
+	if _, err := sess.Run(ctx, "base", serverclient.QueryRequest{
+		SQL: "SELECT region, COUNT(*) AS n FROM orders GROUP BY region"}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sess.Trace(ctx, "base", traceReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(10 * time.Minute) // far past the TTL: demoted wholesale
+	got, err := sess.Trace(ctx, "base", traceReq)
+	if err != nil {
+		t.Fatalf("trace after TTL demotion: %v", err)
+	}
+	sameRows(t, "revived session trace", got, want)
+}
+
+// The disk budget is the terminal tier: past it the LRU demoted result is
+// deleted for good and answers 410.
+func TestDiskBudgetMakesResultsGone(t *testing.T) {
+	c, _, _, stop := newDiskServer(t, t.TempDir(), func(cfg *Config) {
+		cfg.MaxResultsPerSession = 1
+		cfg.MaxDiskBytes = 1 // every demotion overflows immediately
+	})
+	defer stop()
+	ctx := context.Background()
+	mustCreateOrders(t, c)
+	sess, err := c.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(ctx, "first", serverclient.QueryRequest{
+		SQL: "SELECT region, COUNT(*) AS n FROM orders GROUP BY region"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(ctx, "second", serverclient.QueryRequest{
+		SQL: "SELECT region, SUM(amount) AS s FROM orders GROUP BY region"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Trace(ctx, "first", serverclient.TraceRequest{Direction: "backward", Table: "orders"})
+	wantStatus(t, err, 410)
+	// The in-memory survivor is untouched.
+	if _, err := sess.Result(ctx, "second"); err != nil {
+		t.Fatalf("in-memory result lost to the disk budget: %v", err)
+	}
+}
+
+// A server restarted over the same data dir recovers ingested tables and
+// retained sessions: bound traces (backward and forward, raw and
+// compressed) answer element-identically to before the restart, and a new
+// session id never collides with a recovered one.
+func TestRestartRecoversSessions(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	c, _, _, stop := newDiskServer(t, dir, nil)
+	mustCreateOrders(t, c)
+	sess, err := c.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(ctx, "base", serverclient.QueryRequest{
+		SQL: "SELECT region, COUNT(*) AS n FROM orders GROUP BY region"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(ctx, "packed", serverclient.QueryRequest{
+		SQL:      "SELECT region, SUM(amount) AS s FROM orders GROUP BY region",
+		Compress: true}); err != nil {
+		t.Fatal(err)
+	}
+	bw := serverclient.TraceRequest{Direction: "backward", Table: "orders", Rids: []int64{0}}
+	fw := serverclient.TraceRequest{Direction: "forward", Table: "orders", Rids: []int64{0, 2, 4}}
+	wantBW, err := sess.Trace(ctx, "base", bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFW, err := sess.Trace(ctx, "packed", fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // graceful shutdown: drain, flush, publish, close
+
+	c2, _, _, stop2 := newDiskServer(t, dir, nil)
+	defer stop2()
+	sess2 := c2.Session(sess.ID)
+	gotBW, err := sess2.Trace(ctx, "base", bw)
+	if err != nil {
+		t.Fatalf("backward trace after restart: %v", err)
+	}
+	sameRows(t, "post-restart backward", gotBW, wantBW)
+	gotFW, err := sess2.Trace(ctx, "packed", fw)
+	if err != nil {
+		t.Fatalf("forward trace after restart: %v", err)
+	}
+	sameRows(t, "post-restart forward", gotFW, wantFW)
+
+	fresh, err := c2.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID == sess.ID {
+		t.Fatalf("restarted server reissued session id %s", fresh.ID)
+	}
+}
+
+// Explicitly deleting a session removes it from the disk tier too: a
+// restart must not resurrect it.
+func TestDropSessionDeletesDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	c, _, _, stop := newDiskServer(t, dir, nil)
+	mustCreateOrders(t, c)
+	sess, err := c.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(ctx, "base", serverclient.QueryRequest{
+		SQL: "SELECT region, COUNT(*) AS n FROM orders GROUP BY region"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	c2, _, _, stop2 := newDiskServer(t, dir, nil)
+	defer stop2()
+	_, err = c2.Session(sess.ID).Result(ctx, "base")
+	wantStatus(t, err, 404) // a restart forgets tombstones; never resurrects data
+}
+
+// Out-of-range and negative explicit seeds are a client error on the HTTP
+// path — 400, not a handler panic turned 500 (the seeds would otherwise
+// reach the encoded chunk directory unchecked).
+func TestTraceBadSeedsAre400(t *testing.T) {
+	c, _ := newTestServer(t, nil)
+	ctx := context.Background()
+	mustCreateOrders(t, c)
+	sess, err := c.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(ctx, "base", serverclient.QueryRequest{
+		SQL: "SELECT region, COUNT(*) AS n FROM orders GROUP BY region"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		req  serverclient.TraceRequest
+	}{
+		{"backward rid past output", serverclient.TraceRequest{
+			Direction: "backward", Table: "orders", Rids: []int64{1 << 30}}},
+		{"backward negative rid", serverclient.TraceRequest{
+			Direction: "backward", Table: "orders", Rids: []int64{-1}}},
+		{"forward rid past base", serverclient.TraceRequest{
+			Direction: "forward", Table: "orders", Rids: []int64{999}}},
+		{"forward negative rid", serverclient.TraceRequest{
+			Direction: "forward", Table: "orders", Rids: []int64{-7}}},
+	} {
+		_, err := sess.Trace(ctx, "base", tc.req)
+		wantStatus(t, err, 400)
+	}
+}
+
+// tombstones must never forget recent evictions: the generational rotation
+// keeps at least cap/2 of the latest adds. (The previous wholesale reset
+// forgot everything at the cap, flipping fresh 410s back to 404.)
+func TestTombstonesKeepRecentAcrossOverflow(t *testing.T) {
+	ts := newTombstones(8)
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	for _, k := range keys {
+		ts.add(k)
+	}
+	// The last cap/2 adds are always present, whatever the rotation phase.
+	for _, k := range keys[len(keys)-4:] {
+		if !ts.has(k) {
+			t.Fatalf("recent tombstone %q forgotten after overflow", k)
+		}
+	}
+	if len(ts.cur)+len(ts.old) > 8 {
+		t.Fatalf("tombstones hold %d keys, cap 8", len(ts.cur)+len(ts.old))
+	}
+	ts.remove("j")
+	if ts.has("j") {
+		t.Fatal("removed tombstone still present")
+	}
+}

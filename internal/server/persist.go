@@ -1,0 +1,20 @@
+package server
+
+import (
+	"smoke/internal/core"
+	"smoke/internal/diskstore"
+)
+
+// resultToDisk projects a retained result onto the disk tier's exchange
+// shape: the output relation, group counts, the captured lineage indexes,
+// and the base-relation snapshots the capture's rids address. The plan does
+// not survive demotion — a promoted result serves bound traces only, which
+// is all the session API offers on it.
+func resultToDisk(res *core.Result) *diskstore.Result {
+	return &diskstore.Result{
+		Out:         res.Out,
+		GroupCounts: res.GroupCounts,
+		Capture:     res.Capture(),
+		Bases:       res.Bases(),
+	}
+}

@@ -13,9 +13,12 @@
 // across in-flight requests (internal/pool). A bounded admission gate caps
 // concurrent executions and queue depth — beyond it clients get 429
 // immediately. Retained captures are memory, so the session registry bounds
-// them with LRU eviction and a TTL; evicted results answer 410 Gone so
-// clients know to re-run their base query. A plan-fingerprint result cache
-// short-circuits repeated identical queries (crossfilter re-brushing).
+// them with LRU eviction and a TTL; with a disk store (Config.Store)
+// eviction demotes results to mmap-backed segments and promotes them back
+// on access, so only disk-budget pressure (or an explicit DELETE) makes a
+// result answer 410 Gone and force the client to re-run its base query. A
+// plan-fingerprint result cache short-circuits repeated identical queries
+// (crossfilter re-brushing).
 //
 // Error mapping is deterministic: every engine error is a structured
 // serr.E, and its Kind maps to the status code (Invalid→400, NotFound→404,
@@ -31,6 +34,7 @@ import (
 	"time"
 
 	"smoke/internal/core"
+	"smoke/internal/diskstore"
 	"smoke/internal/expr"
 	"smoke/internal/lineage"
 	"smoke/internal/ops"
@@ -67,6 +71,17 @@ type Config struct {
 	// (default 256 MiB) — the cache holds whole Results, so an entry count
 	// alone would let distinct large queries pin unbounded memory.
 	CacheBytes int64
+	// Store is the optional disk tier (cmd/smoked -data-dir). With a store,
+	// registry eviction demotes retained results to mmap-backed segments
+	// instead of discarding them, ingested tables are written through, and
+	// New recovers tables and demoted sessions from the store's manifest so
+	// sessions survive a restart. Nil keeps the memory-only behavior.
+	Store *diskstore.Store
+	// MaxDiskBytes bounds the summed segment bytes of demoted results
+	// (default 4 GiB when Store is set; negative disables the bound). Past
+	// it the globally least-recently-used demoted result is deleted — the
+	// terminal "gone" tier.
+	MaxDiskBytes int64
 	// Clock overrides time.Now (TTL tests).
 	Clock func() time.Time
 }
@@ -75,6 +90,7 @@ type Config struct {
 // http.Handler.
 type Server struct {
 	db       *core.DB
+	store    *diskstore.Store // nil: memory-only retention
 	gate     *gate
 	sessions *registry
 	cache    *resultCache
@@ -110,14 +126,32 @@ func New(cfg Config) *Server {
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = 256 << 20
 	}
+	if cfg.MaxDiskBytes == 0 {
+		cfg.MaxDiskBytes = 4 << 30
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	if cfg.Store != nil {
+		// Recover persisted tables before the registry builds its dormant
+		// set: promoted results re-bind forward traces against these.
+		for name, pk := range cfg.Store.Tables() {
+			rel, err := cfg.Store.LoadTable(name)
+			if err != nil {
+				continue // unreadable segment: the table re-ingests
+			}
+			cfg.DB.Register(rel)
+			if pk != "" {
+				cfg.DB.Catalog().SetPrimaryKey(name, pk)
+			}
+		}
+	}
 	s := &Server{
-		db:   cfg.DB,
-		gate: newGate(cfg.MaxInFlight, cfg.MaxQueued),
-		sessions: newRegistry(cfg.Clock, cfg.SessionTTL, cfg.MaxSessions,
-			cfg.MaxResultsPerSession, cfg.MaxRetainedBytes),
+		db:    cfg.DB,
+		store: cfg.Store,
+		gate:  newGate(cfg.MaxInFlight, cfg.MaxQueued),
+		sessions: newRegistry(cfg.DB, cfg.Store, cfg.Clock, cfg.SessionTTL, cfg.MaxSessions,
+			cfg.MaxResultsPerSession, cfg.MaxRetainedBytes, cfg.MaxDiskBytes),
 		mux: http.NewServeMux(),
 	}
 	if cfg.CacheEntries > 0 {
@@ -125,6 +159,15 @@ func New(cfg Config) *Server {
 	}
 	s.routes()
 	return s
+}
+
+// Close flushes retained session state to the disk tier (when one is
+// configured) and publishes the manifest — the graceful-shutdown half of
+// crash safety. Drain the HTTP listener first (http.Server.Shutdown); Close
+// does not fence concurrent requests. It does not close the store itself:
+// the owner that opened it closes it.
+func (s *Server) Close() error {
+	return s.sessions.flush()
 }
 
 func (s *Server) routes() {
@@ -214,15 +257,21 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	sessions, results, bytes := s.sessions.stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	sessions, results, demoted, bytes, diskBytes := s.sessions.stats()
+	body := map[string]any{
 		"ok":             true,
 		"tables":         len(s.db.Catalog().Names()),
 		"sessions":       sessions,
 		"results":        results,
 		"retained_bytes": bytes,
 		"workers":        s.db.Workers(),
-	})
+	}
+	if s.store != nil {
+		body["demoted_results"] = demoted
+		body["disk_bytes"] = diskBytes
+		body["data_dir"] = s.store.Dir()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleListTables(w http.ResponseWriter, r *http.Request) {
@@ -306,6 +355,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		case !storage.IntColumnUnique(rel, pk):
 			writeError(w, serr.New(serr.Invalid, "server: pk column %q holds duplicate values", pk))
+			return
+		}
+	}
+	if s.store != nil {
+		// Write-through before registering: on a persist failure the catalog
+		// and the manifest still agree (the old version, if any, stays live
+		// in both), and the client knows to retry.
+		if err := s.store.PutTable(rel, pk); err != nil {
+			writeError(w, serr.New(serr.Internal, "server: persist table %q: %v", name, err))
 			return
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"smoke/internal/core"
+	"smoke/internal/diskstore"
 	"smoke/internal/serr"
 )
 
@@ -14,22 +15,39 @@ import (
 // bound backward/forward traces against them across requests — the paper's
 // interactive loop, capture once then trace per interaction, over the wire.
 //
-// Captures are memory, so retention is bounded three ways and everything is
-// reclaimable:
+// Retention is tiered: memory → disk → gone. In-memory captures are bounded
+// three ways (TTL, session LRU, byte budget) exactly as before, but when a
+// disk store is configured, crossing a bound *demotes* the result — its
+// output relation and encoded lineage indexes spill to an mmap-friendly
+// segment — instead of discarding it. A later reference promotes the result
+// back: the segment is mapped and traces run in situ over the mapped chunk
+// bytes. Only the disk budget's own LRU (or an explicit DELETE) moves a
+// result to the terminal "gone" tier.
 //
-//   - TTL: a session idle longer than ttl is evicted wholesale (every
-//     registry operation sweeps lazily; no background goroutine to leak).
-//   - Session LRU: at most maxSessions sessions; creating one more evicts
-//     the least-recently-used.
+//   - TTL: a session idle longer than ttl is demoted wholesale and parked in
+//     the dormant set (every registry operation sweeps lazily; no background
+//     goroutine to leak). Dormant sessions cost disk, not memory, so the TTL
+//     no longer applies to them; any reference revives the session.
+//   - Session LRU: at most maxSessions live sessions; creating (or reviving)
+//     one more demotes the least-recently-used.
 //   - Byte budget: retained results are charged their Result.MemBytes
 //     (output relation + captured indexes); past maxBytes — or past
 //     maxPerSession names in one session — the least-recently-used retained
-//     result anywhere is evicted.
+//     result anywhere is demoted.
+//   - Disk budget: demoted results are charged their segment bytes; past
+//     maxDiskBytes the least-recently-used demoted result anywhere is
+//     deleted and tombstoned.
 //
-// Evicted names and session ids leave tombstones so a later reference
-// answers 410 Gone ("re-run your base query") rather than 404 Not Found
-// ("you never created this"), which is the contract interactive clients
-// rebind on.
+// Without a store every demotion degrades to the old behavior: straight to
+// gone. Names and session ids in the gone tier leave tombstones so a later
+// reference answers 410 Gone ("re-run your base query") rather than 404 Not
+// Found ("you never created this"), which is the contract interactive
+// clients rebind on.
+//
+// Store I/O (segment writes on demotion, mapping on promotion) runs under
+// the registry mutex. That serializes spills against unrelated registry
+// traffic — the deliberate v1 simplicity: demotion happens on eviction
+// pressure and shutdown, not on the per-request hot path.
 type registry struct {
 	mu            sync.Mutex
 	clock         func() time.Time
@@ -38,8 +56,14 @@ type registry struct {
 	maxPerSession int
 	maxBytes      int64
 
-	sessions map[string]*session
-	retained int64 // bytes across all sessions, deduplicated by Result
+	db           *core.DB
+	store        *diskstore.Store // nil: no disk tier, evictions tombstone
+	maxDiskBytes int64
+	diskBytes    int64 // manifest bytes across all demoted results
+
+	sessions map[string]*session // live (memory-tier) sessions
+	dormant  map[string]*session // demoted-whole sessions, revived on access
+	retained int64               // bytes across all sessions, deduplicated by Result
 	nextID   uint64
 
 	// refs deduplicates byte charges: the fingerprint cache hands the same
@@ -48,7 +72,7 @@ type registry struct {
 	// budget would evict live results under imaginary pressure.
 	refs map[*core.Result]*refEntry
 
-	goneSessions map[string]struct{}
+	goneSessions *tombstones
 }
 
 type refEntry struct {
@@ -60,26 +84,109 @@ type session struct {
 	id      string
 	last    time.Time
 	results map[string]*retainedResult
-	gone    map[string]struct{} // evicted result names → 410
+	demoted map[string]*demotedResult // disk-tier copies, promoted on access
+	gone    *tombstones               // evicted result names → 410
 }
 
 type retainedResult struct {
 	res  *core.Result
 	last time.Time
+	// onDisk records that a current demoted copy exists under the same
+	// name, so re-demoting this result drops memory without rewriting the
+	// segment.
+	onDisk bool
 }
 
-// tombstoneCap bounds each tombstone set: past it the oldest information is
-// discarded wholesale and an evicted name may answer 404 instead of 410 —
-// a graceful degradation that keeps eviction bookkeeping O(1) in memory.
+type demotedResult struct {
+	bytes int64
+	last  time.Time
+}
+
+// tombstoneCap bounds each tombstone set's memory. Eviction is generational:
+// the set rotates in two half-cap generations, so the most recent cap/2
+// evictions always answer 410 and only names at least cap/2 evictions old
+// can degrade to 404. (The previous wholesale reset forgot *every* tombstone
+// at the cap — one unlucky eviction flipped long-gone names back to 404.)
 const tombstoneCap = 4096
 
-func newRegistry(clock func() time.Time, ttl time.Duration, maxSessions, maxPerSession int, maxBytes int64) *registry {
-	return &registry{
-		clock: clock, ttl: ttl,
-		maxSessions: maxSessions, maxPerSession: maxPerSession, maxBytes: maxBytes,
+// tombstones is a two-generation set: adds go to cur; when cur fills half
+// the cap, it becomes old (dropping the previous old) and a fresh cur
+// starts. Membership checks both generations, so a key survives at least
+// cap/2 and at most cap subsequent adds.
+type tombstones struct {
+	cap      int
+	cur, old map[string]struct{}
+}
+
+func newTombstones(cap int) *tombstones {
+	return &tombstones{cap: cap, cur: map[string]struct{}{}}
+}
+
+func (t *tombstones) add(key string) {
+	if len(t.cur) >= t.cap/2 {
+		t.old = t.cur
+		t.cur = map[string]struct{}{}
+	}
+	t.cur[key] = struct{}{}
+}
+
+func (t *tombstones) has(key string) bool {
+	if _, ok := t.cur[key]; ok {
+		return true
+	}
+	_, ok := t.old[key]
+	return ok
+}
+
+func (t *tombstones) remove(key string) {
+	delete(t.cur, key)
+	delete(t.old, key)
+}
+
+func newRegistry(db *core.DB, store *diskstore.Store, clock func() time.Time, ttl time.Duration,
+	maxSessions, maxPerSession int, maxBytes, maxDiskBytes int64) *registry {
+	r := &registry{
+		db: db, store: store, clock: clock, ttl: ttl,
+		maxSessions: maxSessions, maxPerSession: maxPerSession,
+		maxBytes: maxBytes, maxDiskBytes: maxDiskBytes,
 		sessions:     map[string]*session{},
+		dormant:      map[string]*session{},
 		refs:         map[*core.Result]*refEntry{},
-		goneSessions: map[string]struct{}{},
+		goneSessions: newTombstones(tombstoneCap),
+	}
+	if store != nil {
+		r.recoverLocked()
+	}
+	return r
+}
+
+// recoverLocked rebuilds the dormant set from the store's manifest: every
+// published session comes back as a dormant session whose results are
+// demoted entries, promoted lazily on first access. Runs at construction
+// (before the registry is shared), so no lock is actually held.
+func (r *registry) recoverLocked() {
+	now := r.clock()
+	for sid, results := range r.store.Sessions() {
+		s := &session{
+			id: sid, last: now,
+			results: map[string]*retainedResult{},
+			demoted: map[string]*demotedResult{},
+			gone:    newTombstones(tombstoneCap),
+		}
+		for name, bytes := range results {
+			s.demoted[name] = &demotedResult{bytes: bytes, last: now}
+			r.diskBytes += bytes
+		}
+		r.dormant[sid] = s
+		// Keep the id generator ahead of recovered ids even if the persisted
+		// watermark lagged (it publishes lazily).
+		var n uint64
+		if _, err := fmt.Sscanf(sid, "s%x", &n); err == nil && n > r.nextID {
+			r.nextID = n
+		}
+	}
+	if wm := r.store.NextSessionID(); wm > r.nextID {
+		r.nextID = wm
 	}
 }
 
@@ -108,32 +215,63 @@ func (r *registry) releaseRefLocked(res *core.Result) {
 	}
 }
 
-// create opens a new session, evicting the LRU session if the cap is hit.
+// create opens a new session, demoting the LRU session if the cap is hit.
 func (r *registry) create() *session {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	now := r.clock()
 	r.sweepLocked(now)
 	for len(r.sessions) >= r.maxSessions {
-		r.evictLRUSessionLocked()
+		if !r.demoteLRUSessionLocked(now) {
+			break
+		}
 	}
 	r.nextID++
 	s := &session{
 		id:      fmt.Sprintf("s%08x", r.nextID),
 		last:    now,
 		results: map[string]*retainedResult{},
-		gone:    map[string]struct{}{},
+		demoted: map[string]*demotedResult{},
+		gone:    newTombstones(tombstoneCap),
 	}
 	r.sessions[s.id] = s
+	if r.store != nil {
+		r.store.SetNextSessionID(r.nextID)
+	}
 	return s
 }
 
-// drop deletes a session explicitly (DELETE /v1/sessions/{id}).
+// sessionLocked resolves a live or dormant session, reviving dormant ones
+// (their demoted results stay demoted until individually promoted).
+func (r *registry) sessionLocked(id string, now time.Time) (*session, error) {
+	if s, ok := r.sessions[id]; ok {
+		s.last = now
+		return s, nil
+	}
+	if s, ok := r.dormant[id]; ok {
+		delete(r.dormant, id)
+		for len(r.sessions) >= r.maxSessions {
+			if !r.demoteLRUSessionLocked(now) {
+				break
+			}
+		}
+		s.last = now
+		r.sessions[id] = s
+		return s, nil
+	}
+	return nil, r.sessionMissingLocked(id)
+}
+
+// drop deletes a session explicitly (DELETE /v1/sessions/{id}): memory and
+// disk tiers both, tombstoning the id.
 func (r *registry) drop(id string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sweepLocked(r.clock())
 	s, ok := r.sessions[id]
+	if !ok {
+		s, ok = r.dormant[id]
+	}
 	if !ok {
 		return r.sessionMissingLocked(id)
 	}
@@ -141,43 +279,45 @@ func (r *registry) drop(id string) error {
 	return nil
 }
 
-// put retains res under name in session id, evicting as needed to stay
+// put retains res under name in session id, demoting as needed to stay
 // within the byte budget and per-session cap.
 func (r *registry) put(id, name string, res *core.Result) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	now := r.clock()
 	r.sweepLocked(now)
-	s, ok := r.sessions[id]
-	if !ok {
-		return r.sessionMissingLocked(id)
+	s, err := r.sessionLocked(id, now)
+	if err != nil {
+		return err
 	}
-	s.last = now
 	if old, ok := s.results[name]; ok {
 		r.releaseRefLocked(old.res)
 		delete(s.results, name)
 	}
+	// A stale disk copy under this name describes the *previous* result;
+	// the name now binds to a new one.
+	r.deleteDemotedLocked(s, name)
 	rr := &retainedResult{res: res, last: now}
 	s.results[name] = rr
-	delete(s.gone, name) // a re-created name is live again
+	s.gone.remove(name) // a re-created name is live again
 	r.retainRefLocked(res)
 	for len(s.results) > r.maxPerSession {
-		if !r.evictLRUResultInLocked(s, rr) {
+		if !r.demoteLRUResultInLocked(s, rr, now) {
 			break
 		}
 	}
 	for r.maxBytes > 0 && r.retained > r.maxBytes {
-		if !r.evictLRUResultLocked(rr) {
+		if !r.demoteLRUResultLocked(rr, now) {
 			break // only the just-inserted result remains; keep it
 		}
 	}
 	return nil
 }
 
-// evictLRUResultInLocked removes the least-recently-used retained result
+// demoteLRUResultInLocked demotes the least-recently-used retained result
 // within one session (the per-session name cap), never the just-inserted
 // keep.
-func (r *registry) evictLRUResultInLocked(s *session, keep *retainedResult) bool {
+func (r *registry) demoteLRUResultInLocked(s *session, keep *retainedResult, now time.Time) bool {
 	var (
 		lruName string
 		lruRes  *retainedResult
@@ -193,9 +333,7 @@ func (r *registry) evictLRUResultInLocked(s *session, keep *retainedResult) bool
 	if lruRes == nil {
 		return false
 	}
-	r.releaseRefLocked(lruRes.res)
-	delete(s.results, lruName)
-	r.tombstone(s.gone, lruName)
+	r.demoteLocked(s, lruName, lruRes, now)
 	return true
 }
 
@@ -207,89 +345,126 @@ func (r *registry) touch(id string) error {
 	defer r.mu.Unlock()
 	now := r.clock()
 	r.sweepLocked(now)
-	s, ok := r.sessions[id]
-	if !ok {
-		return r.sessionMissingLocked(id)
-	}
-	s.last = now
-	return nil
+	_, err := r.sessionLocked(id, now)
+	return err
 }
 
-// get returns the named retained result, refreshing both LRU clocks.
+// get returns the named retained result, refreshing the LRU clocks.
+// Demoted-only results are promoted: the segment maps in and the restored
+// result serves bound traces in situ over the mapped bytes.
 func (r *registry) get(id, name string) (*core.Result, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	now := r.clock()
 	r.sweepLocked(now)
-	s, ok := r.sessions[id]
-	if !ok {
-		return nil, r.sessionMissingLocked(id)
+	s, err := r.sessionLocked(id, now)
+	if err != nil {
+		return nil, err
 	}
-	s.last = now
-	rr, ok := s.results[name]
-	if !ok {
-		if _, gone := s.gone[name]; gone {
-			return nil, serr.New(serr.Gone,
-				"server: result %q was evicted from session %s; re-run the base query", name, id)
+	if rr, ok := s.results[name]; ok {
+		rr.last = now
+		if dr, ok := s.demoted[name]; ok {
+			dr.last = now
 		}
-		return nil, serr.New(serr.NotFound, "server: session %s has no result %q", id, name)
+		return rr.res, nil
 	}
-	rr.last = now
-	return rr.res, nil
+	if dr, ok := s.demoted[name]; ok {
+		return r.promoteLocked(s, name, dr, now)
+	}
+	if s.gone.has(name) {
+		return nil, serr.New(serr.Gone,
+			"server: result %q was evicted from session %s; re-run the base query", name, id)
+	}
+	return nil, serr.New(serr.NotFound, "server: session %s has no result %q", id, name)
 }
 
-// stats reports live sessions, retained results, and retained bytes.
-func (r *registry) stats() (sessions, results int, bytes int64) {
+// promoteLocked maps a demoted result back into the memory tier. The disk
+// copy stays current (re-demotion is then free), and the promotion charges
+// the memory budget like any retention — possibly demoting colder results.
+func (r *registry) promoteLocked(s *session, name string, dr *demotedResult, now time.Time) (*core.Result, error) {
+	ld, err := r.store.LoadResult(s.id, name)
+	if err != nil {
+		// The segment is unreadable (corruption, manual deletion): the
+		// result is unrecoverable — terminal tier.
+		r.deleteDemotedLocked(s, name)
+		s.gone.add(name)
+		return nil, serr.New(serr.Gone,
+			"server: result %q of session %s could not be recovered from disk (%v); re-run the base query",
+			name, s.id, err)
+	}
+	res := core.RestoreResult(r.db, ld.Out, ld.GroupCounts, ld.Capture, ld.Bases)
+	rr := &retainedResult{res: res, last: now, onDisk: true}
+	s.results[name] = rr
+	dr.last = now
+	r.retainRefLocked(res)
+	for r.maxBytes > 0 && r.retained > r.maxBytes {
+		if !r.demoteLRUResultLocked(rr, now) {
+			break
+		}
+	}
+	return res, nil
+}
+
+// stats reports live/dormant sessions and both retention tiers.
+func (r *registry) stats() (sessions, results, demoted int, bytes, diskBytes int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sweepLocked(r.clock())
 	for _, s := range r.sessions {
 		results += len(s.results)
+		demoted += len(s.demoted)
 	}
-	return len(r.sessions), results, r.retained
+	sessions = len(r.sessions) + len(r.dormant)
+	for _, s := range r.dormant {
+		demoted += len(s.demoted)
+	}
+	return sessions, results, demoted, r.retained, r.diskBytes
 }
 
 // sessionMissingLocked distinguishes an expired/evicted session (410) from
 // one that never existed (404).
 func (r *registry) sessionMissingLocked(id string) error {
-	if _, gone := r.goneSessions[id]; gone {
+	if r.goneSessions.has(id) {
 		return serr.New(serr.Gone, "server: session %s expired or was evicted; open a new session", id)
 	}
 	return serr.New(serr.NotFound, "server: unknown session %s", id)
 }
 
-// sweepLocked evicts every session idle past the TTL.
+// sweepLocked demotes every session idle past the TTL. Dormant sessions are
+// exempt: they already cost disk, not memory.
 func (r *registry) sweepLocked(now time.Time) {
 	if r.ttl <= 0 {
 		return
 	}
 	for _, s := range r.sessions {
 		if now.Sub(s.last) > r.ttl {
-			r.removeSessionLocked(s)
+			r.demoteSessionLocked(s, now)
 		}
 	}
 }
 
-// evictLRUSessionLocked removes the least-recently-used session.
-func (r *registry) evictLRUSessionLocked() {
+// demoteLRUSessionLocked demotes the least-recently-used live session.
+func (r *registry) demoteLRUSessionLocked(now time.Time) bool {
 	var lru *session
 	for _, s := range r.sessions {
 		if lru == nil || s.last.Before(lru.last) {
 			lru = s
 		}
 	}
-	if lru != nil {
-		r.removeSessionLocked(lru)
+	if lru == nil {
+		return false
 	}
+	r.demoteSessionLocked(lru, now)
+	return true
 }
 
-// evictLRUResultLocked removes the least-recently-used retained result
-// whose release actually frees memory (sole reference — evicting one of
-// several references to a cache-shared Result would cost a client its name
-// without freeing a byte), never the just-inserted keep. It reports whether
-// anything was evicted; false also means the byte budget cannot shrink
-// further by eviction.
-func (r *registry) evictLRUResultLocked(keep *retainedResult) bool {
+// demoteLRUResultLocked demotes the least-recently-used retained result
+// whose release actually frees memory (sole reference — demoting one of
+// several references to a cache-shared Result would cost a client its
+// memory residency without freeing a byte), never the just-inserted keep.
+// It reports whether anything was demoted; false also means the byte budget
+// cannot shrink further.
+func (r *registry) demoteLRUResultLocked(keep *retainedResult, now time.Time) bool {
 	var (
 		lruSess *session
 		lruName string
@@ -311,28 +486,166 @@ func (r *registry) evictLRUResultLocked(keep *retainedResult) bool {
 	if lruRes == nil {
 		return false
 	}
-	r.releaseRefLocked(lruRes.res)
-	delete(lruSess.results, lruName)
-	r.tombstone(lruSess.gone, lruName)
+	r.demoteLocked(lruSess, lruName, lruRes, now)
 	return true
 }
 
-// removeSessionLocked drops a session and tombstones its id.
+// demoteLocked moves one retained result out of the memory tier: to disk
+// when a store is configured (writing the segment on first demotion), else
+// straight to gone. A failed spill degrades to gone rather than pinning
+// memory the budgets already reclaimed.
+func (r *registry) demoteLocked(s *session, name string, rr *retainedResult, now time.Time) {
+	r.releaseRefLocked(rr.res)
+	delete(s.results, name)
+	if r.store == nil {
+		s.gone.add(name)
+		return
+	}
+	if rr.onDisk {
+		if dr, ok := s.demoted[name]; ok {
+			dr.last = now
+			return
+		}
+	}
+	bytes, err := r.store.PutResult(s.id, name, resultToDisk(rr.res))
+	if err != nil {
+		s.gone.add(name)
+		return
+	}
+	s.demoted[name] = &demotedResult{bytes: bytes, last: now}
+	r.diskBytes += bytes
+	r.enforceDiskBudgetLocked()
+}
+
+// demoteSessionLocked demotes a whole live session: every in-memory result
+// spills (or tombstones), and the session parks in the dormant set when
+// anything of it survives on disk — otherwise it is gone.
+func (r *registry) demoteSessionLocked(s *session, now time.Time) {
+	for name, rr := range s.results {
+		r.demoteLocked(s, name, rr, now)
+	}
+	delete(r.sessions, s.id)
+	if r.store != nil && len(s.demoted) > 0 {
+		r.dormant[s.id] = s
+		return
+	}
+	r.goneSessions.add(s.id)
+}
+
+// removeSessionLocked drops a session from every tier and tombstones its id.
 func (r *registry) removeSessionLocked(s *session) {
 	for _, rr := range s.results {
 		r.releaseRefLocked(rr.res)
 	}
+	s.results = map[string]*retainedResult{}
+	for name, dr := range s.demoted {
+		r.diskBytes -= dr.bytes
+		delete(s.demoted, name)
+	}
+	if r.store != nil {
+		_ = r.store.DeleteSession(s.id)
+	}
 	delete(r.sessions, s.id)
-	r.tombstone(r.goneSessions, s.id)
+	delete(r.dormant, s.id)
+	r.goneSessions.add(s.id)
 }
 
-// tombstone records an evicted key, resetting the set wholesale at the cap
-// (trading 410-vs-404 precision for bounded memory).
-func (r *registry) tombstone(set map[string]struct{}, key string) {
-	if len(set) >= tombstoneCap {
-		for k := range set {
-			delete(set, k)
+// deleteDemotedLocked drops one demoted entry and its segment.
+func (r *registry) deleteDemotedLocked(s *session, name string) {
+	dr, ok := s.demoted[name]
+	if !ok {
+		return
+	}
+	r.diskBytes -= dr.bytes
+	delete(s.demoted, name)
+	if r.store != nil {
+		_ = r.store.DeleteResult(s.id, name)
+	}
+}
+
+// enforceDiskBudgetLocked deletes least-recently-used demoted results (the
+// terminal gone tier) until the disk budget holds. Results currently
+// promoted (memory copy live) are skipped — deleting their disk copy would
+// only force a rewrite on the next demotion.
+func (r *registry) enforceDiskBudgetLocked() {
+	for r.maxDiskBytes > 0 && r.diskBytes > r.maxDiskBytes {
+		var (
+			lruSess *session
+			lruName string
+			lruDr   *demotedResult
+		)
+		scan := func(s *session) {
+			for name, dr := range s.demoted {
+				if _, live := s.results[name]; live {
+					continue
+				}
+				if lruDr == nil || dr.last.Before(lruDr.last) {
+					lruSess, lruName, lruDr = s, name, dr
+				}
+			}
+		}
+		for _, s := range r.sessions {
+			scan(s)
+		}
+		for _, s := range r.dormant {
+			scan(s)
+		}
+		if lruDr == nil {
+			return
+		}
+		r.deleteDemotedLocked(lruSess, lruName)
+		lruSess.gone.add(lruName)
+		if len(lruSess.results) == 0 && len(lruSess.demoted) == 0 {
+			if _, ok := r.dormant[lruSess.id]; ok {
+				delete(r.dormant, lruSess.id)
+				r.goneSessions.add(lruSess.id)
+			}
 		}
 	}
-	set[key] = struct{}{}
+}
+
+// flush writes every not-yet-demoted retained result to the disk tier and
+// publishes the manifest (graceful-shutdown path). Results stay resident —
+// flush persists, it does not evict. The first error is returned after
+// attempting everything.
+func (r *registry) flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.store == nil {
+		return nil
+	}
+	now := r.clock()
+	var first error
+	for _, s := range r.sessions {
+		for name, rr := range s.results {
+			if rr.onDisk {
+				continue
+			}
+			bytes, err := r.store.PutResult(s.id, name, resultToDisk(rr.res))
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				continue
+			}
+			rr.onDisk = true
+			r.deleteDemotedEntryOnlyLocked(s, name)
+			s.demoted[name] = &demotedResult{bytes: bytes, last: now}
+			r.diskBytes += bytes
+		}
+	}
+	r.store.SetNextSessionID(r.nextID)
+	if err := r.store.Publish(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// deleteDemotedEntryOnlyLocked forgets a demoted entry's bookkeeping without
+// touching the store (the caller is about to overwrite the manifest entry).
+func (r *registry) deleteDemotedEntryOnlyLocked(s *session, name string) {
+	if dr, ok := s.demoted[name]; ok {
+		r.diskBytes -= dr.bytes
+		delete(s.demoted, name)
+	}
 }
