@@ -57,10 +57,13 @@ func (r benchReport) allRows() []map[string]any {
 
 // measurementField reports whether a row field is a measurement (gated or
 // derived) rather than part of the row's identity. Latency fields ("ms" and
-// any "*_ms") are gated; ratios and byte counts are derived and ignored.
+// any "*_ms") are gated; ratios, byte counts ("*_bytes"), and observed
+// counters ("*_count") are derived and ignored — they vary run to run and
+// must never split a row's identity.
 func measurementField(k string) bool {
 	return k == "ms" || strings.HasSuffix(k, "_ms") ||
 		strings.HasPrefix(k, "speedup") || strings.HasPrefix(k, "bytes_per_rid") ||
+		strings.HasSuffix(k, "_bytes") || strings.HasSuffix(k, "_count") ||
 		k == "index_bytes" || k == "cardinality"
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"smoke/internal/core"
+	"smoke/internal/diskstore"
 	"smoke/internal/expr"
 	"smoke/internal/lineage"
 	"smoke/internal/ops"
@@ -197,6 +198,201 @@ func Serve(cfg Config) error {
 		return err
 	}
 
+	// ---- Demotion churn (disk tier, background flusher) -------------------
+	// A second server over a disk store with a ~one-result memory budget:
+	// every base retention demotes its predecessor, so the trace traffic
+	// below runs while the background flusher is continuously writing
+	// segments. The p95 here is the "no handler blocks on segment I/O"
+	// number. Per-session base SQL is distinct (no cache-shared retentions
+	// resisting demotion) and the fingerprint cache is off, so every trace
+	// pays the full serving path.
+	churnDir, err := os.MkdirTemp("", "smoke-serve-churn-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(churnDir)
+	store, err := diskstore.Open(churnDir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	srv2 := server.New(server.Config{DB: db, Store: store, MaxRetainedBytes: 1, CacheEntries: -1})
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	client2 := serverclient.New(ts2.URL, ts2.Client())
+	// The filter passes every row (d2 stays far below the bound), so each
+	// session's capture is element-identical to ref while its fingerprint is
+	// unique.
+	churnSQL := func(s int) string {
+		return fmt.Sprintf("SELECT d1, COUNT(*) AS cnt FROM interact WHERE d2 < %d GROUP BY d1", 1_000_000+s)
+	}
+
+	// Equality gate under churn (serial, untimed): the first trace of every
+	// session variant must match in-process execution.
+	for s := 0; s < sessions; s++ {
+		gs, err := client2.NewSession(ctx)
+		if err != nil {
+			return err
+		}
+		if _, err := gs.Run(ctx, "view1", serverclient.QueryRequest{SQL: churnSQL(s)}); err != nil {
+			return err
+		}
+		bar := barFor(s, 0)
+		got, err := gs.Trace(ctx, "view1", traceReq(bar))
+		if err != nil {
+			return fmt.Errorf("serve: churn gate trace bar %d: %w", bar, err)
+		}
+		want, err := refTrace(bar)
+		if err != nil {
+			return err
+		}
+		if err := diffServed(got, want); err != nil {
+			return fmt.Errorf("serve: churned trace of bar %d diverges from in-process execution: %w", bar, err)
+		}
+		if err := gs.Close(ctx); err != nil {
+			return err
+		}
+	}
+
+	churnRun := func() (lat, error) {
+		var mu sync.Mutex
+		var agg lat
+		var wg sync.WaitGroup
+		errs := make(chan error, sessions)
+		for s := 0; s < sessions; s++ {
+			s := s
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var local lat
+				sess, err := client2.NewSession(ctx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer sess.Close(ctx)
+				t0 := time.Now()
+				if _, err := sess.Run(ctx, "view1", serverclient.QueryRequest{SQL: churnSQL(s)}); err != nil {
+					errs <- fmt.Errorf("churn session %d base: %w", s, err)
+					return
+				}
+				local.baseMS = append(local.baseMS, ms(time.Since(t0)))
+				for i := 0; i < interactions; i++ {
+					t1 := time.Now()
+					if _, err := sess.Trace(ctx, "view1", traceReq(barFor(s, i))); err != nil {
+						errs <- fmt.Errorf("churn session %d trace %d: %w", s, i, err)
+						return
+					}
+					local.traceMS = append(local.traceMS, ms(time.Since(t1)))
+					local.traces++
+				}
+				mu.Lock()
+				agg.baseMS = append(agg.baseMS, local.baseMS...)
+				agg.traceMS = append(agg.traceMS, local.traceMS...)
+				agg.traces += local.traces
+				mu.Unlock()
+				errs <- nil
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return lat{}, err
+			}
+		}
+		return agg, nil
+	}
+	if _, err := churnRun(); err != nil { // warmup: page caches, pool steady state
+		return err
+	}
+	churned, err := churnRun()
+	if err != nil {
+		return err
+	}
+
+	// ---- Promotion-free small-trace sweep ---------------------------------
+	// Deterministic acceptance sequence for in-situ serving: retain, demote
+	// (the one-result budget pushes view1 out when pusher lands), wait for
+	// the flusher to drain, then issue exactly one small bound trace per
+	// session. Every trace must answer off the segment-backed view: the
+	// in-situ counter advances by the session count and the promote counter
+	// not at all.
+	sweepBar := int64(bars1 - 1) // smallest bar under the u-squared skew
+	wantSweep, err := refTrace(sweepBar)
+	if err != nil {
+		return err
+	}
+	sweepSess := make([]*serverclient.Session, 0, sessions)
+	for s := 0; s < sessions; s++ {
+		sess, err := client2.NewSession(ctx)
+		if err != nil {
+			return err
+		}
+		if _, err := sess.Run(ctx, "view1", serverclient.QueryRequest{SQL: churnSQL(s)}); err != nil {
+			return err
+		}
+		if _, err := sess.Run(ctx, "pusher", serverclient.QueryRequest{
+			SQL: fmt.Sprintf("SELECT d2, COUNT(*) AS cnt FROM interact WHERE d1 < %d GROUP BY d2", 1_000_000+s)}); err != nil {
+			return err
+		}
+		sweepSess = append(sweepSess, sess)
+	}
+	// The client decodes with UseNumber, so healthz numbers arrive as
+	// json.Number.
+	counter := func(h map[string]any, k string) float64 {
+		switch v := h[k].(type) {
+		case float64:
+			return v
+		case json.Number:
+			f, _ := v.Float64()
+			return f
+		}
+		return 0
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h, err := client2.Health(ctx)
+		if err != nil {
+			return err
+		}
+		if counter(h, "flusher_queue_depth") == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("serve: flusher queue never drained after the demotion wave")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	before, err := client2.Health(ctx)
+	if err != nil {
+		return err
+	}
+	var sweepMS []float64
+	for s, sess := range sweepSess {
+		t0 := time.Now()
+		got, err := sess.Trace(ctx, "view1", traceReq(sweepBar))
+		if err != nil {
+			return fmt.Errorf("serve: sweep trace session %d: %w", s, err)
+		}
+		sweepMS = append(sweepMS, ms(time.Since(t0)))
+		if err := diffServed(got, wantSweep); err != nil {
+			return fmt.Errorf("serve: in-situ trace of bar %d diverges from in-process execution: %w", sweepBar, err)
+		}
+	}
+	after, err := client2.Health(ctx)
+	if err != nil {
+		return err
+	}
+	if d := counter(after, "insitu_traces") - counter(before, "insitu_traces"); d != float64(len(sweepSess)) {
+		return fmt.Errorf("serve: small-trace sweep answered %d of %d traces in situ (promotion-free serving regressed)",
+			int(d), len(sweepSess))
+	}
+	if d := counter(after, "promotes") - counter(before, "promotes"); d != 0 {
+		return fmt.Errorf("serve: small-trace sweep promoted %d results, want 0", int(d))
+	}
+
 	type row struct {
 		Op       string  `json:"op"`
 		Sessions int     `json:"sessions"`
@@ -230,6 +426,8 @@ func Serve(cfg Config) error {
 	report.Rows = append(report.Rows,
 		mkRow("base", measured.baseMS, 0),
 		mkRow("trace", measured.traceMS, hitRate),
+		mkRow("trace-churn", churned.traceMS, 0),
+		mkRow("trace-insitu", sweepMS, 0),
 	)
 
 	cfg.printf("Figure S (beyond-paper): served crossfilter sessions (%d concurrent, %d interactions each, %d tuples), request latency (ms)\n",

@@ -572,6 +572,10 @@ type Result struct {
 	// snapshots the capture addresses, resolved by BaseRelation in place of
 	// the plan the original result carried.
 	bases map[string]*storage.Relation
+	// view marks a segment-backed trace view (RestoreView): a restored
+	// result the server serves small bound traces off without retaining it
+	// in the memory tier.
+	view bool
 }
 
 // Run executes the query with the given capture options: the builder state

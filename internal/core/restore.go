@@ -31,6 +31,49 @@ func RestoreResult(db *DB, out *storage.Relation, groupCounts []int64,
 	return res
 }
 
+// RestoreView reassembles a segment-backed trace view: the same wiring as
+// RestoreResult, but flagged as a view. The server's registry answers small
+// bound traces straight off a view — the encoded indexes alias the mapped
+// segment, so a trace touching few groups faults in only the pages its seed
+// lists need — without charging the memory budget or taking an LRU slot.
+// A view becomes a regular retained result by simply being retained (the
+// flag records provenance, not a capability difference).
+func RestoreView(db *DB, out *storage.Relation, groupCounts []int64,
+	capture *lineage.Capture, bases map[string]*storage.Relation) *Result {
+	res := RestoreResult(db, out, groupCounts, capture, bases)
+	res.view = true
+	return res
+}
+
+// IsView reports whether the result was restored as a transient
+// segment-backed trace view (RestoreView) rather than promoted into memory.
+func (r *Result) IsView() bool { return r.view }
+
+// TraceCost estimates what a backward trace with the given seeds against
+// table would touch: trace is the summed encoded bytes of the seeds' rid
+// lists (the pages an in-situ trace faults in), restore is the bytes a full
+// promotion would re-retain (MemBytes). ok is false when the cost is
+// unknowable — no encoded backward index for table, or a seed out of range —
+// and the caller should fall back to promotion (whose own validation turns a
+// bad seed into a client error).
+func (r *Result) TraceCost(table string, seeds []lineage.Rid) (trace, restore int64, ok bool) {
+	if r.capture == nil {
+		return 0, 0, false
+	}
+	ix, err := r.capture.BackwardIndex(table)
+	if err != nil || ix.Kind != lineage.EncodedMany || ix.Enc == nil {
+		return 0, 0, false
+	}
+	n := ix.Enc.Len()
+	for _, s := range seeds {
+		if int(s) < 0 || int(s) >= n {
+			return 0, 0, false
+		}
+		trace += int64(len(ix.Enc.ListBytes(int(s))))
+	}
+	return trace, r.MemBytes(), true
+}
+
 // Bases returns the base-relation snapshots a result's capture addresses,
 // keyed by table name — what the disk tier persists alongside the indexes so
 // forward seeds still resolve after a restart. Results carry explicit

@@ -71,10 +71,13 @@ type manifest struct {
 
 const manifestName = "manifest.json"
 
-// Store is the on-disk tier rooted at one directory. All methods are
-// safe for concurrent use; segment I/O runs under one store-wide mutex (the
-// registry's demotion/promotion paths are already serialized, and writes are
-// whole-segment, so finer locking would buy nothing yet).
+// Store is the on-disk tier rooted at one directory. All methods are safe
+// for concurrent use. Segment writes (PutResult, PutTable) run off the
+// store mutex — the lock covers only manifest bookkeeping and file-name
+// reservation — so loads (promotions, table reads) never stall behind an
+// in-flight spill. The server funnels all result writes through one
+// background flusher goroutine and batches manifest publishes with the
+// *NoPublish variants.
 type Store struct {
 	mu   sync.Mutex
 	dir  string
@@ -287,18 +290,23 @@ func (s *Store) Publish() error {
 
 // PutTable persists a base table (ingest write-through) and publishes. The
 // relation pointer is remembered so captures over this table reference its
-// segment instead of embedding a copy.
+// segment instead of embedding a copy. The segment write runs off the store
+// mutex; only name reservation and the manifest commit hold it.
 func (s *Store) PutTable(rel *storage.Relation, pk string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	w := &segWriter{meta: segMeta{Kind: "relation"}}
 	m := relMetaOf(rel)
 	w.meta.Relation = &m
 	addRelationSections(w, "", rel)
 	file := s.nextFile("t")
+	s.mu.Unlock()
+
 	if _, err := w.writeTo(filepath.Join(s.dir, file)); err != nil {
 		return err
 	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.man.Tables[rel.Name] = tableEntry{File: file, PK: pk}
 	s.relFiles[rel] = file
 	s.relByFile[file] = rel
@@ -360,9 +368,39 @@ func (s *Store) loadRelFileLocked(file string) (*storage.Relation, error) {
 // the result's on-disk footprint (its segment plus referenced standalone
 // base segments).
 func (s *Store) PutResult(session, name string, r *Result) (int64, error) {
+	bytes, err := s.putResult(session, name, r)
+	if err != nil {
+		return 0, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.publishLocked(); err != nil {
+		return 0, err
+	}
+	return bytes, nil
+}
 
+// PutResultNoPublish persists a result without publishing the manifest: the
+// segment bytes are durably on disk (written + fsynced), but unreachable
+// after a crash until the next Publish. The server's background flusher
+// batches several puts per publish this way.
+func (s *Store) PutResultNoPublish(session, name string, r *Result) (int64, error) {
+	return s.putResult(session, name, r)
+}
+
+// putResult writes the result's segments and updates the in-memory manifest.
+// It runs in three phases so the segment I/O — the expensive part — never
+// holds the store mutex: (1) locked, build the section writers and reserve
+// file names (including standalone base segments for relations not yet
+// backed by one); (2) unlocked, write and fsync the segment files;
+// (3) locked, record the manifest entry. Concurrent loads therefore never
+// stall behind a spill. The base-file reservations of phase 1 are
+// optimistic — a failed write removes them again, and the then-orphaned
+// files are swept at the next publish. The server funnels all result writes
+// through one flusher goroutine, so two concurrent puts cannot race on
+// reserving the same base relation.
+func (s *Store) putResult(session, name string, r *Result) (int64, error) {
+	s.mu.Lock()
 	var baseFiles []string
 	w := &segWriter{meta: segMeta{Kind: "result"}}
 	rm := &resultMeta{Out: relMetaOf(r.Out)}
@@ -377,7 +415,12 @@ func (s *Store) PutResult(session, name string, r *Result) (int64, error) {
 		baseNames = append(baseNames, t)
 	}
 	sort.Strings(baseNames)
-	var standalone int64
+	type baseWrite struct {
+		w    *segWriter
+		rel  *storage.Relation
+		file string
+	}
+	var writes []baseWrite
 	for _, t := range baseNames {
 		rel := r.Bases[t]
 		file, ok := s.relFiles[rel]
@@ -389,21 +432,14 @@ func (s *Store) PutResult(session, name string, r *Result) (int64, error) {
 			bw.meta.Relation = &bm
 			addRelationSections(bw, "", rel)
 			file = s.nextFile("r")
-			if _, err := bw.writeTo(filepath.Join(s.dir, file)); err != nil {
-				return 0, err
-			}
 			s.relFiles[rel] = file
 			s.relByFile[file] = rel
+			writes = append(writes, baseWrite{w: bw, rel: rel, file: file})
 		}
 		// Every referenced base file is recorded in the manifest entry —
 		// that is what keeps a superseded table segment alive (and
 		// recoverable) while a retained capture still points at it.
 		baseFiles = append(baseFiles, file)
-		if strings.HasPrefix(file, "r") { // standalone: charged to this result
-			if st, err := os.Stat(filepath.Join(s.dir, file)); err == nil {
-				standalone += st.Size()
-			}
-		}
 		rm.Bases = append(rm.Bases, baseMeta{Table: t, File: file})
 	}
 
@@ -422,12 +458,42 @@ func (s *Store) PutResult(session, name string, r *Result) (int64, error) {
 		}
 	}
 	w.meta.Result = rm
-
 	file := s.nextFile("s")
+	s.mu.Unlock()
+
+	// Phase 2: segment I/O off the lock. On failure the base reservations
+	// roll back so relFiles never points at a file that was not written.
+	unreserve := func() {
+		s.mu.Lock()
+		for _, bw := range writes {
+			delete(s.relFiles, bw.rel)
+			delete(s.relByFile, bw.file)
+		}
+		s.mu.Unlock()
+	}
+	for _, bw := range writes {
+		if _, err := bw.w.writeTo(filepath.Join(s.dir, bw.file)); err != nil {
+			unreserve()
+			return 0, err
+		}
+	}
+	var standalone int64
+	for _, bf := range baseFiles {
+		if strings.HasPrefix(bf, "r") { // standalone: charged to this result
+			if st, err := os.Stat(filepath.Join(s.dir, bf)); err == nil {
+				standalone += st.Size()
+			}
+		}
+	}
 	n, err := w.writeTo(filepath.Join(s.dir, file))
 	if err != nil {
+		unreserve()
 		return 0, err
 	}
+
+	// Phase 3: manifest commit.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	se := s.man.Sessions[session]
 	if se == nil {
 		se = &sessionEntry{Results: map[string]resultEntry{}}
@@ -435,9 +501,6 @@ func (s *Store) PutResult(session, name string, r *Result) (int64, error) {
 	}
 	bytes := n + standalone
 	se.Results[name] = resultEntry{File: file, Bytes: bytes, Bases: baseFiles}
-	if err := s.publishLocked(); err != nil {
-		return 0, err
-	}
 	return bytes, nil
 }
 
@@ -519,31 +582,54 @@ func (s *Store) LoadResult(session, name string) (*Result, error) {
 // DeleteResult drops a demoted result from the manifest and publishes; its
 // segment (and any base segment no longer referenced) is swept.
 func (s *Store) DeleteResult(session, name string) error {
+	if !s.DeleteResultNoPublish(session, name) {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.publishLocked()
+}
+
+// DeleteResultNoPublish drops a result's manifest entry without publishing;
+// it reports whether anything changed. The deleted segment stays on disk
+// (and sweepable) until the next Publish.
+func (s *Store) DeleteResultNoPublish(session, name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	se := s.man.Sessions[session]
 	if se == nil {
-		return nil
+		return false
 	}
 	if _, ok := se.Results[name]; !ok {
-		return nil
+		return false
 	}
 	delete(se.Results, name)
 	if len(se.Results) == 0 {
 		delete(s.man.Sessions, session)
 	}
+	return true
+}
+
+// DeleteSession drops every demoted result of a session and publishes.
+func (s *Store) DeleteSession(session string) error {
+	if !s.DeleteSessionNoPublish(session) {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.publishLocked()
 }
 
-// DeleteSession drops every demoted result of a session.
-func (s *Store) DeleteSession(session string) error {
+// DeleteSessionNoPublish drops a session's manifest entry without
+// publishing; it reports whether anything changed.
+func (s *Store) DeleteSessionNoPublish(session string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.man.Sessions[session]; !ok {
-		return nil
+		return false
 	}
 	delete(s.man.Sessions, session)
-	return s.publishLocked()
+	return true
 }
 
 // VerifyAll re-opens every referenced segment with full checksum

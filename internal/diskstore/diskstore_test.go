@@ -317,6 +317,131 @@ func TestSessionWatermarkPersists(t *testing.T) {
 	}
 }
 
+// TestReadFallbackPath swaps the mapSegment seam for readFileFallback — the
+// portable (non-unix) loader — and round-trips a table and a result through
+// it. Same assertions as the mmap path: traces over the copied bytes must be
+// element-identical, so the fallback stays correct without a cross-compile.
+func TestReadFallbackPath(t *testing.T) {
+	orig := mapSegment
+	mapSegment = readFileFallback
+	defer func() { mapSegment = orig }()
+
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testRelation("orders", 97)
+	if err := s.PutTable(base, "id"); err != nil {
+		t.Fatal(err)
+	}
+	res := buildResult(base)
+	if _, err := s.PutResult("s1", "q0", res); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := s2.LoadTable("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRelation(t, tbl, base)
+	got, err := s2.LoadResult("s1", "q0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRelation(t, got.Out, res.Out)
+	seeds := []lineage.Rid{0, 5, 15}
+	wantBW, err := res.Capture.Backward("orders", seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBW, err := got.Capture.Backward("orders", seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrace(t, "fallback backward", gotBW, wantBW)
+	wantFW, err := res.Capture.Forward("orders", []lineage.Rid{1, 42, 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFW, err := got.Capture.Forward("orders", []lineage.Rid{1, 42, 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrace(t, "fallback forward", gotFW, wantFW)
+}
+
+// TestNoPublishDurability pins the write-behind contract: a PutResultNoPublish
+// is invisible after a crash (reopen) until a Publish carries it, and a
+// DeleteResultNoPublish stays effective only after Publish too.
+func TestNoPublishDurability(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testRelation("t", 16)
+	if _, err := s.PutResultNoPublish("s1", "q0", buildResult(base)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Crash before publish: the segment is an orphan, the manifest empty.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.LoadResult("s1", "q0"); err == nil {
+		t.Fatal("unpublished result survived a reopen")
+	}
+	if _, err := s2.PutResultNoPublish("s1", "q0", buildResult(base)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	// Published: the result survives.
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.LoadResult("s1", "q0"); err != nil {
+		t.Fatalf("published result lost: %v", err)
+	}
+	if !s3.DeleteResultNoPublish("s1", "q0") {
+		t.Fatal("delete of a live entry reported no change")
+	}
+	if s3.DeleteResultNoPublish("s1", "q0") {
+		t.Fatal("double delete reported a change")
+	}
+	if _, err := s3.LoadResult("s1", "q0"); err == nil {
+		t.Fatal("deleted entry still loads in-process")
+	}
+	if err := s3.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	s3.Close()
+	s4, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s4.Close()
+	if _, err := s4.LoadResult("s1", "q0"); err == nil {
+		t.Fatal("published delete did not stick")
+	}
+}
+
 func mustReadDir(t *testing.T, dir string) []string {
 	t.Helper()
 	entries, err := os.ReadDir(dir)

@@ -1,0 +1,19 @@
+package diskstore
+
+import (
+	"io"
+	"os"
+)
+
+// readFileFallback loads a whole segment file into memory. It is the portable
+// stand-in for mmap: correctness is identical (loaders only ever see a
+// []byte), only the lazy-paging economics are lost. It is build-tag-free so
+// the non-unix mmapFile can delegate to it and unix tests can still exercise
+// it through the mapSegment seam.
+func readFileFallback(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(f, b); err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return nil }, nil
+}

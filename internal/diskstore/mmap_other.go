@@ -2,20 +2,13 @@
 
 package diskstore
 
-import (
-	"io"
-	"os"
-)
+import "os"
 
 // mmapFile on platforms without syscall.Mmap reads the whole segment into
-// memory. Correctness is identical (the loaders only see a []byte); only the
-// lazy-paging economics are lost.
+// memory (readFileFallback — shared with the unix test that exercises this
+// path through the mapSegment seam).
 func mmapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
-	b := make([]byte, size)
-	if _, err := io.ReadFull(f, b); err != nil {
-		return nil, nil, err
-	}
-	return b, func() error { return nil }, nil
+	return readFileFallback(f, size)
 }
 
 // fsyncDir is a no-op where directory handles cannot be synced.

@@ -198,6 +198,12 @@ func (w *segWriter) writeTo(path string) (int64, error) {
 	return pos, nil
 }
 
+// mapSegment is how openSegment brings a segment's bytes in: the platform
+// mmap on unix, the whole-file read fallback elsewhere. It is a variable so
+// tests on unix can swap in readFileFallback and exercise the portable path
+// without a cross-compile.
+var mapSegment = mmapFile
+
 // segment is an open, mapped segment file.
 type segment struct {
 	path  string
@@ -225,7 +231,7 @@ func openSegment(path string, full bool) (*segment, error) {
 	if size < int64(len(segMagic))+12 {
 		return nil, corruptf(path, "file too small (%d bytes)", size)
 	}
-	data, unmap, err := mmapFile(f, size)
+	data, unmap, err := mapSegment(f, size)
 	if err != nil {
 		return nil, fmt.Errorf("diskstore: map %s: %w", filepath.Base(path), err)
 	}

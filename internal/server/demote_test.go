@@ -123,7 +123,7 @@ func TestTTLDemotesToDormantNotGone(t *testing.T) {
 // The disk budget is the terminal tier: past it the LRU demoted result is
 // deleted for good and answers 410.
 func TestDiskBudgetMakesResultsGone(t *testing.T) {
-	c, _, _, stop := newDiskServer(t, t.TempDir(), func(cfg *Config) {
+	c, srv, _, stop := newDiskServer(t, t.TempDir(), func(cfg *Config) {
 		cfg.MaxResultsPerSession = 1
 		cfg.MaxDiskBytes = 1 // every demotion overflows immediately
 	})
@@ -142,6 +142,10 @@ func TestDiskBudgetMakesResultsGone(t *testing.T) {
 		SQL: "SELECT region, SUM(amount) AS s FROM orders GROUP BY region"}); err != nil {
 		t.Fatal(err)
 	}
+	// Demotion is asynchronous: until the queued segment write lands, the
+	// demoting copy of "first" still serves. Drain the flusher so the write
+	// completes and the disk budget (1 byte) makes the result gone.
+	srv.sessions.fl.drain()
 	_, err = sess.Trace(ctx, "first", serverclient.TraceRequest{Direction: "backward", Table: "orders"})
 	wantStatus(t, err, 410)
 	// The in-memory survivor is untouched.

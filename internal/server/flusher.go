@@ -1,0 +1,177 @@
+package server
+
+import (
+	"sync"
+
+	"smoke/internal/core"
+)
+
+// flushOp discriminates flusher jobs.
+type flushOp int
+
+const (
+	opPut flushOp = iota
+	opDeleteResult
+	opDeleteSession
+)
+
+// flushJob is one unit of disk-tier work: a segment write (opPut) or a
+// manifest delete. Put jobs carry the registry's ticket (seq); the flusher
+// re-checks it immediately before writing, so a drop or overwrite that
+// happened while the job sat in the queue cancels the stale write.
+type flushJob struct {
+	op   flushOp
+	sid  string
+	name string
+	res  *core.Result // opPut only; projected to disk shape at write time
+	seq  uint64       // opPut only
+}
+
+// flushQueueCap bounds admission to the flusher. Saturation never blocks a
+// request handler: a write-behind put is simply skipped (it retries at
+// demotion time), a demotion declines and the result stays resident, and
+// deletes — which must not be lost, they invalidate prior puts — enqueue
+// with force.
+const flushQueueCap = 1024
+
+// flusher owns every disk-tier mutation the registry makes: one goroutine
+// drains a double-buffered FIFO queue of put/delete jobs and publishes the
+// manifest once per drained batch (write-behind durability at batch
+// granularity). Double-buffering is literal: the run loop swaps the whole
+// pending slice out under the lock, so producers append to a fresh buffer
+// while the previous batch's segment write overlaps their request
+// processing.
+//
+// Lock order is registry.mu → flusher.mu, never the reverse: the registry
+// enqueues while holding its mutex, and the flusher invokes the registry
+// callbacks (shouldFlush, onPutDone, onPublish) holding no flusher lock.
+type flusher struct {
+	// Callbacks into the registry; all may take registry.mu.
+	shouldFlush func(flushJob) bool
+	onPutDone   func(flushJob, int64, error)
+	onPublish   func(error)
+
+	store resultStore
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []flushJob
+	active  int // jobs swapped out of pending, not yet published
+	stopped bool
+	done    chan struct{}
+}
+
+func newFlusher(store resultStore) *flusher {
+	f := &flusher{store: store, done: make(chan struct{})}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+func (f *flusher) start() { go f.run() }
+
+// enqueue adds a job in FIFO order. force bypasses the cap (deletes,
+// shutdown flush). Returns false when the queue is saturated (non-force) or
+// the flusher is stopped.
+func (f *flusher) enqueue(job flushJob, force bool) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stopped {
+		return false
+	}
+	if !force && len(f.pending)+f.active >= flushQueueCap {
+		return false
+	}
+	f.pending = append(f.pending, job)
+	f.cond.Broadcast()
+	return true
+}
+
+// queueDepth reports queued plus in-flight jobs.
+func (f *flusher) queueDepth() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pending) + f.active
+}
+
+// drain blocks until every job enqueued so far is executed and its batch
+// published — after drain, everything previously accepted is durable (or
+// its error was reported through the callbacks).
+func (f *flusher) drain() {
+	f.mu.Lock()
+	for len(f.pending) > 0 || f.active > 0 {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// stop drains the queue and terminates the goroutine. Safe to call twice;
+// enqueues after stop fail.
+func (f *flusher) stop() {
+	f.mu.Lock()
+	if !f.stopped {
+		f.stopped = true
+		f.cond.Broadcast()
+	}
+	f.mu.Unlock()
+	<-f.done
+}
+
+// run is the flusher goroutine: swap the whole pending queue out under the
+// lock, execute the batch unlocked, publish the manifest once for the batch,
+// then mark the batch done (drain waiters wake only after the publish, so
+// "queue empty" implies "durable").
+func (f *flusher) run() {
+	for {
+		f.mu.Lock()
+		for len(f.pending) == 0 && !f.stopped {
+			f.cond.Wait()
+		}
+		if len(f.pending) == 0 && f.stopped {
+			f.mu.Unlock()
+			close(f.done)
+			return
+		}
+		batch := f.pending
+		f.pending = nil
+		f.active = len(batch)
+		f.mu.Unlock()
+
+		mutated := false
+		for _, job := range batch {
+			if f.exec(job) {
+				mutated = true
+			}
+		}
+		if mutated {
+			err := f.store.Publish()
+			if f.onPublish != nil {
+				f.onPublish(err)
+			}
+		}
+
+		f.mu.Lock()
+		f.active = 0
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	}
+}
+
+// exec runs one job and reports whether it mutated the manifest.
+func (f *flusher) exec(job flushJob) bool {
+	switch job.op {
+	case opPut:
+		if f.shouldFlush != nil && !f.shouldFlush(job) {
+			return false // ticket went stale in the queue: dropped or overwritten
+		}
+		bytes, err := f.store.PutResultNoPublish(job.sid, job.name, resultToDisk(job.res))
+		if f.onPutDone != nil {
+			f.onPutDone(job, bytes, err)
+		}
+		return err == nil
+	case opDeleteResult:
+		return f.store.DeleteResultNoPublish(job.sid, job.name)
+	case opDeleteSession:
+		return f.store.DeleteSessionNoPublish(job.sid)
+	}
+	return false
+}

@@ -5,6 +5,22 @@ import (
 	"smoke/internal/diskstore"
 )
 
+// resultStore is the slice of the disk store the registry and its flusher
+// use. It is an interface so tests can wrap the real *diskstore.Store with
+// fault injection — a put that blocks (proving handlers never wait on
+// segment I/O) or fails mid-flush (crash recovery) — without a build seam
+// in the store itself.
+type resultStore interface {
+	PutResultNoPublish(session, name string, r *diskstore.Result) (int64, error)
+	LoadResult(session, name string) (*diskstore.Result, error)
+	DeleteResultNoPublish(session, name string) bool
+	DeleteSessionNoPublish(session string) bool
+	Publish() error
+	Sessions() map[string]map[string]int64
+	NextSessionID() uint64
+	SetNextSessionID(id uint64)
+}
+
 // resultToDisk projects a retained result onto the disk tier's exchange
 // shape: the output relation, group counts, the captured lineage indexes,
 // and the base-relation snapshots the capture's rids address. The plan does

@@ -146,11 +146,17 @@ func New(cfg Config) *Server {
 			}
 		}
 	}
+	// Hand the registry a plain nil, not a typed-nil *diskstore.Store boxed
+	// in the interface — the registry gates the disk tier on store != nil.
+	var rs resultStore
+	if cfg.Store != nil {
+		rs = cfg.Store
+	}
 	s := &Server{
 		db:    cfg.DB,
 		store: cfg.Store,
 		gate:  newGate(cfg.MaxInFlight, cfg.MaxQueued),
-		sessions: newRegistry(cfg.DB, cfg.Store, cfg.Clock, cfg.SessionTTL, cfg.MaxSessions,
+		sessions: newRegistry(cfg.DB, rs, cfg.Clock, cfg.SessionTTL, cfg.MaxSessions,
 			cfg.MaxResultsPerSession, cfg.MaxRetainedBytes, cfg.MaxDiskBytes),
 		mux: http.NewServeMux(),
 	}
@@ -162,12 +168,12 @@ func New(cfg Config) *Server {
 }
 
 // Close flushes retained session state to the disk tier (when one is
-// configured) and publishes the manifest — the graceful-shutdown half of
-// crash safety. Drain the HTTP listener first (http.Server.Shutdown); Close
-// does not fence concurrent requests. It does not close the store itself:
-// the owner that opened it closes it.
+// configured), publishes the manifest, and stops the background flusher —
+// the graceful-shutdown half of crash safety. Drain the HTTP listener first
+// (http.Server.Shutdown); Close does not fence concurrent requests. It does
+// not close the store itself: the owner that opened it closes it.
 func (s *Server) Close() error {
-	return s.sessions.flush()
+	return s.sessions.close()
 }
 
 func (s *Server) routes() {
@@ -257,19 +263,28 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	sessions, results, demoted, bytes, diskBytes := s.sessions.stats()
+	st := s.sessions.stats()
 	body := map[string]any{
 		"ok":             true,
 		"tables":         len(s.db.Catalog().Names()),
-		"sessions":       sessions,
-		"results":        results,
-		"retained_bytes": bytes,
+		"sessions":       st.sessions,
+		"results":        st.results,
+		"retained_bytes": st.retainedBytes,
 		"workers":        s.db.Workers(),
 	}
 	if s.store != nil {
-		body["demoted_results"] = demoted
-		body["disk_bytes"] = diskBytes
+		body["demoted_results"] = st.demoted
+		body["disk_bytes"] = st.diskBytes
 		body["data_dir"] = s.store.Dir()
+		body["flusher_queue_depth"] = st.queueDepth
+		body["demotes"] = st.c.demotes
+		body["promotes"] = st.c.promotes
+		body["views"] = st.c.views
+		body["insitu_traces"] = st.c.insituTraces
+		body["write_behind"] = st.c.writeBehind
+		body["flush_errors"] = st.c.flushErrors
+		body["delete_errors"] = st.c.deleteErrors
+		body["publish_errors"] = st.c.publishErrors
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -601,6 +616,24 @@ func parseAggFn(s string) (ops.AggFn, error) {
 	return 0, serr.New(serr.Invalid, "server: unknown aggregate %q", s)
 }
 
+// traceHintOf projects a trace request onto the registry's routing hint.
+// Seeds pass through unvalidated: the registry's cost probe bounds-checks
+// them itself (out-of-range falls back to promotion, where runTrace turns
+// the bad seed into a 400), and nil seeds mean predicate-seeded.
+func traceHintOf(req traceRequest) traceHint {
+	h := traceHint{
+		backward: strings.EqualFold(req.Direction, "backward"),
+		table:    req.Table,
+	}
+	if req.Rids != nil {
+		h.seeds = make([]lineage.Rid, len(req.Rids))
+		for i, v := range req.Rids {
+			h.seeds[i] = lineage.Rid(v)
+		}
+	}
+	return h
+}
+
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id, name := r.PathValue("id"), r.PathValue("name")
 	var req traceRequest
@@ -608,7 +641,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, err := s.sessions.get(id, name)
+	res, err := s.sessions.getForTrace(id, name, traceHintOf(req))
 	if err != nil {
 		writeError(w, err)
 		return

@@ -2,11 +2,12 @@ package server
 
 import (
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
 	"smoke/internal/core"
-	"smoke/internal/diskstore"
+	"smoke/internal/lineage"
 	"smoke/internal/serr"
 )
 
@@ -16,18 +17,17 @@ import (
 // interactive loop, capture once then trace per interaction, over the wire.
 //
 // Retention is tiered: memory → disk → gone. In-memory captures are bounded
-// three ways (TTL, session LRU, byte budget) exactly as before, but when a
-// disk store is configured, crossing a bound *demotes* the result — its
-// output relation and encoded lineage indexes spill to an mmap-friendly
-// segment — instead of discarding it. A later reference promotes the result
-// back: the segment is mapped and traces run in situ over the mapped chunk
-// bytes. Only the disk budget's own LRU (or an explicit DELETE) moves a
-// result to the terminal "gone" tier.
+// three ways (TTL, session LRU, byte budget), but when a disk store is
+// configured, crossing a bound *demotes* the result — its output relation
+// and encoded lineage indexes spill to an mmap-friendly segment — instead of
+// discarding it. Only the disk budget's own LRU (or an explicit DELETE)
+// moves a result to the terminal "gone" tier.
 //
 //   - TTL: a session idle longer than ttl is demoted wholesale and parked in
-//     the dormant set (every registry operation sweeps lazily; no background
-//     goroutine to leak). Dormant sessions cost disk, not memory, so the TTL
-//     no longer applies to them; any reference revives the session.
+//     the dormant set (every registry operation sweeps lazily; the only
+//     background goroutine is the flusher, owned and stopped by close).
+//     Dormant sessions cost disk, not memory, so the TTL no longer applies
+//     to them; any reference revives the session.
 //   - Session LRU: at most maxSessions live sessions; creating (or reviving)
 //     one more demotes the least-recently-used.
 //   - Byte budget: retained results are charged their Result.MemBytes
@@ -38,16 +38,28 @@ import (
 //     maxDiskBytes the least-recently-used demoted result anywhere is
 //     deleted and tombstoned.
 //
-// Without a store every demotion degrades to the old behavior: straight to
-// gone. Names and session ids in the gone tier leave tombstones so a later
+// No request handler blocks on segment I/O. All disk writes run on the
+// background flusher; the per-result state machine is
+//
+//	memory ──demote──▶ demoting ──write lands──▶ disk ──promote──▶ memory
+//	   │                   │                        │
+//	   └──── put() ────────┴─ get() serves the ─────┴─ small traces answer
+//	        (write-behind     still-resident copy;     in situ off the mapped
+//	         persist)         a drop/overwrite         segment, promotion-free
+//	                          cancels the write
+//
+// demoting keeps the result resident and its bytes charged (minus a
+// demoting credit so the budget loop does not over-evict); the memory copy
+// is released only when the segment write lands. Promotion maps the segment
+// off-lock into a segment-backed view first; whether a trace then promotes
+// (re-retains) or answers straight off the view is a cost decision — see
+// getForTrace. Without a store every demotion degrades to the old behavior:
+// straight to gone.
+//
+// Names and session ids in the gone tier leave tombstones so a later
 // reference answers 410 Gone ("re-run your base query") rather than 404 Not
 // Found ("you never created this"), which is the contract interactive
 // clients rebind on.
-//
-// Store I/O (segment writes on demotion, mapping on promotion) runs under
-// the registry mutex. That serializes spills against unrelated registry
-// traffic — the deliberate v1 simplicity: demotion happens on eviction
-// pressure and shutdown, not on the per-request hot path.
 type registry struct {
 	mu            sync.Mutex
 	clock         func() time.Time
@@ -57,14 +69,20 @@ type registry struct {
 	maxBytes      int64
 
 	db           *core.DB
-	store        *diskstore.Store // nil: no disk tier, evictions tombstone
+	store        resultStore // nil: no disk tier, evictions tombstone
+	fl           *flusher    // nil iff store is nil
 	maxDiskBytes int64
 	diskBytes    int64 // manifest bytes across all demoted results
 
 	sessions map[string]*session // live (memory-tier) sessions
 	dormant  map[string]*session // demoted-whole sessions, revived on access
 	retained int64               // bytes across all sessions, deduplicated by Result
-	nextID   uint64
+	// demotingBytes is the slice of retained the in-flight demotions will
+	// free; the byte-budget loop subtracts it so a slow segment write does
+	// not trigger a second round of victims.
+	demotingBytes int64
+	nextID        uint64
+	flushSeqGen   uint64 // put-job ticket generator
 
 	// refs deduplicates byte charges: the fingerprint cache hands the same
 	// *core.Result to every session that runs an identical query, and one
@@ -73,7 +91,43 @@ type registry struct {
 	refs map[*core.Result]*refEntry
 
 	goneSessions *tombstones
+
+	counters      tierCounters
+	flushErr      error // first disk error since the last flush() reset
+	diskErrLogged bool
 }
+
+// tierCounters observe the disk tier (exported through stats/healthz; the
+// serve bench gates on them). All access holds registry.mu.
+type tierCounters struct {
+	demotes       uint64 // results that left the memory tier
+	promotes      uint64 // demoted results re-retained in memory (full restore)
+	views         uint64 // segment-backed trace views materialized
+	insituTraces  uint64 // bound traces answered off a view, promotion-free
+	writeBehind   uint64 // eager persists that completed with the result still resident
+	flushErrors   uint64 // failed segment writes
+	deleteErrors  uint64 // disk-tier deletes that could not be queued
+	publishErrors uint64 // failed manifest publishes
+}
+
+// registryStats is the stats() snapshot.
+type registryStats struct {
+	sessions, results, demoted int
+	retainedBytes, diskBytes   int64
+	queueDepth                 int
+	c                          tierCounters
+}
+
+// insituCostFactor and insituPromoteAfter tune in-situ-vs-promote routing:
+// a backward trace whose seeds' encoded rid lists span more than
+// 1/insituCostFactor of the full restore bytes promotes (a big trace pays
+// the restore once and keeps the result hot), and the insituPromoteAfter-th
+// in-situ trace since the last demotion promotes too (repeated small traces
+// amortize residency).
+const (
+	insituCostFactor   = 16
+	insituPromoteAfter = 8
+)
 
 type refEntry struct {
 	n     int
@@ -95,11 +149,33 @@ type retainedResult struct {
 	// name, so re-demoting this result drops memory without rewriting the
 	// segment.
 	onDisk bool
+	// flushSeq is the ticket of the pending flusher write for this result
+	// (0: none). The flusher re-checks it before writing; cancelPendingLocked
+	// bumps it stale so an overwrite or drop voids the queued write.
+	flushSeq uint64
+	// dropOnFlush marks a demotion in flight: when the pending write lands
+	// the memory copy is released — unless the result was referenced after
+	// demoteAt (a get during demoting keeps it hot; the completed write
+	// still counts as write-behind durability).
+	dropOnFlush bool
+	demoteAt    time.Time
+	// countedBytes is the demoting credit this entry holds against the byte
+	// budget (0 when the Result is shared with other retentions — releasing
+	// a shared ref frees nothing).
+	countedBytes int64
 }
 
 type demotedResult struct {
 	bytes int64
 	last  time.Time
+	// view is the lazily materialized segment-backed trace view. loading is
+	// non-nil while one goroutine maps the segment off-lock; waiters block
+	// on it and re-resolve.
+	view    *core.Result
+	loading chan struct{}
+	// hits counts in-situ traces since the last (re-)demotion; at
+	// insituPromoteAfter the next trace promotes instead.
+	hits int
 }
 
 // tombstoneCap bounds each tombstone set's memory. Eviction is generational:
@@ -143,7 +219,7 @@ func (t *tombstones) remove(key string) {
 	delete(t.old, key)
 }
 
-func newRegistry(db *core.DB, store *diskstore.Store, clock func() time.Time, ttl time.Duration,
+func newRegistry(db *core.DB, store resultStore, clock func() time.Time, ttl time.Duration,
 	maxSessions, maxPerSession int, maxBytes, maxDiskBytes int64) *registry {
 	r := &registry{
 		db: db, store: store, clock: clock, ttl: ttl,
@@ -156,8 +232,23 @@ func newRegistry(db *core.DB, store *diskstore.Store, clock func() time.Time, tt
 	}
 	if store != nil {
 		r.recoverLocked()
+		r.fl = newFlusher(store)
+		r.fl.shouldFlush = r.shouldFlush
+		r.fl.onPutDone = r.onPutDone
+		r.fl.onPublish = r.onPublish
+		r.fl.start()
 	}
 	return r
+}
+
+// close flushes retained state and stops the flusher goroutine. Safe to call
+// more than once.
+func (r *registry) close() error {
+	err := r.flush()
+	if r.fl != nil {
+		r.fl.stop()
+	}
+	return err
 }
 
 // recoverLocked rebuilds the dormant set from the store's manifest: every
@@ -280,7 +371,9 @@ func (r *registry) drop(id string) error {
 }
 
 // put retains res under name in session id, demoting as needed to stay
-// within the byte budget and per-session cap.
+// within the byte budget and per-session cap, and hands the result to the
+// flusher eagerly (write-behind): once the queue drains, a hard crash loses
+// nothing retained.
 func (r *registry) put(id, name string, res *core.Result) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -291,22 +384,27 @@ func (r *registry) put(id, name string, res *core.Result) error {
 		return err
 	}
 	if old, ok := s.results[name]; ok {
+		r.cancelPendingLocked(old)
 		r.releaseRefLocked(old.res)
 		delete(s.results, name)
 	}
-	// A stale disk copy under this name describes the *previous* result;
-	// the name now binds to a new one.
+	// A stale disk copy under this name describes the *previous* result; the
+	// name now binds to a new one. The queued delete runs before the new
+	// put's write (FIFO), so the manifest converges on the new content.
 	r.deleteDemotedLocked(s, name)
 	rr := &retainedResult{res: res, last: now}
 	s.results[name] = rr
 	s.gone.remove(name) // a re-created name is live again
 	r.retainRefLocked(res)
+	// Write-behind: a saturated queue just skips — the result persists at
+	// demotion or the next flush instead.
+	r.enqueuePutLocked(s, name, rr, false)
 	for len(s.results) > r.maxPerSession {
 		if !r.demoteLRUResultInLocked(s, rr, now) {
 			break
 		}
 	}
-	for r.maxBytes > 0 && r.retained > r.maxBytes {
+	for r.maxBytes > 0 && r.retained-r.demotingBytes > r.maxBytes {
 		if !r.demoteLRUResultLocked(rr, now) {
 			break // only the just-inserted result remains; keep it
 		}
@@ -314,16 +412,71 @@ func (r *registry) put(id, name string, res *core.Result) error {
 	return nil
 }
 
+// cancelPendingLocked voids a pending flusher write for rr (overwritten or
+// dropped): the ticket mismatch makes the flusher skip the job, and the
+// demoting byte credit rolls back.
+func (r *registry) cancelPendingLocked(rr *retainedResult) {
+	if rr.flushSeq == 0 {
+		return
+	}
+	rr.flushSeq = 0
+	rr.dropOnFlush = false
+	r.demotingBytes -= rr.countedBytes
+	rr.countedBytes = 0
+}
+
+// enqueuePutLocked hands rr to the flusher. drop demotes (the memory copy is
+// released when the write lands); otherwise it is write-behind and the
+// result stays resident. A write already pending is reused, escalating to
+// drop when asked. Reports whether a write is pending on return.
+func (r *registry) enqueuePutLocked(s *session, name string, rr *retainedResult, drop bool) bool {
+	if r.fl == nil || rr.onDisk {
+		return false
+	}
+	now := r.clock()
+	if rr.flushSeq != 0 {
+		if drop && !rr.dropOnFlush {
+			rr.dropOnFlush = true
+			rr.demoteAt = now
+			r.chargeDemotingLocked(rr)
+		}
+		return true
+	}
+	r.flushSeqGen++
+	if !r.fl.enqueue(flushJob{op: opPut, sid: s.id, name: name, res: rr.res, seq: r.flushSeqGen}, false) {
+		return false
+	}
+	rr.flushSeq = r.flushSeqGen
+	if drop {
+		rr.dropOnFlush = true
+		rr.demoteAt = now
+		r.chargeDemotingLocked(rr)
+	}
+	return true
+}
+
+// chargeDemotingLocked credits the byte budget with what this demotion will
+// free when its write lands (nothing when the Result is shared).
+func (r *registry) chargeDemotingLocked(rr *retainedResult) {
+	if rr.countedBytes != 0 {
+		return
+	}
+	if e := r.refs[rr.res]; e != nil && e.n == 1 {
+		rr.countedBytes = e.bytes
+		r.demotingBytes += e.bytes
+	}
+}
+
 // demoteLRUResultInLocked demotes the least-recently-used retained result
 // within one session (the per-session name cap), never the just-inserted
-// keep.
+// keep or a result already demoting.
 func (r *registry) demoteLRUResultInLocked(s *session, keep *retainedResult, now time.Time) bool {
 	var (
 		lruName string
 		lruRes  *retainedResult
 	)
 	for name, rr := range s.results {
-		if rr == keep {
+		if rr == keep || rr.dropOnFlush {
 			continue
 		}
 		if lruRes == nil || rr.last.Before(lruRes.last) {
@@ -333,8 +486,7 @@ func (r *registry) demoteLRUResultInLocked(s *session, keep *retainedResult, now
 	if lruRes == nil {
 		return false
 	}
-	r.demoteLocked(s, lruName, lruRes, now)
-	return true
+	return r.demoteLocked(s, lruName, lruRes, now)
 }
 
 // touch verifies a session is alive (refreshing its TTL clock) without
@@ -349,76 +501,172 @@ func (r *registry) touch(id string) error {
 	return err
 }
 
-// get returns the named retained result, refreshing the LRU clocks.
-// Demoted-only results are promoted: the segment maps in and the restored
-// result serves bound traces in situ over the mapped bytes.
-func (r *registry) get(id, name string) (*core.Result, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	now := r.clock()
-	r.sweepLocked(now)
-	s, err := r.sessionLocked(id, now)
-	if err != nil {
-		return nil, err
-	}
-	if rr, ok := s.results[name]; ok {
-		rr.last = now
-		if dr, ok := s.demoted[name]; ok {
-			dr.last = now
-		}
-		return rr.res, nil
-	}
-	if dr, ok := s.demoted[name]; ok {
-		return r.promoteLocked(s, name, dr, now)
-	}
-	if s.gone.has(name) {
-		return nil, serr.New(serr.Gone,
-			"server: result %q was evicted from session %s; re-run the base query", name, id)
-	}
-	return nil, serr.New(serr.NotFound, "server: session %s has no result %q", id, name)
+// traceHint carries what the registry needs to route one bound trace:
+// direction, the traced table, and the explicit seeds (nil when the trace is
+// predicate-seeded).
+type traceHint struct {
+	backward bool
+	table    string
+	seeds    []lineage.Rid
 }
 
-// promoteLocked maps a demoted result back into the memory tier. The disk
-// copy stays current (re-demotion is then free), and the promotion charges
-// the memory budget like any retention — possibly demoting colder results.
-func (r *registry) promoteLocked(s *session, name string, dr *demotedResult, now time.Time) (*core.Result, error) {
+// get returns the named retained result, refreshing the LRU clocks.
+// Demoted-only results are promoted: the segment maps in off-lock and the
+// restored result re-enters the memory tier.
+func (r *registry) get(id, name string) (*core.Result, error) {
+	return r.acquire(id, name, nil)
+}
+
+// getForTrace resolves a result for one bound trace. Memory-resident results
+// serve directly. For a demoted result the registry first materializes the
+// segment-backed view, then routes: backward traces with explicit seeds
+// whose encoded rid lists span a small fraction of the restore bytes answer
+// in situ off the view — promotion-free — while big traces, forward traces,
+// predicate seeds, unknown costs, and the insituPromoteAfter-th repeat
+// promote and stay hot.
+func (r *registry) getForTrace(id, name string, h traceHint) (*core.Result, error) {
+	return r.acquire(id, name, &h)
+}
+
+// acquire is the common resolution loop for get/getForTrace. It may release
+// the registry lock to load a segment (ensureViewLocked) or to wait for a
+// concurrent loader, then re-resolves from scratch — the world can change
+// while unlocked.
+func (r *registry) acquire(id, name string, h *traceHint) (*core.Result, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		now := r.clock()
+		r.sweepLocked(now)
+		s, err := r.sessionLocked(id, now)
+		if err != nil {
+			return nil, err
+		}
+		if rr, ok := s.results[name]; ok {
+			// Memory hit — including results mid-demotion: the still-resident
+			// copy serves, and the freshened LRU clock keeps it resident when
+			// the pending write lands (the write then just bought durability).
+			rr.last = now
+			if dr, ok := s.demoted[name]; ok {
+				dr.last = now
+			}
+			return rr.res, nil
+		}
+		dr, ok := s.demoted[name]
+		if !ok {
+			if s.gone.has(name) {
+				return nil, serr.New(serr.Gone,
+					"server: result %q was evicted from session %s; re-run the base query", name, id)
+			}
+			return nil, serr.New(serr.NotFound, "server: session %s has no result %q", id, name)
+		}
+		if dr.loading != nil {
+			w := dr.loading
+			r.mu.Unlock()
+			<-w
+			r.mu.Lock()
+			continue
+		}
+		if dr.view == nil {
+			if err := r.ensureViewLocked(s, name, dr); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dr.last = now
+		if h != nil && !r.shouldPromoteLocked(dr, *h) {
+			dr.hits++
+			r.counters.insituTraces++
+			return dr.view, nil
+		}
+		return r.promoteLocked(s, name, dr, now), nil
+	}
+}
+
+// ensureViewLocked materializes dr's segment-backed view, releasing the
+// registry lock for the segment load so concurrent sessions keep moving.
+// Exactly one goroutine loads; waiters block on dr.loading. On return the
+// lock is held again. A load failure makes the result gone — the segment is
+// unrecoverable — when the entry is still current.
+func (r *registry) ensureViewLocked(s *session, name string, dr *demotedResult) error {
+	w := make(chan struct{})
+	dr.loading = w
+	r.mu.Unlock()
 	ld, err := r.store.LoadResult(s.id, name)
+	var view *core.Result
+	if err == nil {
+		view = core.RestoreView(r.db, ld.Out, ld.GroupCounts, ld.Capture, ld.Bases)
+	}
+	r.mu.Lock()
+	dr.loading = nil
+	close(w)
 	if err != nil {
-		// The segment is unreadable (corruption, manual deletion): the
-		// result is unrecoverable — terminal tier.
-		r.deleteDemotedLocked(s, name)
-		s.gone.add(name)
-		return nil, serr.New(serr.Gone,
+		if cur, ok := s.demoted[name]; ok && cur == dr {
+			r.deleteDemotedLocked(s, name)
+			s.gone.add(name)
+		}
+		return serr.New(serr.Gone,
 			"server: result %q of session %s could not be recovered from disk (%v); re-run the base query",
 			name, s.id, err)
 	}
-	res := core.RestoreResult(r.db, ld.Out, ld.GroupCounts, ld.Capture, ld.Bases)
+	dr.view = view
+	r.counters.views++
+	return nil
+}
+
+// shouldPromoteLocked is the cost cutoff between answering a trace in situ
+// off the view and promoting the whole result back into memory.
+func (r *registry) shouldPromoteLocked(dr *demotedResult, h traceHint) bool {
+	if dr.hits >= insituPromoteAfter {
+		return true
+	}
+	if !h.backward || h.seeds == nil {
+		return true // forward and predicate-seeded traces want the full result
+	}
+	trace, restore, ok := dr.view.TraceCost(h.table, h.seeds)
+	if !ok {
+		return true
+	}
+	return trace*insituCostFactor > restore
+}
+
+// promoteLocked installs the already-loaded view as a retained result. The
+// disk copy stays current (re-demotion is then free), and the promotion
+// charges the memory budget like any retention — possibly demoting colder
+// results.
+func (r *registry) promoteLocked(s *session, name string, dr *demotedResult, now time.Time) *core.Result {
+	res := dr.view
 	rr := &retainedResult{res: res, last: now, onDisk: true}
 	s.results[name] = rr
 	dr.last = now
+	dr.hits = 0
 	r.retainRefLocked(res)
-	for r.maxBytes > 0 && r.retained > r.maxBytes {
+	r.counters.promotes++
+	for r.maxBytes > 0 && r.retained-r.demotingBytes > r.maxBytes {
 		if !r.demoteLRUResultLocked(rr, now) {
 			break
 		}
 	}
-	return res, nil
+	return res
 }
 
-// stats reports live/dormant sessions and both retention tiers.
-func (r *registry) stats() (sessions, results, demoted int, bytes, diskBytes int64) {
+// stats snapshots both retention tiers and the disk-tier counters.
+func (r *registry) stats() registryStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sweepLocked(r.clock())
-	for _, s := range r.sessions {
-		results += len(s.results)
-		demoted += len(s.demoted)
+	st := registryStats{retainedBytes: r.retained, diskBytes: r.diskBytes, c: r.counters}
+	st.sessions = len(r.sessions) + len(r.dormant)
+	for _, set := range []map[string]*session{r.sessions, r.dormant} {
+		for _, s := range set {
+			st.results += len(s.results)
+			st.demoted += len(s.demoted)
+		}
 	}
-	sessions = len(r.sessions) + len(r.dormant)
-	for _, s := range r.dormant {
-		demoted += len(s.demoted)
+	if r.fl != nil {
+		st.queueDepth = r.fl.queueDepth()
 	}
-	return sessions, results, demoted, r.retained, r.diskBytes
+	return st
 }
 
 // sessionMissingLocked distinguishes an expired/evicted session (410) from
@@ -454,16 +702,15 @@ func (r *registry) demoteLRUSessionLocked(now time.Time) bool {
 	if lru == nil {
 		return false
 	}
-	r.demoteSessionLocked(lru, now)
-	return true
+	return r.demoteSessionLocked(lru, now)
 }
 
 // demoteLRUResultLocked demotes the least-recently-used retained result
 // whose release actually frees memory (sole reference — demoting one of
 // several references to a cache-shared Result would cost a client its
-// memory residency without freeing a byte), never the just-inserted keep.
-// It reports whether anything was demoted; false also means the byte budget
-// cannot shrink further.
+// memory residency without freeing a byte), never the just-inserted keep or
+// a result already on its way out. It reports whether anything was demoted;
+// false also means the byte budget cannot shrink further right now.
 func (r *registry) demoteLRUResultLocked(keep *retainedResult, now time.Time) bool {
 	var (
 		lruSess *session
@@ -472,7 +719,7 @@ func (r *registry) demoteLRUResultLocked(keep *retainedResult, now time.Time) bo
 	)
 	for _, s := range r.sessions {
 		for name, rr := range s.results {
-			if rr == keep {
+			if rr == keep || rr.dropOnFlush {
 				continue
 			}
 			if e := r.refs[rr.res]; e != nil && e.n > 1 {
@@ -486,55 +733,68 @@ func (r *registry) demoteLRUResultLocked(keep *retainedResult, now time.Time) bo
 	if lruRes == nil {
 		return false
 	}
-	r.demoteLocked(lruSess, lruName, lruRes, now)
-	return true
+	return r.demoteLocked(lruSess, lruName, lruRes, now)
 }
 
-// demoteLocked moves one retained result out of the memory tier: to disk
-// when a store is configured (writing the segment on first demotion), else
-// straight to gone. A failed spill degrades to gone rather than pinning
-// memory the budgets already reclaimed.
-func (r *registry) demoteLocked(s *session, name string, rr *retainedResult, now time.Time) {
-	r.releaseRefLocked(rr.res)
-	delete(s.results, name)
+// demoteLocked moves one retained result out of the memory tier. With no
+// store it degrades to gone immediately. With a current disk copy the
+// demotion is free: memory drops now. Otherwise the result enters the
+// demoting state — the segment write queues on the flusher and the memory
+// copy is released only when it lands (a get meanwhile serves the resident
+// copy and keeps it hot). Reports whether the demotion made, or queued,
+// progress; false means the flusher is saturated and the result stays.
+func (r *registry) demoteLocked(s *session, name string, rr *retainedResult, now time.Time) bool {
 	if r.store == nil {
+		r.releaseRefLocked(rr.res)
+		delete(s.results, name)
 		s.gone.add(name)
-		return
+		r.counters.demotes++
+		return true
 	}
 	if rr.onDisk {
 		if dr, ok := s.demoted[name]; ok {
+			r.cancelPendingLocked(rr)
+			r.releaseRefLocked(rr.res)
+			delete(s.results, name)
 			dr.last = now
-			return
+			dr.hits = 0 // re-demotion restarts the repeated-trace clock
+			r.counters.demotes++
+			return true
 		}
+		rr.onDisk = false // disk copy vanished (budget delete); rewrite
 	}
-	bytes, err := r.store.PutResult(s.id, name, resultToDisk(rr.res))
-	if err != nil {
-		s.gone.add(name)
-		return
-	}
-	s.demoted[name] = &demotedResult{bytes: bytes, last: now}
-	r.diskBytes += bytes
-	r.enforceDiskBudgetLocked()
+	return r.enqueuePutLocked(s, name, rr, true)
 }
 
-// demoteSessionLocked demotes a whole live session: every in-memory result
-// spills (or tombstones), and the session parks in the dormant set when
-// anything of it survives on disk — otherwise it is gone.
-func (r *registry) demoteSessionLocked(s *session, now time.Time) {
+// demoteSessionLocked demotes a whole live session. Results without a
+// current disk copy enter the demoting state; the session parks in the
+// dormant set while its pending writes and demoted entries live on. A
+// session with a demotion the flusher could not accept stays live and
+// retries on the next sweep. Reports whether the session left the live set.
+func (r *registry) demoteSessionLocked(s *session, now time.Time) bool {
+	stuck := false
 	for name, rr := range s.results {
-		r.demoteLocked(s, name, rr, now)
+		if !r.demoteLocked(s, name, rr, now) {
+			stuck = true
+		}
+	}
+	if stuck {
+		return false
 	}
 	delete(r.sessions, s.id)
-	if r.store != nil && len(s.demoted) > 0 {
+	if r.store != nil && (len(s.demoted) > 0 || len(s.results) > 0) {
 		r.dormant[s.id] = s
-		return
+		return true
 	}
 	r.goneSessions.add(s.id)
+	return true
 }
 
 // removeSessionLocked drops a session from every tier and tombstones its id.
+// Pending writes are cancelled; the manifest delete queues behind them.
 func (r *registry) removeSessionLocked(s *session) {
 	for _, rr := range s.results {
+		r.cancelPendingLocked(rr)
 		r.releaseRefLocked(rr.res)
 	}
 	s.results = map[string]*retainedResult{}
@@ -542,15 +802,21 @@ func (r *registry) removeSessionLocked(s *session) {
 		r.diskBytes -= dr.bytes
 		delete(s.demoted, name)
 	}
-	if r.store != nil {
-		_ = r.store.DeleteSession(s.id)
+	if r.fl != nil {
+		if !r.fl.enqueue(flushJob{op: opDeleteSession, sid: s.id}, true) {
+			r.counters.deleteErrors++
+			r.logDiskErrLocked("queue delete of session %s failed (flusher stopped)", s.id)
+		}
 	}
 	delete(r.sessions, s.id)
 	delete(r.dormant, s.id)
 	r.goneSessions.add(s.id)
 }
 
-// deleteDemotedLocked drops one demoted entry and its segment.
+// deleteDemotedLocked drops one demoted entry. The manifest delete runs on
+// the flusher — FIFO behind any pending write of the same name, so a
+// put-then-delete lands in order. A delete that cannot queue is logged once
+// and counted (the entry is reclaimed as an orphan at the next Open).
 func (r *registry) deleteDemotedLocked(s *session, name string) {
 	dr, ok := s.demoted[name]
 	if !ok {
@@ -558,8 +824,11 @@ func (r *registry) deleteDemotedLocked(s *session, name string) {
 	}
 	r.diskBytes -= dr.bytes
 	delete(s.demoted, name)
-	if r.store != nil {
-		_ = r.store.DeleteResult(s.id, name)
+	if r.fl != nil {
+		if !r.fl.enqueue(flushJob{op: opDeleteResult, sid: s.id, name: name}, true) {
+			r.counters.deleteErrors++
+			r.logDiskErrLocked("queue delete of %s/%s failed (flusher stopped)", s.id, name)
+		}
 	}
 }
 
@@ -595,54 +864,162 @@ func (r *registry) enforceDiskBudgetLocked() {
 		}
 		r.deleteDemotedLocked(lruSess, lruName)
 		lruSess.gone.add(lruName)
-		if len(lruSess.results) == 0 && len(lruSess.demoted) == 0 {
-			if _, ok := r.dormant[lruSess.id]; ok {
-				delete(r.dormant, lruSess.id)
-				r.goneSessions.add(lruSess.id)
-			}
+		r.maybeRetireLocked(lruSess)
+	}
+}
+
+// maybeRetireLocked tombstones a dormant session that has nothing left in
+// any tier.
+func (r *registry) maybeRetireLocked(s *session) {
+	if len(s.results) == 0 && len(s.demoted) == 0 {
+		if _, ok := r.dormant[s.id]; ok {
+			delete(r.dormant, s.id)
+			r.goneSessions.add(s.id)
 		}
 	}
 }
 
-// flush writes every not-yet-demoted retained result to the disk tier and
-// publishes the manifest (graceful-shutdown path). Results stay resident —
-// flush persists, it does not evict. The first error is returned after
-// attempting everything.
-func (r *registry) flush() error {
+// ---- flusher callbacks (run on the flusher goroutine) ----
+
+// shouldFlush is the flusher's pre-write check: the job's ticket must still
+// be current — a drop, overwrite, or session delete since enqueue voids it.
+func (r *registry) shouldFlush(job flushJob) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	s, ok := r.sessions[job.sid]
+	if !ok {
+		s, ok = r.dormant[job.sid]
+	}
+	if !ok {
+		return false
+	}
+	rr := s.results[job.name]
+	return rr != nil && rr.flushSeq == job.seq
+}
+
+// onPutDone advances the state machine when a segment write finishes:
+// demoting → disk (release the memory copy, unless it was touched since) or
+// write-behind → durable-and-resident; a failed demotion write degrades to
+// gone rather than pinning memory the budgets already reclaimed.
+func (r *registry) onPutDone(job flushJob, bytes int64, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[job.sid]
+	if !ok {
+		s, ok = r.dormant[job.sid]
+	}
+	if !ok {
+		// Session dropped while the write was in flight; the queued session
+		// delete cleans the manifest entry back up.
+		return
+	}
+	rr := s.results[job.name]
+	if rr == nil || rr.flushSeq != job.seq {
+		return // superseded: a newer put or a drop owns the name now
+	}
+	rr.flushSeq = 0
+	r.demotingBytes -= rr.countedBytes
+	rr.countedBytes = 0
+	drop := rr.dropOnFlush
+	rr.dropOnFlush = false
+	if err != nil {
+		r.counters.flushErrors++
+		if r.flushErr == nil {
+			r.flushErr = err
+		}
+		r.logDiskErrLocked("segment write for %s/%s failed: %v", job.sid, job.name, err)
+		if drop {
+			r.releaseRefLocked(rr.res)
+			delete(s.results, job.name)
+			s.gone.add(job.name)
+			r.counters.demotes++
+			r.maybeRetireLocked(s)
+		}
+		return
+	}
+	now := r.clock()
+	r.deleteDemotedEntryOnlyLocked(s, job.name)
+	s.demoted[job.name] = &demotedResult{bytes: bytes, last: now}
+	r.diskBytes += bytes
+	rr.onDisk = true
+	if drop && !rr.last.After(rr.demoteAt) {
+		r.releaseRefLocked(rr.res)
+		delete(s.results, job.name)
+		r.counters.demotes++
+	} else {
+		// Referenced since the demotion queued (or plain write-behind): the
+		// result stays hot; the write still bought durability.
+		r.counters.writeBehind++
+	}
+	r.enforceDiskBudgetLocked()
+	r.maybeRetireLocked(s)
+}
+
+// onPublish records manifest-publish failures (the only way a queued delete
+// can fail to take effect).
+func (r *registry) onPublish(err error) {
+	if err == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters.publishErrors++
+	if r.flushErr == nil {
+		r.flushErr = err
+	}
+	r.logDiskErrLocked("manifest publish failed: %v", err)
+}
+
+// logDiskErrLocked reports the first disk-tier failure to the process log —
+// once, so a dying disk cannot flood it — while every occurrence stays
+// counted in the stats surface.
+func (r *registry) logDiskErrLocked(format string, args ...any) {
+	if r.diskErrLogged {
+		return
+	}
+	r.diskErrLogged = true
+	log.Printf("server: disk tier degraded (further errors counted, not logged): "+format, args...)
+}
+
+// flush persists every not-yet-durable retained result and publishes the
+// manifest (graceful-shutdown path): enqueue whatever is not already
+// pending, drain the flusher, publish with the session-id watermark.
+// Results stay resident — flush persists, it does not evict. The first disk
+// error observed (including by concurrent flusher work) is returned after
+// attempting everything.
+func (r *registry) flush() error {
 	if r.store == nil {
 		return nil
 	}
-	now := r.clock()
-	var first error
-	for _, s := range r.sessions {
-		for name, rr := range s.results {
-			if rr.onDisk {
-				continue
-			}
-			bytes, err := r.store.PutResult(s.id, name, resultToDisk(rr.res))
-			if err != nil {
-				if first == nil {
-					first = err
+	r.mu.Lock()
+	r.flushErr = nil
+	for _, set := range []map[string]*session{r.sessions, r.dormant} {
+		for _, s := range set {
+			for name, rr := range s.results {
+				if rr.onDisk || rr.flushSeq != 0 {
+					continue
 				}
-				continue
+				r.flushSeqGen++
+				if r.fl.enqueue(flushJob{op: opPut, sid: s.id, name: name, res: rr.res, seq: r.flushSeqGen}, true) {
+					rr.flushSeq = r.flushSeqGen
+				}
 			}
-			rr.onDisk = true
-			r.deleteDemotedEntryOnlyLocked(s, name)
-			s.demoted[name] = &demotedResult{bytes: bytes, last: now}
-			r.diskBytes += bytes
 		}
 	}
+	r.mu.Unlock()
+	r.fl.drain()
+	r.mu.Lock()
+	err := r.flushErr
 	r.store.SetNextSessionID(r.nextID)
-	if err := r.store.Publish(); err != nil && first == nil {
-		first = err
+	r.mu.Unlock()
+	if perr := r.store.Publish(); perr != nil && err == nil {
+		err = perr
 	}
-	return first
+	return err
 }
 
 // deleteDemotedEntryOnlyLocked forgets a demoted entry's bookkeeping without
-// touching the store (the caller is about to overwrite the manifest entry).
+// touching the store (the caller just replaced the manifest entry).
 func (r *registry) deleteDemotedEntryOnlyLocked(s *session, name string) {
 	if dr, ok := s.demoted[name]; ok {
 		r.diskBytes -= dr.bytes
