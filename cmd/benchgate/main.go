@@ -12,17 +12,24 @@
 // with a logged annotation — a 1-core runner cannot demonstrate a speedup,
 // and failing there would just test the CI hardware.
 //
+// Finally it enforces the trace-strategy invariant on the current
+// BENCH_lazy.json (when present): at every trace-rate point at or below
+// -lazy-max-rate, the lazy end-to-end total (capture-free base query plus
+// re-executed traces) must beat the eager total within -lazy-slack-ms.
+//
 // Usage:
 //
 //	smokebench -exp compress,parscale,plan,consume -scale tiny -reps 1 -json bench/out
 //	benchgate -baseline bench/baselines -current bench/out -tol 2.0 -slack-ms 10 \
-//	    -at-workers 4 -min-speedup 1.2 -scaling-min-ms 20
+//	    -at-workers 4 -min-speedup 1.2 -scaling-min-ms 20 \
+//	    -lazy-max-rate 0.011 -lazy-slack-ms 1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"smoke/internal/bench"
 )
@@ -35,6 +42,8 @@ func main() {
 	atWorkers := flag.Int("at-workers", 4, "parallel worker count compared against workers=1 by the scaling gate")
 	minSpeedup := flag.Float64("min-speedup", 1.2, "required ms(workers=1)/ms(workers=N) ratio; 0 disables the scaling gate")
 	scalingMinMS := flag.Float64("scaling-min-ms", 20, "scaling-gate noise floor: skip pairs whose serial latency is below this")
+	lazyMaxRate := flag.Float64("lazy-max-rate", 0.011, "highest trace_rate gated by the lazy-beats-eager rule; negative disables")
+	lazySlackMS := flag.Float64("lazy-slack-ms", 1, "additive slack for the lazy gate: lazy_total <= eager_total + slack")
 	flag.Parse()
 
 	cfg := bench.GateConfig{Tolerance: *tol, SlackMS: *slack}
@@ -55,9 +64,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: FAIL\n%v\n", err)
 		fail = true
 	}
+	lcfg := bench.LazyConfig{
+		MaxRate: *lazyMaxRate,
+		SlackMS: *lazySlackMS,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("benchgate: "+format+"\n", args...)
+		},
+	}
+	if err := bench.LazyGateFile(filepath.Join(*current, "BENCH_lazy.json"), lcfg); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL\n%v\n", err)
+		fail = true
+	}
 	if fail {
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: OK (%s vs %s, tol %.1fx + %.0fms; scaling w%d >= %.2fx)\n",
-		*current, *baseline, *tol, *slack, *atWorkers, *minSpeedup)
+	fmt.Printf("benchgate: OK (%s vs %s, tol %.1fx + %.0fms; scaling w%d >= %.2fx; lazy <= eager at rate <= %.3f)\n",
+		*current, *baseline, *tol, *slack, *atWorkers, *minSpeedup, *lazyMaxRate)
 }

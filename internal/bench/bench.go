@@ -107,6 +107,7 @@ func Experiments() map[string]Runner {
 		"consume":  Consume,
 		"serve":    Serve,
 		"spill":    Spill,
+		"lazy":     Lazy,
 	}
 }
 
@@ -115,6 +116,6 @@ func Order() []string {
 	return []string{
 		"fig5", "fig5tc", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig21", "fig22", "fig23",
-		"parscale", "compress", "plan", "consume", "serve", "spill",
+		"parscale", "compress", "plan", "consume", "serve", "spill", "lazy",
 	}
 }

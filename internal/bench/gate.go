@@ -320,6 +320,93 @@ func ScalingGateDir(currentDir string, cfg ScalingConfig) error {
 	return nil
 }
 
+// LazyConfig tunes the trace-strategy gate over BENCH_lazy.json: at every
+// trace-rate point at or below MaxRate, the lazy end-to-end total (base query
+// plus traces) must beat the eager total within SlackMS. This is the whole
+// argument for the lazy tier — if capture-free execution plus a sparse
+// handful of re-executed traces is not cheaper than paying eager capture up
+// front, the strategy seam has regressed.
+type LazyConfig struct {
+	// MaxRate is the highest trace_rate gated (e.g. 0.011 gates the 0 and 1%
+	// points but not 10%, where eager is expected to win). < 0 disables.
+	MaxRate float64
+	// SlackMS is the additive grace in milliseconds: lazy passes when
+	// lazy_total <= eager_total + SlackMS.
+	SlackMS float64
+	// Logf, when set, receives skip annotations. Defaults to discarding them.
+	Logf func(format string, args ...any)
+}
+
+func (cfg LazyConfig) logf(format string, args ...any) {
+	if cfg.Logf != nil {
+		cfg.Logf(format, args...)
+	}
+}
+
+// LazyGateFile enforces the lazy-beats-eager invariant on one BENCH_lazy.json
+// report. A missing report skips with an annotation (the lazy experiment may
+// not be in the run's -exp list); a present report with no comparable
+// eager/lazy pairs at gated rates is an error — that means the report shape
+// drifted and the gate would otherwise pass silently forever.
+func LazyGateFile(path string, cfg LazyConfig) error {
+	if cfg.MaxRate < 0 {
+		return nil
+	}
+	rep, err := readReport(path)
+	if os.IsNotExist(err) {
+		cfg.logf("lazy gate: %s: skipped (no report)", filepath.Base(path))
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("lazy gate: %s: %w", path, err)
+	}
+	totals := map[float64]map[string]float64{}
+	for _, row := range rep.allRows() {
+		strat, _ := row["strategy"].(string)
+		rate, rateOK := row["trace_rate"].(float64)
+		total, totalOK := row["total_ms"].(float64)
+		if strat == "" || !rateOK || !totalOK {
+			continue
+		}
+		if totals[rate] == nil {
+			totals[rate] = map[string]float64{}
+		}
+		totals[rate][strat] = total
+	}
+	rates := make([]float64, 0, len(totals))
+	for rate := range totals {
+		rates = append(rates, rate)
+	}
+	sort.Float64s(rates)
+	var failures []string
+	pairs := 0
+	for _, rate := range rates {
+		eager, eagerOK := totals[rate]["eager"]
+		lazy, lazyOK := totals[rate]["lazy"]
+		if !eagerOK || !lazyOK {
+			continue
+		}
+		if rate > cfg.MaxRate {
+			cfg.logf("lazy gate: %s: trace_rate=%v skipped (above %.3f — eager may win there)",
+				filepath.Base(path), rate, cfg.MaxRate)
+			continue
+		}
+		pairs++
+		if lazy > eager+cfg.SlackMS {
+			failures = append(failures,
+				fmt.Sprintf("trace_rate=%v: lazy end-to-end %.2fms exceeds eager %.2fms + %.2fms slack",
+					rate, lazy, eager, cfg.SlackMS))
+		}
+	}
+	if pairs == 0 {
+		return fmt.Errorf("lazy gate: %s: no eager/lazy pairs at trace_rate <= %.3f", filepath.Base(path), cfg.MaxRate)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("lazy gate: %s:\n  %s", filepath.Base(path), strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
 func readReport(path string) (benchReport, error) {
 	var rep benchReport
 	data, err := os.ReadFile(path)

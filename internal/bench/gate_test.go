@@ -242,3 +242,71 @@ func TestGateDirs(t *testing.T) {
 		t.Fatal("empty baseline dir must fail")
 	}
 }
+
+const lazyHealthy = `{
+  "cores": 1,
+  "rows": [
+    {"strategy": "eager", "trace_rate": 0, "base_ms": 4.0, "trace_ms": 0.0, "total_ms": 4.0},
+    {"strategy": "eager", "trace_rate": 0.01, "base_ms": 4.0, "trace_ms": 0.1, "total_ms": 4.1},
+    {"strategy": "eager", "trace_rate": 0.1, "base_ms": 4.0, "trace_ms": 0.2, "total_ms": 4.2},
+    {"strategy": "lazy", "trace_rate": 0, "base_ms": 2.0, "trace_ms": 0.0, "total_ms": 2.0},
+    {"strategy": "lazy", "trace_rate": 0.01, "base_ms": 2.0, "trace_ms": 1.0, "total_ms": 3.0},
+    {"strategy": "lazy", "trace_rate": 0.1, "base_ms": 2.0, "trace_ms": 7.0, "total_ms": 9.0}
+  ]
+}`
+
+// TestLazyGatePassesWhenSparseTracesWin: lazy beating eager at the 0 and 1%
+// points passes even though eager wins at 10% — that point is above the
+// gated rate and skips with an annotation.
+func TestLazyGatePassesWhenSparseTracesWin(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "BENCH_lazy.json", lazyHealthy)
+	var logged []string
+	cfg := LazyConfig{MaxRate: 0.011, SlackMS: 1,
+		Logf: func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }}
+	if err := LazyGateFile(path, cfg); err != nil {
+		t.Fatalf("sparse-trace win should pass: %v", err)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "trace_rate=0.1") {
+		t.Fatalf("the 10%% point must skip with an annotation, got: %v", logged)
+	}
+}
+
+// TestLazyGateFailsWhenEagerWinsSparse: lazy losing end-to-end at a gated
+// rate fails with the point named.
+func TestLazyGateFailsWhenEagerWinsSparse(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "BENCH_lazy.json", `{
+  "rows": [
+    {"strategy": "eager", "trace_rate": 0.01, "base_ms": 4.0, "trace_ms": 0.1, "total_ms": 4.1},
+    {"strategy": "lazy", "trace_rate": 0.01, "base_ms": 2.0, "trace_ms": 9.0, "total_ms": 11.0}
+  ]
+}`)
+	err := LazyGateFile(path, LazyConfig{MaxRate: 0.011, SlackMS: 1})
+	if err == nil || !strings.Contains(err.Error(), "trace_rate=0.01") {
+		t.Fatalf("lazy losing a gated point must fail and name it, got: %v", err)
+	}
+}
+
+// TestLazyGateSkipsMissingAndRejectsEmpty: a missing report is a logged
+// skip (the experiment may be off this run); a present report with no
+// comparable pairs is an error, not a silent pass.
+func TestLazyGateSkipsMissingAndRejectsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	var logged []string
+	cfg := LazyConfig{MaxRate: 0.011, SlackMS: 1,
+		Logf: func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }}
+	if err := LazyGateFile(filepath.Join(dir, "BENCH_lazy.json"), cfg); err != nil {
+		t.Fatalf("missing report must skip, not fail: %v", err)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "no report") {
+		t.Fatalf("missing-report skip must be annotated, got: %v", logged)
+	}
+	path := writeReport(t, dir, "BENCH_lazy.json", `{"rows": [{"strategy": "eager", "trace_rate": 0.5, "total_ms": 4.0}]}`)
+	if err := LazyGateFile(path, cfg); err == nil {
+		t.Fatal("report with no gated pairs must fail")
+	}
+	if err := LazyGateFile(path, LazyConfig{MaxRate: -1}); err != nil {
+		t.Fatalf("negative MaxRate must disable the gate: %v", err)
+	}
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"time"
+
+	"smoke/internal/core"
+	"smoke/internal/expr"
+	"smoke/internal/lineage"
+	"smoke/internal/ops"
+	"smoke/internal/storage"
+)
+
+// Lazy is the trace-strategy experiment (beyond-paper): what does eager
+// capture cost when (almost) nothing is ever traced? The same single-table
+// aggregation runs under eager capture (Inject, both directions) and the
+// lazy strategy (capture-free; traces re-execute the stored plan, and
+// key-seeded backward traces rewrite to a filtered scan). At trace rates 0,
+// 1%, and 10% of output groups, the report records the base-query time, the
+// time to answer that many single-group backward traces, and their sum —
+// the end-to-end cost a dashboard session actually pays. Before timing,
+// every sampled lazy trace is checked element-identical to the eager index
+// answer. Results land in BENCH_lazy.json; the benchgate lazy rule asserts
+// lazy beats eager end-to-end at the trace-sparse points.
+func Lazy(cfg Config) error {
+	n := 500_000
+	groups := 200
+	switch {
+	case cfg.paper():
+		n = 2_000_000
+	case cfg.tiny():
+		n = 200_000
+		groups = 100
+	}
+	db := core.Open()
+	defer db.Close()
+	rel := lazyData(n, groups)
+	db.Register(rel)
+
+	build := func() *core.Query {
+		return db.Query().From("lazybase", nil).GroupBy("g").
+			Agg(ops.Count, nil, "cnt").Agg(ops.Sum, expr.C("v"), "sv")
+	}
+	strategies := []struct {
+		name string
+		opts core.CaptureOptions
+	}{
+		{"eager", core.CaptureOptions{Mode: ops.Inject}},
+		{"lazy", core.CaptureOptions{Strategy: core.StrategyLazy}},
+	}
+
+	// Element-identity gate: sampled single-group lazy traces must match the
+	// eager index answers exactly — timing divergent lineage is meaningless.
+	eagerRes, err := build().Run(strategies[0].opts)
+	if err != nil {
+		return err
+	}
+	lazyRes, err := build().Run(strategies[1].opts)
+	if err != nil {
+		return err
+	}
+	stride := 1 + eagerRes.Out.N/50
+	for o := 0; o < eagerRes.Out.N; o += stride {
+		want, err := eagerRes.Backward("lazybase", []lineage.Rid{lineage.Rid(o)})
+		if err != nil {
+			return err
+		}
+		got, err := lazyRes.Backward("lazybase", []lineage.Rid{lineage.Rid(o)})
+		if err != nil {
+			return fmt.Errorf("lazy: lazy backward of group %d: %w", o, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			return fmt.Errorf("lazy: lazy trace of group %d diverges from eager index", o)
+		}
+	}
+
+	rates := []float64{0, 0.01, 0.10}
+	type row struct {
+		Strategy  string  `json:"strategy"`
+		TraceRate float64 `json:"trace_rate"`
+		BaseMS    float64 `json:"base_ms"`
+		TraceMS   float64 `json:"trace_ms"`
+		TotalMS   float64 `json:"total_ms"`
+	}
+	report := struct {
+		Tuples  int    `json:"tuples"`
+		Groups  int    `json:"groups"`
+		Cores   int    `json:"cores"`
+		Rows    []row  `json:"rows"`
+		Created string `json:"created"`
+	}{Tuples: n, Groups: groups, Cores: runtime.NumCPU(), Created: time.Now().Format(time.RFC3339)}
+
+	cfg.printf("Figure L (beyond-paper): eager capture vs lazy re-execution, end-to-end (base + traces) over %d tuples, %d groups\n", n, groups)
+	cfg.printf("%-10s %-12s %-10s %-10s %-10s\n", "strategy", "trace_rate", "base_ms", "trace_ms", "total_ms")
+
+	for _, st := range strategies {
+		var res *core.Result
+		baseD := cfg.Median(func() {
+			r, err := build().Run(st.opts)
+			must(err)
+			res = r
+		})
+		for _, rate := range rates {
+			k := int(rate * float64(res.Out.N))
+			seeds := make([]lineage.Rid, 0, k)
+			for i := 0; i < k; i++ {
+				seeds = append(seeds, lineage.Rid((i*res.Out.N)/max(k, 1)))
+			}
+			var traceD time.Duration
+			if len(seeds) > 0 {
+				traceD = cfg.Median(func() {
+					for _, s := range seeds {
+						_, err := res.Backward("lazybase", []lineage.Rid{s})
+						must(err)
+					}
+				})
+			}
+			total := baseD + traceD
+			report.Rows = append(report.Rows, row{
+				Strategy: st.name, TraceRate: rate,
+				BaseMS: ms(baseD), TraceMS: ms(traceD), TotalMS: ms(total),
+			})
+			cfg.printf("%-10s %-12.2f %-10.1f %-10.1f %-10.1f\n", st.name, rate, ms(baseD), ms(traceD), ms(total))
+		}
+	}
+
+	if cfg.JSONDir != "" {
+		path := filepath.Join(cfg.JSONDir, "BENCH_lazy.json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&report); err != nil {
+			return err
+		}
+		cfg.printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+// lazyData generates lazybase(g, v): a grouping key with mild skew plus a
+// value column.
+func lazyData(n, groups int) *storage.Relation {
+	r := rand.New(rand.NewSource(11))
+	rel := storage.NewRelation("lazybase", storage.Schema{
+		{Name: "g", Type: storage.TInt},
+		{Name: "v", Type: storage.TFloat},
+	}, n)
+	for i := 0; i < n; i++ {
+		u := r.Float64()
+		rel.Cols[0].Ints[i] = int64(u * u * float64(groups))
+		rel.Cols[1].Floats[i] = float64(r.Intn(10000)) / 100
+	}
+	return rel
+}

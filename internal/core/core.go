@@ -17,6 +17,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"smoke/internal/cube"
 	"smoke/internal/exec"
@@ -38,6 +39,11 @@ type Rid = lineage.Rid
 type DB struct {
 	cat     *storage.Catalog
 	workers int
+
+	// runs/traces count base-query executions vs lineage traces asked — the
+	// observed trace rate Strategy Auto costs against (TraceRate).
+	runs   atomic.Uint64
+	traces atomic.Uint64
 
 	mu     sync.Mutex // guards pool creation and closed
 	pool   *pool.Pool
@@ -99,6 +105,14 @@ func (db *DB) Catalog() *storage.Catalog { return db.cat }
 type CaptureOptions struct {
 	// Mode is None (baseline), Inject, or Defer (§3.2).
 	Mode ops.CaptureMode
+	// Strategy selects how the result provides lineage: eager index capture,
+	// lazy re-execution, a hybrid, or a cost-based automatic choice (see the
+	// Strategy constants in strategy.go). The zero value keeps the
+	// pre-strategy contract: Mode alone decides, with Mode None now yielding
+	// a lazy result (traces re-execute the stored plan) instead of erroring.
+	// Conflicting combinations (a capturing Mode with Lazy, direction or
+	// push-down options with Lazy/Hybrid) fail Run with a structured Invalid.
+	Strategy Strategy
 	// Dirs selects which directions to capture (defaults to both when Mode
 	// is not None and no per-table override is given).
 	Dirs ops.Directions
@@ -221,6 +235,12 @@ type Query struct {
 	// the traced rows (Where); the optimizer sinks it into the trace.
 	traceNode   plan.Node
 	traceFilter expr.Expr
+	// trace provenance, kept so TraceWith can rebuild the node under a
+	// forced strategy.
+	traceRes   *Result
+	traceDir   TraceDir
+	traceTable string
+	traceSeed  Seed
 }
 
 // Query starts a new query.
@@ -231,27 +251,28 @@ func (db *DB) Query() *Query { return &Query{db: db} }
 // builder query.
 func (db *DB) QueryPlan(n plan.Node) *Query { return &Query{db: db, prebuilt: n} }
 
-// Backward starts the query from the backward lineage trace of res into
-// table: the query's input rows are the base rows of table that contributed
-// to the given output rows of res (duplicates preserved — transformational
-// semantics). The trace is bound to res's captured indexes, traced in place
-// (raw or compressed) with the morsel-parallel trace operator; GroupBy/Agg
-// on top build a lineage-consuming aggregation that runs through the plan
-// layer, and the result is itself a single-table base query for further
-// traces (§2.1). A keyless trace query simply returns the traced rows.
-func (q *Query) Backward(res *Result, table string, outRids []Rid) *Query {
-	return q.backward(res, table, outRids, nil)
-}
-
-// BackwardWhere is Backward seeded by a predicate over res's output rows
-// instead of an explicit rid set (e.g. "the rows behind every group whose
-// key is X"). The optimizer may rewrite key-only seed predicates into
-// scan-and-filter when that beats the index trace.
-func (q *Query) BackwardWhere(res *Result, table string, seedPred expr.Expr) *Query {
-	return q.backward(res, table, nil, seedPred)
-}
-
-func (q *Query) backward(res *Result, table string, outRids []Rid, seedPred expr.Expr) *Query {
+// Trace starts the query from a lineage trace of res in the given direction
+// — the unified form of the Backward/BackwardWhere/Forward/ForwardWhere
+// constructors. seed selects the starting rows: Rids(...) for explicit rids
+// (output rids for TraceBackward, base rids for TraceForward), Where(pred)
+// for a predicate seed, and the zero Seed for everything. The query's input
+// rows are the traced rows (duplicates preserved — transformational
+// semantics); GroupBy/Agg on top build a lineage-consuming aggregation that
+// runs through the plan layer, and the result is itself a single-table base
+// query for further traces (§2.1). A keyless trace query simply returns the
+// traced rows.
+//
+// When res captured the needed index direction the trace binds to it and is
+// traced in place (raw or compressed) with the morsel-parallel trace
+// operator. On a lazy or hybrid result with no such index the trace goes
+// unbound: res's stored optimized plan re-executes with targeted capture —
+// or collapses to a single filtered scan when the seed is key-shaped
+// (optimizer trace-rewrite). TraceWith forces the path explicitly.
+func (q *Query) Trace(res *Result, dir TraceDir, table string, seed Seed) *Query {
+	if dir != TraceBackward && dir != TraceForward {
+		q.fail(serr.New(serr.Invalid, "core: trace direction must be TraceBackward or TraceForward"))
+		return q
+	}
 	// Resolve the relation instance res was captured against — not the
 	// current catalog entry. If the table was re-registered since res ran,
 	// the catalog relation is different data: tracing capture-time rids into
@@ -265,47 +286,86 @@ func (q *Query) backward(res *Result, table string, outRids []Rid, seedPred expr
 		q.fail(serr.New(serr.Invalid, "core: a trace must start the query"))
 		return q
 	}
-	q.names = append(q.names, table)
-	q.tables = append(q.tables, exec.TableRef{Rel: rel})
-	q.traceNode = plan.Backward{
-		Source: res.plan, Table: table, Rel: rel,
-		SeedRids: outRids, SeedPred: seedPred, Bound: res.bound(),
+	q.db.traces.Add(1)
+	q.traceRes, q.traceDir, q.traceTable, q.traceSeed = res, dir, table, seed
+	if dir == TraceBackward {
+		q.names = append(q.names, table)
+		q.tables = append(q.tables, exec.TableRef{Rel: rel})
+	} else {
+		q.names = append(q.names, res.Out.Name)
+		q.tables = append(q.tables, exec.TableRef{Rel: res.Out})
+	}
+	lazy := res.TraceStrategy(table, dir) == StrategyLazy
+	q.traceNode = res.buildTraceNode(dir, table, rel, seed, lazy, false)
+	return q
+}
+
+// TraceWith forces the pending trace's answer path, overriding the result's
+// own routing: StrategyEager requires the captured index and fails with a
+// structured Invalid when the result has none; StrategyLazy requires the
+// stored plan and re-executes it even when an index exists.
+// StrategyDefault/StrategyAuto keep the result's routing; Hybrid is a
+// capture-time split, not a per-trace path, and is Invalid here.
+func (q *Query) TraceWith(s Strategy) *Query {
+	if q.traceNode == nil || q.traceRes == nil {
+		q.fail(serr.New(serr.Invalid, "core: TraceWith applies to trace queries"))
+		return q
+	}
+	res, dir, table := q.traceRes, q.traceDir, q.traceTable
+	rel := res.BaseRelation(table)
+	switch s {
+	case StrategyDefault, StrategyAuto:
+		return q
+	case StrategyEager:
+		if res.TraceStrategy(table, dir) != StrategyEager {
+			q.fail(serr.New(serr.Invalid,
+				"core: result captured no %s index for %q; eager trace unavailable", dir, table))
+			return q
+		}
+		q.traceNode = res.buildTraceNode(dir, table, rel, q.traceSeed, false, false)
+	case StrategyLazy:
+		if res.plan == nil {
+			q.fail(serr.New(serr.Invalid,
+				"core: result carries no plan; lazy trace unavailable"))
+			return q
+		}
+		q.traceNode = res.buildTraceNode(dir, table, rel, q.traceSeed, true, false)
+	default:
+		q.fail(serr.New(serr.Invalid, "core: per-trace strategy must be eager or lazy"))
 	}
 	return q
+}
+
+// Backward starts the query from the backward lineage trace of res into
+// table: the base rows of table that contributed to the given output rows
+// of res. A nil outRids seeds everything.
+//
+// Deprecated: Backward is Trace(res, TraceBackward, table, Rids(outRids...)).
+func (q *Query) Backward(res *Result, table string, outRids []Rid) *Query {
+	return q.Trace(res, TraceBackward, table, ridSeed(outRids, outRids != nil))
+}
+
+// BackwardWhere is Backward seeded by a predicate over res's output rows.
+//
+// Deprecated: BackwardWhere is Trace(res, TraceBackward, table, Where(pred)).
+func (q *Query) BackwardWhere(res *Result, table string, seedPred expr.Expr) *Query {
+	return q.Trace(res, TraceBackward, table, Where(seedPred))
 }
 
 // Forward starts the query from the forward lineage trace of res: the
-// query's input rows are the output rows of res that depend on the given
-// base rows of table. Like Backward, the trace binds to res's captured
-// indexes and GroupBy/Agg build consuming aggregations on top.
+// output rows of res that depend on the given base rows of table. A nil
+// inRids seeds everything.
+//
+// Deprecated: Forward is Trace(res, TraceForward, table, Rids(inRids...)).
 func (q *Query) Forward(res *Result, table string, inRids []Rid) *Query {
-	return q.forward(res, table, inRids, nil)
+	return q.Trace(res, TraceForward, table, ridSeed(inRids, inRids != nil))
 }
 
 // ForwardWhere is Forward seeded by a predicate over table's base rows.
+//
+// Deprecated: ForwardWhere is Trace(res, TraceForward, table, Where(pred)).
 func (q *Query) ForwardWhere(res *Result, table string, seedPred expr.Expr) *Query {
-	return q.forward(res, table, nil, seedPred)
-}
-
-func (q *Query) forward(res *Result, table string, inRids []Rid, seedPred expr.Expr) *Query {
-	// Same capture-time resolution as backward: forward seeds address rows
-	// of the relation res actually scanned.
-	rel := res.BaseRelation(table)
-	if rel == nil {
-		q.fail(serr.New(serr.NotFound, "core: result has no captured base relation %q", table))
-		return q
-	}
-	if len(q.tables) > 0 || q.traceNode != nil || q.prebuilt != nil {
-		q.fail(serr.New(serr.Invalid, "core: a trace must start the query"))
-		return q
-	}
-	q.names = append(q.names, res.Out.Name)
-	q.tables = append(q.tables, exec.TableRef{Rel: res.Out})
-	q.traceNode = plan.Forward{
-		Source: res.plan, Table: table, Rel: rel,
-		SeedRids: inRids, SeedPred: seedPred, Bound: res.bound(),
-	}
-	return q
+	return q.Trace(res, TraceForward, table, Where(seedPred))
 }
 
 // Where adds a consuming predicate over the trace's output rows — for
@@ -576,6 +636,10 @@ type Result struct {
 	// result the server serves small bound traces off without retaining it
 	// in the memory tier.
 	view bool
+	// strategy is the resolved capture strategy (strategy.go): it decides
+	// whether a missing-index trace re-executes the stored plan (lazy,
+	// hybrid) or fails like an explicitly pruned capture always has.
+	strategy Strategy
 }
 
 // Run executes the query with the given capture options: the builder state
@@ -589,6 +653,12 @@ type Result struct {
 func (q *Query) Run(opts CaptureOptions) (*Result, error) {
 	if q.err != nil {
 		return nil, q.err
+	}
+	if err := opts.validateStrategy(); err != nil {
+		return nil, err
+	}
+	if q.traceNode == nil {
+		q.db.runs.Add(1)
 	}
 	if opts.PushdownFilter != nil || opts.PartitionBy != nil || opts.Cube != nil || opts.CountsByKey != nil {
 		if q.traceNode != nil {
@@ -616,9 +686,26 @@ func (q *Query) Run(opts CaptureOptions) (*Result, error) {
 		return nil, err
 	}
 	optimized := plan.OptimizeNoTrace(p, plan.Opts{Catalog: q.db.cat})
+	strat := resolveStrategy(q.db, opts, optimized)
 	eopts := exec.PlanOpts{
 		Mode: opts.Mode, Dirs: opts.Dirs, TableDirs: opts.TableDirs,
 		Params: opts.Params, Compress: opts.Compress,
+	}
+	switch strat {
+	case StrategyLazy:
+		// Capture-free: the stored plan is the lineage.
+		eopts.Mode, eopts.Dirs, eopts.TableDirs = ops.None, 0, nil
+	case StrategyHybrid:
+		// Backward eagerly, forward by re-execution.
+		if eopts.Mode == ops.None {
+			eopts.Mode = ops.Inject
+		}
+		eopts.Dirs, eopts.TableDirs = ops.CaptureBackward, nil
+	case StrategyEager:
+		// Auto may resolve a Mode-None request to eager capture.
+		if eopts.Mode == ops.None {
+			eopts.Mode = ops.Inject
+		}
 	}
 	eopts.Workers, eopts.Pool = opts.workers(q.db)
 	pres, err := exec.RunPlan(optimized, eopts)
@@ -628,6 +715,7 @@ func (q *Query) Run(opts CaptureOptions) (*Result, error) {
 	res := &Result{
 		Out: pres.Out, GroupCounts: pres.GroupCounts,
 		db: q.db, capture: pres.Capture, plan: optimized, params: opts.Params,
+		strategy: strat,
 	}
 	// Single-base plans keep consuming-query support (ConsumeGroupBy
 	// re-aggregates base rows addressed by backward rids).
@@ -701,6 +789,7 @@ func (q *Query) runSingle(opts CaptureOptions) (*Result, error) {
 		Out: ares.Out, GroupCounts: ares.GroupCounts,
 		db: q.db, capture: lineage.NewCapture(),
 		baseRel: rel, baseAgg: &ares, partAttrs: opts.PartitionBy, params: opts.Params,
+		strategy: StrategyEager,
 	}
 	if ix := ares.BackwardIndex(); ix != nil {
 		res.capture.SetBackward(name, ix)
@@ -718,16 +807,11 @@ func (q *Query) runSingle(opts CaptureOptions) (*Result, error) {
 }
 
 // Backward evaluates Lb(outRids ⊆ Out, table): the base rids of table that
-// contributed to the given output rows.
+// contributed to the given output rows. Lazy/hybrid results with no
+// captured backward index answer by re-executing the stored plan
+// (TraceStrategy reports the path).
 func (r *Result) Backward(table string, outRids []Rid) ([]Rid, error) {
-	if r.bwPart != nil {
-		var rids []Rid
-		for _, o := range outRids {
-			rids = append(rids, r.bwPart.All(int(o))...)
-		}
-		return rids, nil
-	}
-	return r.capture.Backward(table, outRids)
+	return r.trace(TraceBackward, table, ridSeed(outRids, true), false)
 }
 
 // BackwardPartition evaluates a parameterized backward query over a
@@ -744,26 +828,20 @@ func (r *Result) BackwardPartition(outRid Rid, vals []any) ([]Rid, error) {
 	return r.bwPart.Partition(int(outRid), key), nil
 }
 
-// Forward evaluates Lf(inRids ⊆ table, Out).
+// Forward evaluates Lf(inRids ⊆ table, Out). Lazy results answer by
+// re-executing the stored plan.
 func (r *Result) Forward(table string, inRids []Rid) ([]Rid, error) {
-	return r.capture.Forward(table, inRids)
+	return r.trace(TraceForward, table, ridSeed(inRids, true), false)
 }
 
 // ForwardDistinct is Forward with set semantics (highlighting use cases).
 func (r *Result) ForwardDistinct(table string, inRids []Rid) ([]Rid, error) {
-	return r.capture.ForwardDistinct(table, inRids)
+	return r.trace(TraceForward, table, ridSeed(inRids, true), true)
 }
 
 // BackwardDistinct is Backward with set semantics (which-provenance).
 func (r *Result) BackwardDistinct(table string, outRids []Rid) ([]Rid, error) {
-	if r.bwPart != nil {
-		all, err := r.Backward(table, outRids)
-		if err != nil {
-			return nil, err
-		}
-		return lineage.Dedup(all), nil
-	}
-	return r.capture.BackwardDistinct(table, outRids)
+	return r.trace(TraceBackward, table, ridSeed(outRids, true), true)
 }
 
 // Capture exposes the raw lineage indexes (benchmark harness, applications).
@@ -855,6 +933,7 @@ func (r *Result) ConsumeGroupBy(rids []Rid, spec ops.GroupBySpec, opts CaptureOp
 		Out: ares.Out, GroupCounts: ares.GroupCounts,
 		db: r.db, capture: lineage.NewCapture(),
 		baseRel: r.baseRel, baseAgg: &ares, partAttrs: opts.PartitionBy, params: opts.Params,
+		strategy: StrategyEager,
 	}
 	if ix := ares.BackwardIndex(); ix != nil {
 		out.capture.SetBackward(r.baseRel.Name, ix)

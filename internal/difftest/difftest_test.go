@@ -60,6 +60,49 @@ func TestTraceDifferentialEquivalence(t *testing.T) {
 	}
 }
 
+// TestStrategyDifferentialEquivalence is the trace-strategy gate: eager,
+// lazy, and hybrid capture (× serial/par3 × raw/compressed) must answer
+// rid-seeded and predicate-seeded traces element-identically on randomized
+// SPJA plans — the lazy re-execution path and the hybrid directional split
+// are indistinguishable from the captured indexes they replace.
+func TestStrategyDifferentialEquivalence(t *testing.T) {
+	seeds := []int64{9, 53, 2029}
+	queries := 6
+	if testing.Short() {
+		seeds = seeds[:1]
+		queries = 3
+	}
+	for _, seed := range seeds {
+		if err := CheckStrategies(seed, queries); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStrategyVariantsCoverTheMatrix pins the strategy matrix: 3 strategies
+// × 2 parallelism levels × 2 representations.
+func TestStrategyVariantsCoverTheMatrix(t *testing.T) {
+	vs := StrategyVariants()
+	if len(vs) != 12 {
+		t.Fatalf("got %d strategy variants, want 12", len(vs))
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v.Name] {
+			t.Fatalf("duplicate variant %q", v.Name)
+		}
+		seen[v.Name] = true
+	}
+	for _, want := range []string{
+		"eager/serial/raw", "lazy/par3/compressed", "hybrid/par3/raw",
+		"lazy/serial/raw", "hybrid/serial/compressed",
+	} {
+		if !seen[want] {
+			t.Fatalf("missing variant %q", want)
+		}
+	}
+}
+
 // TestPlanVariantsCoverTheMatrix pins the multi-block matrix: 2 lowerings ×
 // 2 parallelism levels × 2 modes × 2 representations, reference first.
 func TestPlanVariantsCoverTheMatrix(t *testing.T) {

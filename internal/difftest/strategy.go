@@ -1,0 +1,193 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"smoke/internal/core"
+	"smoke/internal/expr"
+	"smoke/internal/lineage"
+	"smoke/internal/ops"
+)
+
+// StrategyVariant is one capture-strategy configuration under test.
+type StrategyVariant struct {
+	Name string
+	Opts core.CaptureOptions
+}
+
+// StrategyVariants enumerates eager/lazy/hybrid × serial/par3 ×
+// raw/compressed. Lazy variants run capture-free (Mode zero = None); their
+// Compress flag pins that compression is inert without a capture. The
+// reference is always the plain serial eager run, built by callers.
+func StrategyVariants() []StrategyVariant {
+	var vs []StrategyVariant
+	for _, st := range []struct {
+		name string
+		s    core.Strategy
+		m    ops.CaptureMode
+	}{
+		{"eager", core.StrategyEager, ops.Inject},
+		{"lazy", core.StrategyLazy, ops.None},
+		{"hybrid", core.StrategyHybrid, ops.Inject},
+	} {
+		for _, par := range []struct {
+			name string
+			w    int
+		}{{"serial", 1}, {"par3", 3}} {
+			for _, comp := range []struct {
+				name string
+				c    bool
+			}{{"raw", false}, {"compressed", true}} {
+				vs = append(vs, StrategyVariant{
+					Name: fmt.Sprintf("%s/%s/%s", st.name, par.name, comp.name),
+					Opts: core.CaptureOptions{Strategy: st.s, Mode: st.m, Parallelism: par.w, Compress: comp.c},
+				})
+			}
+		}
+	}
+	return vs
+}
+
+// CheckStrategies is the trace-strategy differential gate: randomized SPJA
+// queries run under every strategy variant must produce the same output
+// relation as the eager serial reference, and answer sampled single-rid
+// backward/forward traces and predicate-seeded backward traces
+// element-identically — whether the answer comes from a captured index
+// (eager; hybrid backward) or from re-executing the stored plan (lazy;
+// hybrid forward). A fixed key-predicate case additionally pins the
+// scan-equivalence rewrite (compared as multisets: the rewrite answers in
+// global scan order, the index union in group-major order).
+func CheckStrategies(seed int64, queries int) error {
+	r := rand.New(rand.NewSource(seed))
+	ds := GenDataset(r)
+	defer ds.DB.Close()
+	refOpts := core.CaptureOptions{Mode: ops.Inject, Parallelism: 1}
+
+	for qi := 0; qi < queries; qi++ {
+		build, desc, singleTable := GenQuery(ds, r)
+		ref, err := build().Run(refOpts)
+		if err != nil {
+			return fmt.Errorf("difftest: seed %d query %d (%s): reference run: %w", seed, qi, desc, err)
+		}
+		tables := []struct {
+			name  string
+			baseN int
+		}{{"fact", ds.FactN}}
+		if !singleTable {
+			tables = append(tables, struct {
+				name  string
+				baseN int
+			}{"dim", ds.DimN})
+		}
+		for _, v := range StrategyVariants() {
+			got, err := build().Run(v.Opts)
+			if err != nil {
+				return fmt.Errorf("difftest: seed %d query %d (%s) strategy %s: %w", seed, qi, desc, v.Name, err)
+			}
+			if err := diffRelation(ref.Out, got.Out); err != nil {
+				return fmt.Errorf("difftest: seed %d query %d (%s) strategy %s: output: %w", seed, qi, desc, v.Name, err)
+			}
+			for _, tb := range tables {
+				if err := diffStrategyTraces(ref, got, tb.name, tb.baseN); err != nil {
+					return fmt.Errorf("difftest: seed %d query %d (%s) strategy %s: %w", seed, qi, desc, v.Name, err)
+				}
+			}
+		}
+	}
+	return checkScanRewrite(ds)
+}
+
+// diffStrategyTraces compares sampled single-rid backward and forward traces
+// plus one predicate-seeded backward trace (over the always-present cnt
+// aggregate) of got against the eager reference, element-identically.
+func diffStrategyTraces(ref, got *core.Result, table string, baseN int) error {
+	bstride := 1 + ref.Out.N/24
+	for o := 0; o < ref.Out.N; o += bstride {
+		rids := []lineage.Rid{lineage.Rid(o)}
+		want, err := ref.Backward(table, rids)
+		if err != nil {
+			return err
+		}
+		gotL, err := got.Backward(table, rids)
+		if err != nil {
+			return fmt.Errorf("backward %s output %d: %w", table, o, err)
+		}
+		if err := diffRids(want, gotL); err != nil {
+			return fmt.Errorf("backward lineage of %s output %d: %w", table, o, err)
+		}
+	}
+	fstride := 1 + baseN/32
+	for in := 0; in < baseN; in += fstride {
+		rids := []lineage.Rid{lineage.Rid(in)}
+		want, err := ref.Forward(table, rids)
+		if err != nil {
+			return err
+		}
+		gotL, err := got.Forward(table, rids)
+		if err != nil {
+			return fmt.Errorf("forward %s input %d: %w", table, in, err)
+		}
+		if err := diffRids(want, gotL); err != nil {
+			return fmt.Errorf("forward lineage of %s input %d: %w", table, in, err)
+		}
+	}
+	// Predicate-seeded backward over an aggregate column: not key-covered, so
+	// the lazy path re-executes and traces through the rebuilt index — the
+	// answer is strictly order-identical to the eager bound trace.
+	pred := expr.GeE(expr.C("cnt"), expr.I(2))
+	want, err := ref.Trace(core.TraceBackward, table, core.Where(pred))
+	if err != nil {
+		return err
+	}
+	gotL, err := got.Trace(core.TraceBackward, table, core.Where(pred))
+	if err != nil {
+		return fmt.Errorf("pred-seeded backward on %s: %w", table, err)
+	}
+	if err := diffRids(want, gotL); err != nil {
+		return fmt.Errorf("pred-seeded backward lineage of %s: %w", table, err)
+	}
+	return nil
+}
+
+// checkScanRewrite pins the generalized scan-equivalence rewrite: under the
+// lazy strategy, a grouping-key-predicate seed over a single-table
+// aggregation answers from a filtered base scan without re-aggregation. The
+// rewrite yields global scan order while the eager index union is
+// group-major, so the comparison is a multiset one (several groups match).
+func checkScanRewrite(ds *Dataset) error {
+	build := func() *core.Query {
+		return ds.DB.Query().From("fact", nil).GroupBy("b").Agg(ops.Count, nil, "cnt")
+	}
+	ref, err := build().Run(core.CaptureOptions{Mode: ops.Inject})
+	if err != nil {
+		return fmt.Errorf("difftest: scan-rewrite reference run: %w", err)
+	}
+	lazy, err := build().Run(core.CaptureOptions{Strategy: core.StrategyLazy})
+	if err != nil {
+		return fmt.Errorf("difftest: scan-rewrite lazy run: %w", err)
+	}
+	pred := expr.GeE(expr.C("b"), expr.I(1))
+	want, err := ref.Trace(core.TraceBackward, "fact", core.Where(pred))
+	if err != nil {
+		return fmt.Errorf("difftest: scan-rewrite eager trace: %w", err)
+	}
+	got, err := lazy.Trace(core.TraceBackward, "fact", core.Where(pred))
+	if err != nil {
+		return fmt.Errorf("difftest: scan-rewrite lazy trace: %w", err)
+	}
+	if len(want) == 0 {
+		return fmt.Errorf("difftest: scan-rewrite case selected no rows; widen the predicate")
+	}
+	sortRids(want)
+	sortRids(got)
+	if err := diffRids(want, got); err != nil {
+		return fmt.Errorf("difftest: scan-rewrite lazy trace (as multiset): %w", err)
+	}
+	return nil
+}
+
+func sortRids(rids []lineage.Rid) {
+	sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+}

@@ -193,10 +193,10 @@ func runBackward(node plan.Backward, opts PlanOpts) (nodeOut, error) {
 	return out, nil
 }
 
-// runForward lowers a Forward trace: its output is the source output rows
-// reachable from the seed base rows, and its end-to-end lineage composes the
-// traced positions with the source's own captured indexes.
-func runForward(node plan.Forward, opts PlanOpts) (nodeOut, error) {
+// forwardRids runs a Forward node up to its expanded rid list, also
+// returning the source context (output relation and captured indexes)
+// runForward composes end-to-end lineage from.
+func forwardRids(node plan.Forward, opts PlanOpts) ([]lineage.Rid, *storage.Relation, map[string]*lineage.Index, map[string]*lineage.Index, error) {
 	var srcOut *storage.Relation
 	var ix *lineage.Index
 	var srcBW, srcFW map[string]*lineage.Index
@@ -204,7 +204,7 @@ func runForward(node plan.Forward, opts PlanOpts) (nodeOut, error) {
 		var err error
 		srcOut, ix, err = traceIndex(nil, node.Bound, node.Table, ops.CaptureForward, opts)
 		if err != nil {
-			return nodeOut{}, err
+			return nil, nil, nil, nil, err
 		}
 		srcBW, srcFW = map[string]*lineage.Index{}, map[string]*lineage.Index{}
 		for _, rel := range node.Bound.Capture.Relations() {
@@ -217,7 +217,7 @@ func runForward(node plan.Forward, opts PlanOpts) (nodeOut, error) {
 		}
 	} else {
 		if node.Source == nil {
-			return nodeOut{}, fmt.Errorf("exec: trace of %q has neither a source plan nor a bound result", node.Table)
+			return nil, nil, nil, nil, fmt.Errorf("exec: trace of %q has neither a source plan nor a bound result", node.Table)
 		}
 		// Execute the source with full capture: the forward index of Table
 		// drives the trace, and the remaining indexes compose into the
@@ -231,23 +231,23 @@ func runForward(node plan.Forward, opts PlanOpts) (nodeOut, error) {
 		subOpts.TableDirs = nil
 		child, err := runNode(node.Source, subOpts)
 		if err != nil {
-			return nodeOut{}, err
+			return nil, nil, nil, nil, err
 		}
 		srcOut, srcBW, srcFW = child.rel, child.bw, child.fw
 		ix = srcFW[node.Table]
 		if ix == nil {
-			return nodeOut{}, fmt.Errorf("exec: trace: no forward lineage captured for %q", node.Table)
+			return nil, nil, nil, nil, fmt.Errorf("exec: trace: no forward lineage captured for %q", node.Table)
 		}
 	}
 	seeds, err := traceSeeds(node.Rel, ix.Len(), node.SeedRids, node.SeedPred, opts)
 	if err != nil {
-		return nodeOut{}, err
+		return nil, nil, nil, nil, err
 	}
 	var keep func(lineage.Rid) bool
 	if node.Filter != nil {
 		p, err := expr.CompilePred(node.Filter, srcOut, opts.Params)
 		if err != nil {
-			return nodeOut{}, fmt.Errorf("exec: trace filter: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("exec: trace filter: %w", err)
 		}
 		keep = func(r lineage.Rid) bool { return p(r) }
 	}
@@ -258,7 +258,17 @@ func runForward(node plan.Forward, opts PlanOpts) (nodeOut, error) {
 	if rids == nil {
 		rids = []lineage.Rid{}
 	}
+	return rids, srcOut, srcBW, srcFW, nil
+}
 
+// runForward lowers a Forward trace: its output is the source output rows
+// reachable from the seed base rows, and its end-to-end lineage composes the
+// traced positions with the source's own captured indexes.
+func runForward(node plan.Forward, opts PlanOpts) (nodeOut, error) {
+	rids, srcOut, srcBW, srcFW, err := forwardRids(node, opts)
+	if err != nil {
+		return nodeOut{}, err
+	}
 	out := nodeOut{
 		rel: srcOut.Gather(srcOut.Name, rids),
 		bw:  map[string]*lineage.Index{}, fw: map[string]*lineage.Index{},
@@ -280,4 +290,57 @@ func runForward(node plan.Forward, opts PlanOpts) (nodeOut, error) {
 		out.fw[base] = lineage.Compose(fix, localInv)
 	}
 	return out, nil
+}
+
+// TraceRids executes a trace node down to its bare rid list — the backward
+// (resp. forward) base-side rids — without materializing the traced rows.
+// The lazy trace path (core answering Backward/Forward on a capture-free
+// result by re-executing its stored plan) runs on it: pass the optimized
+// trace node, which is either still a Backward/Forward (re-execute the
+// source with targeted capture, expand) or — when the optimizer collapsed an
+// unbound predicate-seeded trace to its scan-and-filter equivalent — a bare
+// Scan whose selected rids ARE the trace.
+func TraceRids(n plan.Node, opts PlanOpts) ([]lineage.Rid, error) {
+	switch node := n.(type) {
+	case plan.Backward:
+		rids, scan, err := backwardRids(node, opts)
+		if err != nil {
+			return nil, err
+		}
+		if scan != nil {
+			return scanRids(*scan, opts)
+		}
+		return rids, nil
+	case plan.Forward:
+		rids, _, _, _, err := forwardRids(node, opts)
+		return rids, err
+	case plan.Scan:
+		return scanRids(node, opts)
+	}
+	return nil, fmt.Errorf("exec: TraceRids wants a trace node, got %T", n)
+}
+
+// scanRids evaluates a scan's filter down to the selected rid list (in scan
+// order; the identity set when unfiltered).
+func scanRids(sc plan.Scan, opts PlanOpts) ([]lineage.Rid, error) {
+	if sc.Filter == nil {
+		all := make([]lineage.Rid, sc.Rel.N)
+		for i := range all {
+			all[i] = lineage.Rid(i)
+		}
+		return all, nil
+	}
+	p, err := expr.CompilePred(sc.Filter, sc.Rel, opts.Params)
+	if err != nil {
+		return nil, fmt.Errorf("exec: trace scan filter: %w", err)
+	}
+	sres := ops.Select(sc.Rel.N, p, ops.SelectOpts{
+		Mode: ops.None, Workers: opts.Workers, Pool: opts.Pool,
+		Kernel: expr.CompileBitKernel(sc.Filter, sc.Rel, opts.Params),
+	})
+	rids := sres.OutRids
+	if rids == nil {
+		rids = []lineage.Rid{}
+	}
+	return rids, nil
 }

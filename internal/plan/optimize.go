@@ -324,33 +324,34 @@ func rewriteTraces(n Node) Node {
 }
 
 // traceScanEquiv derives the scan-and-filter equivalent of a Backward trace,
-// when one exists: the source must be a group-by (or the trace seeded with
-// nil/pred only — explicit rid seeds address output rows the rewrite cannot
-// name) over a single scan of the traced relation, and the seed predicate
-// must reference group keys only.
+// when one exists. Explicit rid seeds never qualify — they address output
+// rows the rewrite cannot name — so the trace must be seeded with nil or a
+// predicate, over one of two source shapes:
+//
+//   - a group-by over a single scan of the traced relation, with the seed
+//     predicate referencing group keys only: each base row feeds exactly one
+//     group, so tracing the selected groups selects exactly the rows whose
+//     key satisfies the predicate;
+//   - a bare (possibly filtered) scan of the traced relation: its backward
+//     lineage is the selection itself, so a seed predicate over the output
+//     columns is a predicate over the surviving base rows verbatim.
 func traceScanEquiv(node Backward) (Scan, bool) {
 	if node.SeedRids != nil {
 		return Scan{}, false
 	}
-	gb, ok := node.Source.(GroupBy)
-	if !ok {
-		return Scan{}, false
-	}
-	child := gb.Child
-	var pred expr.Expr
-	if f, isFilter := child.(Filter); isFilter {
-		pred = f.Pred
-		child = f.Child
-	}
-	sc, ok := child.(Scan)
+	sc, pred, keys, grouped, ok := scanEquivSource(node.Source)
 	if !ok || sc.Table != node.Table || sc.Rel != node.Rel {
 		return Scan{}, false
 	}
 	if node.SeedPred != nil {
-		// Key-only seed predicates translate verbatim: group keys are base
-		// columns of the scanned relation.
+		// Seed predicates must translate verbatim onto base columns: for a
+		// grouped source that means group keys only; for a scan-shaped
+		// source every output column is already a base column.
 		for _, c := range expr.Columns(node.SeedPred) {
-			if !containsStr(gb.Keys, c) || node.Rel.Schema.Col(c) < 0 {
+			if grouped && !containsStr(keys, c) {
+				return Scan{}, false
+			}
+			if node.Rel.Schema.Col(c) < 0 {
 				return Scan{}, false
 			}
 		}
@@ -365,6 +366,76 @@ func traceScanEquiv(node Backward) (Scan, bool) {
 		}
 	}
 	return sc, true
+}
+
+// scanEquivSource matches the source shapes traceScanEquiv (and the strategy
+// chooser via ProfileTrace) understands: an optional group-by over an
+// optional filter over a scan. keys/grouped carry the group-by context;
+// pred is the intermediate filter, folded into the returned scan's filter by
+// the caller.
+func scanEquivSource(src Node) (sc Scan, pred expr.Expr, keys []string, grouped bool, ok bool) {
+	if gb, isGB := src.(GroupBy); isGB {
+		keys, grouped = gb.Keys, true
+		src = gb.Child
+	}
+	if f, isFilter := src.(Filter); isFilter {
+		pred = f.Pred
+		src = f.Child
+	}
+	sc, ok = src.(Scan)
+	return sc, pred, keys, grouped, ok
+}
+
+// TraceProfile summarizes the plan features the capture-strategy chooser
+// (core's Strategy = Auto) costs against.
+type TraceProfile struct {
+	// MultiInput: re-executing the plan for a lazy trace replays a join or
+	// union — the expensive shape, where capturing at least the backward
+	// direction eagerly (hybrid) amortizes better than recompute.
+	MultiInput bool
+	// ScanRewritable: a predicate-seeded backward trace over this plan
+	// collapses to one filtered scan (no re-execution of the aggregation at
+	// all) — the shape where lazy is nearly free.
+	ScanRewritable bool
+}
+
+// ProfileTrace inspects an optimized plan for the strategy chooser.
+func ProfileTrace(n Node) TraceProfile {
+	_, _, _, _, rewritable := scanEquivSource(n)
+	return TraceProfile{MultiInput: hasMultiInput(n), ScanRewritable: rewritable}
+}
+
+// hasMultiInput reports whether the plan combines more than one input
+// anywhere: a Join, a Union, or a fused SPJA block with multiple inputs.
+func hasMultiInput(n Node) bool {
+	switch node := n.(type) {
+	case Join, Union:
+		return true
+	case SPJA:
+		if len(node.Inputs) > 1 {
+			return true
+		}
+		for _, in := range node.Inputs {
+			if hasMultiInput(in) {
+				return true
+			}
+		}
+	case Filter:
+		return hasMultiInput(node.Child)
+	case Project:
+		return hasMultiInput(node.Child)
+	case GroupBy:
+		return hasMultiInput(node.Child)
+	case OrderBy:
+		return hasMultiInput(node.Child)
+	case Limit:
+		return hasMultiInput(node.Child)
+	case Backward:
+		return node.Source != nil && hasMultiInput(node.Source)
+	case Forward:
+		return node.Source != nil && hasMultiInput(node.Source)
+	}
+	return false
 }
 
 // --- pk-fk join detection ----------------------------------------------------

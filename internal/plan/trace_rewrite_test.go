@@ -1,0 +1,72 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"smoke/internal/expr"
+	"smoke/internal/ops"
+)
+
+// The generalized scan-equivalence seam: an unbound predicate-seeded
+// Backward over a bare filtered scan (no aggregation) rewrites to a single
+// filtered scan, conjoining the base filter and the seed predicate.
+func TestTraceRewriteBareFilteredScan(t *testing.T) {
+	_, fact := dimFact()
+	n := rewriteTraces(Backward{
+		Source:   Scan{Table: "fact", Rel: fact, Filter: expr.LtE(expr.C("v"), expr.F(5))},
+		Table:    "fact",
+		Rel:      fact,
+		SeedPred: expr.EqE(expr.C("k"), expr.I(3)),
+	})
+	s := Format(n)
+	if strings.Contains(s, "Backward") {
+		t.Fatalf("bare filtered scan not rewritten:\n%s", s)
+	}
+	if !strings.Contains(s, "Scan fact") || !strings.Contains(s, "(v < 5)") || !strings.Contains(s, "(k = 3)") {
+		t.Fatalf("rewrite lost a conjunct:\n%s", s)
+	}
+}
+
+// A grouped source still rewrites only when the seed predicate is over the
+// grouping keys; an aggregate-column seed keeps the trace node.
+func TestTraceRewriteRequiresKeySeed(t *testing.T) {
+	_, fact := dimFact()
+	grouped := GroupBy{
+		Child: Scan{Table: "fact", Rel: fact},
+		Keys:  []string{"k"},
+		Aggs:  []AggDef{{Fn: ops.Count, Name: "c"}},
+	}
+	keySeed := rewriteTraces(Backward{
+		Source: grouped, Table: "fact", Rel: fact,
+		SeedPred: expr.EqE(expr.C("k"), expr.I(1)),
+	})
+	if strings.Contains(Format(keySeed), "Backward") {
+		t.Fatalf("key-predicate seed over grouped source should rewrite:\n%s", Format(keySeed))
+	}
+	aggSeed := rewriteTraces(Backward{
+		Source: grouped, Table: "fact", Rel: fact,
+		SeedPred: expr.GeE(expr.C("c"), expr.I(2)),
+	})
+	if !strings.Contains(Format(aggSeed), "Backward") {
+		t.Fatalf("aggregate-column seed must keep the trace node:\n%s", Format(aggSeed))
+	}
+}
+
+// ProfileTrace drives Auto's plan-shape choice: join plans report
+// MultiInput, single-input chains do not.
+func TestProfileTraceMultiInput(t *testing.T) {
+	dim, fact := dimFact()
+	join := joinQuery(dim, fact, []AggDef{{Fn: ops.Count, Name: "c"}})
+	if !ProfileTrace(join).MultiInput {
+		t.Fatal("join plan should profile as multi-input")
+	}
+	single := GroupBy{
+		Child: Scan{Table: "fact", Rel: fact, Filter: expr.LtE(expr.C("v"), expr.F(5))},
+		Keys:  []string{"k"},
+		Aggs:  []AggDef{{Fn: ops.Count, Name: "c"}},
+	}
+	if ProfileTrace(single).MultiInput {
+		t.Fatal("single-table plan should not profile as multi-input")
+	}
+}

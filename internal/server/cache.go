@@ -109,7 +109,7 @@ func (c *resultCache) len() int {
 func cacheKey(fingerprint string, opts core.CaptureOptions) string {
 	var b strings.Builder
 	b.WriteString(fingerprint)
-	fmt.Fprintf(&b, "|mode=%d|dirs=%d|compress=%t", opts.Mode, opts.Dirs, opts.Compress)
+	fmt.Fprintf(&b, "|mode=%d|dirs=%d|compress=%t|strategy=%d", opts.Mode, opts.Dirs, opts.Compress, opts.Strategy)
 	if len(opts.Params) > 0 {
 		keys := make([]string, 0, len(opts.Params))
 		for k := range opts.Params {

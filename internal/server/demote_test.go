@@ -120,9 +120,10 @@ func TestTTLDemotesToDormantNotGone(t *testing.T) {
 	sameRows(t, "revived session trace", got, want)
 }
 
-// The disk budget is the terminal tier: past it the LRU demoted result is
-// deleted for good and answers 410.
-func TestDiskBudgetMakesResultsGone(t *testing.T) {
+// The disk budget deletes the LRU demoted capture for good; the lazy tier
+// then re-derives the result capture-free (410 only when no producing spec
+// survives — e.g. after a restart).
+func TestDiskBudgetFallsBackToLazyTier(t *testing.T) {
 	c, srv, _, stop := newDiskServer(t, t.TempDir(), func(cfg *Config) {
 		cfg.MaxResultsPerSession = 1
 		cfg.MaxDiskBytes = 1 // every demotion overflows immediately
@@ -144,10 +145,17 @@ func TestDiskBudgetMakesResultsGone(t *testing.T) {
 	}
 	// Demotion is asynchronous: until the queued segment write lands, the
 	// demoting copy of "first" still serves. Drain the flusher so the write
-	// completes and the disk budget (1 byte) makes the result gone.
+	// completes and the disk budget (1 byte) makes the capture gone — the
+	// lazy retention tier then re-derives the result from its remembered
+	// producing request instead of answering 410.
 	srv.sessions.fl.drain()
-	_, err = sess.Trace(ctx, "first", serverclient.TraceRequest{Direction: "backward", Table: "orders"})
-	wantStatus(t, err, 410)
+	out, err := sess.Trace(ctx, "first", serverclient.TraceRequest{Direction: "backward", Table: "orders"})
+	if err != nil {
+		t.Fatalf("gone capture should answer via the lazy tier: %v", err)
+	}
+	if out.StrategyUsed != "lazy" {
+		t.Fatalf("strategy_used = %q, want %q", out.StrategyUsed, "lazy")
+	}
 	// The in-memory survivor is untouched.
 	if _, err := sess.Result(ctx, "second"); err != nil {
 		t.Fatalf("in-memory result lost to the disk budget: %v", err)

@@ -235,6 +235,10 @@ type resultJSON struct {
 	Explain string   `json:"explain,omitempty"`
 	// Retained echoes the name a result was stored under in the session.
 	Retained string `json:"retained,omitempty"`
+	// StrategyUsed echoes the lineage path that answered this request
+	// ("eager", "lazy", "hybrid") when the request selected a strategy or a
+	// trace was routed through a non-eager path.
+	StrategyUsed string `json:"strategy_used,omitempty"`
 }
 
 func renderRelation(rel *storage.Relation) resultJSON {

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"smoke/internal/core"
@@ -95,6 +96,13 @@ type Server struct {
 	sessions *registry
 	cache    *resultCache
 	mux      *http.ServeMux
+
+	// Strategy observability (/healthz): traces answered by plan
+	// re-execution, traces against hybrid-strategy results, and evicted
+	// results rebuilt through the lazy retention tier instead of 410.
+	lazyTraces    atomic.Uint64
+	hybridTraces  atomic.Uint64
+	lazyFallbacks atomic.Uint64
 }
 
 // New returns a Server over cfg.DB.
@@ -271,6 +279,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"results":        st.results,
 		"retained_bytes": st.retainedBytes,
 		"workers":        s.db.Workers(),
+		"lazy_traces":    s.lazyTraces.Load(),
+		"hybrid_traces":  s.hybridTraces.Load(),
+		"lazy_fallbacks": s.lazyFallbacks.Load(),
 	}
 	if s.store != nil {
 		body["demoted_results"] = st.demoted
@@ -395,10 +406,14 @@ type queryRequest struct {
 	SQL string `json:"sql"`
 	// Capture is "none", "inject", or "defer". /v1/query defaults to none;
 	// retained results default to inject (a capture is the point of
-	// retaining).
+	// retaining) unless Strategy is "lazy".
 	Capture  string         `json:"capture,omitempty"`
 	Compress bool           `json:"compress,omitempty"`
 	Params   map[string]any `json:"params,omitempty"`
+	// Strategy is "eager", "lazy", "hybrid", or "auto" (empty keeps the
+	// capture-mode default). Lazy retains no indexes: traces re-execute the
+	// stored plan. Conflicting capture/strategy combinations are 400s.
+	Strategy string `json:"strategy,omitempty"`
 }
 
 func captureMode(s string, def ops.CaptureMode) (ops.CaptureMode, error) {
@@ -433,6 +448,15 @@ func (s *Server) runSQL(req queryRequest, defMode ops.CaptureMode) (*core.Result
 		}
 		return nil, resultJSON{Explain: text}, nil
 	}
+	strat, err := core.ParseStrategy(req.Strategy)
+	if err != nil {
+		return nil, resultJSON{}, err
+	}
+	if strat == core.StrategyLazy {
+		// Lazy is capture-free by definition; an unset capture must not fall
+		// back to a capturing default and trip the conflict validation.
+		defMode = ops.None
+	}
 	mode, err := captureMode(req.Capture, defMode)
 	if err != nil {
 		return nil, resultJSON{}, err
@@ -445,8 +469,15 @@ func (s *Server) runSQL(req queryRequest, defMode ops.CaptureMode) (*core.Result
 	if err != nil {
 		return nil, resultJSON{}, err
 	}
-	opts := core.CaptureOptions{Mode: mode, Compress: req.Compress, Params: params}
-	return s.runCached(q, opts)
+	opts := core.CaptureOptions{Mode: mode, Compress: req.Compress, Params: params, Strategy: strat}
+	res, out, err := s.runCached(q, opts)
+	if err != nil {
+		return nil, resultJSON{}, err
+	}
+	if strat != core.StrategyDefault && res != nil {
+		out.StrategyUsed = res.Strategy().String()
+	}
+	return res, out, nil
 }
 
 // runCached executes q through the fingerprint cache.
@@ -514,15 +545,28 @@ func (s *Server) handleRunResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	// Retention exists to serve later bound traces, which need a capture:
-	// an explicit capture:"none" here would only fail later — at trace time,
-	// as a confusing lineage error — so reject it up front.
-	if mode, err := captureMode(req.Capture, ops.Inject); err != nil {
+	// Retention exists to serve later traces. Without a lazy-capable
+	// strategy those need a capture, so an explicit capture:"none" would
+	// only fail later — at trace time, as a confusing lineage error — and is
+	// rejected up front as a structured 400. With strategy "lazy" (or
+	// "auto", which may resolve to lazy) a capture-free retained result is
+	// exactly the point: its traces re-execute the stored plan.
+	strat, err := core.ParseStrategy(req.Strategy)
+	if err != nil {
 		writeError(w, err)
 		return
-	} else if mode == ops.None {
+	}
+	lazyCapable := strat == core.StrategyLazy || strat == core.StrategyAuto
+	defMode := ops.Inject
+	if strat == core.StrategyLazy {
+		defMode = ops.None
+	}
+	if mode, err := captureMode(req.Capture, defMode); err != nil {
+		writeError(w, err)
+		return
+	} else if mode == ops.None && !lazyCapable {
 		writeError(w, serr.New(serr.Invalid,
-			"server: retained results need a capture; use \"inject\" or \"defer\" (or omit capture)"))
+			"server: retained results need a capture; use \"inject\" or \"defer\" (or omit capture), or set \"strategy\":\"lazy\" for capture-free retention"))
 		return
 	}
 	// Probe the session before paying for execution; put re-checks after
@@ -536,7 +580,7 @@ func (s *Server) handleRunResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.gate.exit()
-	res, out, err := s.runSQL(req, ops.Inject)
+	res, out, err := s.runSQL(req, defMode)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -549,6 +593,10 @@ func (s *Server) handleRunResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	// Remember the producing request: if every capture tier is later
+	// evicted, a trace can rebuild the result capture-free (the lazy
+	// retention tier) instead of answering 410.
+	s.sessions.rememberSpec(id, name, req)
 	out.Retained = name
 	writeJSON(w, http.StatusOK, out)
 }
@@ -590,6 +638,12 @@ type traceRequest struct {
 	// Retain stores the trace result under this name in the same session
 	// (consuming results are base queries for further traces, §2.1).
 	Retain string `json:"retain,omitempty"`
+	// Strategy forces the trace's answer path: "eager" requires the captured
+	// index (400 when the result has none), "lazy" forces plan re-execution.
+	// Empty or "auto" keeps the result's own routing; "hybrid" is a
+	// capture-time split, not a per-trace path, and is a 400 here. The
+	// response echoes the path taken in "strategy_used".
+	Strategy string `json:"strategy,omitempty"`
 }
 
 type aggJSON struct {
@@ -642,15 +696,26 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := s.sessions.getForTrace(id, name, traceHintOf(req))
-	if err != nil {
+	if err != nil && serr.KindOf(err) != serr.Gone {
 		writeError(w, err)
 		return
 	}
-	if err := s.gate.enter(r.Context()); err != nil {
-		writeError(w, err)
+	if gerr := s.gate.enter(r.Context()); gerr != nil {
+		writeError(w, gerr)
 		return
 	}
 	defer s.gate.exit()
+	if res == nil {
+		// Fourth retention tier: memory → disk → lazy → gone. The capture
+		// was evicted end-to-end, but if the producing request is remembered
+		// the result is re-derived capture-free and the trace answers via
+		// the lazy path instead of 410.
+		res, err = s.lazyRebuild(id, name, err)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	}
 
 	out, err := s.runTrace(id, res, req)
 	if err != nil {
@@ -658,6 +723,34 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// lazyRebuild is the lazy retention tier: a result evicted from memory and
+// disk is re-derived by re-running its remembered producing request
+// capture-free (strategy lazy), then re-retained under the same name —
+// clearing the tombstone, so subsequent traces find it again. goneErr (the
+// original 410) is returned unchanged when no producing spec survives (the
+// result was ingested before this server run, or the spec book was bounded
+// away).
+func (s *Server) lazyRebuild(id, name string, goneErr error) (*core.Result, error) {
+	req, ok := s.sessions.spec(id, name)
+	if !ok {
+		return nil, goneErr
+	}
+	req.Strategy = "lazy"
+	req.Capture = ""
+	res, _, err := s.runSQL(req, ops.None)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, goneErr
+	}
+	if err := s.sessions.put(id, name, res); err != nil {
+		return nil, err
+	}
+	s.lazyFallbacks.Add(1)
+	return res, nil
 }
 
 // runTrace builds and executes the bound trace query described by req.
@@ -703,24 +796,35 @@ func (s *Server) runTrace(sessionID string, res *core.Result, req traceRequest) 
 		}
 	}
 
-	q := s.db.Query()
+	forced, err := core.ParseStrategy(req.Strategy)
+	if err != nil {
+		return resultJSON{}, err
+	}
+	dir := core.TraceForward
+	if backward {
+		dir = core.TraceBackward
+	}
+	var seed core.Seed
 	switch {
-	case backward && rids != nil:
-		q = q.Backward(res, req.Table, rids)
-	case backward:
-		pred, err := parseOptionalExpr(req.SeedWhere)
-		if err != nil {
-			return resultJSON{}, err
-		}
-		q = q.BackwardWhere(res, req.Table, pred)
 	case rids != nil:
-		q = q.Forward(res, req.Table, rids)
-	default:
+		seed = core.Rids(rids...)
+	case req.SeedWhere != "":
 		pred, err := parseOptionalExpr(req.SeedWhere)
 		if err != nil {
 			return resultJSON{}, err
 		}
-		q = q.ForwardWhere(res, req.Table, pred)
+		seed = core.Where(pred)
+	}
+	q := s.db.Query().Trace(res, dir, req.Table, seed)
+	if forced != core.StrategyDefault {
+		// TraceWith rejects "hybrid" (a capture-time split, not a trace
+		// path) and forced-but-unavailable paths with structured Invalid.
+		q = q.TraceWith(forced)
+	}
+	// The path that will answer: the result's own routing unless forced.
+	path := res.TraceStrategy(req.Table, dir)
+	if forced == core.StrategyEager || forced == core.StrategyLazy {
+		path = forced
 	}
 	if req.Where != "" {
 		pred, err := sql.ParseExpr(req.Where)
@@ -770,6 +874,15 @@ func (s *Server) runTrace(sessionID string, res *core.Result, req traceRequest) 
 	traced, out, err := s.runCached(q, core.CaptureOptions{Mode: mode, Compress: req.Compress, Params: params})
 	if err != nil {
 		return resultJSON{}, err
+	}
+	if path == core.StrategyLazy {
+		s.lazyTraces.Add(1)
+	}
+	if res.Strategy() == core.StrategyHybrid {
+		s.hybridTraces.Add(1)
+	}
+	if path == core.StrategyEager || path == core.StrategyLazy {
+		out.StrategyUsed = path.String()
 	}
 	if req.Retain != "" {
 		if err := s.sessions.put(sessionID, req.Retain, traced); err != nil {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"net/http/httptest"
 	"reflect"
 	"sync"
@@ -372,7 +373,11 @@ func TestSessionTTLEviction(t *testing.T) {
 	wantStatus(t, err, 410)
 }
 
-func TestResultEvictionReturns410(t *testing.T) {
+// An evicted-capture result no longer answers 410: the lazy retention tier
+// re-derives it from the remembered producing request and the trace answers
+// via the lazy path, element-identically to the eager trace it replaced.
+// (PR 7 answered 410 here.)
+func TestResultEvictionAnswersViaLazyTier(t *testing.T) {
 	c, _ := newTestServer(t, func(cfg *Config) {
 		cfg.MaxResultsPerSession = 1
 	})
@@ -389,13 +394,47 @@ func TestResultEvictionReturns410(t *testing.T) {
 	if _, err := sess.Run(ctx, "second", req); err != nil {
 		t.Fatal(err)
 	}
-	// "first" was LRU-evicted by the per-session cap: bound trace → 410.
-	_, err = sess.Trace(ctx, "first", serverclient.TraceRequest{Direction: "backward", Table: "orders"})
-	wantStatus(t, err, 410)
-	// "second" is live.
-	if _, err := sess.Trace(ctx, "second", serverclient.TraceRequest{Direction: "backward", Table: "orders"}); err != nil {
+	// "second" is live with its eager capture: the reference trace.
+	want, err := sess.Trace(ctx, "second", serverclient.TraceRequest{Direction: "backward", Table: "orders"})
+	if err != nil {
 		t.Fatalf("live result failed: %v", err)
 	}
+	// "first" was LRU-evicted by the per-session cap; its trace rebuilds the
+	// result capture-free and answers lazily.
+	got, err := sess.Trace(ctx, "first", serverclient.TraceRequest{Direction: "backward", Table: "orders"})
+	if err != nil {
+		t.Fatalf("evicted result should answer via the lazy tier: %v", err)
+	}
+	if got.StrategyUsed != "lazy" {
+		t.Fatalf("strategy_used = %q, want %q", got.StrategyUsed, "lazy")
+	}
+	if got.N != want.N || !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatalf("lazy trace diverged from eager: got %d rows, want %d", got.N, want.N)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := healthCount(t, h, "lazy_fallbacks"); n < 1 {
+		t.Fatalf("lazy_fallbacks = %d, want >= 1", n)
+	}
+	if n := healthCount(t, h, "lazy_traces"); n < 1 {
+		t.Fatalf("lazy_traces = %d, want >= 1", n)
+	}
+}
+
+// healthCount reads a numeric /healthz counter.
+func healthCount(t *testing.T, h map[string]any, key string) int64 {
+	t.Helper()
+	num, ok := h[key].(json.Number)
+	if !ok {
+		t.Fatalf("healthz %q = %#v, want a number", key, h[key])
+	}
+	n, err := num.Int64()
+	if err != nil {
+		t.Fatalf("healthz %q: %v", key, err)
+	}
+	return n
 }
 
 func TestByteBudgetEviction(t *testing.T) {

@@ -140,6 +140,11 @@ type session struct {
 	results map[string]*retainedResult
 	demoted map[string]*demotedResult // disk-tier copies, promoted on access
 	gone    *tombstones               // evicted result names → 410
+	// specs remembers the request that produced each retained result, so a
+	// capture evicted from every tier can be rebuilt capture-free (the lazy
+	// retention tier) instead of answering 410. Lazily allocated; bounded;
+	// not persisted — recovered sessions fall back to 410 semantics.
+	specs map[string]queryRequest
 }
 
 type retainedResult struct {
@@ -410,6 +415,44 @@ func (r *registry) put(id, name string, res *core.Result) error {
 		}
 	}
 	return nil
+}
+
+// rememberSpec records the request that produced result name. Best-effort:
+// a missing session just skips (the lazy tier then narrows back to 410).
+func (r *registry) rememberSpec(id, name string, req queryRequest) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[id]
+	if !ok {
+		return
+	}
+	if s.specs == nil {
+		s.specs = map[string]queryRequest{}
+	}
+	// Bound the spec book well above the live-result cap (specs outlive the
+	// results they describe — that is the point); evict arbitrarily past it.
+	for cap := 4 * r.maxPerSession; len(s.specs) >= cap; {
+		for k := range s.specs {
+			delete(s.specs, k)
+			break
+		}
+	}
+	s.specs[name] = req
+}
+
+// spec returns the remembered producing request for result name, if any.
+func (r *registry) spec(id, name string) (queryRequest, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[id]
+	if !ok {
+		s, ok = r.dormant[id]
+	}
+	if !ok {
+		return queryRequest{}, false
+	}
+	req, ok := s.specs[name]
+	return req, ok
 }
 
 // cancelPendingLocked voids a pending flusher write for rr (overwritten or

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"smoke/internal/serverclient"
+)
+
+// Conflicting strategy/capture combinations are structured 400s on the HTTP
+// path — mirroring TestTraceBadSeedsAre400, not a silent override and not a
+// 500.
+func TestStrategyConflictsAre400(t *testing.T) {
+	c, _ := newTestServer(t, nil)
+	ctx := context.Background()
+	mustCreateOrders(t, c)
+	sess, err := c.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sqlText = "SELECT region, COUNT(*) AS n FROM orders GROUP BY region"
+	for _, tc := range []struct {
+		name string
+		req  serverclient.QueryRequest
+	}{
+		{"lazy with inject", serverclient.QueryRequest{SQL: sqlText, Strategy: "lazy", Capture: "inject"}},
+		{"lazy with defer", serverclient.QueryRequest{SQL: sqlText, Strategy: "lazy", Capture: "defer"}},
+		{"eager without capture", serverclient.QueryRequest{SQL: sqlText, Strategy: "eager", Capture: "none"}},
+		{"retain with capture none", serverclient.QueryRequest{SQL: sqlText, Capture: "none"}},
+		{"unknown strategy", serverclient.QueryRequest{SQL: sqlText, Strategy: "sometimes"}},
+	} {
+		_, err := sess.Run(ctx, "r", tc.req)
+		if err == nil {
+			t.Fatalf("%s: want 400, got success", tc.name)
+		}
+		wantStatus(t, err, 400)
+	}
+
+	// Per-trace strategies: "hybrid" is a capture-time split, not a trace
+	// path (400), and "eager" cannot be forced on a capture-free result.
+	if _, err := sess.Run(ctx, "lazyres", serverclient.QueryRequest{SQL: sqlText, Strategy: "lazy"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Trace(ctx, "lazyres", serverclient.TraceRequest{
+		Direction: "backward", Table: "orders", Strategy: "hybrid"})
+	wantStatus(t, err, 400)
+	_, err = sess.Trace(ctx, "lazyres", serverclient.TraceRequest{
+		Direction: "backward", Table: "orders", Strategy: "eager"})
+	wantStatus(t, err, 400)
+}
+
+// Every strategy path answers traces element-identically over HTTP: a
+// lazy-retained result re-executes its plan, a hybrid result splits by
+// direction (eager backward, lazy forward), and forcing "lazy" on an eager
+// result matches the eager answer. strategy_used echoes the path taken and
+// /healthz counts the non-eager paths.
+func TestStrategyPathsOverHTTP(t *testing.T) {
+	c, _ := newTestServer(t, nil)
+	ctx := context.Background()
+	mustCreateOrders(t, c)
+	sess, err := c.NewSession(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sqlText = "SELECT region, COUNT(*) AS n FROM orders GROUP BY region"
+	if _, err := sess.Run(ctx, "eager", serverclient.QueryRequest{SQL: sqlText}); err != nil {
+		t.Fatal(err)
+	}
+	lazyOut, err := sess.Run(ctx, "lazy", serverclient.QueryRequest{SQL: sqlText, Strategy: "lazy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazyOut.StrategyUsed != "lazy" {
+		t.Fatalf("run strategy_used = %q, want %q", lazyOut.StrategyUsed, "lazy")
+	}
+	hybridOut, err := sess.Run(ctx, "hybrid", serverclient.QueryRequest{SQL: sqlText, Strategy: "hybrid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hybridOut.StrategyUsed != "hybrid" {
+		t.Fatalf("run strategy_used = %q, want %q", hybridOut.StrategyUsed, "hybrid")
+	}
+
+	traceIdentical := func(dir string, rids []int64, name, wantPath string, want *serverclient.Result) *serverclient.Result {
+		t.Helper()
+		req := serverclient.TraceRequest{Direction: dir, Table: "orders", Rids: rids}
+		if wantPath == "lazy" && name == "eager" {
+			req.Strategy = "lazy" // forced path on a captured result
+		}
+		got, err := sess.Trace(ctx, name, req)
+		if err != nil {
+			t.Fatalf("%s %s trace: %v", name, dir, err)
+		}
+		if got.StrategyUsed != wantPath {
+			t.Fatalf("%s %s trace strategy_used = %q, want %q", name, dir, got.StrategyUsed, wantPath)
+		}
+		if want != nil && (got.N != want.N || !reflect.DeepEqual(got.Rows, want.Rows)) {
+			t.Fatalf("%s %s trace diverged from eager:\n got %v\nwant %v", name, dir, got.Rows, want.Rows)
+		}
+		return got
+	}
+
+	// Backward, single output rid: eager reference, then lazy and forced-lazy.
+	bwRef := traceIdentical("backward", []int64{0}, "eager", "eager", nil)
+	traceIdentical("backward", []int64{0}, "lazy", "lazy", bwRef)
+	traceIdentical("backward", []int64{0}, "eager", "lazy", bwRef)
+	// Hybrid keeps the backward index eagerly.
+	traceIdentical("backward", []int64{0}, "hybrid", "eager", bwRef)
+
+	// Forward, single base rid: hybrid and lazy recompute, eager reads the
+	// captured index.
+	fwRef := traceIdentical("forward", []int64{3}, "eager", "eager", nil)
+	traceIdentical("forward", []int64{3}, "lazy", "lazy", fwRef)
+	traceIdentical("forward", []int64{3}, "hybrid", "lazy", fwRef)
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := healthCount(t, h, "lazy_traces"); n < 4 {
+		t.Fatalf("lazy_traces = %d, want >= 4", n)
+	}
+	if n := healthCount(t, h, "hybrid_traces"); n < 2 {
+		t.Fatalf("hybrid_traces = %d, want >= 2", n)
+	}
+	if n := healthCount(t, h, "lazy_fallbacks"); n != 0 {
+		t.Fatalf("lazy_fallbacks = %d, want 0 (nothing was evicted)", n)
+	}
+}

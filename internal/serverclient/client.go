@@ -59,6 +59,10 @@ type Result struct {
 	Cached   bool     `json:"cached"`
 	Explain  string   `json:"explain"`
 	Retained string   `json:"retained"`
+	// StrategyUsed echoes the lineage path that answered ("eager", "lazy",
+	// "hybrid") when a strategy was requested or a trace took a non-default
+	// path.
+	StrategyUsed string `json:"strategy_used"`
 }
 
 // QueryRequest is the body of Query and Session.Run.
@@ -67,6 +71,9 @@ type QueryRequest struct {
 	Capture  string         `json:"capture,omitempty"` // none | inject | defer
 	Compress bool           `json:"compress,omitempty"`
 	Params   map[string]any `json:"params,omitempty"`
+	// Strategy selects lineage capture: "eager", "lazy", "hybrid", "auto",
+	// or "" for the capture mode's default.
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // TraceRequest is the body of Session.Trace: a bound trace of a retained
@@ -83,6 +90,9 @@ type TraceRequest struct {
 	Compress  bool           `json:"compress,omitempty"`
 	Params    map[string]any `json:"params,omitempty"`
 	Retain    string         `json:"retain,omitempty"`
+	// Strategy forces the trace path: "eager" (captured index required) or
+	// "lazy" (plan re-execution); "" keeps the result's own routing.
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // Agg is one consuming aggregate.

@@ -1,6 +1,7 @@
 package sql_test
 
 import (
+	"strings"
 	"testing"
 
 	"smoke/internal/core"
@@ -62,6 +63,42 @@ func TestLineageForwardSQL(t *testing.T) {
 	}
 	if res.Out.N != 2 {
 		t.Fatalf("want 2 dependent groups, got %d", res.Out.N)
+	}
+}
+
+// TestLineageBackwardOverFilteredSubquery pins the generalized
+// scan-equivalence seam through SQL: a key-predicate trace over a *filtered*
+// aggregation rewrites to one filtered scan, conjoining the subquery's base
+// filter with the seed predicate — and the answer matches the unrewritten
+// semantics (only k=3 rows that passed v < 15).
+func TestLineageBackwardOverFilteredSubquery(t *testing.T) {
+	db := explainDB(t)
+	const src = `SELECT k, COUNT(*) AS n
+		FROM LINEAGE BACKWARD(SELECT k, COUNT(*) AS c FROM fact WHERE v < 15 GROUP BY k OF fact WHERE k = 3)
+		GROUP BY k`
+	plan, err := sql.Explain(db, "EXPLAIN "+src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "Scan fact filter=((v < 15) AND (k = 3))") {
+		t.Fatalf("trace-rewrite did not conjoin base filter and seed:\n%s", plan)
+	}
+	q, err := sql.Compile(db, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Run(core.CaptureOptions{Mode: ops.Inject})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out.N != 1 {
+		t.Fatalf("want 1 group, got %d", res.Out.N)
+	}
+	kc, nc := res.Out.Schema.MustCol("k"), res.Out.Schema.MustCol("n")
+	// fact rows: k = i%5, v = i for i in 0..19 → k=3 rows are 3, 8, 13, 18;
+	// v < 15 keeps 3, 8, 13.
+	if res.Out.Int(kc, 0) != 3 || res.Out.Int(nc, 0) != 3 {
+		t.Fatalf("got k=%d n=%d, want k=3 n=3", res.Out.Int(kc, 0), res.Out.Int(nc, 0))
 	}
 }
 

@@ -96,6 +96,53 @@ type (
 // done with a DB you will abandon.
 func Open(opts ...Option) *DB { return core.Open(opts...) }
 
+// Trace strategy and the unified seed API (see internal/core/strategy.go):
+// CaptureOptions.Strategy selects eager index capture, lazy re-execution,
+// a hybrid, or a cost-based automatic choice; Query.Trace / Result.Trace
+// take a direction plus a Seed in place of the four legacy constructors.
+type (
+	// Strategy selects how a query's result provides lineage.
+	Strategy = core.Strategy
+	// Seed is a unified trace seed: Rids(...), Where(pred), or the zero
+	// value for everything.
+	Seed = core.Seed
+	// TraceDir is a lineage direction (TraceBackward/TraceForward).
+	TraceDir = core.TraceDir
+)
+
+// Capture strategies.
+const (
+	// StrategyDefault lets Mode decide (capturing Mode → eager; None → lazy).
+	StrategyDefault = core.StrategyDefault
+	// StrategyEager captures lineage indexes during execution.
+	StrategyEager = core.StrategyEager
+	// StrategyLazy captures nothing; traces re-execute the stored plan.
+	StrategyLazy = core.StrategyLazy
+	// StrategyHybrid captures backward eagerly, answers forward lazily.
+	StrategyHybrid = core.StrategyHybrid
+	// StrategyAuto chooses per query from plan shape and trace rate.
+	StrategyAuto = core.StrategyAuto
+)
+
+// Trace directions.
+const (
+	// TraceBackward asks which base rows produced the seeded output rows.
+	TraceBackward = core.TraceBackward
+	// TraceForward asks which output rows depend on the seeded base rows.
+	TraceForward = core.TraceForward
+)
+
+// Rids seeds a trace with an explicit rid set (Rids() with no arguments is
+// an explicit empty seed set; the zero Seed traces everything).
+func Rids(rids ...Rid) Seed { return core.Rids(rids...) }
+
+// Where seeds a trace with a predicate over the seed relation's rows.
+func Where(pred Expr) Seed { return core.Where(pred) }
+
+// ParseStrategy maps a wire spelling ("eager", "lazy", "hybrid", "auto",
+// "") to a Strategy; unknown spellings are a structured Invalid error.
+func ParseStrategy(s string) (Strategy, error) { return core.ParseStrategy(s) }
+
 // WithWorkers sets the DB's default intra-query parallelism: n > 1 runs the
 // morsel-parallel kernels over a shared worker pool; n <= 1 keeps the serial
 // specialization. CaptureOptions.Parallelism overrides it per query.
