@@ -9,12 +9,20 @@
 //	smoked -addr :9090 -workers 8  # explicit listen address and parallelism
 //	smoked -session-ttl 5m -max-retained-mb 256
 //	smoked -data-dir /var/lib/smoked   # out-of-core: spill + survive restarts
+//	smoked -shards 4                   # horizontal: 4 in-process shard nodes
 //
 // With -data-dir, retained results demote to mmap-backed segments on memory
 // pressure instead of vanishing, ingested tables persist, and a restart with
 // the same directory recovers both — sessions keep answering bound traces.
 // SIGINT/SIGTERM drain in-flight requests (bounded by -drain-timeout), flush
 // retained state to the data dir, and exit.
+//
+// With -shards N (N > 1), smoked serves the same HTTP API from a
+// scatter/gather coordinator over N in-process shard nodes: tables ingested
+// with ?dist=shard partition by rid range, queries and traces over them
+// scatter and merge element-identically, and /healthz reports per-shard
+// counters. The shard tier is memory-only; -shards and -data-dir are
+// mutually exclusive.
 //
 // Quickstart against a running server:
 //
@@ -45,6 +53,7 @@ import (
 	"smoke/internal/core"
 	"smoke/internal/diskstore"
 	"smoke/internal/server"
+	"smoke/internal/shard"
 )
 
 func main() {
@@ -60,7 +69,26 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for the disk tier: demoted results, persisted tables, restart recovery (empty = memory-only)")
 	maxDiskMB := flag.Int64("max-disk-mb", 4096, "demoted result budget in the data dir, MiB (LRU-deleted beyond; -1 unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight requests on SIGINT/SIGTERM before flushing and exiting")
+	shards := flag.Int("shards", 1, "in-process shard nodes behind a scatter/gather coordinator (1 = single-node)")
+	shardTimeout := flag.Duration("shard-timeout", 5*time.Second, "per-shard call deadline; a shard missing it answers 503 instead of hanging the coordinator")
 	flag.Parse()
+
+	if *shards > 1 {
+		if *dataDir != "" {
+			log.Fatalf("smoked: -shards and -data-dir are mutually exclusive (the shard tier is memory-only)")
+		}
+		coord := shard.New(shard.Config{
+			Shards:       *shards,
+			Workers:      *workers,
+			ShardTimeout: *shardTimeout,
+			MaxInFlight:  *inflight,
+			SessionTTL:   *ttl,
+		})
+		fmt.Fprintf(os.Stderr, "smoked: serving on %s (shards=%d, workers=%d/shard, session-ttl=%s)\n",
+			*addr, *shards, *workers, *ttl)
+		serve(addr, coord, drainTimeout, func() error { return coord.Close() })
+		return
+	}
 
 	db := core.Open(core.WithWorkers(*workers))
 	defer db.Close()
@@ -92,21 +120,27 @@ func main() {
 		MaxDiskBytes:         maxDiskBytes,
 	})
 
-	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           srv,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
 	if store != nil {
 		fmt.Fprintf(os.Stderr, "smoked: serving on %s (workers=%d, session-ttl=%s, data-dir=%s)\n",
 			*addr, *workers, *ttl, store.Dir())
 	} else {
 		fmt.Fprintf(os.Stderr, "smoked: serving on %s (workers=%d, session-ttl=%s)\n", *addr, *workers, *ttl)
 	}
+	serve(addr, srv, drainTimeout, func() error { return srv.Close() })
+	if store != nil {
+		fmt.Fprintln(os.Stderr, "smoked: state flushed; bye")
+	}
+}
 
-	// Serve until a shutdown signal, then drain: stop accepting, let
-	// in-flight requests finish (bounded), flush retained state, exit. A
-	// second signal aborts the drain immediately.
+// serve runs the HTTP listener until a shutdown signal, then drains: stop
+// accepting, let in-flight requests finish (bounded), flush retained state
+// through closeFn, exit. A second signal aborts the drain immediately.
+func serve(addr *string, handler http.Handler, drainTimeout *time.Duration, closeFn func() error) {
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -125,10 +159,7 @@ func main() {
 		}
 		cancel()
 	}
-	if err := srv.Close(); err != nil {
+	if err := closeFn(); err != nil {
 		log.Fatalf("smoked: flush retained state: %v", err)
-	}
-	if store != nil {
-		fmt.Fprintln(os.Stderr, "smoked: state flushed; bye")
 	}
 }

@@ -407,6 +407,81 @@ func LazyGateFile(path string, cfg LazyConfig) error {
 	return nil
 }
 
+// ShardConfig tunes the horizontal-scaling gate over BENCH_serve.json: the
+// scatter/gather tier's trace p95 at shards=MaxShards must stay within
+// MaxRatio of the shards=1 (pure proxy) p95, plus SlackMS of additive grace.
+// This is the scale-out regression net — a coordinator that serializes its
+// scatter waves, re-buffers partials, or loses the per-seed merge's
+// linearity shows up as a blown ratio.
+type ShardConfig struct {
+	// MaxShards is the scaled-out row compared against shards=1.
+	MaxShards int
+	// MaxRatio is the allowed p95(shards=MaxShards) / p95(shards=1) ratio.
+	// <= 0 disables the gate.
+	MaxRatio float64
+	// SlackMS is the additive grace in milliseconds on top of the ratio
+	// (absorbs scheduler noise on sub-millisecond tiny-scale rows).
+	SlackMS float64
+	// MinCores is the smallest detected-cores annotation the gate trusts:
+	// below it the comparison skips with a logged annotation — a single-core
+	// runner cannot run a 4-shard wave concurrently, and gating there would
+	// test the CI hardware, not the coordinator.
+	MinCores int
+	// Logf, when set, receives skip annotations. Defaults to discarding them.
+	Logf func(format string, args ...any)
+}
+
+func (cfg ShardConfig) logf(format string, args ...any) {
+	if cfg.Logf != nil {
+		cfg.Logf(format, args...)
+	}
+}
+
+// ShardGateFile enforces the shard-scaling ratio on one BENCH_serve.json
+// report. A missing report skips with an annotation (serve may not be in the
+// run's -exp list); a present report without both shard rows is an error —
+// the report shape drifted and the gate would otherwise pass silently.
+func ShardGateFile(path string, cfg ShardConfig) error {
+	if cfg.MaxRatio <= 0 {
+		return nil
+	}
+	rep, err := readReport(path)
+	if os.IsNotExist(err) {
+		cfg.logf("shard gate: %s: skipped (no report)", filepath.Base(path))
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("shard gate: %s: %w", path, err)
+	}
+	if rep.Cores > 0 && rep.Cores < cfg.MinCores {
+		cfg.logf("shard gate: %s: skipped (detected %d cores < %d)",
+			filepath.Base(path), rep.Cores, cfg.MinCores)
+		return nil
+	}
+	p95 := map[int]float64{}
+	for _, row := range rep.allRows() {
+		shards, ok := row["shards"].(float64)
+		if !ok {
+			continue
+		}
+		if v, ok := row["p95_ms"].(float64); ok {
+			p95[int(shards)] = v
+		}
+	}
+	one, oneOK := p95[1]
+	many, manyOK := p95[cfg.MaxShards]
+	if !oneOK || !manyOK {
+		return fmt.Errorf("shard gate: %s: missing shards=1 and/or shards=%d trace rows (report shape drifted)",
+			filepath.Base(path), cfg.MaxShards)
+	}
+	if budget := one*cfg.MaxRatio + cfg.SlackMS; many > budget {
+		return fmt.Errorf(
+			"shard gate: %s: shards=%d trace p95 %.2fms exceeds %.2fms (shards=1 %.2fms x %.1f + %.0fms slack)",
+			filepath.Base(path), cfg.MaxShards, many, budget, one, cfg.MaxRatio, cfg.SlackMS)
+	}
+	return nil
+}
+
 func readReport(path string) (benchReport, error) {
 	var rep benchReport
 	data, err := os.ReadFile(path)

@@ -310,3 +310,78 @@ func TestLazyGateSkipsMissingAndRejectsEmpty(t *testing.T) {
 		t.Fatalf("negative MaxRate must disable the gate: %v", err)
 	}
 }
+
+const shardServeReport = `{
+  "cores": 8,
+  "rows": [
+    {"op": "trace", "sessions": 4, "workers": 4, "requests": 64, "p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 3.0, "cache_hit_rate": 0.5},
+    {"op": "trace-shard1", "sessions": 4, "workers": 1, "shards": 1, "requests": 64, "p50_ms": 1.0, "p95_ms": %0.1f, "p99_ms": 3.0, "cache_hit_rate": 0},
+    {"op": "trace-shard4", "sessions": 4, "workers": 1, "shards": 4, "requests": 64, "p50_ms": 1.2, "p95_ms": %0.1f, "p99_ms": 4.0, "cache_hit_rate": 0}
+  ]
+}`
+
+// TestShardGateWithinRatioPasses: shards=4 p95 inside the ratio budget is
+// green; blowing the budget fails and names both rows' numbers.
+func TestShardGateWithinRatioPasses(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ShardConfig{MaxShards: 4, MaxRatio: 2.0, SlackMS: 0, MinCores: 2}
+	ok := writeReport(t, dir, "ok.json", fmt.Sprintf(shardServeReport, 10.0, 19.0))
+	if err := ShardGateFile(ok, cfg); err != nil {
+		t.Fatalf("within-ratio report failed: %v", err)
+	}
+	bad := writeReport(t, dir, "bad.json", fmt.Sprintf(shardServeReport, 10.0, 21.0))
+	err := ShardGateFile(bad, cfg)
+	if err == nil || !strings.Contains(err.Error(), "21.00ms") || !strings.Contains(err.Error(), "10.00ms") {
+		t.Fatalf("blown ratio must fail naming both p95s, got: %v", err)
+	}
+}
+
+// TestShardGateSlackAbsorbsNoise: the additive slack keeps sub-millisecond
+// tiny-scale rows from flaking on a pure ratio.
+func TestShardGateSlackAbsorbsNoise(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "cur.json", fmt.Sprintf(shardServeReport, 0.4, 2.1))
+	if err := ShardGateFile(path, ShardConfig{MaxShards: 4, MaxRatio: 2.0, SlackMS: 5, MinCores: 2}); err != nil {
+		t.Fatalf("slack must absorb sub-ms noise: %v", err)
+	}
+	if err := ShardGateFile(path, ShardConfig{MaxShards: 4, MaxRatio: 2.0, SlackMS: 0, MinCores: 2}); err == nil {
+		t.Fatal("without slack the same report must fail")
+	}
+}
+
+// TestShardGateSkipsSmallMachines: a report detecting fewer cores than
+// MinCores skips with a logged annotation instead of failing — and a missing
+// report skips too (serve may not be in the run's -exp list).
+func TestShardGateSkipsSmallMachines(t *testing.T) {
+	dir := t.TempDir()
+	report := strings.Replace(fmt.Sprintf(shardServeReport, 10.0, 100.0), `"cores": 8`, `"cores": 1`, 1)
+	path := writeReport(t, dir, "cur.json", report)
+	var logged []string
+	cfg := ShardConfig{MaxShards: 4, MaxRatio: 2.0, MinCores: 2,
+		Logf: func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }}
+	if err := ShardGateFile(path, cfg); err != nil {
+		t.Fatalf("1-core report must skip, got: %v", err)
+	}
+	if err := ShardGateFile(filepath.Join(dir, "missing.json"), cfg); err != nil {
+		t.Fatalf("missing report must skip, got: %v", err)
+	}
+	if len(logged) != 2 {
+		t.Fatalf("want 2 skip annotations, got %v", logged)
+	}
+}
+
+// TestShardGateFailsOnVanishedRows: a present report without both shard rows
+// means the report shape drifted — that must be loud, not a silent pass.
+func TestShardGateFailsOnVanishedRows(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "cur.json", `{
+  "cores": 8,
+  "rows": [
+    {"op": "trace", "sessions": 4, "workers": 4, "requests": 64, "p95_ms": 2.0}
+  ]
+}`)
+	err := ShardGateFile(path, ShardConfig{MaxShards: 4, MaxRatio: 2.0, MinCores: 2})
+	if err == nil || !strings.Contains(err.Error(), "shape drifted") {
+		t.Fatalf("missing shard rows must fail as shape drift, got: %v", err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"smoke/internal/ops"
 	"smoke/internal/server"
 	"smoke/internal/serverclient"
+	"smoke/internal/shard"
 	"smoke/internal/storage"
 )
 
@@ -393,10 +394,141 @@ func Serve(cfg Config) error {
 		return fmt.Errorf("serve: small-trace sweep promoted %d results, want 0", int(d))
 	}
 
+	// ---- Horizontal scale-out (shard tier) --------------------------------
+	// The same interactive loop against the scatter/gather coordinator at
+	// shards=1 (pure proxy: the coordinator-overhead floor — one node, one
+	// worker) and shards=4 (one worker per shard: the scale-out claim). Every
+	// distinct bar's served trace is gated element-identical to in-process
+	// single-node execution before timing; benchgate's shard rule then holds
+	// the shards=4 trace p95 within a fixed factor of shards=1.
+	wireFields := []serverclient.Field{
+		{Name: "d1", Type: "int"}, {Name: "d2", Type: "int"}, {Name: "v", Type: "float"},
+	}
+	wireRows := make([][]any, rel.N)
+	for i := 0; i < rel.N; i++ {
+		wireRows[i] = []any{rel.Cols[0].Ints[i], rel.Cols[1].Ints[i], rel.Cols[2].Floats[i]}
+	}
+	wantBar := map[int64]*core.Result{}
+	for bar := range gated {
+		w, err := refTrace(bar)
+		if err != nil {
+			return err
+		}
+		wantBar[bar] = w
+	}
+	shardCounts := []int{1, 4}
+	shardTraceMS := map[int][]float64{}
+	for _, shards := range shardCounts {
+		err := func() error {
+			// MaxInFlight covers the generator's concurrency: the default
+			// (4×GOMAXPROCS) fails fast with 429 on small machines, and this
+			// experiment measures latency, not load shedding.
+			coord := shard.New(shard.Config{
+				Shards: shards, Workers: 1,
+				ShardTimeout: 60 * time.Second,
+				MaxInFlight:  4 * sessions,
+			})
+			tsc := httptest.NewServer(coord)
+			defer func() {
+				tsc.Close()
+				_ = coord.Close()
+			}()
+			cc := serverclient.New(tsc.URL, tsc.Client())
+			if err := cc.CreateTableDist(ctx, "interact", wireFields, wireRows, "", "shard"); err != nil {
+				return fmt.Errorf("serve: shards=%d ingest: %w", shards, err)
+			}
+
+			// Equality gate (serial, untimed): the scattered base result and
+			// every distinct bar's scattered trace vs in-process execution.
+			gs, err := cc.NewSession(ctx)
+			if err != nil {
+				return err
+			}
+			baseRes, err := gs.Run(ctx, "view1", serverclient.QueryRequest{SQL: baseSQL})
+			if err != nil {
+				return fmt.Errorf("serve: shards=%d base: %w", shards, err)
+			}
+			if err := diffServed(baseRes, ref); err != nil {
+				return fmt.Errorf("serve: shards=%d base diverges from single-node execution: %w", shards, err)
+			}
+			for bar, want := range wantBar {
+				got, err := gs.Trace(ctx, "view1", traceReq(bar))
+				if err != nil {
+					return fmt.Errorf("serve: shards=%d gate trace bar %d: %w", shards, bar, err)
+				}
+				if err := diffServed(got, want); err != nil {
+					return fmt.Errorf("serve: shards=%d trace of bar %d diverges from single-node execution: %w", shards, bar, err)
+				}
+			}
+			if err := gs.Close(ctx); err != nil {
+				return err
+			}
+
+			// Timed concurrent load, one warmup round then the measured round.
+			shardRun := func() ([]float64, error) {
+				var mu sync.Mutex
+				var all []float64
+				var wg sync.WaitGroup
+				errs := make(chan error, sessions)
+				for s := 0; s < sessions; s++ {
+					s := s
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						sess, err := cc.NewSession(ctx)
+						if err != nil {
+							errs <- err
+							return
+						}
+						defer sess.Close(ctx)
+						if _, err := sess.Run(ctx, "view1", serverclient.QueryRequest{SQL: baseSQL}); err != nil {
+							errs <- fmt.Errorf("shard session %d base: %w", s, err)
+							return
+						}
+						var local []float64
+						for i := 0; i < interactions; i++ {
+							t1 := time.Now()
+							if _, err := sess.Trace(ctx, "view1", traceReq(barFor(s, i))); err != nil {
+								errs <- fmt.Errorf("shard session %d trace %d: %w", s, i, err)
+								return
+							}
+							local = append(local, ms(time.Since(t1)))
+						}
+						mu.Lock()
+						all = append(all, local...)
+						mu.Unlock()
+						errs <- nil
+					}()
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					if err != nil {
+						return nil, err
+					}
+				}
+				return all, nil
+			}
+			if _, err := shardRun(); err != nil {
+				return err
+			}
+			measured, err := shardRun()
+			if err != nil {
+				return err
+			}
+			shardTraceMS[shards] = measured
+			return nil
+		}()
+		if err != nil {
+			return err
+		}
+	}
+
 	type row struct {
 		Op       string  `json:"op"`
 		Sessions int     `json:"sessions"`
 		Workers  int     `json:"workers"`
+		Shards   int     `json:"shards,omitempty"`
 		Requests int     `json:"requests"`
 		P50      float64 `json:"p50_ms"`
 		P95      float64 `json:"p95_ms"`
@@ -429,6 +561,12 @@ func Serve(cfg Config) error {
 		mkRow("trace-churn", churned.traceMS, 0),
 		mkRow("trace-insitu", sweepMS, 0),
 	)
+	for _, shards := range shardCounts {
+		r := mkRow(fmt.Sprintf("trace-shard%d", shards), shardTraceMS[shards], 0)
+		r.Workers = 1 // per-shard worker count; total parallelism is shards×1
+		r.Shards = shards
+		report.Rows = append(report.Rows, r)
+	}
 
 	cfg.printf("Figure S (beyond-paper): served crossfilter sessions (%d concurrent, %d interactions each, %d tuples), request latency (ms)\n",
 		sessions, interactions, n)

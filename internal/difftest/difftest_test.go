@@ -199,3 +199,22 @@ func TestRestartDifferentialEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedDifferentialEquivalence is the horizontal-scaling gate:
+// randomized scatterable SPJA queries and bound backward/forward traces must
+// answer element-identically through a sharded coordinator (shards 1, 2, 4 ×
+// eager/lazy/hybrid × raw/compressed) as through a single node, end to end
+// over the HTTP API.
+func TestShardedDifferentialEquivalence(t *testing.T) {
+	seeds := []int64{11, 2030}
+	queries := 3
+	if testing.Short() {
+		seeds = seeds[:1]
+		queries = 2
+	}
+	for _, seed := range seeds {
+		if err := CheckSharded(seed, queries); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

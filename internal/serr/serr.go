@@ -35,6 +35,10 @@ const (
 	// Busy means the admission gate rejected the request; retry later
 	// (HTTP 429).
 	Busy
+	// Unavailable means a backend the request depends on did not answer —
+	// a shard timed out or failed mid-scatter, so the gathered result would
+	// be partial. Retrying may succeed once the shard recovers (HTTP 503).
+	Unavailable
 )
 
 // String names the kind (diagnostics and JSON error bodies).
@@ -50,8 +54,33 @@ func (k Kind) String() string {
 		return "gone"
 	case Busy:
 		return "busy"
+	case Unavailable:
+		return "unavailable"
 	}
 	return "internal"
+}
+
+// ParseKind is the inverse of String: it maps a wire kind name back to the
+// Kind. Unknown names classify as Internal, mirroring KindOf's treatment of
+// unclassified errors — a proxy tier (the shard coordinator) uses this to
+// rebuild a structured error from a JSON error body without losing the
+// status mapping.
+func ParseKind(s string) Kind {
+	switch s {
+	case "invalid":
+		return Invalid
+	case "not_found":
+		return NotFound
+	case "unsupported":
+		return Unsupported
+	case "gone":
+		return Gone
+	case "busy":
+		return Busy
+	case "unavailable":
+		return Unavailable
+	}
+	return Internal
 }
 
 // E is a structured error. Pos, when >= 0, is a byte offset into the source

@@ -49,9 +49,16 @@ func TestKindStrings(t *testing.T) {
 	for k, want := range map[Kind]string{
 		Internal: "internal", Invalid: "invalid", NotFound: "not_found",
 		Unsupported: "unsupported", Gone: "gone", Busy: "busy",
+		Unavailable: "unavailable",
 	} {
 		if k.String() != want {
 			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
 		}
+		if got := ParseKind(want); got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", want, got, k)
+		}
+	}
+	if got := ParseKind("no-such-kind"); got != Internal {
+		t.Errorf("ParseKind of unknown name = %v, want Internal", got)
 	}
 }

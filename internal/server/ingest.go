@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"io"
@@ -226,13 +227,59 @@ func sniffCSVType(rows [][]string, c int) storage.Type {
 
 // relationJSON renders a relation as the wire result shape shared by every
 // query/trace/result endpoint.
+// ParseTableCSV builds a relation from a CSV ingest body (header record
+// first; types as in POST /v1/tables). Exported for the shard coordinator
+// (internal/shard), which parses an ingest body once and splits the rows by
+// rid range before handing each shard its slice.
+func ParseTableCSV(name string, r io.Reader, types string) (*storage.Relation, error) {
+	return relationFromCSV(name, r, types)
+}
+
+// ParseTableJSON builds a relation from a JSON ingest body, returning the
+// declared primary key ("" when absent). Exported for the shard coordinator.
+func ParseTableJSON(name string, body []byte) (*storage.Relation, string, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.UseNumber()
+	var tb tableJSON
+	if err := dec.Decode(&tb); err != nil {
+		return nil, "", serr.New(serr.Invalid, "server: bad request body: %v", err)
+	}
+	rel, err := relationFromJSON(name, tb)
+	if err != nil {
+		return nil, "", err
+	}
+	return rel, tb.PK, nil
+}
+
+// VerifyPK checks a client-declared primary key against the data before it
+// is believed: the column must exist, be int-typed, and hold unique values.
+// A declared pk short-circuits the optimizer's uniqueness check and sends
+// joins down the one-match pk-fk specialization — a duplicate-keyed "pk"
+// would silently drop join matches.
+func VerifyPK(rel *storage.Relation, pk string) error {
+	ci := rel.Schema.Col(pk)
+	switch {
+	case ci < 0:
+		return serr.New(serr.Invalid, "server: pk column %q is not in the schema", pk)
+	case rel.Schema[ci].Type != storage.TInt:
+		return serr.New(serr.Invalid, "server: pk column %q must be an int column", pk)
+	case !storage.IntColumnUnique(rel, pk):
+		return serr.New(serr.Invalid, "server: pk column %q holds duplicate values", pk)
+	}
+	return nil
+}
+
 type resultJSON struct {
 	Columns []string `json:"columns"`
 	Types   []string `json:"types"`
 	Rows    [][]any  `json:"rows"`
 	N       int      `json:"row_count"`
-	Cached  bool     `json:"cached,omitempty"`
-	Explain string   `json:"explain,omitempty"`
+	// GroupCounts is the input cardinality of each output group on group-by
+	// results. The shard coordinator merges per-shard partial aggregates
+	// through it (AVG reweighting needs the partial group sizes).
+	GroupCounts []int64 `json:"group_counts,omitempty"`
+	Cached      bool    `json:"cached,omitempty"`
+	Explain     string  `json:"explain,omitempty"`
 	// Retained echoes the name a result was stored under in the session.
 	Retained string `json:"retained,omitempty"`
 	// StrategyUsed echoes the lineage path that answered this request

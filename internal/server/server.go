@@ -22,7 +22,8 @@
 //
 // Error mapping is deterministic: every engine error is a structured
 // serr.E, and its Kind maps to the status code (Invalid→400, NotFound→404,
-// Gone→410, Unsupported→422, Busy→429, anything else→500).
+// Gone→410, Unsupported→422, Busy→429, Unavailable→503, anything
+// else→500).
 package server
 
 import (
@@ -230,6 +231,8 @@ func statusOf(err error) int {
 		return http.StatusUnprocessableEntity
 	case serr.Busy:
 		return http.StatusTooManyRequests
+	case serr.Unavailable:
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }
@@ -367,20 +370,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if pk != "" {
-		// A declared pk short-circuits the optimizer's uniqueness check and
-		// sends joins down the one-match pk-fk specialization, so a client
-		// claim is verified against the data before it is believed — a
-		// duplicate-keyed "pk" would silently drop join matches.
-		ci := rel.Schema.Col(pk)
-		switch {
-		case ci < 0:
-			writeError(w, serr.New(serr.Invalid, "server: pk column %q is not in the schema", pk))
-			return
-		case rel.Schema[ci].Type != storage.TInt:
-			writeError(w, serr.New(serr.Invalid, "server: pk column %q must be an int column", pk))
-			return
-		case !storage.IntColumnUnique(rel, pk):
-			writeError(w, serr.New(serr.Invalid, "server: pk column %q holds duplicate values", pk))
+		if err := VerifyPK(rel, pk); err != nil {
+			writeError(w, err)
 			return
 		}
 	}
@@ -488,6 +479,7 @@ func (s *Server) runCached(q *core.Query, opts core.CaptureOptions) (*core.Resul
 			key = cacheKey(fp, opts)
 			if res, ok := s.cache.get(key); ok {
 				out := renderRelation(res.Out)
+				out.GroupCounts = res.GroupCounts
 				out.Cached = true
 				return res, out, nil
 			}
@@ -498,7 +490,9 @@ func (s *Server) runCached(q *core.Query, opts core.CaptureOptions) (*core.Resul
 		return nil, resultJSON{}, err
 	}
 	s.cache.put(key, res)
-	return res, renderRelation(res.Out), nil
+	out := renderRelation(res.Out)
+	out.GroupCounts = res.GroupCounts
+	return res, out, nil
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {

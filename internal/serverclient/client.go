@@ -52,13 +52,16 @@ type Field struct {
 // Result is a decoded query/trace/result response. Row values are normalized
 // by column type: int64, float64, or string.
 type Result struct {
-	Columns  []string `json:"columns"`
-	Types    []string `json:"types"`
-	Rows     [][]any  `json:"rows"`
-	N        int      `json:"row_count"`
-	Cached   bool     `json:"cached"`
-	Explain  string   `json:"explain"`
-	Retained string   `json:"retained"`
+	Columns []string `json:"columns"`
+	Types   []string `json:"types"`
+	Rows    [][]any  `json:"rows"`
+	N       int      `json:"row_count"`
+	// GroupCounts is the input cardinality of each output group on group-by
+	// results (the shard coordinator's two-phase aggregation reads it).
+	GroupCounts []int64 `json:"group_counts"`
+	Cached      bool    `json:"cached"`
+	Explain     string  `json:"explain"`
+	Retained    string  `json:"retained"`
 	// StrategyUsed echoes the lineage path that answered ("eager", "lazy",
 	// "hybrid") when a strategy was requested or a trace took a non-default
 	// path.
@@ -117,6 +120,22 @@ func (c *Client) CreateTable(ctx context.Context, name string, schema []Field, r
 		body["pk"] = pk
 	}
 	return c.do(ctx, http.MethodPost, "/v1/tables/"+name, body, nil)
+}
+
+// CreateTableDist is CreateTable with an explicit placement against a
+// sharded smoked (-shards N): dist "shard" partitions the rows by rid range
+// across the shards, dist "replicate" (or "") registers a full copy on every
+// shard. A single-node server ignores the parameter.
+func (c *Client) CreateTableDist(ctx context.Context, name string, schema []Field, rows [][]any, pk, dist string) error {
+	body := map[string]any{"schema": schema, "rows": rows}
+	if pk != "" {
+		body["pk"] = pk
+	}
+	path := "/v1/tables/" + name
+	if dist != "" {
+		path += "?dist=" + dist
+	}
+	return c.do(ctx, http.MethodPost, path, body, nil)
 }
 
 // CreateTableCSV registers a table from CSV bytes (header record first).

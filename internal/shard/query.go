@@ -1,0 +1,246 @@
+package shard
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+
+	"smoke/internal/serr"
+	"smoke/internal/sql"
+)
+
+// queryBody is the slice of the query request the coordinator itself needs
+// (the raw body is forwarded to the shards byte-for-byte, so fields the
+// coordinator does not read still reach them unchanged).
+type queryBody struct {
+	SQL      string `json:"sql"`
+	Capture  string `json:"capture"`
+	Strategy string `json:"strategy"`
+}
+
+// resolvedStrategy mirrors core.resolveStrategy's label for a query request:
+// an explicit strategy wins, otherwise capture "none" resolves lazy and every
+// capturing mode resolves eager. "auto" stays "auto" — its resolution reads
+// per-node runtime counters the coordinator cannot see, which is exactly why
+// traces whose row order depends on it are fenced rather than guessed.
+func resolvedStrategy(capture, strategy string) string {
+	switch strings.ToLower(strategy) {
+	case "eager", "lazy", "hybrid", "auto":
+		return strings.ToLower(strategy)
+	}
+	if strings.ToLower(capture) == "none" {
+		return "lazy"
+	}
+	return "eager"
+}
+
+// readBody buffers a JSON request body for re-sending to shards.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		return nil, serr.New(serr.Invalid, "shard: read body: %v", err)
+	}
+	return body, nil
+}
+
+// planQuery parses the statement and decides its route. Single-shard
+// deployments always proxy — one shard holds everything, so shards=1 has
+// exact single-node behavior with none of the scatter fences.
+func (c *Coordinator) planQuery(sqlText string) (*analysis, error) {
+	if strings.TrimSpace(sqlText) == "" {
+		return nil, serr.New(serr.Invalid, "server: request has no sql")
+	}
+	if len(c.nodes) == 1 {
+		return &analysis{route: routeProxy}, nil
+	}
+	st, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	if st.Explain {
+		// EXPLAIN renders a plan instead of executing; route it to one shard
+		// (over a sharded table the plan is the shard-local slice's).
+		return &analysis{route: routeProxy}, nil
+	}
+	return c.analyze(st, c.snapshotTables())
+}
+
+// handleQuery is stateless execution: proxy when every input is replicated
+// (any shard's answer is the answer; the ring spreads statements across
+// shards), scatter + two-phase merge when the statement reads the sharded
+// table.
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req queryBody
+	if jerr := unmarshalNumber(body, &req); jerr != nil {
+		writeError(w, serr.New(serr.Invalid, "server: bad request body: %v", jerr))
+		return
+	}
+	if err := c.enter(); err != nil {
+		writeError(w, err)
+		return
+	}
+	defer c.exit()
+	a, err := c.planQuery(req.SQL)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if a.route == routeProxy {
+		c.proxied.Add(1)
+		ctx, cancel := context.WithTimeout(r.Context(), c.timeout)
+		defer cancel()
+		res, err := c.nodes[c.ring.owner(req.SQL)].invoke(ctx, http.MethodPost, "/v1/query", body, "application/json")
+		if err != nil {
+			c.shardTimeouts.Add(1)
+			writeError(w, err)
+			return
+		}
+		writeShardReply(w, res)
+		return
+	}
+
+	parts, err := c.scatter(r.Context(), c.allShards(), func(int) (string, string, []byte) {
+		return http.MethodPost, "/v1/query", body
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	merged, _, err := mergeGrouped(parts, a.nKeys, a.aggs)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Cached is per-node observability; a merged reply is "cached" only when
+	// every shard answered from its cache.
+	merged.Cached = true
+	for _, p := range parts {
+		if !p.Cached {
+			merged.Cached = false
+			break
+		}
+	}
+	c.mergedQueries.Add(1)
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleRunResult executes and retains a named result. Proxy-routed
+// statements retain whole on the session's home shard; scattered statements
+// retain a partial capture on EVERY shard, and the coordinator remembers the
+// merged output plus the gather map so traces can translate seeds.
+func (c *Coordinator) handleRunResult(w http.ResponseWriter, r *http.Request) {
+	id, name := r.PathValue("id"), r.PathValue("name")
+	sess, err := c.lookupSession(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req queryBody
+	if jerr := unmarshalNumber(body, &req); jerr != nil {
+		writeError(w, serr.New(serr.Invalid, "server: bad request body: %v", jerr))
+		return
+	}
+	if err := c.enter(); err != nil {
+		writeError(w, err)
+		return
+	}
+	defer c.exit()
+	a, err := c.planQuery(req.SQL)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if a.route == routeProxy {
+		c.proxied.Add(1)
+		ctx, cancel := context.WithTimeout(r.Context(), c.timeout)
+		defer cancel()
+		path := "/v1/sessions/" + sess.shardIDs[sess.home] + "/results/" + name
+		res, err := c.nodes[sess.home].invoke(ctx, http.MethodPost, path, body, "application/json")
+		if err != nil {
+			c.shardTimeouts.Add(1)
+			writeError(w, err)
+			return
+		}
+		if res.ok() {
+			sess.setPlacement(name, &placement{scattered: false})
+		}
+		writeShardReply(w, res)
+		return
+	}
+
+	parts, err := c.scatter(r.Context(), c.allShards(), func(s int) (string, string, []byte) {
+		return http.MethodPost, "/v1/sessions/" + sess.shardIDs[s] + "/results/" + name, body
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	merged, gm, err := mergeGrouped(parts, a.nKeys, a.aggs)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	c.mergedQueries.Add(1)
+	sess.setPlacement(name, &placement{
+		scattered: true,
+		table:     a.sharded,
+		nKeys:     a.nKeys,
+		merged:    merged,
+		gm:        gm,
+		tbl:       a.tbl,
+		keys:      a.keys,
+		scanPreds: a.scanPreds,
+		scanOK:    a.scanOK,
+		strategy:  resolvedStrategy(req.Capture, req.Strategy),
+	})
+	merged.Retained = name
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleGetResult re-renders a retained result. Scattered results render
+// from the coordinator's merged copy (shape-identical to a single node's
+// GET: rows only, none of the run-time annotations); proxy results forward.
+func (c *Coordinator) handleGetResult(w http.ResponseWriter, r *http.Request) {
+	id, name := r.PathValue("id"), r.PathValue("name")
+	sess, err := c.lookupSession(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := c.enter(); err != nil {
+		writeError(w, err)
+		return
+	}
+	defer c.exit()
+	p := sess.placementOf(name)
+	if p != nil && p.scattered {
+		writeJSON(w, http.StatusOK, &wireResult{
+			Columns: p.merged.Columns,
+			Types:   p.merged.Types,
+			Rows:    p.merged.Rows,
+			N:       p.merged.N,
+		})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.timeout)
+	defer cancel()
+	path := "/v1/sessions/" + sess.shardIDs[sess.home] + "/results/" + name
+	res, err := c.nodes[sess.home].invoke(ctx, http.MethodGet, path, nil, "")
+	if err != nil {
+		c.shardTimeouts.Add(1)
+		writeError(w, err)
+		return
+	}
+	writeShardReply(w, res)
+}

@@ -1,0 +1,97 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"smoke/internal/serverclient"
+)
+
+// TestConcurrentShardStress drives the coordinator from 8 goroutines mixing
+// ingest (table replacement), scattered queries, retained runs, backward and
+// forward traces, and session drops — the shapes that share the coordinator's
+// table book and session registry. Run under -race this pins the coordinator's
+// synchronization: the only acceptable failures are structured server errors
+// (a trace can race a session drop to a 404/410); transport failures, panics,
+// and hangs are bugs.
+func TestConcurrentShardStress(t *testing.T) {
+	ctx := context.Background()
+	_, c := startCoord(t, 4)
+	ingest(t, c, "shard")
+
+	const (
+		workers = 8
+		iters   = 12
+	)
+	structured := func(tag string, err error) error {
+		if err == nil {
+			return nil
+		}
+		var se *serverclient.Error
+		if !errors.As(err, &se) {
+			return fmt.Errorf("%s: unstructured error %T: %v", tag, err, err)
+		}
+		return nil
+	}
+
+	// Each iteration sends up to 4 verdicts (run + two traces + drop).
+	errCh := make(chan error, workers*iters*4)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (w + i) % 4 {
+				case 0: // stateless scattered query
+					_, err := c.Query(ctx, serverclient.QueryRequest{
+						SQL: "SELECT k, COUNT(*) AS cnt, SUM(v) AS sv FROM fact GROUP BY k"})
+					errCh <- structured(fmt.Sprintf("w%d i%d query", w, i), err)
+				case 1: // session lifecycle: run, trace both directions, drop
+					sess, err := c.NewSession(ctx)
+					if err != nil {
+						errCh <- structured(fmt.Sprintf("w%d i%d session", w, i), err)
+						continue
+					}
+					name := fmt.Sprintf("r%d_%d", w, i)
+					if _, err := sess.Run(ctx, name, serverclient.QueryRequest{
+						SQL: "SELECT b, COUNT(*) AS cnt FROM fact GROUP BY b"}); err != nil {
+						errCh <- structured(fmt.Sprintf("w%d i%d run", w, i), err)
+						_ = sess.Close(ctx)
+						continue
+					}
+					_, terr := sess.Trace(ctx, name, serverclient.TraceRequest{
+						Direction: "backward", Table: "fact", Rids: []int64{0}})
+					errCh <- structured(fmt.Sprintf("w%d i%d backward", w, i), terr)
+					_, ferr := sess.Trace(ctx, name, serverclient.TraceRequest{
+						Direction: "forward", Table: "fact", SeedWhere: "b = 2"})
+					errCh <- structured(fmt.Sprintf("w%d i%d forward", w, i), ferr)
+					errCh <- structured(fmt.Sprintf("w%d i%d drop", w, i), sess.Close(ctx))
+				case 2: // table replacement racing readers
+					dimSchema, factSchema, dimRows, factRows := testData()
+					_ = dimSchema
+					_ = dimRows
+					err := c.CreateTableDist(ctx, "fact", factSchema, factRows, "", "shard")
+					errCh <- structured(fmt.Sprintf("w%d i%d ingest", w, i), err)
+				default: // joins + healthz probes
+					_, err := c.Query(ctx, serverclient.QueryRequest{
+						SQL: "SELECT label, SUM(v) AS sv FROM dim JOIN fact ON fact.k = dim.g GROUP BY label"})
+					errCh <- structured(fmt.Sprintf("w%d i%d join", w, i), err)
+					_, herr := c.Health(ctx)
+					errCh <- structured(fmt.Sprintf("w%d i%d health", w, i), herr)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}

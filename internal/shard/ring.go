@@ -1,0 +1,63 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over shard ids: each shard owns vnodes
+// points on a 32-bit circle, and a key's owner is the shard of the first
+// point at or after the key's hash. Session placement uses it so a session's
+// replicated-only work always lands on the same "home" shard (its retained
+// captures live where its traces arrive), and so home assignments stay
+// stable — adding a shard moves only ~1/n of the sessions instead of
+// reshuffling every modulo bucket.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	h     uint32
+	shard int
+}
+
+// vnodesPerShard balances key ownership across shards: with a single point
+// per shard the arc lengths (and so the session load) can skew badly; 64
+// virtual points keep the imbalance within a few percent.
+const vnodesPerShard = 64
+
+func newRing(shards int) *ring {
+	r := &ring{points: make([]ringPoint, 0, shards*vnodesPerShard)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			r.points = append(r.points, ringPoint{h: hash32(fmt.Sprintf("shard-%d-vnode-%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		// Hash collisions between vnodes are broken by shard id so the ring
+		// order (and therefore every ownership decision) is deterministic.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// owner returns the shard owning key: the first ring point clockwise from
+// the key's hash, wrapping at the top of the circle.
+func (r *ring) owner(key string) int {
+	h := hash32(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+func hash32(s string) uint32 {
+	f := fnv.New32a()
+	f.Write([]byte(s))
+	return f.Sum32()
+}

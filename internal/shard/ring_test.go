@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic: the same key maps to the same shard across
+// independently built rings — placement must be a pure function of
+// (key, shard count).
+func TestRingDeterministic(t *testing.T) {
+	a, b := newRing(4), newRing(4)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		if a.owner(key) != b.owner(key) {
+			t.Fatalf("ring placement of %q differs across identical rings", key)
+		}
+	}
+}
+
+// TestRingBalance: with 64 vnodes per shard, no shard should own a wildly
+// disproportionate share of keys.
+func TestRingBalance(t *testing.T) {
+	r := newRing(4)
+	counts := make([]int, 4)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[r.owner(fmt.Sprintf("cs-%d", i))]++
+	}
+	for s, got := range counts {
+		if got < n/10 || got > n/2 {
+			t.Fatalf("shard %d owns %d of %d keys — ring is badly imbalanced: %v", s, got, n, counts)
+		}
+	}
+}
+
+// TestRingBounds: every shard id returned is in range, including keys
+// hashing past the last ring point (the wraparound).
+func TestRingBounds(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 7} {
+		r := newRing(shards)
+		for i := 0; i < 500; i++ {
+			s := r.owner(fmt.Sprintf("k%d", i))
+			if s < 0 || s >= shards {
+				t.Fatalf("ring(%d) produced out-of-range shard %d", shards, s)
+			}
+		}
+	}
+}
+
+// TestSplitStarts: contiguous cover with remainder spread over the first
+// shards.
+func TestSplitStarts(t *testing.T) {
+	cases := []struct {
+		n, shards int
+		want      []int
+	}{
+		{10, 4, []int{0, 3, 6, 8, 10}},
+		{8, 4, []int{0, 2, 4, 6, 8}},
+		{3, 4, []int{0, 1, 2, 3, 3}},
+		{0, 2, []int{0, 0, 0}},
+		{7, 1, []int{0, 7}},
+	}
+	for _, c := range cases {
+		got := splitStarts(c.n, c.shards)
+		if len(got) != len(c.want) {
+			t.Fatalf("splitStarts(%d,%d) = %v, want %v", c.n, c.shards, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("splitStarts(%d,%d) = %v, want %v", c.n, c.shards, got, c.want)
+			}
+		}
+	}
+}
+
+// TestOwnerOf: rid → shard range lookup, including the last rid.
+func TestOwnerOf(t *testing.T) {
+	tb := &table{starts: splitStarts(10, 4)} // [0 3 6 8 10]
+	wants := []int{0, 0, 0, 1, 1, 1, 2, 2, 3, 3}
+	for rid, want := range wants {
+		if got := tb.ownerOf(rid); got != want {
+			t.Fatalf("ownerOf(%d) = %d, want %d", rid, got, want)
+		}
+	}
+}

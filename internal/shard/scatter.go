@@ -1,0 +1,165 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+
+	"smoke/internal/core"
+	"smoke/internal/serr"
+	"smoke/internal/server"
+)
+
+// node is one in-process shard: a full engine (its own DB, worker pool,
+// session registry, and cache) behind the standard server handler stack. The
+// coordinator speaks to it through the handler seam, never by reaching into
+// the server's internals, so a node is behaviorally identical to a remote
+// smoked process — and the seam is the fault-injection point: tests swap in
+// a wedged or failing handler, and nil marks the shard down.
+type node struct {
+	id  int
+	db  *core.DB
+	srv *server.Server
+
+	mu      sync.RWMutex
+	handler http.Handler // nil: the shard is down
+
+	// Coordinator-side per-shard counters (surfaced in /healthz).
+	calls    atomic.Uint64
+	failures atomic.Uint64
+}
+
+func (n *node) currentHandler() http.Handler {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.handler
+}
+
+// setHandler swaps the shard's request handler. Tests use it to inject
+// faults; nil simulates a killed shard.
+func (n *node) setHandler(h http.Handler) {
+	n.mu.Lock()
+	n.handler = h
+	n.mu.Unlock()
+}
+
+// callResult is one shard HTTP exchange.
+type callResult struct {
+	status int
+	body   []byte
+}
+
+func (r *callResult) ok() bool { return r.status >= 200 && r.status < 300 }
+
+// invoke runs one request against the shard's handler stack with the
+// caller's deadline. The handler runs on its own goroutine so a wedged shard
+// cannot wedge the coordinator: when ctx expires first the call returns a
+// structured Unavailable (HTTP 503) naming the shard, and the stuck
+// goroutine is abandoned with its private recorder — it can never write
+// into a reply the coordinator already sent.
+func (n *node) invoke(ctx context.Context, method, path string, body []byte, contentType string) (*callResult, error) {
+	n.calls.Add(1)
+	h := n.currentHandler()
+	if h == nil {
+		n.failures.Add(1)
+		return nil, serr.New(serr.Unavailable, "shard: shard %d is down; partial results are not served", n.id)
+	}
+	req := httptest.NewRequest(method, path, bytes.NewReader(body)).WithContext(ctx)
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	done := make(chan *callResult, 1)
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				// The server recovers its own panics; this guards injected
+				// test handlers so a fault simulation can never kill the
+				// coordinator process.
+				done <- &callResult{status: http.StatusInternalServerError}
+			}
+		}()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		done <- &callResult{status: rec.Code, body: rec.Body.Bytes()}
+	}()
+	select {
+	case res := <-done:
+		if !res.ok() {
+			n.failures.Add(1)
+		}
+		return res, nil
+	case <-ctx.Done():
+		n.failures.Add(1)
+		return nil, serr.New(serr.Unavailable,
+			"shard: shard %d did not answer %s %s before the coordinator deadline; partial results are not served",
+			n.id, method, path)
+	}
+}
+
+// callJSON invokes a shard and decodes a 2xx reply as a result body. Non-2xx
+// replies come back as the shard's own structured error.
+func (c *Coordinator) callJSON(ctx context.Context, n *node, method, path string, body []byte) (*wireResult, error) {
+	res, err := n.invoke(ctx, method, path, body, "application/json")
+	if err != nil {
+		c.shardTimeouts.Add(1)
+		return nil, err
+	}
+	if !res.ok() {
+		c.shardErrors.Add(1)
+		return nil, errorFromShard(n.id, res.status, res.body)
+	}
+	return decodeResult(res.body)
+}
+
+// scatter fans one request wave out to the given shards concurrently and
+// gathers the per-shard replies in shard order. The whole wave shares one
+// deadline; the first shard failure (down, timed out, or answering an error
+// status) cancels the remaining calls and surfaces as the wave's error, so a
+// half-answered wave never yields a silently partial gather.
+func (c *Coordinator) scatter(ctx context.Context, shards []int, build func(shard int) (method, path string, body []byte)) ([]*wireResult, error) {
+	c.scatters.Add(1)
+	wctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+
+	results := make([]*wireResult, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, s := range shards {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			method, path, body := build(s)
+			res, err := c.callJSON(wctx, c.nodes[s], method, path, body)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			results[i] = res
+		}()
+	}
+	wg.Wait()
+	// A shard's own error (a deterministic 4xx, say) outranks Unavailable:
+	// when one shard fails fast the cancellation cascades to its siblings as
+	// deadline errors, and reporting those would bury the actual cause.
+	var unavailable error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if serr.KindOf(err) != serr.Unavailable {
+			return nil, err
+		}
+		if unavailable == nil {
+			unavailable = err
+		}
+	}
+	if unavailable != nil {
+		return nil, unavailable
+	}
+	return results, nil
+}

@@ -159,6 +159,28 @@ func (r *Relation) MemBytes() int64 {
 	return total
 }
 
+// Slice returns the contiguous row range [lo, hi) as a new relation sharing
+// the underlying column arrays (zero-copy). Row i of the slice is row lo+i of
+// r — the rid-range partitioning the shard tier hands each shard node, so a
+// shard-local rid translates to a global rid by adding lo.
+func (r *Relation) Slice(name string, lo, hi int) *Relation {
+	if lo < 0 || hi < lo || hi > r.N {
+		panic(fmt.Sprintf("storage: Slice [%d,%d) out of range for %d rows", lo, hi, r.N))
+	}
+	out := &Relation{Name: name, Schema: r.Schema, Cols: make([]Column, len(r.Cols)), N: hi - lo}
+	for c, col := range r.Cols {
+		switch {
+		case col.Ints != nil:
+			out.Cols[c].Ints = col.Ints[lo:hi]
+		case col.Floats != nil:
+			out.Cols[c].Floats = col.Floats[lo:hi]
+		case col.Strs != nil:
+			out.Cols[c].Strs = col.Strs[lo:hi]
+		}
+	}
+	return out
+}
+
 // Project returns a new relation with only the given columns, sharing the
 // underlying column slices (zero-copy). Bag-semantics projection needs no
 // lineage: output rid i is input rid i in both directions.

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 )
@@ -269,4 +270,39 @@ func TestRegisterReplacementClearsKeys(t *testing.T) {
 	if ok, _ := c.IsPKFK("t", "id", "u", "tid"); ok {
 		t.Fatal("stale fk survived replacement")
 	}
+}
+
+func TestRelationSlice(t *testing.T) {
+	r := NewEmpty("t", testSchema())
+	for i := 0; i < 6; i++ {
+		r.AppendRow(i, float64(i)+0.5, fmt.Sprintf("s%d", i))
+	}
+	s := r.Slice("t", 2, 5)
+	if s.N != 3 {
+		t.Fatalf("N = %d, want 3", s.N)
+	}
+	// Row i of the slice is row lo+i of the parent — the shard tier's
+	// local→global rid translation.
+	for i := 0; i < s.N; i++ {
+		if !reflect.DeepEqual(s.Row(i), r.Row(2+i)) {
+			t.Fatalf("slice row %d = %v, want parent row %d = %v", i, s.Row(i), 2+i, r.Row(2+i))
+		}
+	}
+	// Zero-copy: the slice aliases the parent's arrays.
+	if &s.Cols[0].Ints[0] != &r.Cols[0].Ints[2] {
+		t.Fatal("int column was copied, want an alias of the parent array")
+	}
+	if &s.Cols[2].Strs[0] != &r.Cols[2].Strs[2] {
+		t.Fatal("string column was copied, want an alias of the parent array")
+	}
+	// Empty slices are legal — a shard can hold zero rows of a small table.
+	if e := r.Slice("t", 6, 6); e.N != 0 {
+		t.Fatalf("empty slice N = %d, want 0", e.N)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Slice did not panic")
+		}
+	}()
+	r.Slice("t", 4, 7)
 }
